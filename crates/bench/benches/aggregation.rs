@@ -1,0 +1,51 @@
+//! Benchmarks of time aggregation and the Definition 3 granularity sweep on
+//! one gateway's per-minute traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_core::aggregation::{weekly_stationarity, weekly_window_correlation};
+use wtts_gwsim::{generate_gateway, FleetConfig};
+use wtts_timeseries::{aggregate, Granularity};
+
+fn bench_binning(c: &mut Criterion) {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks: 4,
+        ..FleetConfig::default()
+    };
+    let total = generate_gateway(&config, 0).aggregate_total();
+    let mut group = c.benchmark_group("binning");
+    for g in [1u32, 30, 180, 480] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| aggregate(black_box(&total), Granularity::minutes(g), 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_granularity_sweep(c: &mut Criterion) {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks: 4,
+        ..FleetConfig::default()
+    };
+    let total = generate_gateway(&config, 0).aggregate_total();
+    let mut group = c.benchmark_group("definition3");
+    group.sample_size(10);
+    group.bench_function("weekly_correlation_8h", |b| {
+        b.iter(|| weekly_window_correlation(black_box(&total), 4, Granularity::hours(8), 120))
+    });
+    group.bench_function("weekly_stationarity_8h", |b| {
+        b.iter(|| weekly_stationarity(black_box(&total), 4, Granularity::hours(8), 120))
+    });
+    group.bench_function("full_weekly_sweep", |b| {
+        b.iter(|| {
+            for g in Granularity::weekly_candidates() {
+                black_box(weekly_window_correlation(&total, 4, g, 0));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_binning, bench_granularity_sweep);
+criterion_main!(benches);

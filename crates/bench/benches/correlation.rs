@@ -1,0 +1,91 @@
+//! Benchmarks of the correlation coefficients and the Definition 1
+//! similarity measure, over series lengths matching the paper's window
+//! sizes (8 bins for daily, 21 for weekly, 10 080 for raw per-minute
+//! weeks).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_core::similarity::correlation_similarity;
+use wtts_stats::{kendall, pearson, spearman};
+
+fn series(n: usize, phase: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as u64;
+            (x.wrapping_mul(6364136223846793005).wrapping_add(phase) >> 33) as f64
+                + (i % 97) as f64 * 1e3
+        })
+        .collect()
+}
+
+fn bench_coefficients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coefficients");
+    for n in [8usize, 21, 56, 1440, 10_080] {
+        let x = series(n, 1);
+        let y = series(n, 2);
+        group.bench_with_input(BenchmarkId::new("pearson", n), &n, |b, _| {
+            b.iter(|| pearson(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("spearman", n), &n, |b, _| {
+            b.iter(|| spearman(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("kendall", n), &n, |b, _| {
+            b.iter(|| kendall(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_definition1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("definition1");
+    for n in [21usize, 1440, 10_080] {
+        let x = series(n, 3);
+        let y = series(n, 4);
+        group.bench_with_input(BenchmarkId::new("cor_max_of_three", n), &n, |b, _| {
+            b.iter(|| correlation_similarity(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+/// The O(n log n) Kendall against the naive O(n^2) definition — the ablation
+/// DESIGN.md calls out.
+fn bench_kendall_vs_naive(c: &mut Criterion) {
+    fn naive_tau(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let mut s = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = (x[i] - x[j]) * (y[i] - y[j]);
+                s += if d > 0.0 {
+                    1
+                } else if d < 0.0 {
+                    -1
+                } else {
+                    0
+                };
+            }
+        }
+        s as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    let mut group = c.benchmark_group("kendall_algorithms");
+    for n in [64usize, 256, 1024] {
+        let x = series(n, 5);
+        let y = series(n, 6);
+        group.bench_with_input(BenchmarkId::new("knight_nlogn", n), &n, |b, _| {
+            b.iter(|| kendall(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_n2", n), &n, |b, _| {
+            b.iter(|| naive_tau(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coefficients,
+    bench_definition1,
+    bench_kendall_vs_naive
+);
+criterion_main!(benches);

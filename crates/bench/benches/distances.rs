@@ -1,0 +1,35 @@
+//! Benchmarks of the baseline distance measures the paper compares against:
+//! Euclidean distance, z-normalization and DTW (full and banded).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_stats::{dtw, dtw_banded, euclidean, z_normalize};
+
+fn series(n: usize, phase: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(phase) >> 40) as f64)
+        .collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances");
+    for n in [56usize, 336, 1440] {
+        let x = series(n, 1);
+        let y = series(n, 2);
+        group.bench_with_input(BenchmarkId::new("euclidean", n), &n, |b, _| {
+            b.iter(|| euclidean(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("z_normalize", n), &n, |b, _| {
+            b.iter(|| z_normalize(black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_full", n), &n, |b, _| {
+            b.iter(|| dtw(black_box(&x), black_box(&y)))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_band16", n), &n, |b, _| {
+            b.iter(|| dtw_banded(black_box(&x), black_box(&y), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmarks of the dominant-device scan (Definition 4) and its baselines
+//! on a simulated gateway.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wtts_core::dominance::{dominant_devices, euclidean_ranking, volume_ranking};
+use wtts_gwsim::{generate_gateway, FleetConfig};
+use wtts_timeseries::TimeSeries;
+
+fn bench_dominance(c: &mut Criterion) {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks: 4,
+        ..FleetConfig::default()
+    };
+    let gw = generate_gateway(&config, 0);
+    let devices: Vec<TimeSeries> = gw.devices.iter().map(|d| d.total()).collect();
+    let total = TimeSeries::sum_all(devices.iter()).unwrap();
+
+    let mut group = c.benchmark_group("dominance");
+    group.sample_size(10);
+    group.bench_function("correlation_phi06", |b| {
+        b.iter(|| dominant_devices(black_box(&total), black_box(&devices), 0.6))
+    });
+    group.bench_function("euclidean_ranking", |b| {
+        b.iter(|| euclidean_ranking(black_box(&total), black_box(&devices)))
+    });
+    group.bench_function("volume_ranking", |b| {
+        b.iter(|| volume_ranking(black_box(&devices)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dominance);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks of motif discovery (Definition 5) as the window count grows —
+//! the dominant cost is the pairwise similarity matrix.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_core::motif::{discover_motifs, MotifConfig};
+
+/// Synthetic daily windows: a few behavioral clusters plus noise, 8 bins
+/// each like the paper's 3-hour daily binning.
+fn windows(count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|k| {
+            let cluster = k % 4;
+            (0..8)
+                .map(|b| {
+                    let active = match cluster {
+                        0 => (6..8).contains(&b),
+                        1 => (4..6).contains(&b),
+                        2 => (2..4).contains(&b),
+                        _ => ((k * 7 + b) % 3) == 0,
+                    };
+                    if active {
+                        1_000.0 + ((k * 13 + b * 7) % 50) as f64
+                    } else {
+                        ((k * 31 + b * 11) % 20) as f64
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motif_discovery");
+    group.sample_size(10);
+    for n in [100usize, 400, 1000] {
+        let w = windows(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| discover_motifs(black_box(&w), &MotifConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the group-similarity factor's effect on runtime.
+fn bench_group_factor(c: &mut Criterion) {
+    let w = windows(400);
+    let mut group = c.benchmark_group("motif_group_factor");
+    group.sample_size(10);
+    for factor in [0.5f64, 0.75, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factor),
+            &factor,
+            |b, &factor| {
+                let config = MotifConfig {
+                    group_factor: factor,
+                    ..MotifConfig::default()
+                };
+                b.iter(|| discover_motifs(black_box(&w), &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_group_factor);
+criterion_main!(benches);

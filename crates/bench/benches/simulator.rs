@@ -1,0 +1,40 @@
+//! Benchmarks of trace generation: how fast the substrate can render
+//! gateways (the experiments regenerate the fleet on every run).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_gwsim::{generate_gateway, FleetConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_generation");
+    group.sample_size(10);
+    for weeks in [1u32, 4, 6] {
+        let config = FleetConfig {
+            n_gateways: 1,
+            weeks,
+            ..FleetConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(weeks), &weeks, |b, _| {
+            let mut id = 0usize;
+            b.iter(|| {
+                id = (id + 1) % 64;
+                generate_gateway(black_box(&config), id)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate_total(c: &mut Criterion) {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks: 4,
+        ..FleetConfig::default()
+    };
+    let gw = generate_gateway(&config, 0);
+    c.bench_function("aggregate_total_4w", |b| {
+        b.iter(|| black_box(&gw).aggregate_total())
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_aggregate_total);
+criterion_main!(benches);

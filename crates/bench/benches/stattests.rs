@@ -1,0 +1,47 @@
+//! Benchmarks of the statistical tests: two-sample KS, KPSS and ADF, at the
+//! sample sizes the experiments use (weekly windows of binned and raw
+//! traffic).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_stats::{adf_test, kpss_test, ks_two_sample};
+
+fn noisy(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        })
+        .collect()
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_two_sample");
+    for n in [56usize, 1440, 10_080] {
+        let x = noisy(n, 7);
+        let y = noisy(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ks_two_sample(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stationarity_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_stationarity");
+    for n in [1440usize, 10_080] {
+        let x = noisy(n, 9);
+        group.bench_with_input(BenchmarkId::new("kpss", n), &n, |b, _| {
+            b.iter(|| kpss_test(black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("adf_lag4", n), &n, |b, _| {
+            b.iter(|| adf_test(black_box(&x), Some(4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ks, bench_stationarity_tests);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Benchmarks of the streaming (future-work) components: online Pearson
+//! throughput, window accumulation, motif matching, plus the spectral and
+//! profiling machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtts_core::profile::GatewayProfile;
+use wtts_core::streaming::{MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator};
+use wtts_gwsim::{generate_gateway, FleetConfig};
+use wtts_stats::{fit_ar, ljung_box, periodogram};
+use wtts_timeseries::{Minute, TimeSeries, WindowKind};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as f64)
+        .collect()
+}
+
+fn bench_online_pearson(c: &mut Criterion) {
+    let x = series(10_080);
+    let y = series(10_080);
+    c.bench_function("online_pearson_week_of_minutes", |b| {
+        b.iter(|| {
+            let mut p = OnlinePearson::new();
+            for (&a, &bv) in x.iter().zip(&y) {
+                p.push(black_box(a), black_box(bv));
+            }
+            p.correlation()
+        })
+    });
+}
+
+fn bench_window_accumulator(c: &mut Criterion) {
+    let x = series(4 * 10_080);
+    c.bench_function("window_accumulator_4_weeks", |b| {
+        b.iter(|| {
+            let mut acc = WindowAccumulator::new(WindowKind::Daily, 180);
+            let mut emitted = 0usize;
+            for (m, &v) in x.iter().enumerate() {
+                emitted += acc.push(Minute(m as u32), black_box(v)).len();
+            }
+            emitted
+        })
+    });
+}
+
+fn bench_motif_matcher(c: &mut Criterion) {
+    let templates: Vec<MotifTemplate> = (0..32)
+        .map(|k| MotifTemplate {
+            name: format!("t{k}"),
+            pattern: (0..8).map(|b| ((b * 7 + k * 13) % 29) as f64).collect(),
+        })
+        .collect();
+    let windows: Vec<Vec<f64>> = (0..200)
+        .map(|k| (0..8).map(|b| ((b * 11 + k * 3) % 31) as f64).collect())
+        .collect();
+    c.bench_function("motif_matcher_200_windows_32_templates", |b| {
+        b.iter(|| {
+            let mut m = MotifMatcher::new(templates.clone(), 0.8);
+            for w in &windows {
+                let _ = m.observe(black_box(w));
+            }
+            m.novel_count()
+        })
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    for n in [1440usize, 10_080] {
+        let x = series(n);
+        group.bench_with_input(BenchmarkId::new("periodogram", n), &n, |b, _| {
+            b.iter(|| periodogram(black_box(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("ljung_box_60", n), &n, |b, _| {
+            b.iter(|| ljung_box(black_box(&x), 60))
+        });
+        group.bench_with_input(BenchmarkId::new("ar4_fit", n), &n, |b, _| {
+            b.iter(|| fit_ar(black_box(&x), 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks: 2,
+        ..FleetConfig::default()
+    };
+    let gw = generate_gateway(&config, 0);
+    let devices: Vec<TimeSeries> = gw.devices.iter().map(|d| d.total()).collect();
+    let mut group = c.benchmark_group("profile");
+    group.sample_size(10);
+    group.bench_function("gateway_profile_2_weeks", |b| {
+        b.iter(|| GatewayProfile::analyze(black_box(&devices), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_online_pearson,
+    bench_window_accumulator,
+    bench_motif_matcher,
+    bench_spectral,
+    bench_profile
+);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Figures 6–8: choosing the best aggregation period for weekly and daily
+//! patterns.
+
+use crate::data::{active_total, first_weeks, fleet_map, observed_every_day, observed_every_week};
+use crate::report::{fmt, Table};
+use std::path::Path;
+use wtts_core::aggregation::{
+    daily_window_correlation, stationary_weekday_count, weekly_stationarity,
+    weekly_window_correlation,
+};
+use wtts_gwsim::Fleet;
+use wtts_stats::mean;
+use wtts_timeseries::Granularity;
+
+/// The gateways eligible for weekly analyses, with their active series.
+fn weekly_eligible(fleet: &Fleet, weeks: u32) -> Vec<wtts_timeseries::TimeSeries> {
+    fleet_map(fleet, |gw| {
+        let active = first_weeks(&active_total(&gw), weeks);
+        observed_every_week(&active, weeks).then_some(active)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Figure 6: average week-to-week correlation per aggregation granularity,
+/// for day starts at midnight and 2am, over all eligible gateways and over
+/// the strongly stationary ones.
+pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
+    let weeks = 4;
+    let series = weekly_eligible(fleet, weeks);
+    println!("{} gateways eligible for weekly aggregation analysis", series.len());
+
+    for offset in [0u32, 120, 180] {
+        let mut t = Table::new(
+            &format!(
+                "Fig 6 - weekly aggregation curves (day start {:02}:00)",
+                offset / 60
+            ),
+            &["granularity", "avg cor (all)", "avg cor (stationary)", "#stationary"],
+        );
+        for g in Granularity::weekly_candidates() {
+            if g.as_minutes() < 60 && offset != 0 {
+                continue; // 1-minute binning only evaluated from midnight.
+            }
+            let mut all = Vec::new();
+            let mut stat = Vec::new();
+            for s in &series {
+                let Some(score) = weekly_window_correlation(s, weeks, g, offset) else {
+                    continue;
+                };
+                all.push(score.mean_correlation);
+                if weekly_stationarity(s, weeks, g, offset).is_some_and(|c| c.is_stationary()) {
+                    stat.push(score.mean_correlation);
+                }
+            }
+            t.row(&[
+                g.to_string(),
+                fmt(mean(&all), 3),
+                fmt(mean(&stat), 3),
+                stat.len().to_string(),
+            ]);
+        }
+        t.emit(out);
+    }
+}
+
+/// Figure 7: number of strongly stationary gateways per daily aggregation
+/// granularity, stacked by how many weekdays are stationary.
+pub fn fig7(fleet: &Fleet, out: Option<&Path>) {
+    let weeks = 4;
+    let series: Vec<wtts_timeseries::TimeSeries> = fleet_map(fleet, |gw| {
+        let active = first_weeks(&active_total(&gw), weeks);
+        observed_every_day(&active, weeks).then_some(active)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    println!("{} gateways eligible for daily analysis", series.len());
+
+    let mut t = Table::new(
+        "Fig 7 - stationary gateways per daily granularity",
+        &["granularity", "total", "1 day", "2 days", "3 days", "4 days", "5+ days"],
+    );
+    for g in [10u32, 30, 60, 90, 120, 180] {
+        let g = Granularity::minutes(g);
+        let mut by_days = [0usize; 5];
+        for s in &series {
+            let days = stationary_weekday_count(s, weeks, g, 0);
+            if days > 0 {
+                by_days[(days - 1).min(4)] += 1;
+            }
+        }
+        let total: usize = by_days.iter().sum();
+        t.row(&[
+            g.to_string(),
+            total.to_string(),
+            by_days[0].to_string(),
+            by_days[1].to_string(),
+            by_days[2].to_string(),
+            by_days[3].to_string(),
+            by_days[4].to_string(),
+        ]);
+    }
+    t.emit(out);
+}
+
+/// Figure 8: average same-weekday correlation per daily granularity, for
+/// all eligible gateways and for gateways with at least one stationary
+/// weekday.
+pub fn fig8(fleet: &Fleet, out: Option<&Path>) {
+    let weeks = 4;
+    let series: Vec<wtts_timeseries::TimeSeries> = fleet_map(fleet, |gw| {
+        let active = first_weeks(&active_total(&gw), weeks);
+        observed_every_day(&active, weeks).then_some(active)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let mut t = Table::new(
+        "Fig 8 - daily aggregation curves",
+        &["granularity", "avg cor (all)", "avg cor (stationary)", "#stationary"],
+    );
+    for g in Granularity::daily_candidates() {
+        let mut all = Vec::new();
+        let mut stat = Vec::new();
+        for s in &series {
+            let Some(score) = daily_window_correlation(s, weeks, g, 0) else {
+                continue;
+            };
+            all.push(score.mean_correlation);
+            if stationary_weekday_count(s, weeks, g, 0) > 0 {
+                stat.push(score.mean_correlation);
+            }
+        }
+        t.row(&[
+            g.to_string(),
+            fmt(mean(&all), 3),
+            fmt(mean(&stat), 3),
+            stat.len().to_string(),
+        ]);
+    }
+    t.emit(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_gwsim::FleetConfig;
+
+    #[test]
+    fn weekly_eligibility_filter_applies() {
+        let fleet = Fleet::new(FleetConfig::small());
+        let eligible = weekly_eligible(&fleet, 2);
+        assert!(eligible.len() <= fleet.len());
+        for s in &eligible {
+            assert!(observed_every_week(s, 2));
+        }
+    }
+}

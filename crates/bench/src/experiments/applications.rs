@@ -1,0 +1,302 @@
+//! Application-level experiments beyond the paper's figures:
+//!
+//! * `sec4-arima` — makes §4.2's qualitative claim ("ARIMA modeling …
+//!   cannot yield useful results, as it is not able to predict the rare
+//!   bursts") quantitative with out-of-sample AR forecasts.
+//! * `app-maintenance` — the intro's headline use case: per-gateway
+//!   firmware-update windows chosen from the weekly activity profile.
+
+use crate::data::{active_total, first_weeks};
+use crate::experiments::standard::most_observed_gateways;
+use crate::report::{fmt, pct, Table};
+use std::collections::HashMap;
+use std::path::Path;
+use wtts_core::anomaly::{AnomalyConfig, AnomalyDetector};
+use wtts_core::maintenance::WeeklyProfile;
+use wtts_gwsim::Fleet;
+use wtts_stats::{dominant_period, forecast_rmse, ljung_box};
+use wtts_timeseries::{aggregate, daily_windows, Granularity};
+
+/// §4.2 quantified: the paper's ARIMA verdict. AR models track traffic
+/// *within* a burst (persistence), but they cannot predict burst *onsets* —
+/// the rare active-traffic events ISP planning actually cares about — and
+/// they add almost nothing over the trivial persistence predictor.
+pub fn sec4_arima(fleet: &Fleet, out: Option<&Path>) {
+    let ids = most_observed_gateways(fleet, 10);
+    let mut t = Table::new(
+        "Sec 4.2 - AR(4) one-step forecasts on traffic",
+        &[
+            "granularity",
+            "skill vs mean",
+            "skill vs persistence",
+            "burst onsets captured",
+        ],
+    );
+    for g in [
+        Granularity::minutes(1),
+        Granularity::minutes(30),
+        Granularity::hours(3),
+    ] {
+        let mut vs_mean = Vec::new();
+        let mut vs_persist = Vec::new();
+        let mut onsets = 0usize;
+        let mut captured = 0usize;
+        for &id in &ids {
+            let gw = fleet.gateway(id);
+            let total = first_weeks(&gw.aggregate_total(), 2);
+            let agg = aggregate(&total, g, 0);
+            let values = agg.values();
+            let Some(cmp) = forecast_rmse(values, 4, 0.7) else {
+                continue;
+            };
+            vs_mean.push(cmp.skill_vs_mean());
+            if cmp.persistence_rmse > 0.0 {
+                vs_persist.push(1.0 - cmp.model_rmse / cmp.persistence_rmse);
+            }
+            // Burst onsets in the test region: a jump from quiet to loud.
+            let split = (values.len() as f64 * 0.7) as usize;
+            let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+            let med = wtts_stats::median(&finite).max(1.0);
+            for t_idx in split.max(1)..values.len() {
+                let (prev, cur) = (values[t_idx - 1], values[t_idx]);
+                if !prev.is_finite() || !cur.is_finite() {
+                    continue;
+                }
+                if cur > 10.0 * med && prev < 2.0 * med {
+                    onsets += 1;
+                    let pred = cmp.model.forecast_one(&values[..t_idx]);
+                    if pred >= 0.5 * cur {
+                        captured += 1;
+                    }
+                }
+            }
+        }
+        t.row(&[
+            g.to_string(),
+            fmt(wtts_stats::mean(&vs_mean), 3),
+            fmt(wtts_stats::mean(&vs_persist), 3),
+            format!("{captured}/{onsets}"),
+        ]);
+    }
+    t.emit(out);
+    println!(
+        "Within-burst persistence is easy (positive skill vs the mean), but \
+burst onsets — the events that matter — are essentially never predicted, \
+and the model barely improves on naive persistence: the paper's ARIMA \
+verdict.\n"
+    );
+}
+
+/// §4.2's "no gateway exhibits a seasonal behavior" quantified with the
+/// periodogram: at 1-minute binning no spectral line dominates (bursts
+/// spread the spectrum), while hourly aggregation reveals the ordinary
+/// diurnal rhythm — low-level autocorrelation exists (Ljung–Box rejects
+/// whiteness) but never a clean seasonal signal.
+pub fn sec4_seasonal(fleet: &Fleet, out: Option<&Path>) {
+    let ids = most_observed_gateways(fleet, 10);
+    let mut t = Table::new(
+        "Sec 4.2 - seasonality check (periodogram + Ljung-Box)",
+        &[
+            "gateway",
+            "1m peak period (h)",
+            "1m peak share",
+            "1h peak period (h)",
+            "1h peak share",
+            "LB rejects whiteness",
+        ],
+    );
+    for &id in &ids {
+        let gw = fleet.gateway(id);
+        let total = first_weeks(&gw.aggregate_total(), 2);
+        let minute = total.observed_values();
+        let hourly = aggregate(&total, Granularity::hours(1), 0).observed_values();
+        let m = dominant_period(&minute);
+        let h = dominant_period(&hourly);
+        let lb = ljung_box(&minute, 60);
+        t.row(&[
+            id.to_string(),
+            fmt(m.map(|(l, _)| l.period_samples() / 60.0).unwrap_or(f64::NAN), 1),
+            fmt(m.map(|(_, s)| s).unwrap_or(f64::NAN), 3),
+            fmt(h.map(|(l, _)| l.period_samples()).unwrap_or(f64::NAN), 1),
+            fmt(h.map(|(_, s)| s).unwrap_or(f64::NAN), 3),
+            lb.map(|l| l.rejects_whiteness(0.05).to_string()).unwrap_or("-".into()),
+        ]);
+    }
+    t.emit(out);
+    println!(
+        "Low per-minute peak shares = no seasonal component worth modeling \
+(the paper's finding); the hourly view shows the ordinary ~24h rhythm.\n"
+    );
+}
+
+/// The intro's use case: recommend per-gateway maintenance windows and
+/// check how many homes would be disturbed by the naive fleet-wide
+/// night-time broadcast instead.
+pub fn app_maintenance(fleet: &Fleet, out: Option<&Path>) {
+    let duration = 120; // 2-hour update window.
+    let mut per_hour: HashMap<u32, usize> = HashMap::new();
+    let mut night_disturbed = 0usize; // Naive 03:00-05:00 broadcast hits activity.
+    let mut analyzed = 0usize;
+    let mut examples = Vec::new();
+    for gw in fleet.iter() {
+        let active = first_weeks(&active_total(&gw), 4);
+        let Some(profile) = WeeklyProfile::from_active_series(&active, 60) else {
+            continue;
+        };
+        let Some(window) = profile.recommend(duration) else {
+            continue;
+        };
+        analyzed += 1;
+        *per_hour.entry(window.start_minute / 60).or_insert(0) += 1;
+        // Would the naive "everyone at 3am" policy hit this home? Count
+        // homes with *meaningful* overnight activity — more than 1 MB
+        // expected inside some 03:00-05:00 slot (stray syncs don't count,
+        // an active user does).
+        let night_busy = (0..7).any(|d| {
+            let day = wtts_timeseries::Weekday::from_index(d);
+            profile.cell(day, 3) > 1e6 || profile.cell(day, 4) > 1e6
+        });
+        if night_busy {
+            night_disturbed += 1;
+        }
+        if examples.len() < 5 {
+            examples.push((gw.id, gw.archetype.to_string(), window));
+        }
+    }
+
+    let mut t = Table::new(
+        "App - recommended maintenance window start hours (2h windows)",
+        &["start hour", "gateways"],
+    );
+    let mut hours: Vec<(u32, usize)> = per_hour.into_iter().collect();
+    hours.sort();
+    for (h, count) in hours {
+        t.row(&[format!("{h:02}:00"), count.to_string()]);
+    }
+    t.emit(out);
+
+    let mut t = Table::new(
+        "App - example per-gateway recommendations",
+        &["gateway", "archetype", "window", "expected bytes", "silent share"],
+    );
+    for (id, archetype, w) in examples {
+        t.row(&[
+            id.to_string(),
+            archetype,
+            w.label(),
+            fmt(w.expected_bytes, 0),
+            pct(w.silent_share),
+        ]);
+    }
+    t.emit(out);
+
+    println!(
+        "{analyzed} gateways analyzed; a naive fleet-wide 03:00 broadcast would \
+hit {night_disturbed} homes with meaningful overnight activity ({}). \
+Per-home windows avoid all of them.\n",
+        pct(night_disturbed as f64 / analyzed.max(1) as f64)
+    );
+}
+
+/// The troubleshooting use case: learn each home's behavior from three
+/// weeks, then score a fourth week in which we inject known faults — a
+/// dead day (radio/upstream outage) and a night-long flood (runaway
+/// device). Reports detection and false-positive rates.
+pub fn app_troubleshoot(fleet: &Fleet, out: Option<&Path>) {
+    let train_weeks = 3;
+    let g = Granularity::hours(3);
+    let mut injected = 0usize;
+    let mut detected = 0usize;
+    let mut clean_days = 0usize;
+    let mut false_alarms = 0usize;
+    let mut insufficient = 0usize;
+    for gw in fleet.iter().take(60) {
+        let active = first_weeks(&active_total(&gw), train_weeks + 1);
+        let binned = aggregate(&active, g, 0);
+        let windows = daily_windows(&binned, train_weeks + 1, 0);
+        let (train, test): (Vec<_>, Vec<_>) =
+            windows.into_iter().partition(|w| w.week < train_weeks);
+        let detector = AnomalyDetector::new(
+            train
+                .into_iter()
+                .filter_map(|w| w.weekday.map(|d| (d, w.series.into_values()))),
+            AnomalyConfig::default(),
+        );
+        for (i, w) in test.into_iter().enumerate() {
+            let Some(day) = w.weekday else { continue };
+            let mut values = w.series.into_values();
+            let fault: Option<&str> = match i {
+                1 => {
+                    // Dead day: the home reports, but nothing moves.
+                    values.iter_mut().for_each(|v| {
+                        if v.is_finite() {
+                            *v = 0.0;
+                        }
+                    });
+                    Some("dead")
+                }
+                4 => {
+                    // Runaway device floods the uplink all night.
+                    for (b, v) in values.iter_mut().enumerate() {
+                        if b < 3 {
+                            *v = 5e9;
+                        }
+                    }
+                    Some("flood")
+                }
+                _ => None,
+            };
+            let verdict = detector.score(day, &values);
+            match (fault, verdict.is_anomalous()) {
+                (Some(_), true) => {
+                    injected += 1;
+                    detected += 1;
+                }
+                (Some(_), false) => injected += 1,
+                (None, anomalous) => {
+                    if verdict == wtts_core::anomaly::Verdict::Insufficient {
+                        insufficient += 1;
+                    } else {
+                        clean_days += 1;
+                        if anomalous {
+                            false_alarms += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut t = Table::new(
+        "App - anomaly detection on injected faults",
+        &["metric", "value"],
+    );
+    t.row(&["injected faults".into(), injected.to_string()]);
+    t.row(&[
+        "detected".into(),
+        format!("{detected} ({})", pct(detected as f64 / injected.max(1) as f64)),
+    ]);
+    t.row(&["clean days scored".into(), clean_days.to_string()]);
+    t.row(&[
+        "false alarms".into(),
+        format!(
+            "{false_alarms} ({})",
+            pct(false_alarms as f64 / clean_days.max(1) as f64)
+        ),
+    ]);
+    t.row(&["insufficient history".into(), insufficient.to_string()]);
+    t.emit(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_gwsim::FleetConfig;
+
+    #[test]
+    fn application_experiments_run_small() {
+        let fleet = Fleet::new(FleetConfig::small());
+        sec4_arima(&fleet, None);
+        app_maintenance(&fleet, None);
+        app_troubleshoot(&fleet, None);
+    }
+}

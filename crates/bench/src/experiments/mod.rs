@@ -1,0 +1,11 @@
+//! The experiment suite: one module per figure/table family of the paper.
+
+pub mod aggregation;
+pub mod applications;
+pub mod background;
+pub mod dominance;
+pub mod measures;
+pub mod motifs;
+pub mod robustness;
+pub mod sax;
+pub mod standard;

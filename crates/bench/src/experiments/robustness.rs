@@ -1,0 +1,123 @@
+//! Robustness sweep: the headline findings must hold across seeds and
+//! deployment scenarios, or they are artifacts of one synthetic draw.
+
+use crate::data::{first_weeks, observed_every_week};
+use crate::report::{fmt, pct, Table};
+use std::path::Path;
+use wtts_core::dominance::dominant_devices;
+use wtts_gwsim::{Fleet, FleetConfig};
+use wtts_stats::pearson;
+use wtts_timeseries::TimeSeries;
+
+/// Headline statistics of one fleet draw.
+struct Headline {
+    in_out_mean: f64,
+    share_with_dominant: f64,
+    mean_dominants: f64,
+}
+
+fn headline(fleet: &Fleet) -> Headline {
+    let weeks = 2;
+    let mut cors = Vec::new();
+    let mut eligible = 0usize;
+    let mut with_dominant = 0usize;
+    let mut dominants = 0usize;
+    for gw in fleet.iter() {
+        let inc = first_weeks(&gw.aggregate_incoming(), weeks);
+        let out = first_weeks(&gw.aggregate_outgoing(), weeks);
+        let r = pearson(inc.values(), out.values());
+        if r.n > 1000 {
+            cors.push(r.value);
+        }
+        let devices: Vec<TimeSeries> = gw
+            .devices
+            .iter()
+            .map(|d| first_weeks(&d.total(), weeks))
+            .collect();
+        let total = TimeSeries::sum_all(devices.iter()).expect("devices");
+        if !observed_every_week(&total, weeks) {
+            continue;
+        }
+        eligible += 1;
+        let dom = dominant_devices(&total, &devices, 0.6);
+        if !dom.is_empty() {
+            with_dominant += 1;
+        }
+        dominants += dom.len();
+    }
+    Headline {
+        in_out_mean: wtts_stats::mean(&cors),
+        share_with_dominant: with_dominant as f64 / eligible.max(1) as f64,
+        mean_dominants: dominants as f64 / eligible.max(1) as f64,
+    }
+}
+
+/// Sweeps seeds and scenarios, reporting the fleet-level statistics the
+/// paper's conclusions rest on.
+pub fn robustness(out: Option<&Path>) {
+    let base = FleetConfig {
+        n_gateways: 48,
+        weeks: 2,
+        ..FleetConfig::default()
+    };
+    let mut t = Table::new(
+        "Robustness - headline statistics across seeds and scenarios",
+        &["variant", "in/out mean cor", ">=1 dominant", "mean dominants"],
+    );
+    let variants: Vec<(String, FleetConfig)> = vec![
+        ("default seed A".into(), FleetConfig { seed: 1, ..base.clone() }),
+        ("default seed B".into(), FleetConfig { seed: 0xB0B, ..base.clone() }),
+        ("default seed C".into(), FleetConfig { seed: 0xFEED, ..base.clone() }),
+        (
+            "rural ADSL".into(),
+            FleetConfig {
+                n_gateways: 48,
+                weeks: 2,
+                seed: 1,
+                ..FleetConfig::rural_adsl()
+            },
+        ),
+        (
+            "busy urban".into(),
+            FleetConfig {
+                n_gateways: 48,
+                weeks: 2,
+                seed: 1,
+                ..FleetConfig::busy_urban()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        let h = headline(&Fleet::new(config));
+        t.row(&[
+            name,
+            fmt(h.in_out_mean, 3),
+            pct(h.share_with_dominant),
+            fmt(h.mean_dominants, 2),
+        ]);
+    }
+    t.emit(out);
+    println!(
+        "Stable columns = the findings are properties of the model, not of \
+one random draw.\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_statistics_sane() {
+        let fleet = Fleet::new(FleetConfig {
+            n_gateways: 6,
+            weeks: 2,
+            seed: 99,
+            ..FleetConfig::default()
+        });
+        let h = headline(&fleet);
+        assert!(h.in_out_mean > 0.5);
+        assert!((0.0..=1.0).contains(&h.share_with_dominant));
+        assert!(h.mean_dominants <= 5.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Section 4 standard analyses: Figures 1–3 and the §4.1/§4.2 text results.
+
+use crate::data::first_weeks;
+use crate::report::{fmt, pct, Table};
+use std::path::Path;
+use wtts_core::clustering::cluster_correlated;
+use wtts_gwsim::Fleet;
+use wtts_stats::{
+    acf, adf_test, ccf, kpss_test, ks_two_sample, pearson, significance_bound, BoxplotStats, Kde,
+};
+use wtts_stats::zipf::fit_zipf;
+use wtts_timeseries::{aggregate, Granularity};
+
+/// Ranks gateway ids by number of week-0 observations, densest first.
+pub fn most_observed_gateways(fleet: &Fleet, top: usize) -> Vec<usize> {
+    let mut counts: Vec<(usize, usize)> = fleet
+        .iter()
+        .map(|gw| (gw.id, first_weeks(&gw.aggregate_total(), 1).observed_count()))
+        .collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    counts.into_iter().take(top).map(|(id, _)| id).collect()
+}
+
+/// Figure 1: statistical portrait of a typical gateway — KDE of the traffic
+/// PDF near zero, the raw series' shape, boxplots with and without
+/// outliers.
+pub fn fig1(fleet: &Fleet, out: Option<&Path>) {
+    let id = most_observed_gateways(fleet, 1)[0];
+    let gw = fleet.gateway(id);
+    let incoming = first_weeks(&gw.aggregate_incoming(), 1);
+    let values = incoming.observed_values();
+    println!(
+        "Typical gateway = #{id}: {} observations in week 0, max {} bytes/min",
+        values.len(),
+        fmt(incoming.max().unwrap_or(f64::NAN), 0),
+    );
+
+    // (a) PDF estimate near zero.
+    let mut t = Table::new("Fig 1a - KDE of incoming traffic (zoom near 0)", &["bytes", "density"]);
+    if let Some(kde) = Kde::from_samples(&values) {
+        let hi = wtts_stats::quantile(&values, 0.999);
+        for (x, d) in kde.grid(0.0, hi.max(1.0), 25) {
+            t.row(&[fmt(x, 0), format!("{d:.3e}")]);
+        }
+    }
+    t.emit(out);
+
+    // (b) series summary per hour-of-day to show the burst structure.
+    let mut t = Table::new("Fig 1b - incoming traffic by hour (week 0)", &["hour", "mean B/min", "max B/min"]);
+    let hourly = aggregate(&incoming, Granularity::hours(1), 0);
+    for h in 0..24 {
+        let vals: Vec<f64> = hourly
+            .values()
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, v)| i % 24 == h && v.is_finite())
+            .map(|(_, v)| v / 60.0)
+            .collect();
+        let mean = wtts_stats::mean(&vals);
+        let max = vals.iter().copied().fold(f64::NAN, f64::max);
+        t.row(&[format!("{h:02}"), fmt(mean, 0), fmt(max, 0)]);
+    }
+    t.emit(out);
+
+    // (c)/(d) boxplots with and without outliers.
+    let b = BoxplotStats::from_samples(&values).expect("observations exist");
+    let mut t = Table::new("Fig 1cd - boxplot of incoming traffic", &["stat", "value"]);
+    for (name, v) in [
+        ("min", b.min),
+        ("q1", b.q1),
+        ("median", b.median),
+        ("q3", b.q3),
+        ("upper whisker", b.upper_whisker),
+        ("max (with outliers)", b.max),
+    ] {
+        t.row(&[name.to_string(), fmt(v, 1)]);
+    }
+    t.row(&["outliers above whisker".into(), b.upper_outliers.to_string()]);
+    t.row(&[
+        "outlier share".into(),
+        pct(b.upper_outliers as f64 / b.n as f64),
+    ]);
+    t.emit(out);
+}
+
+/// §4.1 text: Zipf-law fit of traffic values of the 10 most representative
+/// gateways and the incoming/outgoing correlation across the fleet.
+pub fn sec4_dist(fleet: &Fleet, out: Option<&Path>) {
+    let ids = most_observed_gateways(fleet, 10);
+    let mut t = Table::new(
+        "Sec 4.1 - Zipf fits of per-minute traffic (top-10 gateways)",
+        &["gateway", "exponent", "r^2", "zipfian?"],
+    );
+    for &id in &ids {
+        let gw = fleet.gateway(id);
+        let values = first_weeks(&gw.aggregate_total(), 1).observed_values();
+        match fit_zipf(&values, 20) {
+            Some(fit) => t.row(&[
+                id.to_string(),
+                fmt(fit.exponent, 2),
+                fmt(fit.r_squared, 2),
+                fit.is_zipfian().to_string(),
+            ]),
+            None => t.row(&[id.to_string(), "-".into(), "-".into(), "-".into()]),
+        };
+    }
+    t.emit(out);
+
+    // In/out correlation across all gateways (paper: mean .92, median .95,
+    // stddev .08).
+    let mut cors = Vec::new();
+    for gw in fleet.iter() {
+        let inc = first_weeks(&gw.aggregate_incoming(), 4);
+        let outg = first_weeks(&gw.aggregate_outgoing(), 4);
+        let r = pearson(inc.values(), outg.values());
+        if r.n > 1000 && r.significant(0.05) {
+            cors.push(r.value);
+        }
+    }
+    let mut t = Table::new("Sec 4.1 - incoming/outgoing correlation", &["stat", "value"]);
+    t.row(&["gateways".into(), cors.len().to_string()]);
+    t.row(&["mean".into(), fmt(wtts_stats::mean(&cors), 3)]);
+    t.row(&["median".into(), fmt(wtts_stats::median(&cors), 3)]);
+    t.row(&["stddev".into(), fmt(wtts_stats::std_dev(&cors), 3)]);
+    t.emit(out);
+}
+
+/// Figure 2: autocorrelation of a gateway and lagged cross-correlation of a
+/// gateway pair, at a 1-hour aggregation (per-minute lags are dominated by
+/// burst noise).
+pub fn fig2(fleet: &Fleet, out: Option<&Path>) {
+    let ids = most_observed_gateways(fleet, 6);
+    // Pick the gateway with the strongest lag-24h (daily) autocorrelation.
+    let acfs: Vec<(usize, Vec<f64>)> = ids
+        .iter()
+        .map(|&id| {
+            let gw = fleet.gateway(id);
+            let hourly =
+                aggregate(&first_weeks(&gw.aggregate_total(), 2), Granularity::hours(1), 0);
+            (id, acf(hourly.values(), 48))
+        })
+        .filter(|(_, a)| a.len() > 24)
+        .collect();
+    let (best_id, best_acf) = acfs
+        .iter()
+        .max_by(|a, b| a.1[24].abs().partial_cmp(&b.1[24].abs()).expect("finite acf"))
+        .cloned()
+        .expect("at least one gateway with an ACF");
+    let n = fleet
+        .gateway(best_id)
+        .aggregate_total()
+        .observed_count()
+        .min(2 * 7 * 24);
+    let bound = significance_bound(n);
+    let mut t = Table::new(
+        "Fig 2 - ACF of the most autocorrelated gateway (hourly)",
+        &["lag_h", "acf", "significant"],
+    );
+    for (lag, v) in best_acf.iter().enumerate() {
+        if lag % 4 == 0 {
+            t.row(&[lag.to_string(), fmt(*v, 3), (v.abs() > bound).to_string()]);
+        }
+    }
+    t.emit(out);
+
+    // Cross-correlation of the two densest gateways.
+    let a = aggregate(
+        &first_weeks(&fleet.gateway(ids[0]).aggregate_total(), 2),
+        Granularity::hours(1),
+        0,
+    );
+    let b = aggregate(
+        &first_weeks(&fleet.gateway(ids[1]).aggregate_total(), 2),
+        Granularity::hours(1),
+        0,
+    );
+    let c = ccf(a.values(), b.values(), 24);
+    let mut t = Table::new(
+        "Fig 2 - CCF of the two densest gateways (hourly)",
+        &["lag_h", "ccf"],
+    );
+    for (i, v) in c.iter().enumerate() {
+        let lag = i as i64 - 24;
+        if lag % 4 == 0 {
+            t.row(&[lag.to_string(), fmt(*v, 3)]);
+        }
+    }
+    t.emit(out);
+}
+
+/// §4.2 text: classical stationarity is rejected at 1-minute binning;
+/// traffic vs connected-device-count correlation is weak; distribution
+/// similarity (KS) grows with the aggregation period.
+pub fn sec4_stat(fleet: &Fleet, out: Option<&Path>) {
+    let sample: Vec<usize> = most_observed_gateways(fleet, 30);
+    let mut kpss_reject = 0usize;
+    let mut adf_nonreject = 0usize;
+    let mut tested = 0usize;
+    let mut device_cors = Vec::new();
+    for &id in &sample {
+        let gw = fleet.gateway(id);
+        let total = first_weeks(&gw.aggregate_total(), 1);
+        let values = total.observed_values();
+        if values.len() < 2000 {
+            continue;
+        }
+        tested += 1;
+        if let Some(k) = kpss_test(&values) {
+            if k.rejects_stationarity(0.05) {
+                kpss_reject += 1;
+            }
+        }
+        if let Some(a) = adf_test(&values[..values.len().min(5000)], None) {
+            if !a.rejects_unit_root(0.05) {
+                adf_nonreject += 1;
+            }
+        }
+        // Traffic vs number of connected devices, with the paper's
+        // correlation similarity measure (Definition 1).
+        let devices = first_weeks(&gw.connected_devices(), 1);
+        let sim = wtts_core::similarity::correlation_similarity(total.values(), devices.values());
+        if sim.is_significant() {
+            device_cors.push(sim.value);
+        }
+    }
+    let mut t = Table::new("Sec 4.2 - classical stationarity at 1-min binning", &["check", "value"]);
+    t.row(&["gateways tested".into(), tested.to_string()]);
+    t.row(&[
+        "KPSS rejects stationarity".into(),
+        pct(kpss_reject as f64 / tested.max(1) as f64),
+    ]);
+    t.row(&[
+        "ADF keeps unit root".into(),
+        pct(adf_nonreject as f64 / tested.max(1) as f64),
+    ]);
+    t.row(&[
+        "traffic~#devices mean cor".into(),
+        fmt(wtts_stats::mean(&device_cors), 2),
+    ]);
+    t.row(&[
+        "traffic~#devices median".into(),
+        fmt(wtts_stats::median(&device_cors), 2),
+    ]);
+    t.row(&[
+        "traffic~#devices stddev".into(),
+        fmt(wtts_stats::std_dev(&device_cors), 2),
+    ]);
+    t.emit(out);
+
+    // KS similarity across weeks vs aggregation.
+    let mut t = Table::new(
+        "Sec 4.2 - KS rejections between weeks vs aggregation",
+        &["granularity", "KS rejected"],
+    );
+    for g in [
+        Granularity::minutes(1),
+        Granularity::minutes(30),
+        Granularity::hours(3),
+        Granularity::hours(8),
+    ] {
+        let mut rejected = 0usize;
+        let mut pairs = 0usize;
+        for &id in sample.iter().take(12) {
+            let gw = fleet.gateway(id);
+            let agg = aggregate(&first_weeks(&gw.aggregate_total(), 2), g, 0);
+            let windows = wtts_timeseries::weekly_windows(&agg, 2, 0);
+            if windows.len() == 2 && windows.iter().all(|w| w.has_observations()) {
+                if let Some(ks) =
+                    ks_two_sample(windows[0].series.values(), windows[1].series.values())
+                {
+                    pairs += 1;
+                    if ks.rejected(0.05) {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        t.row(&[g.to_string(), pct(rejected as f64 / pairs.max(1) as f64)]);
+    }
+    t.emit(out);
+}
+
+/// Figure 3: hierarchical clustering of gateway series under the `1 − cor`
+/// distance, cut at 0.4.
+pub fn fig3(fleet: &Fleet, out: Option<&Path>) {
+    let ids = most_observed_gateways(fleet, 10);
+    let series: Vec<Vec<f64>> = ids
+        .iter()
+        .map(|&id| {
+            let gw = fleet.gateway(id);
+            aggregate(&first_weeks(&gw.aggregate_total(), 2), Granularity::hours(3), 0)
+                .into_values()
+        })
+        .collect();
+    let clusters = cluster_correlated(&series, 0.6);
+    let mut t = Table::new(
+        "Fig 3 - correlation clusters of gateways (distance cut 0.4)",
+        &["cluster", "gateways"],
+    );
+    for (k, cluster) in clusters.iter().enumerate() {
+        let names: Vec<String> = cluster.iter().map(|&i| ids[i].to_string()).collect();
+        t.row(&[format!("{}", k + 1), names.join(" ")]);
+    }
+    t.emit(out);
+    println!(
+        "{} clusters over {} gateways at similarity >= 0.6\n",
+        clusters.len(),
+        ids.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_gwsim::FleetConfig;
+
+    fn small_fleet() -> Fleet {
+        Fleet::new(FleetConfig::small())
+    }
+
+    #[test]
+    fn most_observed_returns_requested_count() {
+        let fleet = small_fleet();
+        let ids = most_observed_gateways(&fleet, 3);
+        assert_eq!(ids.len(), 3);
+        // Densest-first: verify ordering.
+        let count = |id: usize| {
+            first_weeks(&fleet.gateway(id).aggregate_total(), 1).observed_count()
+        };
+        assert!(count(ids[0]) >= count(ids[1]));
+    }
+
+    #[test]
+    fn standard_experiments_run_on_small_fleet() {
+        let fleet = small_fleet();
+        fig1(&fleet, None);
+        sec4_dist(&fleet, None);
+        fig3(&fleet, None);
+    }
+}

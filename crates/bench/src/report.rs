@@ -1,0 +1,196 @@
+//! Plain-text tables and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned text table that doubles as a CSV writer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|s| field(s)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|s| field(s)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, when `dir` is given, writes
+    /// `<dir>/<slug>.csv`.
+    pub fn emit(&self, dir: Option<&Path>) {
+        println!("{}", self.render());
+        if let Some(dir) = dir {
+            let slug: String = self
+                .title
+                .to_lowercase()
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '-' })
+                .collect::<String>()
+                .split('-')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("-");
+            let path = dir.join(format!("{slug}.csv"));
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|_| std::fs::File::create(&path))
+                .and_then(|mut f| f.write_all(self.to_csv().as_bytes()))
+            {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a float with `digits` decimals, rendering missing values as "-".
+pub fn fmt(v: f64, digits: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.digits$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{:.1}%", v * 100.0)
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("Q", &["a", "b"]);
+        t.row(&["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("W", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn emit_writes_csv_files() {
+        let dir = std::env::temp_dir().join("wtts-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("Fig X - demo table", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.emit(Some(&dir));
+        let path = dir.join("fig-x-demo-table.csv");
+        let text = std::fs::read_to_string(&path).expect("csv written");
+        assert!(text.starts_with("a,b
+"));
+        assert!(text.contains("1,2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(pct(0.356), "35.6%");
+        assert_eq!(pct(f64::INFINITY), "-");
+    }
+}

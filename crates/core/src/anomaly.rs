@@ -1,0 +1,238 @@
+//! Behavioral anomaly detection — the paper's troubleshooting use case.
+//!
+//! The introduction motivates motif extraction with remote diagnosis:
+//! "extracting previously unknown recurring patterns … will bring strong
+//! evidence of regular user activity in homes that can be contrasted to the
+//! trouble description reported by users". This module implements that
+//! contrast: a detector learns a gateway's historical daily windows and
+//! scores new days by (a) how well they correlate with *any* historical day
+//! of the same weekday class and (b) how far their volume deviates from the
+//! historical range. A day that matches no known behavior — silent when the
+//! home is normally busy, or flooding when it is normally quiet — is
+//! exactly the evidence a support technician needs next to a trouble
+//! ticket.
+
+use crate::similarity::cor;
+use wtts_timeseries::Weekday;
+
+/// Verdict for one scored day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The day resembles known behavior.
+    Normal,
+    /// The day deviates; the fields explain how.
+    Anomalous {
+        /// Best correlation similarity achieved against history.
+        best_similarity: f64,
+        /// Ratio of the day's volume to the historical median (same
+        /// weekday class).
+        volume_ratio: f64,
+    },
+    /// Not enough data on either side to judge.
+    Insufficient,
+}
+
+impl Verdict {
+    /// Whether the verdict flags the day.
+    pub fn is_anomalous(&self) -> bool {
+        matches!(self, Verdict::Anomalous { .. })
+    }
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyConfig {
+    /// A day is shape-anomalous when its best correlation with same-class
+    /// history falls below this (Definition 1 semantics: 0.6 = "high").
+    pub min_similarity: f64,
+    /// A day is volume-anomalous when its total falls outside
+    /// `[median/volume_band, median*volume_band]` of same-class history.
+    pub volume_band: f64,
+    /// Minimum observed bins for a day to be judged.
+    pub min_observations: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> AnomalyConfig {
+        AnomalyConfig {
+            min_similarity: 0.6,
+            volume_band: 8.0,
+            min_observations: 3,
+        }
+    }
+}
+
+/// A detector holding a gateway's historical daily windows, split into
+/// weekday and weekend classes (the paper's strongest behavioral divide).
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    config: AnomalyConfig,
+    workday_history: Vec<Vec<f64>>,
+    weekend_history: Vec<Vec<f64>>,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector from historical daily windows, each tagged with
+    /// its weekday.
+    pub fn new(history: impl IntoIterator<Item = (Weekday, Vec<f64>)>, config: AnomalyConfig) -> AnomalyDetector {
+        let mut workday_history = Vec::new();
+        let mut weekend_history = Vec::new();
+        for (day, window) in history {
+            if window.iter().filter(|v| v.is_finite()).count() < config.min_observations {
+                continue;
+            }
+            if day.is_weekend() {
+                weekend_history.push(window);
+            } else {
+                workday_history.push(window);
+            }
+        }
+        AnomalyDetector {
+            config,
+            workday_history,
+            weekend_history,
+        }
+    }
+
+    /// Number of usable historical windows (workdays, weekends).
+    pub fn history_size(&self) -> (usize, usize) {
+        (self.workday_history.len(), self.weekend_history.len())
+    }
+
+    /// Scores one day against the matching history class.
+    pub fn score(&self, day: Weekday, window: &[f64]) -> Verdict {
+        let history = if day.is_weekend() {
+            &self.weekend_history
+        } else {
+            &self.workday_history
+        };
+        let observed = window.iter().filter(|v| v.is_finite()).count();
+        if observed < self.config.min_observations || history.len() < 2 {
+            return Verdict::Insufficient;
+        }
+
+        let best_similarity = history
+            .iter()
+            .map(|h| cor(h, window))
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let mut volumes: Vec<f64> = history
+            .iter()
+            .map(|h| h.iter().filter(|v| v.is_finite()).sum())
+            .collect();
+        volumes.sort_by(|a, b| a.partial_cmp(b).expect("finite volumes"));
+        let median = volumes[volumes.len() / 2].max(1.0);
+        let volume: f64 = window.iter().filter(|v| v.is_finite()).sum();
+        let volume_ratio = volume / median;
+
+        let shape_ok = best_similarity >= self.config.min_similarity;
+        let volume_ok = volume_ratio <= self.config.volume_band
+            && volume_ratio >= 1.0 / self.config.volume_band;
+        if shape_ok && volume_ok {
+            Verdict::Normal
+        } else {
+            Verdict::Anomalous {
+                best_similarity,
+                volume_ratio,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An evening-shaped day with mild deterministic variation.
+    fn evening_day(seed: usize) -> Vec<f64> {
+        (0..8)
+            .map(|b| {
+                if b >= 6 {
+                    5_000.0 + ((b * 13 + seed * 7) % 100) as f64 * 10.0
+                } else {
+                    20.0 + ((b + seed) % 5) as f64
+                }
+            })
+            .collect()
+    }
+
+    fn detector() -> AnomalyDetector {
+        let history = (0..10).map(|k| {
+            (
+                Weekday::from_index((k % 5) as u8), // Workdays only.
+                evening_day(k),
+            )
+        });
+        AnomalyDetector::new(history, AnomalyConfig::default())
+    }
+
+    #[test]
+    fn normal_day_passes() {
+        let d = detector();
+        assert_eq!(d.history_size(), (10, 0));
+        let verdict = d.score(Weekday::Wednesday, &evening_day(42));
+        assert_eq!(verdict, Verdict::Normal);
+    }
+
+    #[test]
+    fn silent_day_is_anomalous() {
+        // The home went dark: near-zero traffic all day — a dead radio or
+        // upstream outage, the troubleshooting scenario.
+        let d = detector();
+        let silent = vec![1.0; 8];
+        let verdict = d.score(Weekday::Tuesday, &silent);
+        assert!(verdict.is_anomalous(), "{verdict:?}");
+        if let Verdict::Anomalous { volume_ratio, .. } = verdict {
+            assert!(volume_ratio < 0.01);
+        }
+    }
+
+    #[test]
+    fn flood_day_is_anomalous() {
+        // Night-long flood at 100x the usual volume with an alien shape.
+        let d = detector();
+        let flood: Vec<f64> = (0..8).map(|b| if b < 3 { 2e6 } else { 50.0 }).collect();
+        let verdict = d.score(Weekday::Monday, &flood);
+        assert!(verdict.is_anomalous());
+    }
+
+    #[test]
+    fn shape_shift_without_volume_change_detected() {
+        // Same volume as usual but at completely different hours.
+        let d = detector();
+        let usual_volume: f64 = evening_day(1).iter().sum();
+        let mut morning = vec![20.0; 8];
+        morning[1] = usual_volume / 2.0;
+        morning[2] = usual_volume / 2.0;
+        let verdict = d.score(Weekday::Friday, &morning);
+        assert!(verdict.is_anomalous(), "{verdict:?}");
+        if let Verdict::Anomalous { best_similarity, volume_ratio } = verdict {
+            assert!(best_similarity < 0.6);
+            assert!((0.5..2.0).contains(&volume_ratio), "volume looks normal");
+        }
+    }
+
+    #[test]
+    fn weekend_judged_against_weekend_history() {
+        let d = detector(); // Workday history only.
+        let verdict = d.score(Weekday::Saturday, &evening_day(3));
+        assert_eq!(verdict, Verdict::Insufficient, "no weekend history");
+    }
+
+    #[test]
+    fn sparse_day_is_insufficient() {
+        let d = detector();
+        let sparse = vec![f64::NAN; 8];
+        assert_eq!(d.score(Weekday::Monday, &sparse), Verdict::Insufficient);
+    }
+
+    #[test]
+    fn sparse_history_filtered_out() {
+        let history = vec![
+            (Weekday::Monday, vec![f64::NAN; 8]),
+            (Weekday::Tuesday, evening_day(0)),
+        ];
+        let d = AnomalyDetector::new(history, AnomalyConfig::default());
+        assert_eq!(d.history_size(), (1, 0));
+    }
+}

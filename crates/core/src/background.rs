@@ -1,0 +1,196 @@
+//! Background-traffic characterization and removal (Section 6.1).
+//!
+//! Most of a device's reported minutes carry only control chatter and idle
+//! app traffic. The paper estimates a per-device, per-direction threshold τ
+//! as the **upper whisker** of the traffic boxplot (background values are
+//! the frequent mass; active traffic is sparse and lands above the whisker),
+//! then caps it at 5000 bytes/minute — consistent with the ~1 kbps
+//! background bound of earlier studies — and zeroes everything below when
+//! mining active-usage patterns.
+
+use wtts_stats::BoxplotStats;
+use wtts_timeseries::TimeSeries;
+
+/// The paper's cap on the background threshold: 5000 bytes per minute.
+pub const TAU_CAP: f64 = 5_000.0;
+
+/// The boundary above which a device's τ counts as "large" (Section 6.1's
+/// grouping; 40 000 B/min ≈ 5.3 kbps).
+pub const TAU_LARGE: f64 = 40_000.0;
+
+/// Size class of a device's background threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TauGroup {
+    /// τ ≤ 5000 B/min — typical portables.
+    Small,
+    /// 5000 < τ ≤ 40000.
+    Medium,
+    /// τ > 40000 — heavyweight fixed machines.
+    Large,
+}
+
+impl TauGroup {
+    /// Classifies a τ value.
+    pub fn of(tau: f64) -> TauGroup {
+        if tau <= TAU_CAP {
+            TauGroup::Small
+        } else if tau <= TAU_LARGE {
+            TauGroup::Medium
+        } else {
+            TauGroup::Large
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TauGroup::Small => "small",
+            TauGroup::Medium => "medium",
+            TauGroup::Large => "large",
+        }
+    }
+}
+
+/// Per-direction background thresholds of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackgroundProfile {
+    /// Upper-whisker threshold of the incoming traffic.
+    pub tau_in: f64,
+    /// Upper-whisker threshold of the outgoing traffic.
+    pub tau_out: f64,
+}
+
+impl BackgroundProfile {
+    /// Estimates both thresholds from a device's traffic.
+    ///
+    /// Returns `None` when either direction has no observations.
+    pub fn estimate(incoming: &TimeSeries, outgoing: &TimeSeries) -> Option<BackgroundProfile> {
+        Some(BackgroundProfile {
+            tau_in: estimate_tau(incoming)?,
+            tau_out: estimate_tau(outgoing)?,
+        })
+    }
+
+    /// The effective removal threshold for the summed (in + out) series:
+    /// `min(τ_in + τ_out, 2·cap)` capped per direction first, matching how
+    /// the per-direction rule composes.
+    pub fn total_threshold(&self) -> f64 {
+        self.tau_in.min(TAU_CAP) + self.tau_out.min(TAU_CAP)
+    }
+
+    /// Size class of the larger of the two thresholds.
+    pub fn group(&self) -> TauGroup {
+        TauGroup::of(self.tau_in.max(self.tau_out))
+    }
+}
+
+/// Estimates τ for one traffic series: the upper whisker of its boxplot.
+///
+/// Returns `None` for a series with no observations.
+pub fn estimate_tau(series: &TimeSeries) -> Option<f64> {
+    BoxplotStats::from_samples(series.values()).map(|b| b.upper_whisker)
+}
+
+/// The paper's effective background threshold: `τ_back = min(τ, 5000)`.
+pub fn capped_tau(tau: f64) -> f64 {
+    tau.min(TAU_CAP)
+}
+
+/// Removes background traffic: every observed value below
+/// `min(τ, 5000)` becomes zero; missing values stay missing.
+pub fn remove_background(series: &TimeSeries, tau: f64) -> TimeSeries {
+    series.threshold_below(capped_tau(tau))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_timeseries::TimeSeries;
+
+    /// A series that is mostly low background with sparse big spikes.
+    fn trafficlike() -> TimeSeries {
+        let mut v = Vec::new();
+        for i in 0..400 {
+            v.push(800.0 + (i % 50) as f64 * 10.0); // background 800..1300
+        }
+        for i in 0..8 {
+            v[i * 47 + 3] = 2.0e6 + i as f64 * 1e5; // sparse active bursts
+        }
+        TimeSeries::per_minute(v)
+    }
+
+    #[test]
+    fn tau_sits_above_background_below_bursts() {
+        let s = trafficlike();
+        let tau = estimate_tau(&s).unwrap();
+        assert!(tau >= 1_290.0, "tau must cover the background: {tau}");
+        assert!(tau < 2.0e6, "tau must exclude the bursts: {tau}");
+    }
+
+    #[test]
+    fn removal_keeps_only_active() {
+        let s = trafficlike();
+        let tau = estimate_tau(&s).unwrap();
+        let active = remove_background(&s, tau);
+        // Everything strictly below tau is zeroed; every burst survives.
+        for (&orig, &v) in s.values().iter().zip(active.values()) {
+            if orig < capped_tau(tau) {
+                assert_eq!(v, 0.0, "value {orig} below tau survived");
+            } else {
+                assert_eq!(v, orig);
+            }
+        }
+        let bursts = active.values().iter().filter(|&&v| v > 1e6).count();
+        assert_eq!(bursts, 8, "every burst survives");
+        assert_eq!(active.observed_count(), s.observed_count());
+    }
+
+    #[test]
+    fn cap_applies() {
+        assert_eq!(capped_tau(3_000.0), 3_000.0);
+        assert_eq!(capped_tau(80_000.0), TAU_CAP);
+        // A heavy background device: values below its own whisker but above
+        // the cap survive removal (the paper's threshold is the *tighter*
+        // of the two).
+        let heavy = TimeSeries::per_minute(vec![30_000.0; 100]);
+        let removed = remove_background(&heavy, 100_000.0);
+        assert!(removed.values().iter().all(|&v| v == 30_000.0));
+    }
+
+    #[test]
+    fn groups_partition_the_range() {
+        assert_eq!(TauGroup::of(100.0), TauGroup::Small);
+        assert_eq!(TauGroup::of(5_000.0), TauGroup::Small);
+        assert_eq!(TauGroup::of(5_001.0), TauGroup::Medium);
+        assert_eq!(TauGroup::of(40_000.0), TauGroup::Medium);
+        assert_eq!(TauGroup::of(40_001.0), TauGroup::Large);
+        assert_eq!(TauGroup::Small.label(), "small");
+    }
+
+    #[test]
+    fn profile_estimation() {
+        let inc = trafficlike();
+        let out = TimeSeries::per_minute(vec![500.0; 408]);
+        let p = BackgroundProfile::estimate(&inc, &out).unwrap();
+        assert!(p.tau_in > p.tau_out);
+        assert_eq!(p.group(), TauGroup::of(p.tau_in));
+        assert!(p.total_threshold() <= 2.0 * TAU_CAP);
+    }
+
+    #[test]
+    fn empty_series_is_none() {
+        let empty = TimeSeries::per_minute(vec![]);
+        assert!(estimate_tau(&empty).is_none());
+        let missing = TimeSeries::per_minute(vec![f64::NAN; 10]);
+        assert!(estimate_tau(&missing).is_none());
+    }
+
+    #[test]
+    fn missing_values_preserved_by_removal() {
+        let s = TimeSeries::per_minute(vec![100.0, f64::NAN, 9_000.0]);
+        let r = remove_background(&s, 5_000.0);
+        assert_eq!(r.values()[0], 0.0);
+        assert!(r.values()[1].is_nan());
+        assert_eq!(r.values()[2], 9_000.0);
+    }
+}

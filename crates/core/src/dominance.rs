@@ -1,0 +1,205 @@
+//! Dominant devices (Definition 4).
+//!
+//! A device is *φ-dominant* for its gateway when the correlation similarity
+//! between its traffic and the gateway's overall traffic exceeds φ (the
+//! paper uses φ = 0.6, with a stricter φ = 0.8 variant). Dominant devices
+//! are ranked by descending similarity; Section 6.2 compares this notion
+//! against two baselines — ranking devices by ascending Euclidean distance
+//! to the gateway series, and by descending total traffic volume — and
+//! shows correlation dominance catches low-volume devices that *shape* the
+//! gateway's behavior.
+
+use crate::similarity::correlation_similarity;
+use wtts_stats::euclidean;
+use wtts_timeseries::TimeSeries;
+
+/// The paper's dominance threshold.
+pub const DOMINANCE_PHI: f64 = 0.6;
+
+/// One φ-dominant device of a gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DominantDevice {
+    /// Index of the device within the gateway's device list.
+    pub device: usize,
+    /// Correlation similarity with the gateway's overall traffic.
+    pub similarity: f64,
+    /// Dominance rank: 0 = most similar ("first dominant").
+    pub rank: usize,
+}
+
+/// Finds the φ-dominant devices of a gateway, ranked by descending
+/// correlation similarity (Definition 4).
+///
+/// `device_series` holds each device's overall traffic aligned with
+/// `gateway_total`. Only significant correlations count (Definition 1
+/// returns 0 otherwise).
+pub fn dominant_devices(
+    gateway_total: &TimeSeries,
+    device_series: &[TimeSeries],
+    phi: f64,
+) -> Vec<DominantDevice> {
+    let mut hits: Vec<(usize, f64)> = device_series
+        .iter()
+        .enumerate()
+        .filter_map(|(i, dev)| {
+            let sim = correlation_similarity(gateway_total.values(), dev.values());
+            (sim.value > phi).then_some((i, sim.value))
+        })
+        .collect();
+    hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+    hits.into_iter()
+        .enumerate()
+        .map(|(rank, (device, similarity))| DominantDevice {
+            device,
+            similarity,
+            rank,
+        })
+        .collect()
+}
+
+/// Devices ranked by ascending Euclidean distance to the gateway series —
+/// the first baseline of Section 6.2. Returns device indices, closest first.
+pub fn euclidean_ranking(gateway_total: &TimeSeries, device_series: &[TimeSeries]) -> Vec<usize> {
+    let mut order: Vec<(usize, f64)> = device_series
+        .iter()
+        .enumerate()
+        .map(|(i, dev)| (i, euclidean(gateway_total.values(), dev.values())))
+        .collect();
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"));
+    order.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Devices ranked by descending total traffic volume — the second baseline.
+pub fn volume_ranking(device_series: &[TimeSeries]) -> Vec<usize> {
+    let mut order: Vec<(usize, f64)> = device_series
+        .iter()
+        .enumerate()
+        .map(|(i, dev)| (i, dev.total()))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite volume"));
+    order.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Counts how many correlation-dominant devices appear at the *same rank
+/// position* in a baseline ranking (the paper's agreement criterion: "the
+/// first device in one ranking is also the first in the second ranking and
+/// so on").
+pub fn ranking_agreement(dominants: &[DominantDevice], baseline: &[usize]) -> usize {
+    dominants
+        .iter()
+        .filter(|d| baseline.get(d.rank) == Some(&d.device))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic gateway: device 0 shapes the total, device 1 is a
+    /// constant-ish hum, device 2 is noise.
+    fn synthetic() -> (TimeSeries, Vec<TimeSeries>) {
+        let n = 500;
+        let shaper: Vec<f64> = (0..n)
+            .map(|i| if (i / 60) % 4 == 3 { 50_000.0 + (i % 7) as f64 } else { 100.0 })
+            .collect();
+        let hum: Vec<f64> = (0..n).map(|i| 800.0 + (i % 3) as f64).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let d0 = TimeSeries::per_minute(shaper);
+        let d1 = TimeSeries::per_minute(hum);
+        let d2 = TimeSeries::per_minute(noise);
+        let total = d0.add(&d1).add(&d2);
+        (total, vec![d0, d1, d2])
+    }
+
+    #[test]
+    fn shaper_is_first_dominant() {
+        let (total, devices) = synthetic();
+        let dom = dominant_devices(&total, &devices, DOMINANCE_PHI);
+        assert!(!dom.is_empty());
+        assert_eq!(dom[0].device, 0);
+        assert_eq!(dom[0].rank, 0);
+        assert!(dom[0].similarity > 0.95);
+    }
+
+    #[test]
+    fn ranks_descend_in_similarity() {
+        let (total, devices) = synthetic();
+        let dom = dominant_devices(&total, &devices, 0.0);
+        for pair in dom.windows(2) {
+            assert!(pair[0].similarity >= pair[1].similarity);
+            assert_eq!(pair[1].rank, pair[0].rank + 1);
+        }
+    }
+
+    #[test]
+    fn strict_phi_prunes() {
+        let (total, devices) = synthetic();
+        let loose = dominant_devices(&total, &devices, 0.6);
+        let strict = dominant_devices(&total, &devices, 0.8);
+        assert!(strict.len() <= loose.len());
+        for d in &strict {
+            assert!(d.similarity > 0.8);
+        }
+    }
+
+    #[test]
+    fn low_volume_shaper_detected_only_by_correlation() {
+        // A device with tiny volume but perfectly tracking the gateway's
+        // rhythm — the case the paper highlights (~15% of dominants).
+        let n = 500;
+        let big_flat: Vec<f64> = (0..n).map(|_| 100_000.0).collect();
+        let small_shaper: Vec<f64> = (0..n)
+            .map(|i| if (i / 30) % 5 == 0 { 900.0 + (i % 5) as f64 } else { 10.0 })
+            .collect();
+        let d0 = TimeSeries::per_minute(big_flat);
+        let d1 = TimeSeries::per_minute(small_shaper);
+        let total = d0.add(&d1);
+        let devices = vec![d0, d1];
+
+        let dom = dominant_devices(&total, &devices, 0.6);
+        assert_eq!(dom.first().map(|d| d.device), Some(1), "shaper dominates");
+        // Volume ranking puts the flat heavyweight first instead.
+        let vol = volume_ranking(&devices);
+        assert_eq!(vol[0], 0);
+        assert_eq!(ranking_agreement(&dom, &vol), 0);
+    }
+
+    #[test]
+    fn euclidean_agrees_on_the_obvious_case() {
+        let (total, devices) = synthetic();
+        let dom = dominant_devices(&total, &devices, 0.6);
+        let euc = euclidean_ranking(&total, &devices);
+        // The dominant shaper is also the Euclidean-closest series here.
+        assert_eq!(euc[0], dom[0].device);
+        assert!(ranking_agreement(&dom, &euc) >= 1);
+    }
+
+    #[test]
+    fn no_dominants_when_nothing_correlates() {
+        let n = 200;
+        let total = TimeSeries::per_minute((0..n).map(|i| (i % 13) as f64).collect());
+        let unrelated = TimeSeries::per_minute((0..n).map(|i| ((i * 7919) % 17) as f64).collect());
+        let dom = dominant_devices(&total, &[unrelated], 0.6);
+        assert!(dom.is_empty());
+    }
+
+    #[test]
+    fn agreement_counts_matching_positions() {
+        let dominants = vec![
+            DominantDevice { device: 4, similarity: 0.9, rank: 0 },
+            DominantDevice { device: 2, similarity: 0.8, rank: 1 },
+        ];
+        assert_eq!(ranking_agreement(&dominants, &[4, 2, 0]), 2);
+        assert_eq!(ranking_agreement(&dominants, &[4, 0, 2]), 1);
+        assert_eq!(ranking_agreement(&dominants, &[0, 1]), 0);
+        assert_eq!(ranking_agreement(&dominants, &[4]), 1, "short baseline");
+    }
+
+    #[test]
+    fn volume_ranking_orders_by_total() {
+        let a = TimeSeries::per_minute(vec![1.0; 10]);
+        let b = TimeSeries::per_minute(vec![5.0; 10]);
+        let c = TimeSeries::per_minute(vec![3.0; 10]);
+        assert_eq!(volume_ranking(&[a, b, c]), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! The analysis framework of *"Characterizing Home Device Usage From
+//! Wireless Traffic Time Series"* (EDBT 2016).
+//!
+//! The paper proposes five definitions that this crate implements directly:
+//!
+//! 1. [`similarity`] — the **correlation similarity measure** `cor(X, Y)`:
+//!    the maximum statistically significant Pearson/Spearman/Kendall
+//!    coefficient, `0` when none is significant (Definition 1).
+//! 2. [`stationarity`] — **strong stationarity**: pairwise `cor > 0.6` *and*
+//!    indistinguishable value distributions (Kolmogorov–Smirnov) across all
+//!    non-overlapping windows (Definition 2).
+//! 3. [`aggregation`] — the **best aggregation granularity**: the binning
+//!    maximizing expected window-to-window correlation (Definition 3).
+//! 4. [`dominance`] — **φ-dominant devices**: devices whose traffic tracks
+//!    the gateway total with `cor ≥ φ` (Definition 4), plus the Euclidean
+//!    and traffic-volume baselines the paper compares against.
+//! 5. [`motif`] — **motifs**: sets of calendar windows, within or across
+//!    gateways, with individual similarity ≥ φ and group similarity ≥ ¾φ
+//!    (Definition 5), including motif merging.
+//!
+//! Supporting machinery: [`background`] (per-device background-traffic
+//! thresholds from boxplot whiskers, Section 6.1), [`clustering`]
+//! (hierarchical clustering under the `1 − cor` distance, Figure 3) and
+//! [`sax`] (a SAX baseline quantifying why symbol-based motif tools fail on
+//! Zipfian traffic, Section 2).
+//!
+//! Beyond the paper's evaluation, the crate also ships the applications its
+//! introduction motivates and the future work its conclusion names:
+//! [`maintenance`] (per-home firmware-update windows), [`anomaly`]
+//! (behavioral contrast for remote troubleshooting), [`profile`] (the
+//! all-in-one gateway report) and [`streaming`] (online correlation, window
+//! accumulation and motif matching for a Storm/Kinesis-style deployment).
+
+pub mod aggregation;
+pub mod anomaly;
+pub mod background;
+pub mod clustering;
+pub mod dominance;
+pub mod maintenance;
+pub mod motif;
+pub mod profile;
+pub mod sax;
+pub mod streaming;
+pub mod similarity;
+pub mod stationarity;
+
+pub use aggregation::{
+    best_score, daily_window_correlation, weekly_window_correlation, GranularityScore,
+};
+pub use anomaly::{AnomalyConfig, AnomalyDetector, Verdict};
+pub use background::{estimate_tau, remove_background, BackgroundProfile, TauGroup, TAU_CAP};
+pub use clustering::{cluster_correlated, Dendrogram};
+pub use dominance::{
+    dominant_devices, euclidean_ranking, ranking_agreement, volume_ranking, DominantDevice,
+    DOMINANCE_PHI,
+};
+pub use motif::{discover_motifs, Motif, MotifConfig, WindowRef};
+pub use profile::GatewayProfile;
+pub use maintenance::{MaintenanceWindow, WeeklyProfile};
+pub use similarity::{cor, cor_distance, correlation_similarity, CorSimilarity};
+pub use streaming::{
+    CompletedWindow, MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator,
+};
+pub use stationarity::{strong_stationarity, StationarityCheck, STATIONARITY_COR};

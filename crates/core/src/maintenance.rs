@@ -1,0 +1,293 @@
+//! Maintenance-window planning — the paper's headline ISP application.
+//!
+//! The introduction motivates the whole framework with remote management:
+//! ISPs "broadcast firmware and software updates to all gateways at nights
+//! … some gateways may exhibit an active network usage during night time. A
+//! fine-grained temporal characterization … will enable ISPs to
+//! differentiate RGWs firmware update policies according to the least
+//! cumbersome time window per home". This module turns an analyzed traffic
+//! series into exactly that recommendation.
+
+use wtts_timeseries::{TimeSeries, Weekday, MINUTES_PER_DAY};
+
+/// A recommended maintenance window for one gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceWindow {
+    /// Day of week the window falls on.
+    pub weekday: Weekday,
+    /// Window start, minutes after that day's midnight.
+    pub start_minute: u32,
+    /// Window length in minutes.
+    pub duration_minutes: u32,
+    /// Mean active bytes expected inside the window (per occurrence).
+    pub expected_bytes: f64,
+    /// Share of historical window occurrences with zero active traffic.
+    pub silent_share: f64,
+}
+
+impl MaintenanceWindow {
+    /// Human-readable `Tue 03:30-04:30`-style label.
+    pub fn label(&self) -> String {
+        let end = self.start_minute + self.duration_minutes;
+        format!(
+            "{} {:02}:{:02}-{:02}:{:02}",
+            self.weekday,
+            self.start_minute / 60,
+            self.start_minute % 60,
+            (end / 60) % 24,
+            end % 60
+        )
+    }
+}
+
+/// The weekly activity profile a recommendation is computed from: mean
+/// active bytes per (weekday, slot) cell.
+#[derive(Debug, Clone)]
+pub struct WeeklyProfile {
+    /// Slot width in minutes.
+    pub slot_minutes: u32,
+    /// `7 × slots_per_day` mean bytes, row-major by weekday.
+    pub mean_bytes: Vec<f64>,
+    /// Same shape: share of occurrences with zero traffic.
+    pub silent_share: Vec<f64>,
+    slots_per_day: usize,
+}
+
+impl WeeklyProfile {
+    /// Builds the profile of an *active* (background-removed) per-minute
+    /// traffic series.
+    ///
+    /// Returns `None` for a series with no observations.
+    ///
+    /// # Panics
+    /// Panics if `slot_minutes` does not divide a day.
+    pub fn from_active_series(series: &TimeSeries, slot_minutes: u32) -> Option<WeeklyProfile> {
+        assert!(
+            MINUTES_PER_DAY.is_multiple_of(slot_minutes),
+            "slot width must divide the day"
+        );
+        assert_eq!(series.step_minutes(), 1, "profile expects per-minute data");
+        if series.observed_count() == 0 {
+            return None;
+        }
+        let slots_per_day = (MINUTES_PER_DAY / slot_minutes) as usize;
+        let cells = 7 * slots_per_day;
+        let mut sums = vec![0.0; cells];
+        let mut occurrences = vec![0u32; cells];
+        let mut silent = vec![0u32; cells];
+
+        // Accumulate per-slot totals per occurrence (one occurrence = one
+        // calendar slot instance), so "silent" means a whole slot instance
+        // without active traffic.
+        let n_slot_instances = series.len().div_ceil(slot_minutes as usize);
+        for inst in 0..n_slot_instances {
+            let start = series.start().plus(inst as u32 * slot_minutes);
+            let cell = start.weekday().index() as usize * slots_per_day
+                + (start.minute_of_day() / slot_minutes) as usize;
+            let mut total = 0.0;
+            let mut any = false;
+            for k in 0..slot_minutes as usize {
+                let idx = inst * slot_minutes as usize + k;
+                if let Some(&v) = series.values().get(idx) {
+                    if v.is_finite() {
+                        total += v;
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                sums[cell] += total;
+                occurrences[cell] += 1;
+                if total == 0.0 {
+                    silent[cell] += 1;
+                }
+            }
+        }
+
+        let mean_bytes = sums
+            .iter()
+            .zip(&occurrences)
+            .map(|(&s, &n)| if n > 0 { s / n as f64 } else { f64::NAN })
+            .collect();
+        let silent_share = silent
+            .iter()
+            .zip(&occurrences)
+            .map(|(&z, &n)| if n > 0 { z as f64 / n as f64 } else { f64::NAN })
+            .collect();
+        Some(WeeklyProfile {
+            slot_minutes,
+            mean_bytes,
+            silent_share,
+            slots_per_day,
+        })
+    }
+
+    /// Mean bytes in the cell for `weekday` at `slot`.
+    pub fn cell(&self, weekday: Weekday, slot: usize) -> f64 {
+        self.mean_bytes[weekday.index() as usize * self.slots_per_day + slot]
+    }
+
+    /// Recommends the contiguous window of `duration_minutes` (a multiple
+    /// of the slot width) with the lowest expected activity, searching all
+    /// weekdays and allowing windows to wrap past midnight into the next
+    /// day.
+    ///
+    /// Returns `None` when no window has fully observed cells.
+    pub fn recommend(&self, duration_minutes: u32) -> Option<MaintenanceWindow> {
+        assert!(
+            duration_minutes.is_multiple_of(self.slot_minutes) && duration_minutes > 0,
+            "duration must be a positive multiple of the slot width"
+        );
+        let span = (duration_minutes / self.slot_minutes) as usize;
+        let week_slots = 7 * self.slots_per_day;
+        let mut best: Option<(usize, f64, f64)> = None; // (start cell, bytes, silent)
+        for start in 0..week_slots {
+            let mut bytes = 0.0;
+            let mut silent = 0.0;
+            let mut ok = true;
+            for k in 0..span {
+                let cell = (start + k) % week_slots;
+                let b = self.mean_bytes[cell];
+                if !b.is_finite() {
+                    ok = false;
+                    break;
+                }
+                bytes += b;
+                silent += self.silent_share[cell];
+            }
+            if !ok {
+                continue;
+            }
+            let silent = silent / span as f64;
+            if best.is_none_or(|(_, bb, _)| bytes < bb) {
+                best = Some((start, bytes, silent));
+            }
+        }
+        let (start, bytes, silent) = best?;
+        let weekday = Weekday::from_index((start / self.slots_per_day) as u8);
+        Some(MaintenanceWindow {
+            weekday,
+            start_minute: (start % self.slots_per_day) as u32 * self.slot_minutes,
+            duration_minutes,
+            expected_bytes: bytes,
+            silent_share: silent,
+        })
+    }
+
+    /// The busiest cell — useful to sanity-check a recommendation against.
+    pub fn peak(&self) -> Option<(Weekday, u32, f64)> {
+        let (cell, &bytes) = self
+            .mean_bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))?;
+        Some((
+            Weekday::from_index((cell / self.slots_per_day) as u8),
+            (cell % self.slots_per_day) as u32 * self.slot_minutes,
+            bytes,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_timeseries::{Minute, MINUTES_PER_WEEK};
+
+    /// Two weeks of per-minute traffic: busy every evening 19-22, plus a
+    /// Saturday-morning block; everything else silent.
+    fn synthetic() -> TimeSeries {
+        let minutes = 2 * MINUTES_PER_WEEK as usize;
+        let values: Vec<f64> = (0..minutes)
+            .map(|m| {
+                let t = Minute(m as u32);
+                let hour = t.hour();
+                if (19..22).contains(&hour) {
+                    5_000.0
+                } else if t.weekday() == Weekday::Saturday && (9..12).contains(&hour) {
+                    8_000.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        TimeSeries::per_minute(values)
+    }
+
+    #[test]
+    fn recommends_a_quiet_window() {
+        let profile = WeeklyProfile::from_active_series(&synthetic(), 60).unwrap();
+        let w = profile.recommend(120).unwrap();
+        // Any window fully inside the nightly silence qualifies; it must not
+        // overlap 19-22 on any day nor Saturday morning.
+        let start_h = w.start_minute / 60;
+        let end_h = (w.start_minute + w.duration_minutes) / 60;
+        assert!(w.expected_bytes == 0.0, "{w:?}");
+        assert!(w.silent_share == 1.0);
+        assert!(end_h <= 19 || start_h >= 22, "window {w:?} hits the evening");
+    }
+
+    #[test]
+    fn peak_is_saturday_morning() {
+        let profile = WeeklyProfile::from_active_series(&synthetic(), 60).unwrap();
+        let (day, start_minute, bytes) = profile.peak().unwrap();
+        assert_eq!(day, Weekday::Saturday);
+        assert!((9 * 60..12 * 60).contains(&start_minute));
+        assert!(bytes > 400_000.0);
+    }
+
+    #[test]
+    fn window_can_wrap_midnight() {
+        // Activity everywhere except 23:00-01:00.
+        let minutes = MINUTES_PER_WEEK as usize;
+        let values: Vec<f64> = (0..minutes)
+            .map(|m| {
+                let hour = Minute(m as u32).hour();
+                if !(1..23).contains(&hour) {
+                    0.0
+                } else {
+                    1_000.0
+                }
+            })
+            .collect();
+        let profile =
+            WeeklyProfile::from_active_series(&TimeSeries::per_minute(values), 60).unwrap();
+        let w = profile.recommend(120).unwrap();
+        assert_eq!(w.start_minute, 23 * 60, "{w:?}");
+        assert_eq!(w.expected_bytes, 0.0);
+    }
+
+    #[test]
+    fn labels_render() {
+        let w = MaintenanceWindow {
+            weekday: Weekday::Tuesday,
+            start_minute: 3 * 60 + 30,
+            duration_minutes: 60,
+            expected_bytes: 0.0,
+            silent_share: 1.0,
+        };
+        assert_eq!(w.label(), "Tue 03:30-04:30");
+    }
+
+    #[test]
+    fn empty_series_is_none() {
+        let empty = TimeSeries::per_minute(vec![f64::NAN; 100]);
+        assert!(WeeklyProfile::from_active_series(&empty, 60).is_none());
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let profile = WeeklyProfile::from_active_series(&synthetic(), 60).unwrap();
+        // Monday 20:00 is busy; Monday 03:00 silent.
+        assert!(profile.cell(Weekday::Monday, 20) > 100_000.0);
+        assert_eq!(profile.cell(Weekday::Monday, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the slot width")]
+    fn bad_duration_rejected() {
+        let profile = WeeklyProfile::from_active_series(&synthetic(), 60).unwrap();
+        let _ = profile.recommend(90);
+    }
+}

@@ -1,0 +1,429 @@
+//! Motif discovery over calendar windows (Definition 5).
+//!
+//! A motif is a set `M` of time-aligned windows — days or weeks, drawn from
+//! one or many gateways — such that
+//!
+//! 1. *individual similarity*: every member has `cor ≥ φ` with at least one
+//!    other member, and
+//! 2. *group similarity*: every pair of members has `cor ≥ ¾φ`.
+//!
+//! The paper uses φ = 0.8 and additionally merges motifs when **all** cross
+//! pairs correlate at `≥ 0.6`. Construction is greedy over the strongest
+//! pairs first: each new window must be φ-similar to an existing member and
+//! ¾φ-similar to all of them, which maintains both invariants by
+//! construction.
+
+use crate::similarity::cor;
+use wtts_timeseries::Weekday;
+
+/// Identity of one window in the motif-search input set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowRef {
+    /// Gateway the window came from.
+    pub gateway: usize,
+    /// Week index of the window.
+    pub week: u32,
+    /// Weekday for daily windows, `None` for weekly windows.
+    pub weekday: Option<Weekday>,
+}
+
+/// Thresholds for motif discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotifConfig {
+    /// Individual-similarity threshold φ.
+    pub phi: f64,
+    /// Group similarity is `group_factor * phi` (the paper's ¾).
+    pub group_factor: f64,
+    /// All-pairs threshold for merging two motifs.
+    pub merge_threshold: f64,
+    /// Minimum finite samples for a window to participate.
+    pub min_observations: usize,
+}
+
+impl Default for MotifConfig {
+    fn default() -> MotifConfig {
+        MotifConfig {
+            phi: 0.8,
+            group_factor: 0.75,
+            merge_threshold: 0.6,
+            min_observations: 3,
+        }
+    }
+}
+
+impl MotifConfig {
+    /// The group-similarity threshold `¾φ`.
+    pub fn group_threshold(&self) -> f64 {
+        self.group_factor * self.phi
+    }
+}
+
+/// A discovered motif: indices into the input window set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motif {
+    /// Member indices into the window list passed to [`discover_motifs`].
+    pub members: Vec<usize>,
+}
+
+impl Motif {
+    /// The motif's support (number of member windows).
+    pub fn support(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Distinct gateways contributing to the motif.
+    pub fn gateways(&self, refs: &[WindowRef]) -> Vec<usize> {
+        let mut g: Vec<usize> = self.members.iter().map(|&i| refs[i].gateway).collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// Fraction of members whose gateway contributes more than one window —
+    /// the paper reports this as "% occur within the same gateways".
+    pub fn same_gateway_fraction(&self, refs: &[WindowRef]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &i in &self.members {
+            *counts.entry(refs[i].gateway).or_insert(0usize) += 1;
+        }
+        let repeat: usize = counts.values().filter(|&&c| c > 1).sum();
+        repeat as f64 / self.members.len() as f64
+    }
+
+    /// Element-wise mean of the member windows — the motif's "shape", what
+    /// Figures 11 and 14 plot.
+    pub fn average_pattern(&self, windows: &[Vec<f64>]) -> Vec<f64> {
+        let len = self
+            .members
+            .first()
+            .map(|&i| windows[i].len())
+            .unwrap_or(0);
+        let mut sums = vec![0.0; len];
+        let mut counts = vec![0usize; len];
+        for &i in &self.members {
+            for (k, &v) in windows[i].iter().enumerate() {
+                if v.is_finite() {
+                    sums[k] += v;
+                    counts[k] += 1;
+                }
+            }
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
+            .collect()
+    }
+
+    /// Share of members falling on weekend days (daily motifs; Figure 16b).
+    pub fn weekend_fraction(&self, refs: &[WindowRef]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let weekend = self
+            .members
+            .iter()
+            .filter(|&&i| refs[i].weekday.is_some_and(Weekday::is_weekend))
+            .count();
+        weekend as f64 / self.members.len() as f64
+    }
+}
+
+/// Discovers motifs among `windows` with the given thresholds.
+///
+/// `windows[i]` is the sample vector of window `i`; windows with fewer than
+/// `config.min_observations` finite samples are ignored. Returns motifs
+/// sorted by descending support.
+///
+/// ```
+/// use wtts_core::motif::{discover_motifs, MotifConfig};
+///
+/// // Four evening-shaped days and one noise day.
+/// let evening = |k: usize| -> Vec<f64> {
+///     (0..8).map(|b| if b >= 6 { 900.0 + (b * 7 + k) as f64 } else { (b + k) as f64 }).collect()
+/// };
+/// let mut windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
+/// windows.push(vec![7.0, 1.0, 9.0, 2.0, 8.0, 3.0, 1.0, 5.0]);
+///
+/// let motifs = discover_motifs(&windows, &MotifConfig::default());
+/// assert_eq!(motifs[0].support(), 4);
+/// assert!(!motifs[0].members.contains(&4)); // the noise day stays out
+/// ```
+pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif> {
+    let n = windows.len();
+    let eligible: Vec<bool> = windows
+        .iter()
+        .map(|w| w.iter().filter(|v| v.is_finite()).count() >= config.min_observations)
+        .collect();
+
+    // Pairwise similarity matrix (f32 to halve memory; thresholds are far
+    // coarser than f32 precision).
+    let mut sim = vec![0.0f32; n * n];
+    let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        if !eligible[i] {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if !eligible[j] {
+                continue;
+            }
+            let c = cor(&windows[i], &windows[j]) as f32;
+            sim[i * n + j] = c;
+            sim[j * n + i] = c;
+            if c as f64 >= config.phi {
+                candidate_pairs.push((i, j));
+            }
+        }
+    }
+    candidate_pairs.sort_by(|a, b| {
+        sim[b.0 * n + b.1]
+            .partial_cmp(&sim[a.0 * n + a.1])
+            .expect("finite similarity")
+    });
+
+    // Greedy growth.
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut motifs: Vec<Vec<usize>> = Vec::new();
+    let group_thresh = config.group_threshold() as f32;
+    for (i, j) in candidate_pairs {
+        match (assignment[i], assignment[j]) {
+            (None, None) => {
+                assignment[i] = Some(motifs.len());
+                assignment[j] = Some(motifs.len());
+                motifs.push(vec![i, j]);
+            }
+            (Some(m), None) => {
+                if motifs[m].iter().all(|&k| sim[j * n + k] >= group_thresh) {
+                    assignment[j] = Some(m);
+                    motifs[m].push(j);
+                }
+            }
+            (None, Some(m)) => {
+                if motifs[m].iter().all(|&k| sim[i * n + k] >= group_thresh) {
+                    assignment[i] = Some(m);
+                    motifs[m].push(i);
+                }
+            }
+            (Some(_), Some(_)) => {}
+        }
+    }
+
+    // Merge phase: combine motifs whose cross pairs all reach the merge
+    // threshold. One pass over motif pairs, smallest into largest.
+    let merge_thresh = config.merge_threshold as f32;
+    let mut merged: Vec<Option<Vec<usize>>> = motifs.into_iter().map(Some).collect();
+    for a in 0..merged.len() {
+        if merged[a].is_none() {
+            continue;
+        }
+        for b in (a + 1)..merged.len() {
+            let (Some(ma), Some(mb)) = (&merged[a], &merged[b]) else {
+                continue;
+            };
+            let all_cross = ma
+                .iter()
+                .all(|&i| mb.iter().all(|&j| sim[i * n + j] >= merge_thresh));
+            if all_cross {
+                let mb = merged[b].take().expect("checked above");
+                merged[a].as_mut().expect("checked above").extend(mb);
+            }
+        }
+    }
+
+    let mut out: Vec<Motif> = merged
+        .into_iter()
+        .flatten()
+        .map(|members| Motif { members })
+        .collect();
+    out.sort_by_key(|m| std::cmp::Reverse(m.support()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An evening-shaped window (8 three-hour bins), with variation.
+    fn evening(seed: usize) -> Vec<f64> {
+        (0..8)
+            .map(|b| {
+                let base = if b >= 6 { 1_000.0 } else { 10.0 };
+                base + ((b * 7 + seed * 13) % 11) as f64
+            })
+            .collect()
+    }
+
+    /// A morning-shaped window.
+    fn morning(seed: usize) -> Vec<f64> {
+        (0..8)
+            .map(|b| {
+                let base = if (2..4).contains(&b) { 1_000.0 } else { 10.0 };
+                base + ((b * 5 + seed * 17) % 13) as f64
+            })
+            .collect()
+    }
+
+    /// Pure noise windows.
+    fn noise(seed: usize) -> Vec<f64> {
+        (0..8).map(|b| ((b * 7919 + seed * 104729) % 997) as f64).collect()
+    }
+
+    fn refs_for(n: usize) -> Vec<WindowRef> {
+        (0..n)
+            .map(|i| WindowRef {
+                gateway: i / 4,
+                week: (i % 4) as u32,
+                weekday: Some(Weekday::from_index((i % 7) as u8)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_clusters_become_two_motifs() {
+        let mut windows: Vec<Vec<f64>> = (0..6).map(evening).collect();
+        windows.extend((0..5).map(morning));
+        windows.extend((0..4).map(noise));
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        assert!(motifs.len() >= 2, "found {} motifs", motifs.len());
+        // The two biggest motifs are the evening and morning clusters.
+        assert_eq!(motifs[0].support(), 6);
+        assert_eq!(motifs[1].support(), 5);
+        let evening_members: Vec<usize> = motifs[0].members.to_vec();
+        assert!(evening_members.iter().all(|&i| i < 6));
+    }
+
+    #[test]
+    fn group_similarity_holds_for_all_pairs() {
+        let windows: Vec<Vec<f64>> = (0..8).map(evening).collect();
+        let config = MotifConfig::default();
+        let motifs = discover_motifs(&windows, &config);
+        for m in &motifs {
+            for (a, &i) in m.members.iter().enumerate() {
+                for &j in &m.members[a + 1..] {
+                    let c = cor(&windows[i], &windows[j]);
+                    assert!(
+                        c >= config.group_threshold() - 1e-6,
+                        "pair ({i},{j}) violates group similarity: {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn individual_similarity_holds() {
+        let mut windows: Vec<Vec<f64>> = (0..7).map(evening).collect();
+        windows.extend((0..7).map(morning));
+        let config = MotifConfig::default();
+        let motifs = discover_motifs(&windows, &config);
+        for m in &motifs {
+            for &i in &m.members {
+                let has_close = m
+                    .members
+                    .iter()
+                    .any(|&j| j != i && cor(&windows[i], &windows[j]) >= config.phi - 1e-6);
+                assert!(has_close, "member {i} has no phi-similar partner");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_produces_no_motifs() {
+        let windows: Vec<Vec<f64>> = (0..12).map(noise).collect();
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        assert!(
+            motifs.iter().all(|m| m.support() <= 3),
+            "noise formed a large motif"
+        );
+    }
+
+    #[test]
+    fn support_sorted_descending() {
+        let mut windows: Vec<Vec<f64>> = (0..9).map(evening).collect();
+        windows.extend((0..4).map(morning));
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        for pair in motifs.windows(2) {
+            assert!(pair[0].support() >= pair[1].support());
+        }
+    }
+
+    #[test]
+    fn sparse_windows_excluded() {
+        let mut windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
+        windows.push(vec![f64::NAN; 8]); // Never joins anything.
+        let mut short = vec![f64::NAN; 8];
+        short[0] = 1.0;
+        windows.push(short);
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        for m in &motifs {
+            assert!(m.members.iter().all(|&i| i < 4));
+        }
+    }
+
+    #[test]
+    fn average_pattern_matches_shape() {
+        let windows: Vec<Vec<f64>> = (0..5).map(evening).collect();
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        let pattern = motifs[0].average_pattern(&windows);
+        assert_eq!(pattern.len(), 8);
+        assert!(pattern[7] > pattern[0] * 10.0, "evening bins dominate");
+    }
+
+    #[test]
+    fn gateway_bookkeeping() {
+        let windows: Vec<Vec<f64>> = (0..8).map(evening).collect();
+        let refs = refs_for(8);
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        let m = &motifs[0];
+        assert_eq!(m.support(), 8);
+        assert_eq!(m.gateways(&refs), vec![0, 1]);
+        assert!((m.same_gateway_fraction(&refs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_fraction_counts() {
+        let windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
+        let refs = vec![
+            WindowRef { gateway: 0, week: 0, weekday: Some(Weekday::Saturday) },
+            WindowRef { gateway: 0, week: 0, weekday: Some(Weekday::Sunday) },
+            WindowRef { gateway: 1, week: 0, weekday: Some(Weekday::Monday) },
+            WindowRef { gateway: 1, week: 1, weekday: Some(Weekday::Tuesday) },
+        ];
+        let motifs = discover_motifs(&windows, &MotifConfig::default());
+        assert_eq!(motifs[0].support(), 4);
+        assert!((motifs[0].weekend_fraction(&refs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_threshold_unifies_similar_motifs() {
+        // Two offset but positively-correlated evening variants; with a
+        // permissive merge threshold they unify.
+        let mut windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
+        let late: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                (0..8)
+                    .map(|b| {
+                        let base = if b >= 5 { 900.0 } else { 15.0 };
+                        base + ((b * 3 + s * 7) % 9) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        windows.extend(late);
+        let strict = discover_motifs(
+            &windows,
+            &MotifConfig { merge_threshold: 0.99, ..MotifConfig::default() },
+        );
+        let permissive = discover_motifs(
+            &windows,
+            &MotifConfig { merge_threshold: 0.5, ..MotifConfig::default() },
+        );
+        assert!(
+            permissive.len() <= strict.len(),
+            "permissive merging cannot yield more motifs"
+        );
+    }
+}

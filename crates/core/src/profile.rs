@@ -1,0 +1,196 @@
+//! Per-gateway profiling — the "high level profiling of gateways" the paper
+//! says ISPs would build from dominant devices, stationarity and motifs
+//! (Sections 6.2 and 7.2).
+//!
+//! [`GatewayProfile::analyze`] runs the full pipeline on one gateway's data
+//! and assembles everything an operator would want to know: activity
+//! volume, the background threshold picture, strong-stationarity verdicts,
+//! the best aggregation granularity, the dominant devices, and a
+//! recommended maintenance window.
+
+use crate::aggregation::{best_score, weekly_stationarity, weekly_window_correlation};
+use crate::background::{estimate_tau, remove_background};
+use crate::dominance::{dominant_devices, DominantDevice, DOMINANCE_PHI};
+use crate::maintenance::{MaintenanceWindow, WeeklyProfile};
+use wtts_timeseries::{Granularity, TimeSeries};
+
+/// Everything the framework can say about one gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayProfile {
+    /// Weeks of data analyzed.
+    pub weeks: u32,
+    /// Total observed traffic in bytes (in + out, background included).
+    pub total_bytes: f64,
+    /// Share of the total that survives background removal.
+    pub active_share: f64,
+    /// Observation coverage of the overall series, `[0, 1]`.
+    pub coverage: f64,
+    /// Dominant devices at the paper's φ = 0.6, ranked.
+    pub dominants: Vec<DominantDevice>,
+    /// The best weekly aggregation granularity (Definition 3) and its mean
+    /// window correlation.
+    pub best_weekly: Option<(Granularity, f64)>,
+    /// Whether the gateway is strongly stationary at the best granularity.
+    pub strongly_stationary: bool,
+    /// Recommended 2-hour maintenance window, when computable.
+    pub maintenance: Option<MaintenanceWindow>,
+}
+
+impl GatewayProfile {
+    /// Runs the full analysis pipeline over one gateway's device series.
+    ///
+    /// `device_series` holds each device's overall (in + out) per-minute
+    /// traffic, all aligned; `weeks` bounds the analysis horizon. Returns
+    /// `None` when the gateway has no devices or no observations.
+    pub fn analyze(device_series: &[TimeSeries], weeks: u32) -> Option<GatewayProfile> {
+        let total = TimeSeries::sum_all(device_series.iter())?;
+        if total.observed_count() == 0 {
+            return None;
+        }
+
+        // Background removal per device, then the active total.
+        let active_per_device: Vec<TimeSeries> = device_series
+            .iter()
+            .map(|d| {
+                let tau = estimate_tau(d).unwrap_or(f64::INFINITY);
+                remove_background(d, tau)
+            })
+            .collect();
+        let active = TimeSeries::sum_all(active_per_device.iter())?;
+
+        // Definition 3 sweep over the paper's weekly candidates.
+        let scores: Vec<_> = Granularity::weekly_candidates()
+            .into_iter()
+            .filter(|g| g.as_minutes() >= 60)
+            .filter_map(|g| weekly_window_correlation(&active, weeks, g, 0))
+            .collect();
+        let best_weekly = best_score(&scores).map(|s| (s.granularity, s.mean_correlation));
+
+        let strongly_stationary = best_weekly
+            .map(|(g, _)| {
+                weekly_stationarity(&active, weeks, g, 0)
+                    .is_some_and(|c| c.is_stationary())
+            })
+            .unwrap_or(false);
+
+        let dominants = dominant_devices(&total, device_series, DOMINANCE_PHI);
+
+        let maintenance = WeeklyProfile::from_active_series(&active, 60)
+            .and_then(|p| p.recommend(120));
+
+        let total_bytes = total.total();
+        Some(GatewayProfile {
+            weeks,
+            total_bytes,
+            active_share: if total_bytes > 0.0 {
+                active.total() / total_bytes
+            } else {
+                0.0
+            },
+            coverage: total.coverage(),
+            dominants,
+            best_weekly,
+            strongly_stationary,
+            maintenance,
+        })
+    }
+
+    /// A multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "traffic: {:.2} GB over {} weeks ({:.0}% coverage), {:.0}% active\n",
+            self.total_bytes / 1e9,
+            self.weeks,
+            self.coverage * 100.0,
+            self.active_share * 100.0
+        ));
+        match &self.best_weekly {
+            Some((g, c)) => out.push_str(&format!(
+                "best weekly aggregation: {g} (mean window correlation {c:.2}); strongly stationary: {}\n",
+                self.strongly_stationary
+            )),
+            None => out.push_str("not enough weekly data for an aggregation sweep\n"),
+        }
+        if self.dominants.is_empty() {
+            out.push_str("no dominant device\n");
+        } else {
+            for d in &self.dominants {
+                out.push_str(&format!(
+                    "dominant #{}: device {} (cor {:.2})\n",
+                    d.rank + 1,
+                    d.device,
+                    d.similarity
+                ));
+            }
+        }
+        match &self.maintenance {
+            Some(w) => out.push_str(&format!(
+                "recommended update window: {} (expected {:.0} bytes)\n",
+                w.label(),
+                w.expected_bytes
+            )),
+            None => out.push_str("no maintenance window computable\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_timeseries::{Minute, MINUTES_PER_WEEK};
+
+    /// Two devices over two weeks: a dominant evening streamer and a quiet
+    /// hum.
+    fn synthetic_devices() -> Vec<TimeSeries> {
+        let minutes = 2 * MINUTES_PER_WEEK as usize;
+        let streamer: Vec<f64> = (0..minutes)
+            .map(|m| {
+                let hour = Minute(m as u32).hour();
+                if (19..22).contains(&hour) {
+                    2e6 + ((m * 13) % 997) as f64
+                } else {
+                    100.0 + ((m * 7) % 31) as f64
+                }
+            })
+            .collect();
+        let hum: Vec<f64> = (0..minutes).map(|m| 400.0 + ((m * 11) % 17) as f64).collect();
+        vec![
+            TimeSeries::per_minute(streamer),
+            TimeSeries::per_minute(hum),
+        ]
+    }
+
+    #[test]
+    fn full_profile_of_synthetic_gateway() {
+        let devices = synthetic_devices();
+        let profile = GatewayProfile::analyze(&devices, 2).unwrap();
+        assert!(profile.total_bytes > 0.0);
+        assert!(profile.coverage > 0.99);
+        assert!(profile.active_share > 0.5, "evening bursts dominate volume");
+        assert_eq!(profile.dominants.first().map(|d| d.device), Some(0));
+        let (_, c) = profile.best_weekly.expect("weekly sweep possible");
+        assert!(c > 0.8, "perfectly repeating weeks correlate strongly");
+        // The evening-free night must host the update window.
+        let w = profile.maintenance.expect("window computable");
+        assert!(w.start_minute / 60 >= 22 || w.start_minute / 60 + 2 <= 19);
+    }
+
+    #[test]
+    fn render_mentions_the_key_facts() {
+        let devices = synthetic_devices();
+        let profile = GatewayProfile::analyze(&devices, 2).unwrap();
+        let text = profile.render();
+        assert!(text.contains("best weekly aggregation"));
+        assert!(text.contains("dominant #1"));
+        assert!(text.contains("recommended update window"));
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert!(GatewayProfile::analyze(&[], 2).is_none());
+        let missing = vec![TimeSeries::per_minute(vec![f64::NAN; 100])];
+        assert!(GatewayProfile::analyze(&missing, 2).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Symbolic Aggregate approXimation (SAX) — the baseline the paper argues
+//! against.
+//!
+//! Section 2 explains why SAX-based motif tools (GrammarViz, VizTree) do not
+//! fit traffic data: SAX assumes z-normalized values are standard normal and
+//! places its breakpoints at Gaussian quantiles, but traffic values follow
+//! Zipf's law, so *most* of the alphabet ends up describing the empty
+//! low-traffic region while the actives collapse into the top symbol.
+//! This module implements classic SAX (PAA + Gaussian breakpoints) so the
+//! experiment harness can quantify that argument.
+
+use wtts_stats::z_normalize;
+
+/// Gaussian breakpoints dividing N(0,1) into `a` equiprobable regions, for
+/// alphabet sizes 2–10 (Lin et al. 2007, Table 3).
+fn breakpoints(alphabet: usize) -> &'static [f64] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.67, 0.0, 0.67],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        9 => &[-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+        10 => &[-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+        _ => panic!("SAX alphabet size must be in 2..=10, got {alphabet}"),
+    }
+}
+
+/// Piecewise Aggregate Approximation: mean of each of `segments` equal
+/// chunks (missing values skipped within a chunk; an all-missing chunk is
+/// `NaN`).
+pub fn paa(x: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    assert!(!x.is_empty(), "PAA of an empty series");
+    let n = x.len();
+    (0..segments)
+        .map(|s| {
+            let lo = s * n / segments;
+            let hi = ((s + 1) * n / segments).max(lo + 1);
+            let vals: Vec<f64> = x[lo..hi].iter().copied().filter(|v| v.is_finite()).collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Converts a series to its SAX word: z-normalize, PAA, then symbolize with
+/// Gaussian breakpoints. Symbol `0` is the lowest region. Missing segments
+/// map to symbol `0`.
+pub fn sax_word(x: &[f64], segments: usize, alphabet: usize) -> Vec<u8> {
+    let z = z_normalize(x);
+    let p = paa(&z, segments);
+    let bp = breakpoints(alphabet);
+    p.iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return 0;
+            }
+            bp.iter().take_while(|&&b| v > b).count() as u8
+        })
+        .collect()
+}
+
+/// Fraction of the alphabet actually used by the word — the paper's
+/// complaint made measurable: Zipfian data wastes most symbols.
+pub fn alphabet_utilization(word: &[u8], alphabet: usize) -> f64 {
+    let used: std::collections::HashSet<u8> = word.iter().copied().collect();
+    used.len() as f64 / alphabet as f64
+}
+
+/// Fraction of the word occupied by the single most frequent symbol.
+pub fn dominant_symbol_share(word: &[u8]) -> f64 {
+    if word.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &s in word {
+        *counts.entry(s).or_insert(0usize) += 1;
+    }
+    *counts.values().max().expect("non-empty") as f64 / word.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_means() {
+        let x = [1.0, 3.0, 5.0, 7.0];
+        assert_eq!(paa(&x, 2), vec![2.0, 6.0]);
+        assert_eq!(paa(&x, 4), vec![1.0, 3.0, 5.0, 7.0]);
+        assert_eq!(paa(&x, 1), vec![4.0]);
+    }
+
+    #[test]
+    fn paa_skips_missing() {
+        let x = [1.0, f64::NAN, 5.0, 7.0];
+        let p = paa(&x, 2);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1], 6.0);
+        let all_missing = [f64::NAN, f64::NAN];
+        assert!(paa(&all_missing, 1)[0].is_nan());
+    }
+
+    #[test]
+    fn gaussian_data_uses_the_whole_alphabet() {
+        // Smooth sine sweep: z-normalized values spread across regions.
+        let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+        let word = sax_word(&x, 32, 6);
+        assert!(alphabet_utilization(&word, 6) > 0.8);
+    }
+
+    #[test]
+    fn zipfian_data_wastes_the_alphabet() {
+        // Traffic-like: 95% near-zero background, 5% huge spikes. After
+        // z-normalization the background collapses into one region and the
+        // spikes into the top one — most symbols go unused.
+        let mut x = vec![0.0; 950];
+        for i in 0..50 {
+            x.push(1e7 + (i as f64) * 1e5);
+        }
+        let word = sax_word(&x, 100, 8);
+        assert!(
+            alphabet_utilization(&word, 8) <= 0.5,
+            "utilization {}",
+            alphabet_utilization(&word, 8)
+        );
+        assert!(
+            dominant_symbol_share(&word) > 0.7,
+            "dominant share {}",
+            dominant_symbol_share(&word)
+        );
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_magnitude() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let word = sax_word(&x, 10, 4);
+        for pair in word.windows(2) {
+            assert!(pair[0] <= pair[1], "monotone input must give monotone word");
+        }
+        assert_eq!(word[0], 0);
+        assert_eq!(*word.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn breakpoints_sizes() {
+        for a in 2..=10 {
+            assert_eq!(breakpoints(a).len(), a - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn oversized_alphabet_rejected() {
+        let _ = sax_word(&[1.0, 2.0], 2, 11);
+    }
+
+    #[test]
+    fn dominant_share_edge_cases() {
+        assert_eq!(dominant_symbol_share(&[]), 0.0);
+        assert_eq!(dominant_symbol_share(&[1, 1, 1]), 1.0);
+        assert!((dominant_symbol_share(&[0, 1, 1, 2]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,453 @@
+//! Streaming (online) variants of the framework — the paper's stated future
+//! work: "integrating our time series correlation and motif extraction in a
+//! streaming big data analytics platform, such as Apache Storm or Amazon
+//! Kinesis".
+//!
+//! Three building blocks:
+//!
+//! * [`OnlinePearson`] — O(1)-update Pearson correlation over a stream of
+//!   sample pairs (Welford-style accumulation).
+//! * [`WindowAccumulator`] — folds a per-minute measurement stream into
+//!   aggregated, calendar-aligned daily or weekly windows, emitting each
+//!   window the moment it completes.
+//! * [`MotifMatcher`] — matches each completed window against a library of
+//!   motif templates with the Definition 1 similarity, maintaining online
+//!   support counts and flagging novel behavior.
+
+use crate::similarity::cor;
+use wtts_timeseries::{Minute, Weekday, WindowKind, MINUTES_PER_DAY, MINUTES_PER_WEEK};
+
+/// Numerically stable online Pearson correlation over `(x, y)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct OnlinePearson {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2_x: f64,
+    m2_y: f64,
+    cov: f64,
+}
+
+impl OnlinePearson {
+    /// An empty accumulator.
+    pub fn new() -> OnlinePearson {
+        OnlinePearson::default()
+    }
+
+    /// Feeds one pair; non-finite pairs are skipped (pairwise-complete
+    /// semantics, like the batch measure).
+    pub fn push(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / n;
+        let dy = y - self.mean_y;
+        self.mean_y += dy / n;
+        // Note the asymmetric update uses the *new* mean of x and old-delta
+        // of y, the standard co-moment recurrence.
+        self.m2_x += dx * (x - self.mean_x);
+        self.m2_y += dy * (y - self.mean_y);
+        self.cov += dx * (y - self.mean_y);
+    }
+
+    /// Number of accumulated pairs.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no pair has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current correlation estimate; `None` below 2 pairs or for constant
+    /// streams.
+    pub fn correlation(&self) -> Option<f64> {
+        if self.n < 2 || self.m2_x <= 0.0 || self.m2_y <= 0.0 {
+            return None;
+        }
+        Some((self.cov / (self.m2_x.sqrt() * self.m2_y.sqrt())).clamp(-1.0, 1.0))
+    }
+
+    /// Merges another accumulator (parallel aggregation, Chan's method).
+    pub fn merge(&mut self, other: &OnlinePearson) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.m2_x += other.m2_x + dx * dx * na * nb / n;
+        self.m2_y += other.m2_y + dy * dy * na * nb / n;
+        self.cov += other.cov + dx * dy * na * nb / n;
+        self.mean_x += dx * nb / n;
+        self.mean_y += dy * nb / n;
+        self.n += other.n;
+    }
+}
+
+/// A completed calendar window emitted by [`WindowAccumulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedWindow {
+    /// Daily or weekly.
+    pub kind: WindowKind,
+    /// Week index of the window.
+    pub week: u32,
+    /// Weekday for daily windows.
+    pub weekday: Option<Weekday>,
+    /// Aggregated bin values (missing bins are `NaN`).
+    pub values: Vec<f64>,
+}
+
+/// Folds a stream of per-minute samples into aggregated daily or weekly
+/// windows, emitting each window when the stream passes its end.
+///
+/// Samples must arrive in non-decreasing time order; gaps simply leave
+/// missing bins, matching the batch pipeline's semantics.
+#[derive(Debug)]
+pub struct WindowAccumulator {
+    kind: WindowKind,
+    bin_minutes: u32,
+    window_minutes: u32,
+    current_start: u32,
+    bins: Vec<f64>,
+    seen: Vec<bool>,
+}
+
+impl WindowAccumulator {
+    /// Creates an accumulator for daily or weekly windows with bins of
+    /// `bin_minutes` (which must divide the window length).
+    ///
+    /// # Panics
+    /// Panics if `bin_minutes` does not divide the window length.
+    pub fn new(kind: WindowKind, bin_minutes: u32) -> WindowAccumulator {
+        let window_minutes = match kind {
+            WindowKind::Daily => MINUTES_PER_DAY,
+            WindowKind::Weekly => MINUTES_PER_WEEK,
+        };
+        assert!(
+            window_minutes % bin_minutes == 0,
+            "bin width must divide the window length"
+        );
+        let n_bins = (window_minutes / bin_minutes) as usize;
+        WindowAccumulator {
+            kind,
+            bin_minutes,
+            window_minutes,
+            current_start: 0,
+            bins: vec![0.0; n_bins],
+            seen: vec![false; n_bins],
+        }
+    }
+
+    /// Feeds one per-minute sample, returning any windows completed by the
+    /// stream's advance (more than one if the stream jumped a gap).
+    ///
+    /// # Panics
+    /// Panics if `at` precedes an already-consumed minute.
+    pub fn push(&mut self, at: Minute, bytes: f64) -> Vec<CompletedWindow> {
+        assert!(
+            at.0 >= self.current_start,
+            "stream must be time-ordered (got {at}, window starts at {})",
+            self.current_start
+        );
+        let mut out = Vec::new();
+        while at.0 >= self.current_start + self.window_minutes {
+            out.push(self.seal());
+        }
+        if bytes.is_finite() {
+            let idx = ((at.0 - self.current_start) / self.bin_minutes) as usize;
+            self.bins[idx] += bytes;
+            self.seen[idx] = true;
+        }
+        out
+    }
+
+    /// Flushes the current partial window (e.g. at end of stream).
+    pub fn flush(&mut self) -> CompletedWindow {
+        self.seal()
+    }
+
+    fn seal(&mut self) -> CompletedWindow {
+        let start = Minute(self.current_start);
+        let values = self
+            .bins
+            .iter()
+            .zip(&self.seen)
+            .map(|(&v, &s)| if s { v } else { f64::NAN })
+            .collect();
+        for b in &mut self.bins {
+            *b = 0.0;
+        }
+        for s in &mut self.seen {
+            *s = false;
+        }
+        self.current_start += self.window_minutes;
+        CompletedWindow {
+            kind: self.kind,
+            week: start.week(),
+            weekday: matches!(self.kind, WindowKind::Daily).then(|| start.weekday()),
+            values,
+        }
+    }
+}
+
+/// One motif template the matcher knows about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifTemplate {
+    /// Human-readable name ("late evening users").
+    pub name: String,
+    /// The motif's average pattern.
+    pub pattern: Vec<f64>,
+}
+
+/// Outcome of matching one window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchOutcome {
+    /// The window matched template `index` with the given similarity.
+    Matched {
+        /// Index into the template list.
+        index: usize,
+        /// Correlation similarity achieved.
+        similarity: f64,
+    },
+    /// No template reached the threshold — novel behavior.
+    Novel,
+    /// The window carried too few observations to judge.
+    Insufficient,
+}
+
+/// Streams windows against a motif-template library, keeping online support
+/// counts — the "assign incoming behavior to known patterns" half of a
+/// streaming deployment.
+#[derive(Debug, Clone)]
+pub struct MotifMatcher {
+    templates: Vec<MotifTemplate>,
+    threshold: f64,
+    support: Vec<usize>,
+    novel: usize,
+}
+
+impl MotifMatcher {
+    /// Creates a matcher over `templates` with a similarity `threshold`
+    /// (the paper's motif φ = 0.8 is the natural choice).
+    pub fn new(templates: Vec<MotifTemplate>, threshold: f64) -> MotifMatcher {
+        let n = templates.len();
+        MotifMatcher {
+            templates,
+            threshold,
+            support: vec![0; n],
+            novel: 0,
+        }
+    }
+
+    /// Matches one window and updates the counts.
+    pub fn observe(&mut self, window: &[f64]) -> MatchOutcome {
+        if window.iter().filter(|v| v.is_finite()).count() < 3 {
+            return MatchOutcome::Insufficient;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.templates.iter().enumerate() {
+            if t.pattern.len() != window.len() {
+                continue;
+            }
+            let c = cor(&t.pattern, window);
+            if c >= self.threshold && best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((i, c));
+            }
+        }
+        match best {
+            Some((index, similarity)) => {
+                self.support[index] += 1;
+                MatchOutcome::Matched { index, similarity }
+            }
+            None => {
+                self.novel += 1;
+                MatchOutcome::Novel
+            }
+        }
+    }
+
+    /// Current support counts per template.
+    pub fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    /// Number of windows that matched nothing.
+    pub fn novel_count(&self) -> usize {
+        self.novel
+    }
+
+    /// The templates.
+    pub fn templates(&self) -> &[MotifTemplate] {
+        &self.templates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_stats::pearson;
+
+    #[test]
+    fn online_pearson_matches_batch() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 13) % 31) as f64).collect();
+        let y: Vec<f64> = (0..200).map(|i| ((i * 13) % 31) as f64 * 2.0 + ((i % 5) as f64)).collect();
+        let mut online = OnlinePearson::new();
+        for (&a, &b) in x.iter().zip(&y) {
+            online.push(a, b);
+        }
+        let batch = pearson(&x, &y);
+        let stream = online.correlation().unwrap();
+        assert!((stream - batch.value).abs() < 1e-10);
+        assert_eq!(online.len(), 200);
+    }
+
+    #[test]
+    fn online_pearson_skips_missing() {
+        let mut online = OnlinePearson::new();
+        online.push(1.0, 2.0);
+        online.push(f64::NAN, 5.0);
+        online.push(2.0, 4.0);
+        online.push(3.0, 6.0);
+        assert_eq!(online.len(), 3);
+        assert!((online.correlation().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_pearson_merge_equals_sequential() {
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| (((i * 7) % 13) as f64, ((i * 11) % 17) as f64))
+            .collect();
+        let mut whole = OnlinePearson::new();
+        for &(a, b) in &pairs {
+            whole.push(a, b);
+        }
+        let mut left = OnlinePearson::new();
+        let mut right = OnlinePearson::new();
+        for &(a, b) in &pairs[..37] {
+            left.push(a, b);
+        }
+        for &(a, b) in &pairs[37..] {
+            right.push(a, b);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), whole.len());
+        assert!(
+            (left.correlation().unwrap() - whole.correlation().unwrap()).abs() < 1e-10
+        );
+    }
+
+    #[test]
+    fn degenerate_online_pearson() {
+        let mut p = OnlinePearson::new();
+        assert!(p.correlation().is_none());
+        assert!(p.is_empty());
+        p.push(1.0, 1.0);
+        assert!(p.correlation().is_none());
+        p.push(1.0, 2.0); // x constant
+        assert!(p.correlation().is_none());
+    }
+
+    #[test]
+    fn accumulator_emits_complete_days() {
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 180);
+        let mut emitted = Vec::new();
+        for m in 0..(2 * MINUTES_PER_DAY) {
+            emitted.extend(acc.push(Minute(m), 10.0));
+        }
+        assert_eq!(emitted.len(), 1, "one full day sealed by the second day");
+        let w = &emitted[0];
+        assert_eq!(w.kind, WindowKind::Daily);
+        assert_eq!(w.week, 0);
+        assert_eq!(w.weekday, Some(Weekday::Monday));
+        assert_eq!(w.values.len(), 8);
+        for v in &w.values {
+            assert!((v - 1800.0).abs() < 1e-9, "180 minutes x 10 bytes");
+        }
+        let tail = acc.flush();
+        assert_eq!(tail.weekday, Some(Weekday::Tuesday));
+    }
+
+    #[test]
+    fn accumulator_handles_gaps() {
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 720);
+        acc.push(Minute(0), 5.0);
+        // Jump three days ahead: two whole days pass with no samples.
+        let emitted = acc.push(Minute(3 * MINUTES_PER_DAY), 7.0);
+        assert_eq!(emitted.len(), 3);
+        assert_eq!(emitted[0].values[0], 5.0);
+        assert!(emitted[0].values[1].is_nan());
+        assert!(emitted[1].values.iter().all(|v| v.is_nan()));
+        assert!(emitted[2].values.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn accumulator_weekly_windows() {
+        let mut acc = WindowAccumulator::new(WindowKind::Weekly, 480);
+        let emitted = acc.push(Minute(MINUTES_PER_WEEK + 5), 1.0);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].kind, WindowKind::Weekly);
+        assert_eq!(emitted[0].values.len(), 21);
+        assert_eq!(emitted[0].weekday, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn accumulator_rejects_time_travel() {
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 60);
+        let _ = acc.push(Minute(MINUTES_PER_DAY * 2), 1.0);
+        let _ = acc.push(Minute(0), 1.0);
+    }
+
+    #[test]
+    fn matcher_assigns_and_counts() {
+        let evening = MotifTemplate {
+            name: "evening".into(),
+            pattern: vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 900.0, 950.0],
+        };
+        let morning = MotifTemplate {
+            name: "morning".into(),
+            pattern: vec![1.0, 1.0, 800.0, 850.0, 1.0, 1.0, 1.0, 1.0],
+        };
+        let mut matcher = MotifMatcher::new(vec![evening, morning], 0.8);
+
+        let w_evening = vec![2.0, 3.0, 1.0, 2.0, 4.0, 2.0, 1000.0, 1100.0];
+        match matcher.observe(&w_evening) {
+            MatchOutcome::Matched { index, similarity } => {
+                assert_eq!(index, 0);
+                assert!(similarity > 0.8);
+            }
+            other => panic!("expected evening match, got {other:?}"),
+        }
+
+        let w_flat = vec![5.0; 8];
+        assert_eq!(matcher.observe(&w_flat), MatchOutcome::Novel);
+
+        let w_sparse = vec![f64::NAN; 8];
+        assert_eq!(matcher.observe(&w_sparse), MatchOutcome::Insufficient);
+
+        assert_eq!(matcher.support(), &[1, 0]);
+        assert_eq!(matcher.novel_count(), 1);
+    }
+
+    #[test]
+    fn matcher_prefers_best_template() {
+        let a = MotifTemplate { name: "a".into(), pattern: vec![0.0, 0.0, 10.0, 10.0] };
+        let b = MotifTemplate { name: "b".into(), pattern: vec![0.0, 5.0, 10.0, 10.0] };
+        let mut matcher = MotifMatcher::new(vec![a, b], 0.5);
+        // Exactly b's shape.
+        match matcher.observe(&[1.0, 6.0, 11.0, 11.0]) {
+            MatchOutcome::Matched { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the framework's invariants.
+
+use proptest::prelude::*;
+use wtts_core::background::{capped_tau, estimate_tau, remove_background, TAU_CAP};
+use wtts_core::clustering::average_linkage;
+use wtts_core::sax::{alphabet_utilization, dominant_symbol_share, paa, sax_word};
+use wtts_core::similarity::{cor, correlation_similarity};
+use wtts_core::stationarity::strong_stationarity;
+use wtts_core::streaming::OnlinePearson;
+use wtts_timeseries::TimeSeries;
+
+fn traffic(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e7, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// cor() always lies in [-1, 1] and equals 0 or a significant
+    /// coefficient.
+    #[test]
+    fn cor_is_bounded_and_consistent(x in traffic(3..50), y in traffic(3..50)) {
+        let n = x.len().min(y.len());
+        let sim = correlation_similarity(&x[..n], &y[..n]);
+        prop_assert!((-1.0..=1.0).contains(&sim.value));
+        match sim.best {
+            None => prop_assert_eq!(sim.value, 0.0),
+            Some(_) => {
+                let candidates = [sim.pearson.value, sim.spearman.value, sim.kendall.value];
+                prop_assert!(candidates.iter().any(|c| (c - sim.value).abs() < 1e-12));
+            }
+        }
+    }
+
+    /// Background removal is idempotent and never increases totals.
+    #[test]
+    fn background_removal_idempotent(values in traffic(5..300), tau in 0.0f64..1e5) {
+        let s = TimeSeries::per_minute(values);
+        let once = remove_background(&s, tau);
+        let twice = remove_background(&once, tau);
+        prop_assert_eq!(once.values(), twice.values());
+        prop_assert!(once.total() <= s.total() + 1e-9);
+        prop_assert!(capped_tau(tau) <= TAU_CAP);
+    }
+
+    /// The estimated tau always lies within the observed value range.
+    #[test]
+    fn tau_within_range(values in traffic(5..300)) {
+        let s = TimeSeries::per_minute(values.clone());
+        let tau = estimate_tau(&s).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(tau >= min - 1e-9 && tau <= max + 1e-9);
+    }
+
+    /// Strong stationarity of any window set against itself holds whenever
+    /// the windows carry signal.
+    #[test]
+    fn stationarity_reflexive(w in traffic(8..60)) {
+        let constant = w.iter().all(|&v| v == w[0]);
+        if let Some(check) = strong_stationarity(&[&w, &w]) {
+            if !constant {
+                prop_assert!(!check.ks_rejected, "identical distributions");
+                prop_assert!((check.min_cor - 1.0).abs() < 1e-9 || !check.correlations_pass);
+            }
+        }
+    }
+
+    /// Average-linkage dendrograms have monotone non-decreasing heights for
+    /// ultrametric-ish inputs and always n-1 merges.
+    #[test]
+    fn dendrogram_merge_count(n in 2usize..10) {
+        // Symmetric random-ish distance matrix from a deterministic hash.
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = (((i * 31 + j * 17) % 97) as f64 + 1.0) / 97.0;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let dendro = average_linkage(&dist, n);
+        prop_assert_eq!(dendro.steps.len(), n - 1);
+        // Cutting at the maximum height yields a single cluster.
+        let clusters = dendro.cut(2.0);
+        prop_assert_eq!(clusters.len(), 1);
+        prop_assert_eq!(clusters[0].len(), n);
+        // Cutting below zero keeps singletons.
+        prop_assert_eq!(dendro.cut(-1.0).len(), n);
+    }
+
+    /// SAX words always use a valid alphabet and PAA has the right length.
+    #[test]
+    fn sax_word_valid(values in traffic(8..200), segments in 2usize..32, alphabet in 2usize..10) {
+        let p = paa(&values, segments);
+        prop_assert_eq!(p.len(), segments);
+        let word = sax_word(&values, segments, alphabet);
+        prop_assert_eq!(word.len(), segments);
+        for &s in &word {
+            prop_assert!((s as usize) < alphabet);
+        }
+        let util = alphabet_utilization(&word, alphabet);
+        prop_assert!(util > 0.0 && util <= 1.0);
+        let share = dominant_symbol_share(&word);
+        prop_assert!(share >= 1.0 / segments as f64 && share <= 1.0);
+    }
+
+    /// Online Pearson agrees with the batch Definition 1 Pearson component.
+    #[test]
+    fn online_matches_batch_pearson(x in traffic(3..100), y in traffic(3..100)) {
+        let n = x.len().min(y.len());
+        let mut online = OnlinePearson::new();
+        for i in 0..n {
+            online.push(x[i], y[i]);
+        }
+        let batch = wtts_stats::pearson(&x[..n], &y[..n]);
+        match online.correlation() {
+            Some(r) => prop_assert!((r - batch.value).abs() < 1e-6),
+            None => prop_assert_eq!(batch.value, 0.0),
+        }
+    }
+
+    /// cor distance is within [0, 2] and zero-distance implies similarity 1.
+    #[test]
+    fn cor_distance_bounds(x in traffic(5..60)) {
+        let d = 1.0 - cor(&x, &x);
+        prop_assert!((0.0..=2.0).contains(&d));
+        let constant = x.iter().all(|&v| v == x[0]);
+        if !constant {
+            prop_assert!(d < 1e-9, "self-distance must vanish: {d}");
+        }
+    }
+}

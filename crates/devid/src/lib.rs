@@ -1,0 +1,138 @@
+//! Device-type inference from MAC addresses and device names.
+//!
+//! Section 3 of the paper classifies the 2147 observed wireless devices with
+//! a heuristic that combines the manufacturer revealed by the MAC address'
+//! OUI prefix ("Nintendo Co., Ltd." makes game consoles, "EPSON" makes
+//! peripherals) with the user-assigned device name reported by the gateway
+//! ("Katy's-iPhone" is a smartphone). This crate reimplements that pipeline:
+//!
+//! * [`MacAddress`] and its 3-byte [`Oui`] prefix,
+//! * a vendor registry ([`oui_registry`]) mapping OUI prefixes to
+//!   manufacturers and default device classes,
+//! * a name-keyword classifier, and
+//! * the combined [`classify`] heuristic — name evidence first (it is more
+//!   specific), vendor default second, `Unlabeled` when neither matches.
+
+pub mod mac;
+pub mod names;
+pub mod registry;
+
+pub use mac::{MacAddress, Oui};
+pub use names::classify_name;
+pub use registry::{oui_registry, OuiRegistry, Vendor};
+
+/// The device classes used throughout the paper's analysis.
+///
+/// "Light" devices — smartphones, tablets — are *portable*; laptops and
+/// desktops are *fixed*; WiFi extenders and similar are *network equipment*;
+/// plus the small classes of game consoles and smart TVs that Figures 13 and
+/// 16 break out, and *unlabeled* for everything the heuristic cannot place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Smartphones, tablets, e-readers.
+    Portable,
+    /// Laptops and desktop computers.
+    Fixed,
+    /// Smart TVs and streaming boxes.
+    SmartTv,
+    /// Game consoles.
+    GameConsole,
+    /// WiFi extenders, repeaters, bridges, printers.
+    NetworkEquipment,
+    /// Could not be classified.
+    Unlabeled,
+}
+
+impl DeviceType {
+    /// All classes, in the order the paper's figures list them.
+    pub const ALL: [DeviceType; 6] = [
+        DeviceType::Portable,
+        DeviceType::Fixed,
+        DeviceType::SmartTv,
+        DeviceType::GameConsole,
+        DeviceType::NetworkEquipment,
+        DeviceType::Unlabeled,
+    ];
+
+    /// Short label used in reports, matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceType::Portable => "portable",
+            DeviceType::Fixed => "fixed",
+            DeviceType::SmartTv => "tv",
+            DeviceType::GameConsole => "game_console",
+            DeviceType::NetworkEquipment => "network_eq",
+            DeviceType::Unlabeled => "unlabeled",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies a device from its MAC address and (possibly empty) name.
+///
+/// ```
+/// use wtts_devid::{classify, DeviceType, MacAddress};
+///
+/// let mac = MacAddress::parse("00:09:BF:12:34:56").unwrap(); // Nintendo OUI
+/// assert_eq!(classify(mac, "device-1234"), DeviceType::GameConsole);
+/// assert_eq!(classify(mac, "katys-iphone"), DeviceType::Portable); // name wins
+/// ```
+///
+/// The name keywords win over the vendor default because users name devices
+/// after what they are ("living-room-tv") while a manufacturer like Apple or
+/// Samsung ships both portables and fixed machines. A vendor whose product
+/// line is unambiguous (Nintendo, EPSON) still classifies devices with
+/// unhelpful names.
+pub fn classify(mac: MacAddress, name: &str) -> DeviceType {
+    if let Some(ty) = classify_name(name) {
+        return ty;
+    }
+    oui_registry()
+        .lookup(mac.oui())
+        .and_then(|vendor| vendor.default_type)
+        .unwrap_or(DeviceType::Unlabeled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(oui: [u8; 3]) -> MacAddress {
+        MacAddress::new([oui[0], oui[1], oui[2], 0x12, 0x34, 0x56])
+    }
+
+    #[test]
+    fn name_beats_vendor_default() {
+        // An Apple OUI with a clearly-TV name must classify as TV.
+        let apple = mac([0x00, 0x03, 0x93]);
+        assert_eq!(classify(apple, "living-room-appletv"), DeviceType::SmartTv);
+        assert_eq!(classify(apple, "Katy's-iPhone"), DeviceType::Portable);
+        assert_eq!(classify(apple, "katys-macbook"), DeviceType::Fixed);
+    }
+
+    #[test]
+    fn vendor_default_when_name_is_unhelpful() {
+        let nintendo = mac([0x00, 0x09, 0xBF]);
+        assert_eq!(classify(nintendo, "device-1234"), DeviceType::GameConsole);
+        let epson = mac([0x00, 0x26, 0xAB]);
+        assert_eq!(classify(epson, ""), DeviceType::NetworkEquipment);
+    }
+
+    #[test]
+    fn unknown_everything_is_unlabeled() {
+        let unknown = mac([0xFE, 0xED, 0xFA]);
+        assert_eq!(classify(unknown, "gizmo"), DeviceType::Unlabeled);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(DeviceType::Portable.label(), "portable");
+        assert_eq!(DeviceType::NetworkEquipment.label(), "network_eq");
+        assert_eq!(DeviceType::ALL.len(), 6);
+    }
+}

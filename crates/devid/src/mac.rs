@@ -1,0 +1,99 @@
+//! MAC addresses and OUI prefixes.
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// The paper identifies devices by MAC address; the first three bytes form
+/// the [`Oui`] that reveals the manufacturer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddress([u8; 6]);
+
+impl MacAddress {
+    /// Builds an address from its six bytes.
+    pub const fn new(bytes: [u8; 6]) -> MacAddress {
+        MacAddress(bytes)
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// The organizationally unique identifier (first three bytes).
+    pub fn oui(&self) -> Oui {
+        Oui([self.0[0], self.0[1], self.0[2]])
+    }
+
+    /// Parses `AA:BB:CC:DD:EE:FF` (case-insensitive, `:` or `-` separated).
+    pub fn parse(s: &str) -> Option<MacAddress> {
+        let mut bytes = [0u8; 6];
+        let mut count = 0;
+        for part in s.split([':', '-']) {
+            if count == 6 || part.len() != 2 {
+                return None;
+            }
+            bytes[count] = u8::from_str_radix(part, 16).ok()?;
+            count += 1;
+        }
+        if count == 6 {
+            Some(MacAddress(bytes))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:02X}:{:02X}:{:02X}:{:02X}:{:02X}:{:02X}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// A 24-bit organizationally unique identifier — the vendor prefix of a MAC
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oui(pub [u8; 3]);
+
+impl std::fmt::Display for Oui {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02X}:{:02X}:{:02X}", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let mac = MacAddress::new([0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02]);
+        let s = mac.to_string();
+        assert_eq!(s, "DE:AD:BE:EF:01:02");
+        assert_eq!(MacAddress::parse(&s), Some(mac));
+    }
+
+    #[test]
+    fn parse_accepts_dashes_and_lowercase() {
+        let mac = MacAddress::parse("de-ad-be-ef-01-02").unwrap();
+        assert_eq!(mac.bytes(), [0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(MacAddress::parse("").is_none());
+        assert!(MacAddress::parse("DE:AD:BE:EF:01").is_none());
+        assert!(MacAddress::parse("DE:AD:BE:EF:01:02:03").is_none());
+        assert!(MacAddress::parse("GG:AD:BE:EF:01:02").is_none());
+        assert!(MacAddress::parse("DEAD:BE:EF:01:02").is_none());
+    }
+
+    #[test]
+    fn oui_extraction() {
+        let mac = MacAddress::new([0x00, 0x09, 0xBF, 0x11, 0x22, 0x33]);
+        assert_eq!(mac.oui(), Oui([0x00, 0x09, 0xBF]));
+        assert_eq!(mac.oui().to_string(), "00:09:BF");
+    }
+}

@@ -1,0 +1,150 @@
+//! Keyword classification of user-assigned device names.
+//!
+//! Gateways report the hostname/device name users assign ("Katy's-iPhone",
+//! "living-room-tv"). These are strong, specific evidence of the device
+//! class — stronger than the MAC vendor, which often ships several classes.
+
+use crate::DeviceType;
+
+/// Keyword table: the first matching keyword (longest first within a class)
+/// decides. Matching is case-insensitive on a separator-normalized form.
+const KEYWORDS: &[(&str, DeviceType)] = &[
+    // Smart TVs and streaming sticks first: "appletv" must not match the
+    // portable "apple" fallbacks, and "tv" is checked as a whole word below.
+    ("appletv", DeviceType::SmartTv),
+    ("chromecast", DeviceType::SmartTv),
+    ("roku", DeviceType::SmartTv),
+    ("bravia", DeviceType::SmartTv),
+    ("smarttv", DeviceType::SmartTv),
+    // Portables.
+    ("iphone", DeviceType::Portable),
+    ("ipad", DeviceType::Portable),
+    ("ipod", DeviceType::Portable),
+    ("android", DeviceType::Portable),
+    ("galaxy", DeviceType::Portable),
+    ("nexus", DeviceType::Portable),
+    ("oneplus", DeviceType::Portable),
+    ("xperia", DeviceType::Portable),
+    ("lumia", DeviceType::Portable),
+    ("phone", DeviceType::Portable),
+    ("tablet", DeviceType::Portable),
+    ("kindle", DeviceType::Portable),
+    ("smartphone", DeviceType::Portable),
+    // Fixed machines.
+    ("macbook", DeviceType::Fixed),
+    ("imac", DeviceType::Fixed),
+    ("macmini", DeviceType::Fixed),
+    ("laptop", DeviceType::Fixed),
+    ("desktop", DeviceType::Fixed),
+    ("notebook", DeviceType::Fixed),
+    ("thinkpad", DeviceType::Fixed),
+    ("pavilion", DeviceType::Fixed),
+    ("latitude", DeviceType::Fixed),
+    ("workstation", DeviceType::Fixed),
+    ("ultrabook", DeviceType::Fixed),
+    // Game consoles.
+    ("playstation", DeviceType::GameConsole),
+    ("xbox", DeviceType::GameConsole),
+    ("nintendo", DeviceType::GameConsole),
+    ("wii", DeviceType::GameConsole),
+    ("3ds", DeviceType::GameConsole),
+    ("ps3", DeviceType::GameConsole),
+    ("ps4", DeviceType::GameConsole),
+    // Network equipment / peripherals.
+    ("extender", DeviceType::NetworkEquipment),
+    ("repeater", DeviceType::NetworkEquipment),
+    ("printer", DeviceType::NetworkEquipment),
+    ("epson", DeviceType::NetworkEquipment),
+    ("bridge", DeviceType::NetworkEquipment),
+    ("accesspoint", DeviceType::NetworkEquipment),
+    ("nas", DeviceType::NetworkEquipment),
+];
+
+/// Whole-word keywords: must appear as a complete separator-delimited token
+/// ("pc" inside "pcmcia" is not evidence).
+const WORD_KEYWORDS: &[(&str, DeviceType)] = &[
+    ("tv", DeviceType::SmartTv),
+    ("pc", DeviceType::Fixed),
+    ("mac", DeviceType::Fixed),
+];
+
+/// Classifies a device from its user-assigned name, or `None` when the name
+/// carries no recognizable evidence.
+pub fn classify_name(name: &str) -> Option<DeviceType> {
+    if name.is_empty() {
+        return None;
+    }
+    let normalized: String = name
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+        .collect();
+    let squashed: String = normalized.split_whitespace().collect();
+    for &(kw, ty) in KEYWORDS {
+        if squashed.contains(kw) {
+            return Some(ty);
+        }
+    }
+    for token in normalized.split_whitespace() {
+        for &(kw, ty) in WORD_KEYWORDS {
+            if token == kw {
+                return Some(ty);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_names() {
+        assert_eq!(classify_name("Katy's-iPhone"), Some(DeviceType::Portable));
+        assert_eq!(classify_name("john-ipad-2"), Some(DeviceType::Portable));
+        assert_eq!(classify_name("MacBook-Pro"), Some(DeviceType::Fixed));
+        assert_eq!(classify_name("FAMILY-DESKTOP"), Some(DeviceType::Fixed));
+        assert_eq!(classify_name("wii-u"), Some(DeviceType::GameConsole));
+        assert_eq!(
+            classify_name("wifi extender upstairs"),
+            Some(DeviceType::NetworkEquipment)
+        );
+    }
+
+    #[test]
+    fn separator_and_case_insensitivity() {
+        assert_eq!(classify_name("I_PHONE"), Some(DeviceType::Portable));
+        assert_eq!(classify_name("apple tv"), Some(DeviceType::SmartTv));
+        assert_eq!(classify_name("Apple-TV-Living-Room"), Some(DeviceType::SmartTv));
+    }
+
+    #[test]
+    fn whole_word_matching() {
+        assert_eq!(classify_name("office pc"), Some(DeviceType::Fixed));
+        // "pc" inside a longer token is not evidence... but note the
+        // squashed-substring pass runs first and only on full keywords.
+        assert_eq!(classify_name("pcmcia-card"), None);
+        assert_eq!(classify_name("samsung tv"), Some(DeviceType::SmartTv));
+    }
+
+    #[test]
+    fn tv_priority_over_vendor_words() {
+        // "appletv" should hit SmartTv even though "apple" devices are often
+        // portables.
+        assert_eq!(classify_name("appletv"), Some(DeviceType::SmartTv));
+    }
+
+    #[test]
+    fn unknown_names() {
+        assert_eq!(classify_name(""), None);
+        assert_eq!(classify_name("device-1234"), None);
+        assert_eq!(classify_name("zzz"), None);
+    }
+
+    #[test]
+    fn console_names() {
+        assert_eq!(classify_name("PS4-living-room"), Some(DeviceType::GameConsole));
+        assert_eq!(classify_name("xbox360"), Some(DeviceType::GameConsole));
+    }
+}

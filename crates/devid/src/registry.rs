@@ -1,0 +1,335 @@
+//! The OUI vendor registry.
+//!
+//! A curated subset of the IEEE OUI assignments covering the manufacturers
+//! that dominate residential deployments, each with the device class the
+//! paper's heuristic would assign by default (or `None` when the vendor
+//! ships too many kinds of devices for the OUI alone to decide — Apple and
+//! Samsung make both portables and fixed machines).
+
+use crate::mac::Oui;
+use crate::DeviceType;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A manufacturer entry in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vendor {
+    /// Manufacturer name as registered with the IEEE.
+    pub name: &'static str,
+    /// Device class implied by the vendor alone, when unambiguous.
+    pub default_type: Option<DeviceType>,
+}
+
+/// OUI prefix → vendor lookup table.
+#[derive(Debug)]
+pub struct OuiRegistry {
+    map: HashMap<Oui, Vendor>,
+}
+
+impl OuiRegistry {
+    /// Looks up the vendor owning an OUI prefix.
+    pub fn lookup(&self, oui: Oui) -> Option<&Vendor> {
+        self.map.get(&oui)
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All prefixes registered for vendors whose default class is `ty`.
+    pub fn prefixes_of_type(&self, ty: DeviceType) -> Vec<Oui> {
+        let mut v: Vec<Oui> = self
+            .map
+            .iter()
+            .filter(|(_, vendor)| vendor.default_type == Some(ty))
+            .map(|(&oui, _)| oui)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All prefixes belonging to a vendor with the given name.
+    pub fn prefixes_of_vendor(&self, name: &str) -> Vec<Oui> {
+        let mut v: Vec<Oui> = self
+            .map
+            .iter()
+            .filter(|(_, vendor)| vendor.name == name)
+            .map(|(&oui, _)| oui)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+macro_rules! registry_entries {
+    ($( $b0:literal : $b1:literal : $b2:literal => $name:literal, $ty:expr; )*) => {
+        [ $( (Oui([$b0, $b1, $b2]), Vendor { name: $name, default_type: $ty }) ),* ]
+    };
+}
+
+/// The global registry (built once, shared).
+pub fn oui_registry() -> &'static OuiRegistry {
+    static REGISTRY: OnceLock<OuiRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        use DeviceType::*;
+        let entries = registry_entries![
+            // Apple — phones, tablets, laptops, desktops: ambiguous.
+            0x00:0x03:0x93 => "Apple, Inc.", None;
+            0x00:0x1C:0xB3 => "Apple, Inc.", None;
+            0x28:0xCF:0xE9 => "Apple, Inc.", None;
+            0xF0:0xDB:0xE2 => "Apple, Inc.", None;
+            0xAC:0xBC:0x32 => "Apple, Inc.", None;
+            // Samsung — phones, tablets, TVs: ambiguous.
+            0x00:0x16:0x32 => "Samsung Electronics Co., Ltd.", None;
+            0x5C:0x0A:0x5B => "Samsung Electronics Co., Ltd.", None;
+            0x8C:0x77:0x12 => "Samsung Electronics Co., Ltd.", None;
+            // Phone-only manufacturers.
+            0x00:0x23:0x76 => "HTC Corporation", Some(Portable);
+            0xAC:0x37:0x43 => "HTC Corporation", Some(Portable);
+            0x00:0x26:0xE8 => "Murata Manufacturing Co., Ltd.", Some(Portable);
+            0x60:0x21:0xC0 => "Murata Manufacturing Co., Ltd.", Some(Portable);
+            0x94:0x65:0x9C => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x48:0xDB:0x50 => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x00:0x1A:0x16 => "Nokia Danmark A/S", Some(Portable);
+            0x9C:0xD9:0x17 => "Motorola Mobility LLC", Some(Portable);
+            0xA8:0x96:0x8A => "LG Electronics (Mobile)", Some(Portable);
+            // PC manufacturers.
+            0x00:0x14:0x22 => "Dell Inc.", Some(Fixed);
+            0x18:0x03:0x73 => "Dell Inc.", Some(Fixed);
+            0x00:0x1F:0x29 => "Hewlett-Packard Company", Some(Fixed);
+            0x3C:0xD9:0x2B => "Hewlett-Packard Company", Some(Fixed);
+            0x00:0x21:0xCC => "Lenovo Mobile Communication", Some(Fixed);
+            0x54:0xEE:0x75 => "Wistron InfoComm (Lenovo)", Some(Fixed);
+            0x00:0x1E:0x33 => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0x1C:0x87:0x2C => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0x00:0x26:0x22 => "COMPAL INFORMATION (KUNSHAN)", Some(Fixed);
+            0x00:0x1B:0x77 => "Intel Corporate", Some(Fixed);
+            0x8C:0xA9:0x82 => "Intel Corporate", Some(Fixed);
+            0xAC:0x72:0x89 => "Intel Corporate", Some(Fixed);
+            0x00:0x23:0x5A => "Acer Incorporated", Some(Fixed);
+            0x00:0x1F:0x16 => "Toshiba Corporation", Some(Fixed);
+            // Game consoles.
+            0x00:0x09:0xBF => "Nintendo Co., Ltd.", Some(GameConsole);
+            0x00:0x1F:0x32 => "Nintendo Co., Ltd.", Some(GameConsole);
+            0x00:0x19:0xC5 => "Sony Interactive Entertainment", Some(GameConsole);
+            0x28:0x0D:0xFC => "Sony Interactive Entertainment", Some(GameConsole);
+            0x00:0x22:0x48 => "Microsoft Corporation (Xbox)", Some(GameConsole);
+            0x7C:0xED:0x8D => "Microsoft Corporation (Xbox)", Some(GameConsole);
+            // Smart TVs and streaming boxes.
+            0x00:0x09:0xDF => "Vestel Elektronik", Some(SmartTv);
+            0x04:0x5D:0x4B => "Sony Visual Products (BRAVIA)", Some(SmartTv);
+            0xCC:0xB8:0xA8 => "Philips TP Vision", Some(SmartTv);
+            0xB0:0xA7:0x37 => "Roku, Inc.", Some(SmartTv);
+            0xCC:0x6D:0xA0 => "Roku, Inc.", Some(SmartTv);
+            0x6C:0xAD:0xF8 => "AzureWave (Chromecast)", Some(SmartTv);
+            0x00:0x05:0xCD => "LG Electronics (TV)", Some(SmartTv);
+            // More phone-family prefixes.
+            0x00:0x25:0xE7 => "Sony Ericsson Mobile", Some(Portable);
+            0x30:0x39:0x26 => "Sony Ericsson Mobile", Some(Portable);
+            0x00:0x0E:0x07 => "Sony Ericsson Mobile", Some(Portable);
+            0x38:0xE7:0xD8 => "HTC Corporation", Some(Portable);
+            0x64:0xA7:0x69 => "HTC Corporation", Some(Portable);
+            0x00:0x22:0xA9 => "LG Electronics (Mobile)", Some(Portable);
+            0xC0:0x9F:0x42 => "Apple, Inc.", None;
+            0x60:0xFB:0x42 => "Apple, Inc.", None;
+            0x04:0x0C:0xCE => "Apple, Inc.", None;
+            0x28:0x98:0x7B => "Samsung Electronics Co., Ltd.", None;
+            0xE8:0x50:0x8B => "Samsung Electronics Co., Ltd.", None;
+            0xD0:0x17:0xC2 => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0xF4:0x6D:0x04 => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0x00:0x24:0xE8 => "Dell Inc.", Some(Fixed);
+            0xB8:0xAC:0x6F => "Dell Inc.", Some(Fixed);
+            0x00:0x0F:0x1F => "Dell Inc.", Some(Fixed);
+            0x2C:0x41:0x38 => "Hewlett-Packard Company", Some(Fixed);
+            0x10:0x60:0x4B => "Hewlett-Packard Company", Some(Fixed);
+            0x00:0x26:0x2D => "Wistron InfoComm (Lenovo)", Some(Fixed);
+            0x60:0xEB:0x69 => "Quanta Computer Inc.", Some(Fixed);
+            0x00:0x1E:0x68 => "Quanta Computer Inc.", Some(Fixed);
+            0xF0:0xDE:0xF1 => "Wistron InfoComm (Lenovo)", Some(Fixed);
+            0x00:0x24:0x2B => "Hon Hai (Foxconn)", Some(Fixed);
+            0x00:0x1F:0xE2 => "Hon Hai (Foxconn)", Some(Fixed);
+            // More console prefixes.
+            0x18:0x2A:0x7B => "Nintendo Co., Ltd.", Some(GameConsole);
+            0x34:0xAF:0x2C => "Nintendo Co., Ltd.", Some(GameConsole);
+            0x58:0xBD:0xA3 => "Nintendo Co., Ltd.", Some(GameConsole);
+            0xFC:0x0F:0xE6 => "Sony Interactive Entertainment", Some(GameConsole);
+            0x00:0xD9:0xD1 => "Sony Interactive Entertainment", Some(GameConsole);
+            0x30:0x59:0xB7 => "Microsoft Corporation (Xbox)", Some(GameConsole);
+            // More TV / streaming prefixes.
+            0xD8:0x31:0xCF => "Roku, Inc.", Some(SmartTv);
+            0xAC:0x3A:0x7A => "Roku, Inc.", Some(SmartTv);
+            0x08:0x05:0x81 => "Sony Visual Products (BRAVIA)", Some(SmartTv);
+            0x54:0x42:0x49 => "Sony Visual Products (BRAVIA)", Some(SmartTv);
+            0xF8:0x8F:0xCA => "Google (Chromecast)", Some(SmartTv);
+            0x54:0x60:0x09 => "Google (Chromecast)", Some(SmartTv);
+            0x00:0x7C:0x2D => "Samsung Electronics (Visual Display)", Some(SmartTv);
+            // Network equipment and peripherals.
+            0x00:0x26:0xAB => "Seiko Epson Corporation", Some(NetworkEquipment);
+            0x00:0x00:0x48 => "Seiko Epson Corporation", Some(NetworkEquipment);
+            0x00:0x1E:0x8F => "Canon Inc.", Some(NetworkEquipment);
+            0x00:0x14:0x6C => "NETGEAR", Some(NetworkEquipment);
+            0x20:0x4E:0x7F => "NETGEAR", Some(NetworkEquipment);
+            0x00:0x1D:0x7E => "Cisco-Linksys, LLC", Some(NetworkEquipment);
+            0x14:0xCC:0x20 => "TP-LINK TECHNOLOGIES CO., LTD.", Some(NetworkEquipment);
+            0xF8:0x1A:0x67 => "TP-LINK TECHNOLOGIES CO., LTD.", Some(NetworkEquipment);
+            0x00:0x05:0x5D => "D-Link Corporation", Some(NetworkEquipment);
+            0x00:0x24:0xA5 => "Buffalo Inc.", Some(NetworkEquipment);
+            0x30:0x46:0x9A => "NETGEAR", Some(NetworkEquipment);
+            0x00:0x90:0x4C => "Epigram (Broadcom reference)", Some(NetworkEquipment);
+            0xC0:0x3F:0x0E => "NETGEAR", Some(NetworkEquipment);
+            0x84:0x1B:0x5E => "NETGEAR", Some(NetworkEquipment);
+            0x00:0x18:0x4D => "NETGEAR", Some(NetworkEquipment);
+            0xA4:0x2B:0x8C => "NETGEAR", Some(NetworkEquipment);
+            0xC4:0x6E:0x1F => "TP-LINK TECHNOLOGIES CO., LTD.", Some(NetworkEquipment);
+            0x64:0x70:0x02 => "TP-LINK TECHNOLOGIES CO., LTD.", Some(NetworkEquipment);
+            0x90:0xF6:0x52 => "TP-LINK TECHNOLOGIES CO., LTD.", Some(NetworkEquipment);
+            0x00:0x26:0x5A => "D-Link Corporation", Some(NetworkEquipment);
+            0xC8:0xBE:0x19 => "D-Link Corporation", Some(NetworkEquipment);
+            0x10:0x6F:0x3F => "Buffalo Inc.", Some(NetworkEquipment);
+            0x00:0x0D:0x0B => "Buffalo Inc.", Some(NetworkEquipment);
+            0x00:0x18:0xF8 => "Cisco-Linksys, LLC", Some(NetworkEquipment);
+            0x48:0xF8:0xB3 => "Cisco-Linksys, LLC", Some(NetworkEquipment);
+            0x00:0x00:0x74 => "Ricoh Company Ltd.", Some(NetworkEquipment);
+            0x00:0x26:0x73 => "Ricoh Company Ltd.", Some(NetworkEquipment);
+            0x00:0x17:0xC8 => "Kyocera Display (printers)", Some(NetworkEquipment);
+            0x00:0x80:0x77 => "Brother Industries, Ltd.", Some(NetworkEquipment);
+            0x30:0x05:0x5C => "Brother Industries, Ltd.", Some(NetworkEquipment);
+            0x00:0x80:0x92 => "Silex Technology (print servers)", Some(NetworkEquipment);
+            0xAC:0x9B:0x0A => "Sony Interactive Entertainment", Some(GameConsole);
+            0x78:0xDD:0x08 => "Hon Hai (Foxconn)", Some(Fixed);
+            0x00:0x23:0x4D => "Hon Hai (Foxconn)", Some(Fixed);
+            0x00:0x1D:0x09 => "Dell Inc.", Some(Fixed);
+            0x84:0x2B:0x2B => "Dell Inc.", Some(Fixed);
+            0x00:0x21:0x70 => "Dell Inc.", Some(Fixed);
+            0x5C:0x26:0x0A => "Dell Inc.", Some(Fixed);
+            0x48:0x5B:0x39 => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0xBC:0xAE:0xC5 => "ASUSTek COMPUTER INC.", Some(Fixed);
+            0x00:0x26:0xB9 => "Dell Inc.", Some(Fixed);
+            0x00:0x12:0x17 => "Cisco-Linksys, LLC", Some(NetworkEquipment);
+            0x58:0x6D:0x8F => "Cisco-Linksys, LLC", Some(NetworkEquipment);
+            0x00:0x16:0x6C => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x12:0xFB => "Samsung Electronics Co., Ltd.", None;
+            0x8C:0x71:0xF8 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x23:0x12 => "Apple, Inc.", None;
+            0x00:0x25:0x00 => "Apple, Inc.", None;
+            0x7C:0x6D:0x62 => "Apple, Inc.", None;
+            0xD8:0x9E:0x3F => "Apple, Inc.", None;
+            0x00:0x26:0x08 => "Apple, Inc.", None;
+            0x44:0x2A:0x60 => "Apple, Inc.", None;
+            0x00:0x1E:0xC2 => "Apple, Inc.", None;
+            0x34:0x15:0x9E => "Apple, Inc.", None;
+            0x00:0x0A:0x95 => "Apple, Inc.", None;
+            0x00:0x17:0xF2 => "Apple, Inc.", None;
+            0xE0:0xF8:0x47 => "Apple, Inc.", None;
+            0x00:0x1B:0x63 => "Apple, Inc.", None;
+            0x00:0x19:0xE3 => "Apple, Inc.", None;
+            0x58:0x55:0xCA => "Apple, Inc.", None;
+            0xF0:0xB4:0x79 => "Apple, Inc.", None;
+            0x00:0x24:0x54 => "Samsung Electronics Co., Ltd.", None;
+            0x18:0x46:0x17 => "Samsung Electronics Co., Ltd.", None;
+            0x5C:0xE8:0xEB => "Samsung Electronics Co., Ltd.", None;
+            0xD0:0x66:0x7B => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x15:0xB9 => "Samsung Electronics Co., Ltd.", None;
+            0x94:0x35:0x0A => "Samsung Electronics Co., Ltd.", None;
+            0x34:0x23:0xBA => "Samsung Electronics Co., Ltd.", None;
+            0xB4:0x07:0xF9 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x1A:0x8A => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x1D:0x25 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x1F:0xCD => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x21:0x19 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x23:0x39 => "Samsung Electronics Co., Ltd.", None;
+            0x30:0x19:0x66 => "Samsung Electronics Co., Ltd.", None;
+            0x38:0xAA:0x3C => "Samsung Electronics Co., Ltd.", None;
+            0x40:0x0E:0x85 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x16:0xDB => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x17:0xD5 => "Samsung Electronics Co., Ltd.", None;
+            0x00:0x1B:0x98 => "Samsung Electronics Co., Ltd.", None;
+            0xF4:0x7B:0x5E => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x28:0x6E:0xD4 => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x00:0x25:0x9E => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x0C:0x37:0xDC => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x00:0x1E:0x10 => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x20:0x2B:0xC1 => "Huawei Technologies Co., Ltd.", Some(Portable);
+            0x00:0x21:0xE8 => "Murata Manufacturing Co., Ltd.", Some(Portable);
+            0x00:0x26:0x86 => "Quanta Computer Inc.", Some(Fixed);
+            0x00:0x1F:0x3B => "Intel Corporate", Some(Fixed);
+            0x00:0x21:0x6A => "Intel Corporate", Some(Fixed);
+            0x00:0x22:0xFB => "Intel Corporate", Some(Fixed);
+            0x00:0x24:0xD7 => "Intel Corporate", Some(Fixed);
+            0x00:0x27:0x10 => "Intel Corporate", Some(Fixed);
+            0x58:0x94:0x6B => "Intel Corporate", Some(Fixed);
+            0x60:0x67:0x20 => "Intel Corporate", Some(Fixed);
+            0x64:0x80:0x99 => "Intel Corporate", Some(Fixed);
+            0x4C:0xEB:0x42 => "Intel Corporate", Some(Fixed);
+            0x00:0x13:0x02 => "Intel Corporate", Some(Fixed);
+            0x00:0x15:0x00 => "Intel Corporate", Some(Fixed);
+            0x00:0x16:0x6F => "Intel Corporate", Some(Fixed);
+            0x00:0x16:0xEA => "Intel Corporate", Some(Fixed);
+            0x00:0x18:0xDE => "Intel Corporate", Some(Fixed);
+            0x00:0x19:0xD1 => "Intel Corporate", Some(Fixed);
+            0x00:0x1C:0xBF => "Intel Corporate", Some(Fixed);
+            0x00:0x1D:0xE0 => "Intel Corporate", Some(Fixed);
+            0x00:0x1E:0x64 => "Intel Corporate", Some(Fixed);
+            0x00:0x1F:0x3C => "Intel Corporate", Some(Fixed);
+        ];
+        OuiRegistry {
+            map: entries.into_iter().collect(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated() {
+        let reg = oui_registry();
+        assert!(reg.len() >= 140);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn known_vendor_lookup() {
+        let reg = oui_registry();
+        let nintendo = reg.lookup(Oui([0x00, 0x09, 0xBF])).unwrap();
+        assert_eq!(nintendo.name, "Nintendo Co., Ltd.");
+        assert_eq!(nintendo.default_type, Some(DeviceType::GameConsole));
+    }
+
+    #[test]
+    fn ambiguous_vendor_has_no_default() {
+        let reg = oui_registry();
+        let apple = reg.lookup(Oui([0x00, 0x03, 0x93])).unwrap();
+        assert_eq!(apple.default_type, None);
+    }
+
+    #[test]
+    fn unknown_prefix_is_none() {
+        assert!(oui_registry().lookup(Oui([0xFF, 0xFF, 0xFF])).is_none());
+    }
+
+    #[test]
+    fn prefixes_grouped_by_type() {
+        let reg = oui_registry();
+        let consoles = reg.prefixes_of_type(DeviceType::GameConsole);
+        assert!(consoles.len() >= 4);
+        let fixed = reg.prefixes_of_type(DeviceType::Fixed);
+        assert!(fixed.len() >= 8);
+        let portables = reg.prefixes_of_type(DeviceType::Portable);
+        assert!(portables.len() >= 5);
+    }
+
+    #[test]
+    fn vendor_prefix_listing() {
+        let reg = oui_registry();
+        assert!(reg.prefixes_of_vendor("Apple, Inc.").len() >= 20);
+        assert!(reg.prefixes_of_vendor("No Such Vendor").is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Application traffic profiles.
+//!
+//! Sessions carry traffic shaped by the application driving them: video
+//! streaming pulls megabytes per minute downstream, uploads push upstream,
+//! browsing is bursty and light. Per-minute rates are calibrated so that
+//! active traffic reaches the 10⁶–10⁷ bytes/minute range visible in the
+//! paper's Figure 1 while staying below typical access-link capacity.
+
+use rand::Rng;
+
+/// The kind of application behind a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppProfile {
+    /// Video streaming (Netflix-style): heavy, smooth downstream.
+    Streaming,
+    /// Web browsing / social networking: light, bursty.
+    Browsing,
+    /// Video conferencing: symmetric medium rate.
+    VideoCall,
+    /// Online gaming: modest, steady, latency-bound.
+    Gaming,
+    /// Bulk upload (photo/video backup): heavy upstream.
+    Upload,
+    /// Bulk download (file transfer, updates): heavy downstream.
+    Download,
+}
+
+impl AppProfile {
+    /// All profiles.
+    pub const ALL: [AppProfile; 6] = [
+        AppProfile::Streaming,
+        AppProfile::Browsing,
+        AppProfile::VideoCall,
+        AppProfile::Gaming,
+        AppProfile::Upload,
+        AppProfile::Download,
+    ];
+
+    /// Mean downstream bytes per minute while the session is active.
+    pub fn rate_in(self) -> f64 {
+        match self {
+            // ~4 Mbps video ≈ 3e7 B/min.
+            AppProfile::Streaming => 2.2e7,
+            AppProfile::Browsing => 1.2e6,
+            AppProfile::VideoCall => 7.0e6,
+            AppProfile::Gaming => 1.5e6,
+            AppProfile::Upload => 3.0e5,
+            AppProfile::Download => 2.8e7,
+        }
+    }
+
+    /// Ratio of upstream to downstream bytes.
+    pub fn out_ratio(self) -> f64 {
+        match self {
+            AppProfile::Streaming => 0.07,
+            AppProfile::Browsing => 0.12,
+            AppProfile::VideoCall => 0.30,
+            AppProfile::Gaming => 0.25,
+            AppProfile::Upload => 2.0,
+            AppProfile::Download => 0.06,
+        }
+    }
+
+    /// Per-minute multiplicative jitter shape: how bursty the app is within
+    /// a session (σ of the log-normal factor).
+    pub fn burstiness(self) -> f64 {
+        match self {
+            AppProfile::Streaming => 0.25,
+            AppProfile::Browsing => 0.9,
+            AppProfile::VideoCall => 0.2,
+            AppProfile::Gaming => 0.4,
+            AppProfile::Upload => 0.3,
+            AppProfile::Download => 0.35,
+        }
+    }
+
+    /// Typical session length scale in minutes (Pareto scale parameter).
+    pub fn duration_scale(self) -> f64 {
+        match self {
+            AppProfile::Streaming => 45.0,
+            AppProfile::Browsing => 5.0,
+            AppProfile::VideoCall => 15.0,
+            AppProfile::Gaming => 30.0,
+            AppProfile::Upload => 8.0,
+            AppProfile::Download => 6.0,
+        }
+    }
+
+    /// Draws an application for a session, given whether the device is a
+    /// game console (consoles overwhelmingly game or stream).
+    pub fn sample(rng: &mut impl Rng, is_console: bool, is_tv: bool) -> AppProfile {
+        let weights: [f64; 6] = if is_console {
+            [0.25, 0.05, 0.0, 0.65, 0.0, 0.05]
+        } else if is_tv {
+            [0.90, 0.05, 0.0, 0.0, 0.0, 0.05]
+        } else {
+            [0.28, 0.38, 0.10, 0.06, 0.03, 0.15]
+        };
+        AppProfile::ALL[crate::rng::weighted_index(rng, &weights)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rates_are_positive_and_ordered() {
+        for app in AppProfile::ALL {
+            assert!(app.rate_in() > 0.0);
+            assert!(app.out_ratio() > 0.0);
+            assert!(app.burstiness() > 0.0);
+            assert!(app.duration_scale() > 0.0);
+        }
+        assert!(AppProfile::Streaming.rate_in() > AppProfile::Browsing.rate_in() * 10.0);
+        assert!(AppProfile::Upload.out_ratio() > 1.0, "upload is out-heavy");
+        assert!(AppProfile::Streaming.out_ratio() < 0.1, "streaming is in-heavy");
+    }
+
+    #[test]
+    fn console_sessions_game() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 5_000;
+        let games = (0..n)
+            .filter(|_| AppProfile::sample(&mut rng, true, false) == AppProfile::Gaming)
+            .count();
+        assert!(games as f64 / n as f64 > 0.5, "consoles mostly game: {games}");
+    }
+
+    #[test]
+    fn tv_sessions_stream() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 5_000;
+        let streams = (0..n)
+            .filter(|_| AppProfile::sample(&mut rng, false, true) == AppProfile::Streaming)
+            .count();
+        assert!(streams as f64 / n as f64 > 0.8);
+    }
+
+    #[test]
+    fn general_devices_mix() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2_000 {
+            seen.insert(AppProfile::sample(&mut rng, false, false));
+        }
+        assert_eq!(seen.len(), 6, "all app kinds appear on general devices");
+    }
+
+    #[test]
+    fn streaming_session_reaches_papers_magnitudes() {
+        // The paper's Figure 1 shows active traffic up to ~2.5e7 B/min.
+        assert!(AppProfile::Streaming.rate_in() > 1e7);
+        assert!(AppProfile::Streaming.rate_in() < 1e8);
+    }
+}

@@ -1,0 +1,270 @@
+//! Household behavior archetypes.
+//!
+//! The paper's motifs describe recurring weekly and daily usage patterns:
+//! heavy-weekend users, everyday evening users, workday users (Figure 11);
+//! afternoon, late-evening, morning-and-evening and all-day users
+//! (Figure 14). Archetypes encode those behaviors generatively: each
+//! household gets an archetype that shapes *when* its members go online, so
+//! the motif-discovery pipeline has real structure to find.
+
+use rand::Rng;
+use wtts_timeseries::Weekday;
+
+/// The behavioral archetype of a household.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HouseholdArchetype {
+    /// Online every evening (the most common pattern in the paper's daily
+    /// motifs).
+    EveningRegulars,
+    /// Active during working hours on weekdays — home office.
+    WorkdayUsers,
+    /// Quiet weekdays, heavy Saturday/Sunday usage.
+    HeavyWeekend,
+    /// Two activity bursts: before work and in the evening.
+    MorningEvening,
+    /// Sustained moderate usage from morning to late evening.
+    AllDay,
+    /// Afternoon block, e.g. children back from school.
+    Afternoon,
+    /// Activity starting late in the evening and spilling past midnight.
+    LateNight,
+    /// No recognizable pattern; low-rate noise.
+    Irregular,
+}
+
+impl HouseholdArchetype {
+    /// All archetypes.
+    pub const ALL: [HouseholdArchetype; 8] = [
+        HouseholdArchetype::EveningRegulars,
+        HouseholdArchetype::WorkdayUsers,
+        HouseholdArchetype::HeavyWeekend,
+        HouseholdArchetype::MorningEvening,
+        HouseholdArchetype::AllDay,
+        HouseholdArchetype::Afternoon,
+        HouseholdArchetype::LateNight,
+        HouseholdArchetype::Irregular,
+    ];
+
+    /// Population weights: roughly the prevalence each pattern needs for the
+    /// motif support distribution to resemble the paper's (evening usage
+    /// dominates; the rest form a long tail).
+    pub fn population_weights() -> [f64; 8] {
+        [0.24, 0.14, 0.15, 0.12, 0.10, 0.09, 0.08, 0.08]
+    }
+
+    /// Draws an archetype from the population distribution.
+    pub fn sample(rng: &mut impl Rng) -> HouseholdArchetype {
+        let idx = crate::rng::weighted_index(rng, &Self::population_weights());
+        Self::ALL[idx]
+    }
+
+    /// Relative activity level of a whole day (multiplies the session rate).
+    pub fn day_weight(self, day: Weekday) -> f64 {
+        let weekend = day.is_weekend();
+        match self {
+            HouseholdArchetype::EveningRegulars => 1.0,
+            HouseholdArchetype::WorkdayUsers => {
+                if weekend {
+                    0.25
+                } else {
+                    1.0
+                }
+            }
+            HouseholdArchetype::HeavyWeekend => {
+                if weekend {
+                    1.8
+                } else if day == Weekday::Friday {
+                    0.7
+                } else {
+                    0.3
+                }
+            }
+            HouseholdArchetype::MorningEvening => 1.0,
+            HouseholdArchetype::AllDay => 1.2,
+            HouseholdArchetype::Afternoon => {
+                if weekend {
+                    0.8
+                } else {
+                    1.0
+                }
+            }
+            HouseholdArchetype::LateNight => 1.0,
+            HouseholdArchetype::Irregular => 0.6,
+        }
+    }
+
+    /// Relative weight of each hour of the day for session starts.
+    ///
+    /// The returned array need not be normalized; it is consumed by a
+    /// weighted choice. Hours are local, `0..24`.
+    pub fn hour_weights(self, day: Weekday) -> [f64; 24] {
+        let mut w = [0.05f64; 24]; // Faint baseline everywhere.
+        let weekend = day.is_weekend();
+        match self {
+            HouseholdArchetype::EveningRegulars => {
+                bump(&mut w, 18, 23, 1.0);
+                bump(&mut w, 12, 14, 0.15);
+            }
+            HouseholdArchetype::WorkdayUsers => {
+                if weekend {
+                    bump(&mut w, 10, 20, 0.15);
+                } else {
+                    bump(&mut w, 9, 18, 1.0);
+                    bump(&mut w, 20, 22, 0.25);
+                }
+            }
+            HouseholdArchetype::HeavyWeekend => {
+                if weekend {
+                    bump(&mut w, 9, 24, 1.0);
+                } else {
+                    bump(&mut w, 19, 22, 0.35);
+                }
+            }
+            HouseholdArchetype::MorningEvening => {
+                bump(&mut w, 6, 9, 0.9);
+                bump(&mut w, 19, 23, 1.0);
+            }
+            HouseholdArchetype::AllDay => {
+                bump(&mut w, 8, 23, 1.0);
+            }
+            HouseholdArchetype::Afternoon => {
+                bump(&mut w, 14, 18, 1.0);
+                bump(&mut w, 19, 21, 0.3);
+            }
+            HouseholdArchetype::LateNight => {
+                bump(&mut w, 21, 24, 1.0);
+                bump(&mut w, 0, 2, 0.8);
+            }
+            HouseholdArchetype::Irregular => {
+                // Flat; the baseline already covers it.
+                bump(&mut w, 0, 24, 0.2);
+            }
+        }
+        w
+    }
+
+    /// Whether sessions of this archetype lean toward portable devices.
+    ///
+    /// The paper finds weekend and short morning/evening usage dominated by
+    /// portables, while sustained weekday/all-day usage comes from fixed
+    /// machines (Sections 7.2.1–7.2.2).
+    pub fn portable_affinity(self) -> f64 {
+        match self {
+            HouseholdArchetype::HeavyWeekend => 2.0,
+            HouseholdArchetype::MorningEvening => 2.2,
+            HouseholdArchetype::LateNight => 1.8,
+            HouseholdArchetype::EveningRegulars => 1.4,
+            HouseholdArchetype::Afternoon => 1.5,
+            HouseholdArchetype::WorkdayUsers => 0.5,
+            HouseholdArchetype::AllDay => 0.55,
+            HouseholdArchetype::Irregular => 1.0,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HouseholdArchetype::EveningRegulars => "evening",
+            HouseholdArchetype::WorkdayUsers => "workday",
+            HouseholdArchetype::HeavyWeekend => "weekend",
+            HouseholdArchetype::MorningEvening => "morning+evening",
+            HouseholdArchetype::AllDay => "all-day",
+            HouseholdArchetype::Afternoon => "afternoon",
+            HouseholdArchetype::LateNight => "late-night",
+            HouseholdArchetype::Irregular => "irregular",
+        }
+    }
+}
+
+impl std::fmt::Display for HouseholdArchetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Adds `amount` to the half-open hour range `[from, to)`.
+fn bump(w: &mut [f64; 24], from: usize, to: usize, amount: f64) {
+    for slot in w.iter_mut().take(to).skip(from) {
+        *slot += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_cover_all_archetypes() {
+        let w = HouseholdArchetype::population_weights();
+        assert_eq!(w.len(), HouseholdArchetype::ALL.len());
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+    }
+
+    #[test]
+    fn sampling_matches_population_roughly() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        let n = 20_000;
+        for _ in 0..n {
+            *counts.entry(HouseholdArchetype::sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        let evening = counts[&HouseholdArchetype::EveningRegulars] as f64 / n as f64;
+        assert!((evening - 0.24).abs() < 0.02, "evening share = {evening}");
+        assert_eq!(counts.len(), 8, "every archetype appears");
+    }
+
+    #[test]
+    fn evening_archetype_peaks_in_the_evening() {
+        let w = HouseholdArchetype::EveningRegulars.hour_weights(Weekday::Tuesday);
+        assert!(w[20] > w[10] * 5.0);
+        assert!(w[20] > w[3] * 5.0);
+    }
+
+    #[test]
+    fn weekend_archetype_day_weights() {
+        let a = HouseholdArchetype::HeavyWeekend;
+        assert!(a.day_weight(Weekday::Saturday) > 4.0 * a.day_weight(Weekday::Tuesday));
+        assert!(a.day_weight(Weekday::Friday) > a.day_weight(Weekday::Tuesday));
+    }
+
+    #[test]
+    fn workday_archetype_flips_on_weekends() {
+        let a = HouseholdArchetype::WorkdayUsers;
+        let weekday = a.hour_weights(Weekday::Wednesday);
+        let weekend = a.hour_weights(Weekday::Sunday);
+        assert!(weekday[11] > weekend[11] * 3.0);
+    }
+
+    #[test]
+    fn late_night_spills_past_midnight() {
+        let w = HouseholdArchetype::LateNight.hour_weights(Weekday::Friday);
+        assert!(w[23] > w[12] * 5.0);
+        assert!(w[1] > w[12] * 4.0);
+    }
+
+    #[test]
+    fn portable_affinity_ordering() {
+        // Weekend/morning-evening users lean portable, workday/all-day lean
+        // fixed — the paper's key device-type finding.
+        assert!(
+            HouseholdArchetype::HeavyWeekend.portable_affinity()
+                > HouseholdArchetype::WorkdayUsers.portable_affinity() * 2.0
+        );
+        assert!(
+            HouseholdArchetype::MorningEvening.portable_affinity()
+                > HouseholdArchetype::AllDay.portable_affinity() * 2.0
+        );
+    }
+
+    #[test]
+    fn hour_weights_are_positive() {
+        for a in HouseholdArchetype::ALL {
+            for d in Weekday::ALL {
+                assert!(a.hour_weights(d).iter().all(|&w| w > 0.0));
+            }
+        }
+    }
+}

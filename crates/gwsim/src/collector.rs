@@ -1,0 +1,220 @@
+//! The measurement pipeline: gateway → central collection server.
+//!
+//! The paper's deployment has every gateway report per-minute cumulative
+//! counters to a central server (>20M reports over two months). Real
+//! report streams suffer loss, duplication and delayed delivery; this
+//! module simulates that wire and re-assembles the surviving reports with
+//! [`CounterTrace`], so the repository exercises the *entire* path from
+//! synthetic household behavior to decoded analysis-ready series.
+
+use crate::gateway::SimDevice;
+use crate::rng::chance;
+use rand::Rng;
+use wtts_timeseries::{CounterTrace, Minute, TimeSeries};
+
+/// Loss/duplication characteristics of the reporting channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Probability that a report never reaches the server.
+    pub loss: f64,
+    /// Probability that a delivered report is delivered twice (retries).
+    pub duplication: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> ChannelConfig {
+        ChannelConfig {
+            loss: 0.01,
+            duplication: 0.002,
+        }
+    }
+}
+
+/// One report as it arrives at the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Reporting minute.
+    pub at: Minute,
+    /// Cumulative incoming bytes since (re-)association.
+    pub cum_in: u64,
+    /// Cumulative outgoing bytes since (re-)association.
+    pub cum_out: u64,
+}
+
+/// Simulates the report stream one device would send: cumulative counters
+/// each connected minute, reset at re-association, passed through a lossy
+/// channel.
+pub fn device_reports(
+    device: &SimDevice,
+    channel: ChannelConfig,
+    rng: &mut impl Rng,
+) -> Vec<Report> {
+    let mut out = Vec::new();
+    let mut cum_in = 0u64;
+    let mut cum_out = 0u64;
+    let mut was_present = false;
+    for (m, (&bi, &bo)) in device
+        .incoming
+        .values()
+        .iter()
+        .zip(device.outgoing.values())
+        .enumerate()
+    {
+        let present = bi.is_finite() || bo.is_finite();
+        if present {
+            if !was_present {
+                cum_in = 0;
+                cum_out = 0;
+            }
+            cum_in += bi.max(0.0) as u64;
+            cum_out += bo.max(0.0) as u64;
+            if !chance(rng, channel.loss) {
+                let report = Report {
+                    at: Minute(m as u32),
+                    cum_in,
+                    cum_out,
+                };
+                out.push(report);
+                if chance(rng, channel.duplication) {
+                    out.push(report);
+                }
+            }
+        }
+        was_present = present;
+    }
+    out
+}
+
+/// Server-side reassembly: deduplicates and decodes a report stream into
+/// the per-minute incoming/outgoing series the analyses consume.
+///
+/// Reports must arrive time-ordered (the simulated channel preserves
+/// order); duplicates overwrite in place, and counter decreases are treated
+/// as re-association resets — both behaviors come from [`CounterTrace`].
+pub fn reassemble(reports: &[Report], len_minutes: usize) -> (TimeSeries, TimeSeries) {
+    let mut inc = CounterTrace::new();
+    let mut out = CounterTrace::new();
+    for r in reports {
+        inc.push(r.at, r.cum_in);
+        out.push(r.at, r.cum_out);
+    }
+    (
+        inc.to_per_minute(Minute(0), len_minutes),
+        out.to_per_minute(Minute(0), len_minutes),
+    )
+}
+
+/// End-to-end fidelity of the pipeline for one device: the fraction of the
+/// device's true traffic volume recovered after the lossy channel and
+/// decoding.
+pub fn recovered_volume_share(device: &SimDevice, decoded_in: &TimeSeries) -> f64 {
+    let truth = device.incoming.total();
+    if truth <= 0.0 {
+        return 1.0;
+    }
+    decoded_in.total() / truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetConfig;
+    use crate::fleet::Fleet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn device() -> SimDevice {
+        Fleet::new(FleetConfig {
+            n_gateways: 1,
+            weeks: 1,
+            ..FleetConfig::default()
+        })
+        .gateway(0)
+        .devices
+        .remove(0)
+    }
+
+    #[test]
+    fn lossless_channel_roundtrips_contiguous_minutes() {
+        let d = device();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let reports = device_reports(
+            &d,
+            ChannelConfig {
+                loss: 0.0,
+                duplication: 0.0,
+            },
+            &mut rng,
+        );
+        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let mut checked = 0usize;
+        for m in 1..d.incoming.len() {
+            let (prev, cur) = (d.incoming.values()[m - 1], d.incoming.values()[m]);
+            if prev.is_finite() && cur.is_finite() {
+                let dec = inc.values()[m];
+                assert!(dec.is_finite(), "minute {m} lost on a lossless channel");
+                assert!(
+                    (dec - cur.floor()).abs() <= 1.0,
+                    "minute {m}: {dec} vs {cur}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 500, "too few contiguous minutes: {checked}");
+    }
+
+    #[test]
+    fn lossy_channel_loses_little_volume() {
+        let d = device();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let reports = device_reports(&d, ChannelConfig::default(), &mut rng);
+        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let share = recovered_volume_share(&d, &inc);
+        // Cumulative counters are loss-tolerant: a missing report's delta is
+        // recovered by the next one, so ~1% loss costs ≪ 1% volume (only the
+        // tail of each association run can vanish).
+        assert!(share > 0.95, "recovered share {share}");
+        assert!(share <= 1.001);
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let d = device();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let heavy_dup = ChannelConfig {
+            loss: 0.0,
+            duplication: 0.5,
+        };
+        let reports = device_reports(&d, heavy_dup, &mut rng);
+        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let share = recovered_volume_share(&d, &inc);
+        assert!((share - 1.0).abs() < 0.01, "duplication inflated volume: {share}");
+    }
+
+    #[test]
+    fn report_counters_reset_on_reassociation() {
+        let d = device();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let reports = device_reports(
+            &d,
+            ChannelConfig {
+                loss: 0.0,
+                duplication: 0.0,
+            },
+            &mut rng,
+        );
+        // Counters never decrease within a presence run, but must reset
+        // (drop) right after a gap if the device was ever absent.
+        let mut decreases = 0;
+        for pair in reports.windows(2) {
+            if pair[1].cum_in < pair[0].cum_in {
+                decreases += 1;
+                // The decrease must coincide with a reporting gap.
+                assert!(pair[1].at.0 > pair[0].at.0 + 1, "reset without a gap");
+            }
+        }
+        // Portables disconnect overnight, so at least one reset is expected
+        // for a portable; fixed devices may have none. Just assert sanity.
+        let _ = decreases;
+    }
+}

@@ -1,0 +1,110 @@
+//! Fleet-level simulation configuration.
+
+/// Configuration of a simulated residential-gateway fleet.
+///
+/// Defaults reproduce the scale of the paper's deployment: 196 gateways
+/// observed for six weeks (the weekly-motif analysis uses six weeks starting
+/// March 17; most other analyses use the first four).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of gateways in the deployment.
+    pub n_gateways: usize,
+    /// Number of whole weeks to simulate, starting Monday 00:00.
+    pub weeks: u32,
+    /// Master seed; every gateway derives its own deterministic stream.
+    pub seed: u64,
+    /// Mean number of transient guest devices per gateway.
+    pub guest_rate: f64,
+    /// Fraction of gateways with day-scale reporting gaps.
+    pub flaky_day_fraction: f64,
+    /// Fraction of gateways with week-scale gaps (late joiners, vacations).
+    pub flaky_week_fraction: f64,
+    /// Base rate of household sessions per day (scaled by archetype and
+    /// resident count).
+    pub base_sessions_per_day: f64,
+    /// Share of gateways on ADSL (the rest split fiber 100/10 vs 30/3 as in
+    /// the paper's deployment).
+    pub adsl_share: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            n_gateways: 196,
+            weeks: 6,
+            seed: 0x5EED_2014_0317,
+            guest_rate: 2.8,
+            flaky_day_fraction: 0.28,
+            flaky_week_fraction: 0.22,
+            base_sessions_per_day: 7.0,
+            adsl_share: 0.33,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A small configuration for unit tests: 8 gateways, 2 weeks.
+    pub fn small() -> FleetConfig {
+        FleetConfig {
+            n_gateways: 8,
+            weeks: 2,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A rural ADSL deployment: slower links, fewer visitors, quieter
+    /// households.
+    pub fn rural_adsl() -> FleetConfig {
+        FleetConfig {
+            adsl_share: 0.85,
+            guest_rate: 1.2,
+            base_sessions_per_day: 5.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A busy urban fiber deployment: nearly all fiber, more guests, more
+    /// sessions.
+    pub fn busy_urban() -> FleetConfig {
+        FleetConfig {
+            adsl_share: 0.08,
+            guest_rate: 4.5,
+            base_sessions_per_day: 9.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Total simulated minutes.
+    pub fn minutes(&self) -> usize {
+        self.weeks as usize * wtts_timeseries::MINUTES_PER_WEEK as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let c = FleetConfig::default();
+        assert_eq!(c.n_gateways, 196);
+        assert_eq!(c.weeks, 6);
+        assert_eq!(c.minutes(), 6 * 7 * 24 * 60);
+    }
+
+    #[test]
+    fn presets_differ_meaningfully() {
+        let rural = FleetConfig::rural_adsl();
+        let urban = FleetConfig::busy_urban();
+        assert!(rural.adsl_share > urban.adsl_share + 0.5);
+        assert!(urban.guest_rate > rural.guest_rate);
+        assert!(urban.base_sessions_per_day > rural.base_sessions_per_day);
+    }
+
+    #[test]
+    fn small_config_is_small() {
+        let c = FleetConfig::small();
+        assert!(c.n_gateways <= 10);
+        assert!(c.weeks <= 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Distribution samplers over a plain `rand` RNG.
+//!
+//! The workspace only depends on `rand` (no `rand_distr`), so the handful of
+//! distributions the traffic model needs — normal, log-normal, Pareto,
+//! Poisson, categorical — are implemented here from their textbook
+//! definitions.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    mean + sd * normal(rng)
+}
+
+/// Log-normal sample parameterized by the *median* and the shape σ
+/// (standard deviation of the underlying normal).
+///
+/// `median * exp(σ Z)` — parameterizing by the median keeps traffic-model
+/// constants interpretable ("median background is 800 B/min").
+pub fn lognormal_median(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    median * (sigma * normal(rng)).exp()
+}
+
+/// Pareto sample with scale `xm` and shape `alpha`, optionally capped.
+///
+/// Heavy-tailed session durations are the standard model for human activity
+/// burstiness (Section 2 of the paper cites the inhomogeneity of human
+/// activity timing).
+pub fn pareto(rng: &mut impl Rng, xm: f64, alpha: f64, cap: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (xm / u.powf(1.0 / alpha)).min(cap)
+}
+
+/// Poisson sample via Knuth's product method (fine for the small λ used by
+/// per-day session counts), with a normal approximation above λ = 30.
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal_with(rng, lambda, lambda.sqrt());
+        return x.max(0.0).round() as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Weighted index choice: returns `i` with probability `weights[i] / Σw`.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && !weights.is_empty(),
+        "weights must be non-empty with positive sum"
+    );
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw.
+pub fn chance(rng: &mut impl Rng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_the_median() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| lognormal_median(&mut r, 800.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[n / 2];
+        assert!((med / 800.0 - 1.0).abs() < 0.1, "median = {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = pareto(&mut r, 4.0, 1.3, 240.0);
+            assert!((4.0..=240.0).contains(&x), "x = {x}");
+        }
+        // Heavy tail: a visible fraction of draws lands above 10x the scale.
+        let big = (0..5_000)
+            .filter(|_| pareto(&mut r, 4.0, 1.3, 240.0) > 40.0)
+            .count();
+        assert!(big > 100, "tail too light: {big}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut r = rng();
+        for &lambda in &[0.5, 3.0, 8.0, 50.0] {
+            let n = 10_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut r, lambda) as u64).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.06,
+                "lambda {lambda}, mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_index_rejects_zero_weights() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = rng();
+        assert!(!chance(&mut r, 0.0));
+        assert!(chance(&mut r, 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a), normal(&mut b));
+        }
+    }
+}

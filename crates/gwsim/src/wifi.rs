@@ -1,0 +1,177 @@
+//! WiFi airtime model: the shared-medium capacity bound.
+//!
+//! The paper's gateways run an 802.11b/g/n 2×2 radio at 2.4 GHz with PHY
+//! rates up to 300 Mbps, and §3 notes that reported traffic "is bounded by
+//! the wireless effective throughput or the access link throughput". A WLAN
+//! is a *shared* medium: devices contend for airtime, so the constraint is
+//! not a per-device cap but `Σ_d demand_d / effective_rate_d ≤ 1` per unit
+//! time. This module implements that airtime normalization:
+//!
+//! * each device gets a PHY rate class (signal quality, antenna count —
+//!   portables in a far bedroom link slower than the desktop next to the
+//!   AP), mapped to an *effective* UDP-level throughput (≈ 60% of PHY, the
+//!   classic 802.11 MAC efficiency);
+//! * each minute, if the devices' combined demand oversubscribes the
+//!   airtime, every device's traffic scales down by the common contention
+//!   factor — exactly how DCF fairness degrades everyone together.
+
+use crate::rng::weighted_index;
+use rand::Rng;
+
+/// 802.11n-era PHY rate classes (2.4 GHz, 20/40 MHz, 1-2 streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhyRate {
+    /// Legacy 802.11g device or deep-fade placement: 54 Mbps PHY.
+    Legacy54,
+    /// Single-stream n at distance: 72 Mbps.
+    N72,
+    /// Dual-stream, moderate signal: 144 Mbps.
+    N144,
+    /// Dual-stream, 40 MHz, close to the AP: 300 Mbps.
+    N300,
+}
+
+impl PhyRate {
+    /// All classes.
+    pub const ALL: [PhyRate; 4] = [
+        PhyRate::Legacy54,
+        PhyRate::N72,
+        PhyRate::N144,
+        PhyRate::N300,
+    ];
+
+    /// Nominal PHY rate in Mbps.
+    pub fn phy_mbps(self) -> f64 {
+        match self {
+            PhyRate::Legacy54 => 54.0,
+            PhyRate::N72 => 72.0,
+            PhyRate::N144 => 144.0,
+            PhyRate::N300 => 300.0,
+        }
+    }
+
+    /// Effective transport-level throughput in bytes per minute (≈ 60% MAC
+    /// efficiency).
+    pub fn effective_bytes_per_minute(self) -> f64 {
+        self.phy_mbps() * 0.6 * 1e6 / 8.0 * 60.0
+    }
+
+    /// Draws a rate class: portables roam and often link slower; fixed
+    /// devices and set-top boxes sit near the AP.
+    pub fn sample(rng: &mut impl Rng, portable: bool) -> PhyRate {
+        let weights = if portable {
+            [0.15, 0.40, 0.35, 0.10]
+        } else {
+            [0.05, 0.15, 0.40, 0.40]
+        };
+        PhyRate::ALL[weighted_index(rng, &weights)]
+    }
+}
+
+/// Applies the shared-airtime constraint to one minute of per-device
+/// two-way demand, in place.
+///
+/// `demand[d]` is `(bytes_in, bytes_out)` for device `d`; `rates[d]` its
+/// effective throughput (bytes/minute the medium could carry if the device
+/// had 100% airtime). If total claimed airtime exceeds 1, every value is
+/// scaled by `1 / claimed` — DCF throughput collapse hits everyone.
+///
+/// Returns the contention factor applied (1.0 = no contention).
+pub fn apply_airtime_contention(demand: &mut [(f64, f64)], rates: &[PhyRate]) -> f64 {
+    assert_eq!(demand.len(), rates.len(), "one rate per device");
+    let mut claimed = 0.0;
+    for ((bi, bo), rate) in demand.iter().zip(rates) {
+        let cap = rate.effective_bytes_per_minute();
+        if bi.is_finite() && bo.is_finite() && cap > 0.0 {
+            claimed += (bi + bo) / cap;
+        }
+    }
+    if claimed <= 1.0 {
+        return 1.0;
+    }
+    let factor = 1.0 / claimed;
+    for (bi, bo) in demand.iter_mut() {
+        if bi.is_finite() {
+            *bi *= factor;
+        }
+        if bo.is_finite() {
+            *bo *= factor;
+        }
+    }
+    factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_classes_ordered() {
+        assert!(PhyRate::N300.phy_mbps() > PhyRate::Legacy54.phy_mbps());
+        // 300 Mbps PHY -> 0.6 * 300/8 MB/s * 60 = 1.35e9 B/min.
+        let top = PhyRate::N300.effective_bytes_per_minute();
+        assert!((top - 1.35e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn portables_link_slower_on_average(){
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 4000;
+        let avg = |portable: bool, rng: &mut SmallRng| -> f64 {
+            (0..n)
+                .map(|_| PhyRate::sample(rng, portable).phy_mbps())
+                .sum::<f64>()
+                / n as f64
+        };
+        let p = avg(true, &mut rng);
+        let f = avg(false, &mut rng);
+        assert!(f > p + 20.0, "fixed {f} vs portable {p}");
+    }
+
+    #[test]
+    fn no_contention_below_capacity() {
+        let mut demand = vec![(1e6, 1e5), (2e6, 2e5)];
+        let rates = vec![PhyRate::N144, PhyRate::N300];
+        let original = demand.clone();
+        let factor = apply_airtime_contention(&mut demand, &rates);
+        assert_eq!(factor, 1.0);
+        assert_eq!(demand, original);
+    }
+
+    #[test]
+    fn oversubscription_scales_everyone() {
+        // One slow device demanding far beyond its link plus a fast one.
+        let slow_cap = PhyRate::Legacy54.effective_bytes_per_minute();
+        let mut demand = vec![(slow_cap * 2.0, 0.0), (1e6, 1e5)];
+        let rates = vec![PhyRate::Legacy54, PhyRate::N300];
+        let factor = apply_airtime_contention(&mut demand, &rates);
+        assert!(factor < 1.0);
+        assert!((demand[0].0 - slow_cap * 2.0 * factor).abs() < 1e-6);
+        assert!((demand[1].0 - 1e6 * factor).abs() < 1e-6);
+        // After scaling, total claimed airtime is exactly 1.
+        let claimed: f64 = demand
+            .iter()
+            .zip(&rates)
+            .map(|((bi, bo), r)| (bi + bo) / r.effective_bytes_per_minute())
+            .sum();
+        assert!((claimed - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_devices_ignored() {
+        let mut demand = vec![(f64::NAN, f64::NAN), (1e5, 1e4)];
+        let rates = vec![PhyRate::N72, PhyRate::N144];
+        let factor = apply_airtime_contention(&mut demand, &rates);
+        assert_eq!(factor, 1.0);
+        assert!(demand[0].0.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per device")]
+    fn mismatched_lengths_rejected() {
+        let mut demand = vec![(1.0, 1.0)];
+        let _ = apply_airtime_contention(&mut demand, &[]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Behavioral integration tests: the simulated households must actually
+//! *behave* like their archetypes — these are the regularities the motif
+//! experiments mine, so they are asserted here directly.
+
+use wtts_gwsim::{Fleet, FleetConfig, HouseholdArchetype};
+use wtts_timeseries::{Minute, TimeSeries, MINUTES_PER_DAY};
+
+/// Collect gateways of one archetype from a fleet big enough to find them.
+fn gateways_of(archetype: HouseholdArchetype, want: usize) -> Vec<TimeSeries> {
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: 120,
+        weeks: 2,
+        seed: 0xBEAA11,
+        ..FleetConfig::default()
+    });
+    let mut out = Vec::new();
+    for gw in fleet.iter() {
+        if gw.archetype == archetype && gw.regularity > 0.5 {
+            out.push(gw.aggregate_total());
+            if out.len() == want {
+                break;
+            }
+        }
+    }
+    assert!(
+        out.len() >= want.min(2),
+        "found only {} gateways of {archetype:?}",
+        out.len()
+    );
+    out
+}
+
+/// Share of a series' volume falling on weekend minutes.
+fn weekend_share(s: &TimeSeries) -> f64 {
+    let mut weekend = 0.0;
+    let mut total = 0.0;
+    for (m, &v) in s.values().iter().enumerate() {
+        if v.is_finite() {
+            total += v;
+            if Minute(m as u32).is_weekend() {
+                weekend += v;
+            }
+        }
+    }
+    if total > 0.0 {
+        weekend / total
+    } else {
+        0.0
+    }
+}
+
+/// Share of a series' volume falling in an hour band (wrapping allowed).
+fn hour_share(s: &TimeSeries, from: u32, to: u32) -> f64 {
+    let in_band = |h: u32| {
+        if from <= to {
+            (from..to).contains(&h)
+        } else {
+            h >= from || h < to
+        }
+    };
+    let mut band = 0.0;
+    let mut total = 0.0;
+    for (m, &v) in s.values().iter().enumerate() {
+        if v.is_finite() {
+            total += v;
+            if in_band(Minute(m as u32).hour()) {
+                band += v;
+            }
+        }
+    }
+    if total > 0.0 {
+        band / total
+    } else {
+        0.0
+    }
+}
+
+#[test]
+fn weekend_households_spend_weekends_online() {
+    let weekendy = gateways_of(HouseholdArchetype::HeavyWeekend, 4);
+    let workday = gateways_of(HouseholdArchetype::WorkdayUsers, 4);
+    let avg = |v: &[TimeSeries]| v.iter().map(weekend_share).sum::<f64>() / v.len() as f64;
+    let we = avg(&weekendy);
+    let wd = avg(&workday);
+    assert!(
+        we > 0.45,
+        "heavy-weekend homes should concentrate on weekends: {we:.2}"
+    );
+    assert!(wd < 0.35, "workday homes should not: {wd:.2}");
+    assert!(we > wd + 0.2);
+}
+
+#[test]
+fn evening_households_peak_in_the_evening() {
+    let evening = gateways_of(HouseholdArchetype::EveningRegulars, 4);
+    for s in &evening {
+        let evening_share = hour_share(s, 18, 24);
+        let morning_share = hour_share(s, 4, 10);
+        assert!(
+            evening_share > morning_share,
+            "evening home favors 18-24h: {evening_share:.2} vs {morning_share:.2}"
+        );
+    }
+}
+
+#[test]
+fn late_night_households_cross_midnight() {
+    let late = gateways_of(HouseholdArchetype::LateNight, 3);
+    let avg: f64 = late.iter().map(|s| hour_share(s, 21, 2)).sum::<f64>() / late.len() as f64;
+    assert!(avg > 0.4, "late-night homes live at 21-02h: {avg:.2}");
+}
+
+#[test]
+fn workday_households_work_the_weekdays() {
+    let workday = gateways_of(HouseholdArchetype::WorkdayUsers, 4);
+    let avg: f64 = workday
+        .iter()
+        .map(|s| {
+            // Working-hour volume share restricted to weekdays.
+            let mut band = 0.0;
+            let mut total = 0.0;
+            for (m, &v) in s.values().iter().enumerate() {
+                if v.is_finite() {
+                    total += v;
+                    let t = Minute(m as u32);
+                    if !t.is_weekend() && (9..18).contains(&t.hour()) {
+                        band += v;
+                    }
+                }
+            }
+            band / total.max(1.0)
+        })
+        .sum::<f64>()
+        / workday.len() as f64;
+    assert!(avg > 0.4, "workday homes work 9-18 Mon-Fri: {avg:.2}");
+}
+
+#[test]
+fn traffic_magnitudes_match_figure1() {
+    // Per-minute peaks in the 1e6..1e8 range, like the paper's Figure 1b.
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: 10,
+        weeks: 1,
+        ..FleetConfig::default()
+    });
+    let mut peaks = Vec::new();
+    for gw in fleet.iter() {
+        if let Some(max) = gw.aggregate_total().max() {
+            peaks.push(max);
+        }
+    }
+    let above_1e6 = peaks.iter().filter(|&&p| p > 1e6).count();
+    assert!(above_1e6 >= 8, "most gateways see multi-MB minutes");
+    assert!(peaks.iter().all(|&p| p < 2e9), "bounded by access capacity");
+}
+
+#[test]
+fn nights_are_quieter_than_evenings_fleetwide() {
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: 30,
+        weeks: 1,
+        ..FleetConfig::default()
+    });
+    let mut night = 0.0;
+    let mut evening = 0.0;
+    for gw in fleet.iter() {
+        let total = gw.aggregate_total();
+        for (m, &v) in total.values().iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let h = (m as u32 % MINUTES_PER_DAY) / 60;
+            if (2..6).contains(&h) {
+                night += v;
+            } else if (19..23).contains(&h) {
+                evening += v;
+            }
+        }
+    }
+    assert!(
+        evening > night * 3.0,
+        "evenings must dominate nights: {evening:.3e} vs {night:.3e}"
+    );
+}

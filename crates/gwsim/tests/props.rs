@@ -1,0 +1,87 @@
+//! Property-based tests of the simulator's guarantees.
+
+use proptest::prelude::*;
+use wtts_gwsim::{generate_gateway, Fleet, FleetConfig};
+
+fn config(n: usize, weeks: u32, seed: u64) -> FleetConfig {
+    FleetConfig {
+        n_gateways: n,
+        weeks,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    // Each case renders gateways, so keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generation is a pure function of (config, id).
+    #[test]
+    fn generation_deterministic(seed in 0u64..1_000_000, id in 0usize..6) {
+        let cfg = config(8, 1, seed);
+        let a = generate_gateway(&cfg, id);
+        let b = generate_gateway(&cfg, id);
+        prop_assert_eq!(a.devices.len(), b.devices.len());
+        prop_assert_eq!(a.residents, b.residents);
+        prop_assert_eq!(a.archetype, b.archetype);
+        for (da, db) in a.devices.iter().zip(&b.devices) {
+            prop_assert_eq!(da.spec.mac, db.spec.mac);
+            prop_assert_eq!(&da.spec.name, &db.spec.name);
+            // NaN != NaN, so compare bit patterns.
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(da.incoming.values()), bits(db.incoming.values()));
+        }
+    }
+
+    /// Every rendered series respects the configured horizon, capacity and
+    /// non-negativity.
+    #[test]
+    fn series_bounds(seed in 0u64..1_000_000, id in 0usize..6) {
+        let cfg = config(8, 1, seed);
+        let gw = generate_gateway(&cfg, id);
+        let down = gw.access.downstream_cap();
+        let up = gw.access.upstream_cap();
+        for d in &gw.devices {
+            prop_assert_eq!(d.incoming.len(), cfg.minutes());
+            prop_assert_eq!(d.outgoing.len(), cfg.minutes());
+            for (&bi, &bo) in d.incoming.values().iter().zip(d.outgoing.values()) {
+                // Presence is identical across directions.
+                prop_assert_eq!(bi.is_finite(), bo.is_finite());
+                if bi.is_finite() {
+                    prop_assert!(bi >= 0.0 && bi <= down + 1e-6);
+                    prop_assert!(bo >= 0.0 && bo <= up + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Household composition stays within the documented ranges.
+    #[test]
+    fn household_shape(seed in 0u64..1_000_000) {
+        let cfg = config(6, 1, seed);
+        for gw in Fleet::new(cfg).iter() {
+            prop_assert!((1..=4).contains(&gw.residents));
+            prop_assert!((0.0..=1.0).contains(&gw.regularity));
+            prop_assert!(!gw.devices.is_empty());
+            prop_assert!(gw.devices.len() <= 30, "{} devices", gw.devices.len());
+            // Every resident owns at least a phone.
+            for r in 0..gw.residents {
+                prop_assert!(
+                    gw.devices.iter().any(|d| d.spec.owner == Some(r)),
+                    "resident {r} owns nothing"
+                );
+            }
+            // Guests have valid stay ranges.
+            for d in &gw.devices {
+                if let Some((a, b)) = d.spec.guest_days {
+                    prop_assert!(a < b && b <= cfg_weeks_days(&gw));
+                }
+            }
+        }
+    }
+}
+
+fn cfg_weeks_days(gw: &wtts_gwsim::SimGateway) -> u32 {
+    (gw.devices[0].incoming.len() as u32) / wtts_timeseries::MINUTES_PER_DAY
+}

@@ -1,0 +1,184 @@
+//! Autocorrelation and cross-correlation functions.
+//!
+//! Section 4.2 of the paper evaluates the predictive power of gateway
+//! traffic via the ACF of individual gateways and lagged cross-correlations
+//! between gateway pairs (Figure 2).
+
+use crate::descriptive::mean;
+
+/// Sample autocorrelation of `x` at lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator
+/// `r_k = Σ_t (x_t − x̄)(x_{t+k} − x̄) / Σ_t (x_t − x̄)²`
+/// (the same normalization as R's `acf`), which guarantees `|r_k| ≤ 1` and a
+/// positive semi-definite sequence. Missing values contribute zero deviation
+/// — the mean is taken over observed samples only.
+///
+/// Returns an empty vector for a series with no variance.
+pub fn acf(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let m = mean(x);
+    if !m.is_finite() {
+        return Vec::new();
+    }
+    let dev: Vec<f64> = x
+        .iter()
+        .map(|&v| if v.is_finite() { v - m } else { 0.0 })
+        .collect();
+    let denom: f64 = dev.iter().map(|d| d * d).sum();
+    if denom == 0.0 {
+        return Vec::new();
+    }
+    let n = x.len();
+    (0..=max_lag.min(n.saturating_sub(1)))
+        .map(|k| {
+            let num: f64 = (0..n - k).map(|t| dev[t] * dev[t + k]).sum();
+            num / denom
+        })
+        .collect()
+}
+
+/// Sample cross-correlation of `x` and `y` at lags `-max_lag..=max_lag`.
+///
+/// `ccf[k + max_lag]` estimates `corr(x_{t+k}, y_t)`: positive lags mean `x`
+/// leads `y`. Normalized by the geometric mean of the two series' total
+/// sums of squares, matching R's `ccf`.
+///
+/// # Panics
+/// Panics if the series lengths differ.
+pub fn ccf(x: &[f64], y: &[f64], max_lag: usize) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "ccf requires equal-length series");
+    let mx = mean(x);
+    let my = mean(y);
+    if !mx.is_finite() || !my.is_finite() {
+        return Vec::new();
+    }
+    let dx: Vec<f64> = x
+        .iter()
+        .map(|&v| if v.is_finite() { v - mx } else { 0.0 })
+        .collect();
+    let dy: Vec<f64> = y
+        .iter()
+        .map(|&v| if v.is_finite() { v - my } else { 0.0 })
+        .collect();
+    let sx: f64 = dx.iter().map(|d| d * d).sum();
+    let sy: f64 = dy.iter().map(|d| d * d).sum();
+    let denom = (sx * sy).sqrt();
+    if denom == 0.0 {
+        return Vec::new();
+    }
+    let n = x.len();
+    let max_lag = max_lag.min(n.saturating_sub(1));
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as i64)..=(max_lag as i64) {
+        let num: f64 = if lag >= 0 {
+            let k = lag as usize;
+            (0..n - k).map(|t| dx[t + k] * dy[t]).sum()
+        } else {
+            let k = (-lag) as usize;
+            (0..n - k).map(|t| dx[t] * dy[t + k]).sum()
+        };
+        out.push(num / denom);
+    }
+    out
+}
+
+/// The ±bound outside which a sample (cross-)correlation at any nonzero lag
+/// is significant at 5% under white noise: `1.96 / √n`.
+pub fn significance_bound(n: usize) -> f64 {
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        1.96 / (n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 13) % 7) as f64).collect();
+        let r = acf(&x, 10);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!(r.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn acf_of_periodic_signal_peaks_at_period() {
+        let x: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let r = acf(&x, 20);
+        assert!(r[10] > 0.8, "ACF at the period must be high: {}", r[10]);
+        assert!(r[10] > r[5], "period lag beats off-period lag");
+        assert!((r[20] - r[10]).abs() < 0.1, "period multiples similar");
+    }
+
+    #[test]
+    fn acf_of_alternating_signal_is_negative_at_lag_one() {
+        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = acf(&x, 2);
+        assert!(r[1] < -0.9);
+        assert!(r[2] > 0.9);
+    }
+
+    #[test]
+    fn acf_constant_series_empty() {
+        assert!(acf(&[3.0; 10], 5).is_empty());
+        assert!(acf(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn acf_truncates_lag_to_series_length() {
+        let x = [1.0, 2.0, 3.0];
+        let r = acf(&x, 10);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ccf_detects_lagged_copy() {
+        // y is x delayed by 3: the CCF must peak at lag +3 (x leads y).
+        let n = 100;
+        let base: Vec<f64> = (0..n + 3).map(|i| ((i * 31) % 17) as f64).collect();
+        let x: Vec<f64> = base[3..].to_vec();
+        let y: Vec<f64> = base[..n].to_vec();
+        let max_lag = 5;
+        let c = ccf(&x, &y, max_lag);
+        let peak_idx = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_idx as i64 - max_lag as i64, -3);
+        // x_{t} = base_{t+3} = y_{t+3}: corr(x_{t+k}, y_t) peaks when
+        // t + 3 = t + k... i.e. x lags y by -3. Verify the symmetric case too.
+        let c2 = ccf(&y, &x, max_lag);
+        let peak2 = c2
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak2 as i64 - max_lag as i64, 3);
+    }
+
+    #[test]
+    fn ccf_identical_series_peaks_at_zero() {
+        let x: Vec<f64> = (0..60).map(|i| ((i * 7) % 11) as f64).collect();
+        let c = ccf(&x, &x, 4);
+        assert!((c[4] - 1.0).abs() < 1e-12, "lag 0 of self-CCF is 1");
+    }
+
+    #[test]
+    fn significance_bound_shrinks_with_n() {
+        assert!(significance_bound(100) < significance_bound(10));
+        assert!((significance_bound(100) - 0.196).abs() < 1e-12);
+        assert!(significance_bound(0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn ccf_rejects_mismatched_lengths() {
+        let _ = ccf(&[1.0], &[1.0, 2.0], 1);
+    }
+}

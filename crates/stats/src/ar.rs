@@ -1,0 +1,334 @@
+//! Autoregressive modeling via Yule–Walker / Levinson–Durbin.
+//!
+//! Section 4.2 of the paper argues that "ARIMA modeling for this time
+//! granularity cannot yield useful results, as it is not able to predict
+//! the rare bursts of the active traffic". This module provides the AR
+//! machinery to make that claim testable: fit an AR(p) model to traffic,
+//! forecast one step ahead, and compare against naive predictors — the
+//! `sec4-arima` experiment then shows the model's forecasts collapse to the
+//! mean and miss every burst.
+
+use crate::acf::acf;
+use crate::descriptive::{mean, variance};
+
+/// A fitted autoregressive model of order `p`:
+/// `x_t − μ = Σ_i φ_i (x_{t−i} − μ) + ε_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArModel {
+    /// AR coefficients `φ_1..φ_p`.
+    pub coefficients: Vec<f64>,
+    /// Series mean subtracted before fitting.
+    pub mean: f64,
+    /// Innovation variance estimated by Levinson–Durbin.
+    pub noise_variance: f64,
+    /// Sample variance of the series.
+    pub series_variance: f64,
+}
+
+impl ArModel {
+    /// Model order.
+    pub fn order(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// One-step-ahead forecast given the most recent observations
+    /// (`history[history.len()-1]` is the newest).
+    ///
+    /// Missing values in the relevant lags fall back to the series mean —
+    /// the model's best unconditional guess.
+    pub fn forecast_one(&self, history: &[f64]) -> f64 {
+        let mut pred = self.mean;
+        for (i, &phi) in self.coefficients.iter().enumerate() {
+            let idx = history.len().checked_sub(i + 1);
+            let x = idx
+                .and_then(|k| history.get(k))
+                .copied()
+                .filter(|v| v.is_finite())
+                .unwrap_or(self.mean);
+            pred += phi * (x - self.mean);
+        }
+        pred
+    }
+
+    /// Fraction of the series variance the model explains,
+    /// `1 − σ²_ε / σ²_x`, clamped to `[0, 1]`.
+    pub fn explained_variance(&self) -> f64 {
+        if self.series_variance <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.noise_variance / self.series_variance).clamp(0.0, 1.0)
+    }
+
+    /// Akaike information criterion (Gaussian approximation):
+    /// `n ln σ²_ε + 2p`.
+    pub fn aic(&self, n: usize) -> f64 {
+        n as f64 * self.noise_variance.max(1e-300).ln() + 2.0 * self.order() as f64
+    }
+}
+
+/// Fits an AR(p) model by solving the Yule–Walker equations with the
+/// Levinson–Durbin recursion.
+///
+/// Returns `None` for constant or too-short series (`n < p + 2`) or when
+/// the recursion degenerates.
+pub fn fit_ar(x: &[f64], p: usize) -> Option<ArModel> {
+    assert!(p > 0, "AR order must be positive");
+    let observed: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = observed.len();
+    if n < p + 2 {
+        return None;
+    }
+    let r = acf(&observed, p);
+    if r.len() <= p {
+        return None; // Constant series: no autocovariance structure.
+    }
+    let series_variance = variance(&observed);
+    if !series_variance.is_finite() || series_variance <= 0.0 {
+        return None;
+    }
+
+    // Levinson–Durbin recursion on the autocorrelation sequence.
+    let mut phi = vec![0.0; p];
+    let mut prev = vec![0.0; p];
+    let mut e = 1.0; // Normalized innovation variance (ratio to var).
+    for k in 0..p {
+        let mut acc = r[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * r[k - j];
+        }
+        let kappa = acc / e;
+        phi[k] = kappa;
+        for j in 0..k {
+            phi[j] = prev[j] - kappa * prev[k - 1 - j];
+        }
+        e *= 1.0 - kappa * kappa;
+        if !e.is_finite() || e <= 0.0 {
+            return None;
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+
+    Some(ArModel {
+        coefficients: phi,
+        mean: mean(&observed),
+        noise_variance: e * series_variance,
+        series_variance,
+    })
+}
+
+/// Fits AR models of order `1..=max_p` and returns the one minimizing AIC.
+pub fn fit_ar_aic(x: &[f64], max_p: usize) -> Option<ArModel> {
+    let n = x.iter().filter(|v| v.is_finite()).count();
+    (1..=max_p)
+        .filter_map(|p| fit_ar(x, p))
+        .min_by(|a, b| {
+            a.aic(n)
+                .partial_cmp(&b.aic(n))
+                .expect("finite AIC")
+        })
+}
+
+/// Out-of-sample one-step forecast evaluation: fits on the first
+/// `train_frac` of the series and reports root-mean-squared error over the
+/// remainder for (model, mean-predictor, persistence-predictor).
+pub fn forecast_rmse(x: &[f64], p: usize, train_frac: f64) -> Option<ForecastComparison> {
+    assert!((0.1..1.0).contains(&train_frac), "train_frac must be in (0.1, 1)");
+    let split = (x.len() as f64 * train_frac) as usize;
+    if split < p + 2 || split >= x.len() {
+        return None;
+    }
+    let model = fit_ar(&x[..split], p)?;
+    let mu = model.mean;
+    let mut se_model = 0.0;
+    let mut se_mean = 0.0;
+    let mut se_persist = 0.0;
+    let mut count = 0usize;
+    for t in split..x.len() {
+        let actual = x[t];
+        if !actual.is_finite() {
+            continue;
+        }
+        let pred = model.forecast_one(&x[..t]);
+        let last = x[..t]
+            .iter()
+            .rev()
+            .find(|v| v.is_finite())
+            .copied()
+            .unwrap_or(mu);
+        se_model += (actual - pred).powi(2);
+        se_mean += (actual - mu).powi(2);
+        se_persist += (actual - last).powi(2);
+        count += 1;
+    }
+    if count == 0 {
+        return None;
+    }
+    let rmse = |se: f64| (se / count as f64).sqrt();
+    Some(ForecastComparison {
+        model_rmse: rmse(se_model),
+        mean_rmse: rmse(se_mean),
+        persistence_rmse: rmse(se_persist),
+        n_forecasts: count,
+        model,
+    })
+}
+
+/// Result of the out-of-sample forecast comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastComparison {
+    /// RMSE of the AR model's one-step forecasts.
+    pub model_rmse: f64,
+    /// RMSE of always predicting the training mean.
+    pub mean_rmse: f64,
+    /// RMSE of predicting the previous observation.
+    pub persistence_rmse: f64,
+    /// Number of evaluated forecasts.
+    pub n_forecasts: usize,
+    /// The fitted model.
+    pub model: ArModel,
+}
+
+impl ForecastComparison {
+    /// Skill relative to the mean predictor: `1 − RMSE_model / RMSE_mean`.
+    /// Near zero means the model adds nothing over predicting the mean —
+    /// the paper's verdict on per-minute traffic.
+    pub fn skill_vs_mean(&self) -> f64 {
+        if self.mean_rmse <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.model_rmse / self.mean_rmse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic noise.
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((0..12)
+                    .map(|k| ((state >> (k * 5)) & 0x3FF) as f64 / 1024.0)
+                    .sum::<f64>()
+                    - 6.0)
+                    / 1.0
+            })
+            .collect()
+    }
+
+    fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let e = noise(n, seed);
+        let mut x = vec![0.0];
+        for t in 1..n {
+            let prev = x[t - 1];
+            x.push(phi * prev + e[t]);
+        }
+        x
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let x = ar1_series(0.7, 4000, 42);
+        let model = fit_ar(&x, 1).unwrap();
+        assert!(
+            (model.coefficients[0] - 0.7).abs() < 0.07,
+            "phi = {}",
+            model.coefficients[0]
+        );
+        assert!(model.explained_variance() > 0.3);
+    }
+
+    #[test]
+    fn recovers_ar2_signs() {
+        // AR(2): x_t = 0.5 x_{t-1} - 0.3 x_{t-2} + e.
+        let e = noise(4000, 9);
+        let mut x = vec![0.0, 0.0];
+        for t in 2..4000 {
+            let v = 0.5 * x[t - 1] - 0.3 * x[t - 2] + e[t];
+            x.push(v);
+        }
+        let model = fit_ar(&x, 2).unwrap();
+        assert!((model.coefficients[0] - 0.5).abs() < 0.08, "{:?}", model.coefficients);
+        assert!((model.coefficients[1] + 0.3).abs() < 0.08, "{:?}", model.coefficients);
+    }
+
+    #[test]
+    fn white_noise_has_no_structure() {
+        let x = noise(3000, 5);
+        let model = fit_ar(&x, 3).unwrap();
+        for phi in &model.coefficients {
+            assert!(phi.abs() < 0.08, "spurious coefficient {phi}");
+        }
+        assert!(model.explained_variance() < 0.05);
+    }
+
+    #[test]
+    fn forecast_tracks_ar_process() {
+        let x = ar1_series(0.8, 2000, 3);
+        let cmp = forecast_rmse(&x, 1, 0.7).unwrap();
+        assert!(
+            cmp.model_rmse < cmp.mean_rmse * 0.85,
+            "AR should beat the mean on an AR process: {} vs {}",
+            cmp.model_rmse,
+            cmp.mean_rmse
+        );
+        assert!(cmp.skill_vs_mean() > 0.1);
+    }
+
+    #[test]
+    fn bursty_traffic_defeats_the_model() {
+        // Sparse huge bursts over near-zero background — per-minute traffic.
+        let x: Vec<f64> = (0..3000)
+            .map(|i| {
+                if (i * 2654435761usize).is_multiple_of(97) {
+                    1e7 + (i % 13) as f64 * 1e5
+                } else {
+                    50.0 + (i % 7) as f64
+                }
+            })
+            .collect();
+        let cmp = forecast_rmse(&x, 4, 0.7).unwrap();
+        // The model cannot anticipate the bursts: skill vs mean ~ 0.
+        assert!(
+            cmp.skill_vs_mean() < 0.1,
+            "burst traffic should not be forecastable: skill = {}",
+            cmp.skill_vs_mean()
+        );
+    }
+
+    #[test]
+    fn aic_selects_reasonable_order() {
+        let x = ar1_series(0.7, 3000, 7);
+        let model = fit_ar_aic(&x, 6).unwrap();
+        assert!(model.order() <= 3, "AIC picked order {}", model.order());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_ar(&[1.0, 2.0], 3).is_none());
+        assert!(fit_ar(&[5.0; 100], 2).is_none());
+        let short = [1.0, 2.0, 1.5];
+        assert!(forecast_rmse(&short, 2, 0.5).is_none());
+    }
+
+    #[test]
+    fn forecast_handles_missing_history() {
+        let x = ar1_series(0.6, 500, 11);
+        let model = fit_ar(&x, 2).unwrap();
+        let mut hist = x[..100].to_vec();
+        hist[99] = f64::NAN;
+        let pred = model.forecast_one(&hist);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_rejected() {
+        let _ = fit_ar(&[1.0; 10], 0);
+    }
+}

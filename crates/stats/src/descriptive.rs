@@ -1,0 +1,320 @@
+//! Descriptive statistics: moments, quantiles, histograms and boxplots.
+//!
+//! The boxplot statistics here drive the paper's background-traffic
+//! thresholding (Section 6.1): the per-device threshold τ is the *upper
+//! whisker* of the device's traffic distribution.
+
+/// Arithmetic mean of the finite values in `xs`; `NaN` if there are none.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Unbiased sample variance of the finite values; `NaN` with fewer than two.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.is_nan() {
+        return f64::NAN;
+    }
+    let mut ss = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() {
+            ss += (x - m) * (x - m);
+            n += 1;
+        }
+    }
+    if n < 2 {
+        f64::NAN
+    } else {
+        ss / (n - 1) as f64
+    }
+}
+
+/// Sample standard deviation; `NaN` with fewer than two finite values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Quantile of the finite values using linear interpolation between order
+/// statistics (R's default "type 7", the same convention as NumPy).
+///
+/// `q` must lie in `[0, 1]`. Returns `NaN` for an all-missing input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0, 1]");
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    quantile_sorted(&v, q)
+}
+
+/// Type-7 quantile over an already ascending-sorted, all-finite slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median of the finite values.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Tukey boxplot statistics: quartiles, IQR whiskers and outliers.
+///
+/// The whiskers extend to the most extreme data points within
+/// `1.5 × IQR` of the quartiles; everything beyond is an outlier. The paper
+/// uses the **upper whisker** as the per-device background-traffic threshold
+/// τ, because background traffic dominates the probability mass and active
+/// traffic shows up as outliers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotStats {
+    /// Minimum finite value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum finite value.
+    pub max: f64,
+    /// Largest data point `<= q3 + 1.5*IQR`.
+    pub upper_whisker: f64,
+    /// Smallest data point `>= q1 - 1.5*IQR`.
+    pub lower_whisker: f64,
+    /// Number of points above the upper whisker.
+    pub upper_outliers: usize,
+    /// Number of points below the lower whisker.
+    pub lower_outliers: usize,
+    /// Number of finite observations.
+    pub n: usize,
+}
+
+impl BoxplotStats {
+    /// Computes boxplot statistics over the finite values of `xs`.
+    ///
+    /// Returns `None` if there is no finite value.
+    pub fn from_samples(xs: &[f64]) -> Option<BoxplotStats> {
+        let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let q1 = quantile_sorted(&v, 0.25);
+        let q3 = quantile_sorted(&v, 0.75);
+        let iqr = q3 - q1;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lo_fence = q1 - 1.5 * iqr;
+        // Largest point within the upper fence; quartile itself if none is.
+        let upper_whisker = v
+            .iter()
+            .copied().rfind(|&x| x <= hi_fence)
+            .unwrap_or(q3);
+        let lower_whisker = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(q1);
+        let upper_outliers = v.iter().filter(|&&x| x > upper_whisker).count();
+        let lower_outliers = v.iter().filter(|&&x| x < lower_whisker).count();
+        Some(BoxplotStats {
+            min: v[0],
+            q1,
+            median: quantile_sorted(&v, 0.5),
+            q3,
+            max: *v.last().expect("non-empty"),
+            upper_whisker,
+            lower_whisker,
+            upper_outliers,
+            lower_outliers,
+            n: v.len(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Total outlier count.
+    pub fn outliers(&self) -> usize {
+        self.upper_outliers + self.lower_outliers
+    }
+}
+
+/// A fixed-width histogram over `[min, max)` with an overflow bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Count of values in each bin `[min + i*width, min + (i+1)*width)`.
+    pub counts: Vec<usize>,
+    /// Values below `min`.
+    pub underflow: usize,
+    /// Values at or above the last edge.
+    pub overflow: usize,
+}
+
+impl Histogram {
+    /// Total number of counted values, including under/overflow.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.underflow + self.overflow
+    }
+
+    /// The `(left_edge, count)` pairs of the regular bins.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min + i as f64 * self.width, c))
+    }
+}
+
+/// Builds a histogram of the finite values with `n_bins` equal bins covering
+/// `[min, max)`.
+///
+/// # Panics
+/// Panics if `n_bins == 0` or `max <= min`.
+pub fn histogram(xs: &[f64], min: f64, max: f64, n_bins: usize) -> Histogram {
+    assert!(n_bins > 0, "histogram needs at least one bin");
+    assert!(max > min, "histogram range must be non-empty");
+    let width = (max - min) / n_bins as f64;
+    let mut counts = vec![0usize; n_bins];
+    let mut underflow = 0;
+    let mut overflow = 0;
+    for &x in xs {
+        if !x.is_finite() {
+            continue;
+        }
+        if x < min {
+            underflow += 1;
+        } else if x >= max {
+            overflow += 1;
+        } else {
+            let i = (((x - min) / width) as usize).min(n_bins - 1);
+            counts[i] += 1;
+        }
+    }
+    Histogram {
+        min,
+        width,
+        counts,
+        underflow,
+        overflow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_skip_missing() {
+        let xs = [1.0, 2.0, f64::NAN, 3.0];
+        assert_eq!(mean(&xs), 2.0);
+        assert!((variance(&xs) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_moments() {
+        assert!(mean(&[]).is_nan());
+        assert!(mean(&[f64::NAN]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn quantile_type7_matches_r() {
+        // R: quantile(c(1,2,3,4), probs=c(0.25, 0.5, 0.75)) -> 1.75 2.50 3.25
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 3.25).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        // 20 small values and one huge spike: the spike must sit above the
+        // upper whisker, like a burst of active traffic.
+        let mut xs: Vec<f64> = (0..20).map(|i| (i % 5) as f64).collect();
+        xs.push(1_000_000.0);
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        assert_eq!(b.upper_outliers, 1);
+        assert!(b.upper_whisker <= 4.0 + 1.5 * b.iqr());
+        assert_eq!(b.max, 1_000_000.0);
+        assert_eq!(b.n, 21);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        assert_eq!(b.outliers(), 0);
+        assert_eq!(b.upper_whisker, 9.0);
+        assert_eq!(b.lower_whisker, 1.0);
+        assert_eq!(b.median, 5.0);
+    }
+
+    #[test]
+    fn boxplot_all_missing_is_none() {
+        assert!(BoxplotStats::from_samples(&[f64::NAN, f64::NAN]).is_none());
+        assert!(BoxplotStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_single_value() {
+        let b = BoxplotStats::from_samples(&[7.0]).unwrap();
+        assert_eq!(b.median, 7.0);
+        assert_eq!(b.upper_whisker, 7.0);
+        assert_eq!(b.outliers(), 0);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let xs = [0.0, 0.5, 1.0, 1.5, 2.5, -1.0, 10.0, f64::NAN];
+        let h = histogram(&xs, 0.0, 3.0, 3);
+        assert_eq!(h.counts, vec![2, 2, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 7);
+        let bins: Vec<(f64, usize)> = h.bins().collect();
+        assert_eq!(bins[0], (0.0, 2));
+        assert_eq!(bins[2], (2.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

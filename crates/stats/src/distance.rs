@@ -1,0 +1,226 @@
+//! Baseline distance measures: Euclidean, z-normalization and Dynamic Time
+//! Warping.
+//!
+//! Section 6.2 of the paper compares correlation-based dominance against
+//! Euclidean-distance and raw-traffic-volume rankings; Section 5 argues why
+//! Euclidean distance and DTW do not fit the application (absolute-value
+//! sensitivity, and DTW's tolerance of time shifts which ISP analytics must
+//! *not* tolerate). These baselines let the experiments make that comparison
+//! quantitatively.
+
+use crate::descriptive::{mean, std_dev};
+
+/// Euclidean distance between two equal-length series.
+///
+/// Missing values are skipped pairwise (both samples must be present for an
+/// index to contribute), matching the paper's treatment of gaps.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "euclidean requires equal-length series");
+    x.iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Z-normalizes the finite values of a series (mean 0, standard deviation 1).
+///
+/// Missing values stay missing. A constant series maps to all zeros —
+/// there is no scale to divide by.
+pub fn z_normalize(x: &[f64]) -> Vec<f64> {
+    let m = mean(x);
+    let sd = std_dev(x);
+    x.iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                f64::NAN
+            } else if !sd.is_finite() || sd <= 0.0 {
+                0.0
+            } else {
+                (v - m) / sd
+            }
+        })
+        .collect()
+}
+
+/// Dynamic Time Warping distance with squared-difference local cost and no
+/// warping constraint.
+///
+/// Returns the square root of the accumulated cost along the optimal path,
+/// so `dtw(x, x) == 0` and DTW of alignment-free shifts stays small — the
+/// very property Section 5 of the paper rejects for traffic analytics.
+/// Missing values are not supported here (DTW on gapped series is
+/// ill-defined); filter them out first.
+///
+/// # Panics
+/// Panics if either series is empty or contains non-finite values.
+pub fn dtw(x: &[f64], y: &[f64]) -> f64 {
+    dtw_impl(x, y, None)
+}
+
+/// DTW with a Sakoe–Chiba band of half-width `band` (in samples).
+///
+/// The band constrains warping to `|i − j| ≤ band`; `band = 0` degenerates
+/// to the (squared-cost) Euclidean alignment on equal-length inputs.
+pub fn dtw_banded(x: &[f64], y: &[f64], band: usize) -> f64 {
+    dtw_impl(x, y, Some(band))
+}
+
+fn dtw_impl(x: &[f64], y: &[f64], band: Option<usize>) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert!(
+        x.iter().chain(y).all(|v| v.is_finite()),
+        "dtw requires finite values"
+    );
+    let n = x.len();
+    let m = y.len();
+    // Effective band must at least cover the length difference or no path
+    // exists.
+    let band = band.map(|b| b.max(n.abs_diff(m)));
+
+    // Rolling two-row DP.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur[0] = f64::INFINITY;
+        let (j_lo, j_hi) = match band {
+            Some(b) => (i.saturating_sub(b).max(1), (i + b).min(m)),
+            None => (1, m),
+        };
+        for slot in cur.iter_mut().take(j_lo).skip(1) {
+            *slot = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let d = x[i - 1] - y[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        for slot in cur.iter_mut().take(m + 1).skip(j_hi + 1) {
+            *slot = f64::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m].sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basic() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_skips_missing_pairs() {
+        let x = [3.0, f64::NAN, 1.0];
+        let y = [0.0, 5.0, f64::NAN];
+        assert_eq!(euclidean(&x, &y), 3.0);
+    }
+
+    #[test]
+    fn z_normalize_moments() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = z_normalize(&x);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_constant_is_zero() {
+        assert_eq!(z_normalize(&[4.0; 3]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn z_normalize_preserves_missing() {
+        let z = z_normalize(&[1.0, f64::NAN, 3.0]);
+        assert!(z[1].is_nan());
+        assert!(z[0].is_finite() && z[2].is_finite());
+    }
+
+    #[test]
+    fn z_normalization_does_not_gaussianize_zipf() {
+        // The paper (Section 2) notes that z-normalization cannot make a
+        // Zipfian sample normal: the huge spike at the low end survives.
+        let mut xs = vec![1.0; 900];
+        xs.extend(vec![1_000_000.0; 10]);
+        let z = z_normalize(&xs);
+        // 90%+ of the mass is still a point mass at one value.
+        let first = z[0];
+        let same = z.iter().filter(|&&v| (v - first).abs() < 1e-12).count();
+        assert!(same >= 900);
+    }
+
+    #[test]
+    fn dtw_identical_is_zero() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn dtw_tolerates_time_shift_euclidean_does_not() {
+        // A pulse and the same pulse shifted by two samples.
+        let x = [0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0];
+        let d_dtw = dtw(&x, &y);
+        let d_euc = euclidean(&x, &y);
+        assert!(
+            d_dtw < d_euc / 2.0,
+            "DTW ({d_dtw}) must absorb the shift that Euclidean ({d_euc}) punishes"
+        );
+    }
+
+    #[test]
+    fn dtw_different_lengths() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw(&x, &y);
+        assert!(d.is_finite());
+        assert!(d < 1.0, "stretched copy stays close: {d}");
+    }
+
+    #[test]
+    fn banded_dtw_at_least_unconstrained() {
+        let x = [0.0, 1.0, 4.0, 1.0, 0.0, 2.0];
+        let y = [0.0, 0.0, 1.0, 4.0, 1.0, 0.0];
+        let full = dtw(&x, &y);
+        for band in 0..6 {
+            let b = dtw_banded(&x, &y, band);
+            assert!(
+                b >= full - 1e-12,
+                "band {band} produced {b} below unconstrained {full}"
+            );
+        }
+        // A wide band equals the unconstrained distance.
+        assert!((dtw_banded(&x, &y, 6) - full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_dtw_zero_band_is_pointwise() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 2.0, 2.0];
+        let d = dtw_banded(&x, &y, 0);
+        // Squared cost path along the diagonal: (1 + 0 + 1).sqrt()
+        assert!((d - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn dtw_rejects_empty() {
+        let _ = dtw(&[], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn dtw_rejects_missing() {
+        let _ = dtw(&[1.0, f64::NAN], &[1.0, 2.0]);
+    }
+}

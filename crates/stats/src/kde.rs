@@ -1,0 +1,152 @@
+//! Gaussian kernel density estimation.
+//!
+//! Figure 1a of the paper visualizes the probability density of a gateway's
+//! traffic values via KDE, showing the huge spike of low-valued background
+//! traffic that motivates thresholding.
+
+use crate::descriptive::{quantile, std_dev};
+
+/// A Gaussian kernel density estimator over a fixed sample.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds an estimator over the finite values of `xs` using Silverman's
+    /// rule-of-thumb bandwidth
+    /// `h = 0.9 · min(σ̂, IQR/1.34) · n^{−1/5}`.
+    ///
+    /// Returns `None` if fewer than two finite values exist or the sample is
+    /// constant (no scale to estimate a bandwidth from).
+    pub fn from_samples(xs: &[f64]) -> Option<Kde> {
+        let samples: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+        if samples.len() < 2 {
+            return None;
+        }
+        let sd = std_dev(&samples);
+        let iqr = quantile(&samples, 0.75) - quantile(&samples, 0.25);
+        let scale = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        if !scale.is_finite() || scale <= 0.0 {
+            return None;
+        }
+        let h = 0.9 * scale * (samples.len() as f64).powf(-0.2);
+        Some(Kde::with_bandwidth(samples, h))
+    }
+
+    /// Builds an estimator with an explicit bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `bandwidth` is not positive.
+    pub fn with_bandwidth(samples: Vec<f64>, bandwidth: f64) -> Kde {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Kde { samples, bandwidth }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.samples
+            .iter()
+            .map(|&s| {
+                let u = (x - s) / h;
+                (-0.5 * u * u).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Density evaluated on `n_points` equally spaced points spanning
+    /// `[lo, hi]`; returns `(x, f(x))` pairs.
+    pub fn grid(&self, lo: f64, hi: f64, n_points: usize) -> Vec<(f64, f64)> {
+        assert!(n_points >= 2, "grid needs at least two points");
+        assert!(hi > lo, "grid range must be non-empty");
+        let step = (hi - lo) / (n_points - 1) as f64;
+        (0..n_points)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let kde = Kde::from_samples(&xs).unwrap();
+        // Trapezoid rule over a wide range.
+        let grid = kde.grid(-20.0, 30.0, 2000);
+        let mut integral = 0.0;
+        for w in grid.windows(2) {
+            integral += 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0);
+        }
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_at_the_mode() {
+        // Heavily skewed sample: 90 zeros, 10 large values — like traffic.
+        let mut xs = vec![0.0; 90];
+        xs.extend((0..10).map(|i| 100.0 + i as f64));
+        let kde = Kde::from_samples(&xs).unwrap();
+        assert!(kde.density(0.0) > kde.density(50.0));
+        assert!(kde.density(0.0) > kde.density(105.0));
+        assert!(kde.density(105.0) > kde.density(50.0));
+    }
+
+    #[test]
+    fn silverman_bandwidth_shrinks_with_n() {
+        let small: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| (i % 20) as f64).collect();
+        let k1 = Kde::from_samples(&small).unwrap();
+        let k2 = Kde::from_samples(&large).unwrap();
+        assert!(k2.bandwidth() < k1.bandwidth());
+    }
+
+    #[test]
+    fn constant_sample_is_none() {
+        assert!(Kde::from_samples(&[3.0; 10]).is_none());
+        assert!(Kde::from_samples(&[1.0]).is_none());
+        assert!(Kde::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn missing_values_ignored() {
+        let xs = [1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0];
+        let kde = Kde::from_samples(&xs).unwrap();
+        assert_eq!(kde.n(), 4);
+    }
+
+    #[test]
+    fn explicit_bandwidth() {
+        let kde = Kde::with_bandwidth(vec![0.0, 10.0], 1.0);
+        assert_eq!(kde.bandwidth(), 1.0);
+        // Two Gaussians of weight 1/2: density at a sample is about
+        // 0.5 / sqrt(2 pi).
+        let expected = 0.5 / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((kde.density(0.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Kde::with_bandwidth(vec![1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Definition 2 of the paper (strong stationarity) requires that the value
+//! distributions of every pair of non-overlapping windows be statistically
+//! indistinguishable; the KS test is the non-parametric comparison the paper
+//! uses because traffic values are heavily non-normal (Zipfian).
+
+use crate::special::kolmogorov_sf;
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: the supremum distance between the two empirical
+    /// CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value against `H0: same distribution`.
+    pub p_value: f64,
+    /// Sample sizes after dropping missing values.
+    pub n1: usize,
+    /// Sample sizes after dropping missing values.
+    pub n2: usize,
+}
+
+impl KsTest {
+    /// Whether `H0: same distribution` is rejected at level `alpha`.
+    pub fn rejected(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test over the finite values of `x` and `y`.
+///
+/// Uses the asymptotic Kolmogorov distribution with the
+/// effective-sample-size correction
+/// `λ = (√n_e + 0.12 + 0.11/√n_e) · D` (Numerical Recipes), which is
+/// accurate for `n_e ≳ 4`. Returns `None` if either sample is empty.
+pub fn ks_two_sample(x: &[f64], y: &[f64]) -> Option<KsTest> {
+    let mut a: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut b: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    a.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+
+    let (n1, n2) = (a.len(), b.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let xi = a[i];
+        let yj = b[j];
+        let t = xi.min(yj);
+        // Advance past all values equal to t in each sample.
+        while i < n1 && a[i] <= t {
+            i += 1;
+        }
+        while j < n2 && b[j] <= t {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    Some(KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+        n1,
+        n2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_rejected() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = ks_two_sample(&x, &x).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        assert!(!t.rejected(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_rejected() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..50).map(|i| 1000.0 + i as f64).collect();
+        let t = ks_two_sample(&x, &y).unwrap();
+        assert_eq!(t.statistic, 1.0);
+        assert!(t.rejected(0.05));
+        assert!(t.p_value < 1e-6);
+    }
+
+    #[test]
+    fn shifted_distributions_rejected() {
+        // Uniform grids offset by half their range.
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let y: Vec<f64> = (0..200).map(|i| 0.5 + i as f64 / 200.0).collect();
+        let t = ks_two_sample(&x, &y).unwrap();
+        assert!((t.statistic - 0.5).abs() < 0.01);
+        assert!(t.rejected(0.05));
+    }
+
+    #[test]
+    fn same_distribution_different_samples() {
+        // Two interleaved halves of the same grid: D = 1/100, not rejected.
+        let x: Vec<f64> = (0..100).map(|i| (2 * i) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (2 * i + 1) as f64).collect();
+        let t = ks_two_sample(&x, &y).unwrap();
+        assert!(t.statistic < 0.05, "D = {}", t.statistic);
+        assert!(!t.rejected(0.05));
+    }
+
+    #[test]
+    fn reference_statistic() {
+        // SciPy: ks_2samp([1,2,3,4], [3,4,5,6]).statistic = 0.5
+        let t = ks_two_sample(&[1.0, 2.0, 3.0, 4.0], &[3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert!((t.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties_across_samples() {
+        // All values identical: D = 0.
+        let t = ks_two_sample(&[5.0; 30], &[5.0; 40]).unwrap();
+        assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    fn missing_values_dropped() {
+        let x = [1.0, f64::NAN, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, f64::NAN];
+        let t = ks_two_sample(&x, &y).unwrap();
+        assert_eq!(t.n1, 3);
+        assert_eq!(t.n2, 3);
+        assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn statistic_symmetric() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 2.0, 6.0, 7.0];
+        let a = ks_two_sample(&x, &y).unwrap();
+        let b = ks_two_sample(&y, &x).unwrap();
+        assert_eq!(a.statistic, b.statistic);
+        assert_eq!(a.p_value, b.p_value);
+    }
+}

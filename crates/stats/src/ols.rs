@@ -1,0 +1,246 @@
+//! Ordinary least squares for small dense problems.
+//!
+//! The Augmented Dickey–Fuller test regresses the differenced series on its
+//! lagged level and lagged differences; the design matrices involved are
+//! tall and thin (thousands of rows, a handful of columns), so a normal
+//! -equations solve with Cholesky factorization is both simple and fast.
+
+/// A fitted least-squares model `y ≈ X β`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Estimated coefficients, one per design column.
+    pub coefficients: Vec<f64>,
+    /// Standard error of each coefficient.
+    pub std_errors: Vec<f64>,
+    /// Residual variance `σ̂² = RSS / (n − k)`.
+    pub residual_variance: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// The t statistic of coefficient `j`.
+    pub fn t_statistic(&self, j: usize) -> f64 {
+        self.coefficients[j] / self.std_errors[j]
+    }
+}
+
+/// Fits `y ≈ X β` by ordinary least squares.
+///
+/// `x` is row-major with `k` columns per row. Returns `None` when the normal
+/// equations are singular (collinear design) or there are not more rows than
+/// columns.
+pub fn ols(x: &[f64], k: usize, y: &[f64]) -> Option<OlsFit> {
+    assert!(k > 0, "design matrix needs at least one column");
+    assert_eq!(x.len() % k, 0, "design matrix shape mismatch");
+    let n = x.len() / k;
+    assert_eq!(n, y.len(), "row count must match y length");
+    if n <= k {
+        return None;
+    }
+
+    // Normal equations: A = X'X (k x k), b = X'y.
+    let mut a = vec![0.0; k * k];
+    let mut b = vec![0.0; k];
+    for row in 0..n {
+        let xr = &x[row * k..(row + 1) * k];
+        for i in 0..k {
+            b[i] += xr[i] * y[row];
+            for j in i..k {
+                a[i * k + j] += xr[i] * xr[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            a[i * k + j] = a[j * k + i];
+        }
+    }
+
+    // Cholesky factorization A = L L'.
+    let mut l = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = a[i * k + j];
+            for p in 0..j {
+                sum -= l[i * k + p] * l[j * k + p];
+            }
+            if i == j {
+                if sum <= 1e-12 * a[i * k + i].abs().max(1.0) {
+                    return None; // Singular or near-singular.
+                }
+                l[i * k + i] = sum.sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+
+    // Solve L z = b, then L' beta = z.
+    let mut z = vec![0.0; k];
+    for i in 0..k {
+        let mut sum = b[i];
+        for p in 0..i {
+            sum -= l[i * k + p] * z[p];
+        }
+        z[i] = sum / l[i * k + i];
+    }
+    let mut beta = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut sum = z[i];
+        for p in (i + 1)..k {
+            sum -= l[p * k + i] * beta[p];
+        }
+        beta[i] = sum / l[i * k + i];
+    }
+
+    // Residual variance.
+    let mut rss = 0.0;
+    for row in 0..n {
+        let xr = &x[row * k..(row + 1) * k];
+        let pred: f64 = xr.iter().zip(&beta).map(|(a, b)| a * b).sum();
+        let e = y[row] - pred;
+        rss += e * e;
+    }
+    let sigma2 = rss / (n - k) as f64;
+
+    // Var(beta) = sigma^2 (X'X)^{-1}; we need only the diagonal. Solve
+    // A c_j = e_j for each j via the Cholesky factors.
+    let mut std_errors = vec![0.0; k];
+    for j in 0..k {
+        let mut e = vec![0.0; k];
+        e[j] = 1.0;
+        // L z = e_j
+        let mut zz = vec![0.0; k];
+        for i in 0..k {
+            let mut sum = e[i];
+            for p in 0..i {
+                sum -= l[i * k + p] * zz[p];
+            }
+            zz[i] = sum / l[i * k + i];
+        }
+        // L' c = z
+        let mut c = vec![0.0; k];
+        for i in (0..k).rev() {
+            let mut sum = zz[i];
+            for p in (i + 1)..k {
+                sum -= l[p * k + i] * c[p];
+            }
+            c[i] = sum / l[i * k + i];
+        }
+        std_errors[j] = (sigma2 * c[j]).sqrt();
+    }
+
+    Some(OlsFit {
+        coefficients: beta,
+        std_errors,
+        residual_variance: sigma2,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        // y = 2 + 3x, no noise.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let design: Vec<f64> = xs.iter().flat_map(|&x| [1.0, x]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let fit = ols(&design, 2, &y).unwrap();
+        close(fit.coefficients[0], 2.0, 1e-10);
+        close(fit.coefficients[1], 3.0, 1e-10);
+        close(fit.residual_variance, 0.0, 1e-10);
+    }
+
+    #[test]
+    fn fits_noisy_line_with_reference() {
+        // Deterministic "noise", solved by hand with the closed-form simple
+        // -regression formulas: x̄ = 4.5, ȳ = 10, Sxx = 42, Sxy = 82.2 ⇒
+        // slope = 82.2/42 = 1.9571429, intercept = 10 − slope·4.5 =
+        // 1.1928571; σ̂² = RSS/6, se(slope) = √(σ̂²/Sxx),
+        // se(intercept) = √(σ̂²(1/n + x̄²/Sxx)).
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let e = [0.5, -0.3, 0.2, -0.4, 0.1, 0.3, -0.2, -0.2];
+        let y: Vec<f64> = xs
+            .iter()
+            .zip(e)
+            .map(|(&x, e)| 1.0 + 2.0 * x + e)
+            .collect();
+        let design: Vec<f64> = xs.iter().flat_map(|&x| [1.0, x]).collect();
+        let fit = ols(&design, 2, &y).unwrap();
+        let slope = 82.2 / 42.0;
+        let intercept = 10.0 - slope * 4.5;
+        close(fit.coefficients[0], intercept, 1e-10);
+        close(fit.coefficients[1], slope, 1e-10);
+        let rss: f64 = xs
+            .iter()
+            .zip(&y)
+            .map(|(&x, &yv)| {
+                let r = yv - (intercept + slope * x);
+                r * r
+            })
+            .sum();
+        let sigma2 = rss / 6.0;
+        close(fit.residual_variance, sigma2, 1e-10);
+        close(fit.std_errors[1], (sigma2 / 42.0).sqrt(), 1e-10);
+        close(
+            fit.std_errors[0],
+            (sigma2 * (1.0 / 8.0 + 4.5 * 4.5 / 42.0)).sqrt(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn three_column_fit() {
+        // y = 1 + 2a - 3b exactly.
+        let rows = 20;
+        let mut design = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            let a = (i as f64 * 0.7).sin() + i as f64 * 0.1;
+            let b = (i as f64 * 1.3).cos();
+            design.extend([1.0, a, b]);
+            y.push(1.0 + 2.0 * a - 3.0 * b);
+        }
+        let fit = ols(&design, 3, &y).unwrap();
+        close(fit.coefficients[0], 1.0, 1e-8);
+        close(fit.coefficients[1], 2.0, 1e-8);
+        close(fit.coefficients[2], -3.0, 1e-8);
+    }
+
+    #[test]
+    fn collinear_design_is_none() {
+        // Second column is twice the first.
+        let design = vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0, 4.0, 8.0];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(ols(&design, 2, &y).is_none());
+    }
+
+    #[test]
+    fn underdetermined_is_none() {
+        let design = vec![1.0, 2.0, 1.0, 3.0];
+        let y = vec![1.0, 2.0];
+        assert!(ols(&design, 2, &y).is_none());
+    }
+
+    #[test]
+    fn t_statistics() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let design: Vec<f64> = xs.iter().flat_map(|&x| [1.0, x]).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 5.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = ols(&design, 2, &y).unwrap();
+        assert!(fit.t_statistic(1) > 100.0, "strong slope must be significant");
+        assert!(fit.t_statistic(0).abs() < 2.0, "intercept ~0");
+    }
+}

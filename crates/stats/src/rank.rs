@@ -1,0 +1,107 @@
+//! Rank transforms with tie handling.
+
+/// Mid-ranks (average ranks) of `xs`, 1-based: ties receive the average of
+/// the ranks they occupy, the convention required by Spearman's ρ and
+/// Kendall's τ-b tie corrections.
+///
+/// Input values must be finite (filter missing data first).
+///
+/// # Panics
+/// Panics if any value is not finite.
+pub fn mid_ranks(xs: &[f64]) -> Vec<f64> {
+    assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "mid_ranks requires finite inputs"
+    );
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the same value: assign the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Sizes of each group of tied values (groups of size 1 are omitted).
+///
+/// Used by the tie-corrected variance of Kendall's S statistic.
+pub fn tie_group_sizes(xs: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        if j > i {
+            groups.push(j - i + 1);
+        }
+        i = j + 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties() {
+        let r = mid_ranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_average() {
+        // Values: 1, 2, 2, 3 -> ranks 1, 2.5, 2.5, 4
+        let r = mid_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let r = mid_ranks(&[5.0; 4]);
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(mid_ranks(&[]).is_empty());
+        assert_eq!(mid_ranks(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Ranks always sum to n(n+1)/2 regardless of ties.
+        let xs = [3.0, 1.0, 3.0, 3.0, 2.0, 1.0];
+        let r = mid_ranks(&xs);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_groups() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]), Vec::<usize>::new());
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]), vec![3, 2]);
+        assert_eq!(tie_group_sizes(&[0.0; 5]), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite inputs")]
+    fn ranks_reject_nan() {
+        let _ = mid_ranks(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Special functions and distribution functions.
+//!
+//! Implemented from standard references (Lanczos log-gamma, the Numerical
+//! Recipes continued fraction for the regularized incomplete beta, the
+//! Abramowitz & Stegun 7.1.26 rational approximation of `erf`). Accuracy is
+//! ~1e-7 absolute or better everywhere, far tighter than anything a p-value
+//! threshold of 0.05 can resolve.
+
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Lanczos approximation (g = 5, n = 6); relative error below `2e-10`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 <= x <= 1`.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function `erf(x)`.
+///
+/// Abramowitz & Stegun 7.1.26; absolute error below `1.5e-7`.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal survival function `1 − Φ(x)`.
+pub fn normal_sf(x: f64) -> f64 {
+    normal_cdf(-x)
+}
+
+/// Two-sided p-value of a standard-normal z statistic.
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    (2.0 * normal_sf(z.abs())).min(1.0)
+}
+
+/// Survival function of Student's *t* distribution with `df` degrees of
+/// freedom: `P(T > t)` for `t >= 0` (symmetric for `t < 0`).
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    let p = 0.5 * inc_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        p
+    } else {
+        1.0 - p
+    }
+}
+
+/// Two-sided p-value of a *t* statistic with `df` degrees of freedom.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    (2.0 * student_t_sf(t.abs(), df)).min(1.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x)/Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    1.0 - gamma_p(a, x)
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 3e-14 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 3e-14 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Survival function of the chi-squared distribution with `df` degrees of
+/// freedom: `P(X > x)`.
+pub fn chi_squared_sf(x: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(0.5 * df, 0.5 * x)
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+///
+/// Used for the asymptotic p-value of the two-sample KS statistic.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), (24.0f64).ln(), 1e-9);
+        close(ln_gamma(11.0), (3_628_800.0f64).ln(), 1e-9);
+        // Γ(1/2) = sqrt(pi)
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-9);
+    }
+
+    #[test]
+    fn inc_beta_boundaries_and_symmetry() {
+        close(inc_beta(2.0, 3.0, 0.0), 0.0, 1e-12);
+        close(inc_beta(2.0, 3.0, 1.0), 1.0, 1e-12);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = inc_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - inc_beta(1.5, 2.5, 0.7);
+        close(v, w, 1e-10);
+        // I_x(1,1) = x (uniform CDF).
+        close(inc_beta(1.0, 1.0, 0.42), 0.42, 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry.
+        close(inc_beta(2.0, 2.0, 0.5), 0.5, 1e-10);
+        // Beta(2,3) CDF at 0.4: 1 - (1-x)^3 (1+3x) ... cross-checked with R:
+        // pbeta(0.4, 2, 3) = 0.5248
+        close(inc_beta(2.0, 3.0, 0.4), 0.5248, 1e-6);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        close(erf(0.0), 0.0, 2e-7);
+        close(erf(1.0), 0.842_700_79, 2e-7);
+        close(erf(-1.0), -0.842_700_79, 2e-7);
+        close(erf(2.0), 0.995_322_27, 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        close(normal_cdf(0.0), 0.5, 1e-9);
+        close(normal_cdf(1.96), 0.975, 1e-4);
+        close(normal_cdf(-1.96), 0.025, 1e-4);
+        close(normal_two_sided_p(1.96), 0.05, 2e-4);
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // With df -> large, t approaches normal.
+        close(student_t_sf(1.96, 1e6), 0.025, 1e-4);
+        // R: pt(2.0, df=10, lower.tail=FALSE) = 0.03669402
+        close(student_t_sf(2.0, 10.0), 0.036_694_02, 1e-6);
+        // Symmetry.
+        close(
+            student_t_sf(-2.0, 10.0),
+            1.0 - student_t_sf(2.0, 10.0),
+            1e-10,
+        );
+        // R: 2*pt(2.228, df=10, lower.tail=FALSE) = 0.0500
+        close(student_t_two_sided_p(2.228, 10.0), 0.05, 2e-4);
+    }
+
+    #[test]
+    fn incomplete_gamma_reference_values() {
+        // P(1, x) = 1 - exp(-x).
+        for x in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-10);
+        }
+        // P + Q = 1.
+        close(gamma_p(2.5, 1.7) + gamma_q(2.5, 1.7), 1.0, 1e-12);
+        // R: pgamma(2, shape=3) = 0.3233236
+        close(gamma_p(3.0, 2.0), 0.323_323_6, 1e-6);
+        close(gamma_p(3.0, 0.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn chi_squared_reference_values() {
+        // Classic critical value: P(X2_1 > 3.841) = 0.05.
+        close(chi_squared_sf(3.841, 1.0), 0.05, 1e-3);
+        // P(X2_10 > 18.307) = 0.05.
+        close(chi_squared_sf(18.307, 10.0), 0.05, 1e-3);
+        close(chi_squared_sf(0.0, 4.0), 1.0, 1e-12);
+        assert!(chi_squared_sf(100.0, 2.0) < 1e-10);
+    }
+
+    #[test]
+    fn kolmogorov_reference_values() {
+        // Q(1.36) ~ 0.049 (the classic 5% critical value).
+        close(kolmogorov_sf(1.36), 0.049, 2e-3);
+        close(kolmogorov_sf(0.0), 1.0, 1e-12);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Monotone decreasing.
+        assert!(kolmogorov_sf(0.5) > kolmogorov_sf(1.0));
+        assert!(kolmogorov_sf(1.0) > kolmogorov_sf(1.5));
+    }
+
+    #[test]
+    fn infinite_t_gives_zero_p() {
+        assert_eq!(student_t_two_sided_p(f64::INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Spectral analysis: FFT, periodogram and the Ljung–Box portmanteau test.
+//!
+//! Section 4.2 of the paper asserts that "no gateway exhibits a seasonal
+//! behavior" at the per-minute granularity — bursty activity drowns any
+//! clean periodicity. This module provides the machinery to check that
+//! claim: a radix-2 FFT, the periodogram with its dominant-period readout,
+//! and the Ljung–Box test for joint autocorrelation significance.
+
+use crate::descriptive::mean;
+use crate::special::chi_squared_sf;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over `(re, im)` pairs.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        for chunk in data.chunks_mut(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            let half = len / 2;
+            for k in 0..half {
+                let (ar, ai) = chunk[k];
+                let (br, bi) = chunk[k + half];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                chunk[k] = (ar + tr, ai + ti);
+                chunk[k + half] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// One periodogram line: a frequency and its power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralLine {
+    /// Frequency in cycles per sample, `(0, 0.5]`.
+    pub frequency: f64,
+    /// Periodogram power at that frequency.
+    pub power: f64,
+}
+
+impl SpectralLine {
+    /// The corresponding period in samples.
+    pub fn period_samples(&self) -> f64 {
+        1.0 / self.frequency
+    }
+}
+
+/// Periodogram of the demeaned series (missing values replaced by the
+/// mean, i.e. zero deviation), zero-padded to the next power of two.
+///
+/// Returns lines for frequencies `k/n_fft`, `k = 1 .. n_fft/2`, in
+/// frequency order. Returns an empty vector for series with fewer than four
+/// observations or no variance.
+pub fn periodogram(x: &[f64]) -> Vec<SpectralLine> {
+    let m = mean(x);
+    if !m.is_finite() || x.len() < 4 {
+        return Vec::new();
+    }
+    let n = x.len();
+    let n_fft = n.next_power_of_two();
+    let mut buf: Vec<(f64, f64)> = x
+        .iter()
+        .map(|&v| if v.is_finite() { (v - m, 0.0) } else { (0.0, 0.0) })
+        .chain(std::iter::repeat((0.0, 0.0)))
+        .take(n_fft)
+        .collect();
+    if buf.iter().all(|&(re, _)| re == 0.0) {
+        return Vec::new();
+    }
+    fft(&mut buf);
+    (1..=n_fft / 2)
+        .map(|k| SpectralLine {
+            frequency: k as f64 / n_fft as f64,
+            power: (buf[k].0 * buf[k].0 + buf[k].1 * buf[k].1) / n as f64,
+        })
+        .collect()
+}
+
+/// The spectral line with the highest power, together with the share of the
+/// total spectral mass it carries — a simple seasonality detector: a clean
+/// daily rhythm puts a large share on one line, bursty traffic spreads it.
+pub fn dominant_period(x: &[f64]) -> Option<(SpectralLine, f64)> {
+    let spec = periodogram(x);
+    let total: f64 = spec.iter().map(|l| l.power).sum();
+    let best = spec
+        .into_iter()
+        .max_by(|a, b| a.power.partial_cmp(&b.power).expect("finite power"))?;
+    if total <= 0.0 {
+        return None;
+    }
+    let share = best.power / total;
+    Some((best, share))
+}
+
+/// Result of the Ljung–Box portmanteau test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// p-value against `H0: no autocorrelation up to the tested lag`.
+    pub p_value: f64,
+    /// Number of lags tested.
+    pub lags: usize,
+}
+
+impl LjungBox {
+    /// Whether `H0: white noise` is rejected at `alpha`.
+    pub fn rejects_whiteness(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Ljung–Box test over the first `lags` autocorrelations:
+/// `Q = n(n+2) Σ_k r_k² / (n−k)`, `Q ~ χ²(lags)` under `H0`.
+///
+/// Returns `None` for series too short (`n <= lags + 1`) or without
+/// variance.
+pub fn ljung_box(x: &[f64], lags: usize) -> Option<LjungBox> {
+    assert!(lags > 0, "Ljung-Box needs at least one lag");
+    let observed: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = observed.len();
+    if n <= lags + 1 {
+        return None;
+    }
+    let r = crate::acf::acf(&observed, lags);
+    if r.len() <= lags {
+        return None;
+    }
+    let nf = n as f64;
+    let q: f64 = (1..=lags)
+        .map(|k| r[k] * r[k] / (nf - k as f64))
+        .sum::<f64>()
+        * nf
+        * (nf + 2.0);
+    Some(LjungBox {
+        statistic: q,
+        p_value: chi_squared_sf(q, lags as f64),
+        lags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft(&mut data);
+        for &(re, im) in &data {
+            close(re, 1.0, 1e-12);
+            close(im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone() {
+        // cos(2*pi*k0*t/n) has spikes at bins k0 and n-k0 of magnitude n/2.
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<(f64, f64)> = (0..n)
+            .map(|t| {
+                (
+                    (2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64).cos(),
+                    0.0,
+                )
+            })
+            .collect();
+        fft(&mut data);
+        for (k, &(re, im)) in data.iter().enumerate() {
+            let mag = (re * re + im * im).sqrt();
+            if k == k0 || k == n - k0 {
+                close(mag, n as f64 / 2.0, 1e-9);
+            } else {
+                close(mag, 0.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 37) % 11) as f64).collect();
+        let mut data: Vec<(f64, f64)> = x.iter().map(|&v| (v, 0.0)).collect();
+        fft(&mut data);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            data.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / 32.0;
+        close(freq_energy, time_energy, 1e-9);
+    }
+
+    #[test]
+    fn periodogram_finds_the_daily_cycle() {
+        // 4 "days" of 256 samples with a clean daily sinusoid.
+        let n = 1024;
+        let x: Vec<f64> = (0..n)
+            .map(|t| 100.0 + 50.0 * (2.0 * std::f64::consts::PI * t as f64 / 256.0).sin())
+            .collect();
+        let (line, share) = dominant_period(&x).unwrap();
+        close(line.period_samples(), 256.0, 1.0);
+        assert!(share > 0.9, "clean tone concentrates the spectrum: {share}");
+    }
+
+    #[test]
+    fn bursty_series_spreads_the_spectrum() {
+        // Sparse deterministic bursts: no single line dominates.
+        let x: Vec<f64> = (0..1024)
+            .map(|t| if (t * 2654435761usize).is_multiple_of(151) { 1e6 } else { 1.0 })
+            .collect();
+        let (_, share) = dominant_period(&x).unwrap();
+        assert!(share < 0.3, "bursts must not look seasonal: {share}");
+    }
+
+    #[test]
+    fn ljung_box_accepts_noise_rejects_ar() {
+        // SplitMix64: a proper integer hash, genuinely white.
+        let noise: Vec<f64> = (0..500u64)
+            .map(|i| {
+                let mut z = i.wrapping_add(0x9E3779B97F4A7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let lb = ljung_box(&noise, 10).unwrap();
+        assert!(!lb.rejects_whiteness(0.01), "hash noise ~ white: {lb:?}");
+
+        // Strongly autocorrelated: a slow ramp-cycle.
+        let trended: Vec<f64> = (0..500).map(|i| (i % 100) as f64).collect();
+        let lb = ljung_box(&trended, 10).unwrap();
+        assert!(lb.rejects_whiteness(0.01));
+        assert!(lb.statistic > 100.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(periodogram(&[1.0, 2.0]).is_empty());
+        assert!(periodogram(&[5.0; 64]).is_empty());
+        assert!(ljung_box(&[1.0; 5], 10).is_none());
+        assert!(dominant_period(&[3.0; 16]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 12];
+        fft(&mut data);
+    }
+}

@@ -1,0 +1,342 @@
+//! Classical (wide-sense) stationarity tests: KPSS and Augmented
+//! Dickey–Fuller.
+//!
+//! Section 4.2 of the paper applies both to per-minute gateway traffic and
+//! finds that *all* tests indicate non-stationarity — the motivation for the
+//! paper's own "strong stationarity over non-overlapping windows" notion
+//! (Definition 2, implemented in `wtts-core`). Note the two tests have
+//! opposite null hypotheses:
+//!
+//! * **KPSS** — `H0: stationary`; a *large* statistic rejects stationarity.
+//! * **ADF** — `H0: unit root (non-stationary)`; a *very negative* statistic
+//!   rejects the unit root, i.e. supports stationarity.
+//!
+//! A series behaves "non-stationary" in the paper's sense when KPSS rejects
+//! and/or ADF fails to reject.
+
+use crate::descriptive::mean;
+use crate::ols::ols;
+
+/// Result of the KPSS level-stationarity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KpssResult {
+    /// The KPSS η statistic.
+    pub statistic: f64,
+    /// Interpolated p-value, clamped to `[0.01, 0.10]` like R's
+    /// `tseries::kpss.test` (values outside the table are reported at the
+    /// boundary).
+    pub p_value: f64,
+    /// Newey–West truncation lag used for the long-run variance.
+    pub lags: usize,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl KpssResult {
+    /// Whether `H0: level-stationary` is rejected at level `alpha`.
+    pub fn rejects_stationarity(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// KPSS critical values for level stationarity (Kwiatkowski et al. 1992,
+/// Table 1), at the 10%, 5%, 2.5% and 1% levels.
+const KPSS_LEVEL_CRIT: [(f64, f64); 4] = [
+    (0.10, 0.347),
+    (0.05, 0.463),
+    (0.025, 0.574),
+    (0.01, 0.739),
+];
+
+/// KPSS test for level stationarity.
+///
+/// The statistic is `η = Σ_t S_t² / (n² s²(l))` where `S_t` are partial sums
+/// of the demeaned series and `s²(l)` is the Newey–West long-run variance
+/// with Bartlett weights and truncation lag
+/// `l = ⌊4 (n/100)^{1/4}⌋` (the "short" lag convention).
+///
+/// Returns `None` for series with fewer than 8 observations or zero
+/// variance. Missing values are dropped (the test concerns the value
+/// distribution's evolution, and traffic gaps are ignorable at this scale).
+pub fn kpss_test(x: &[f64]) -> Option<KpssResult> {
+    let v: Vec<f64> = x.iter().copied().filter(|a| a.is_finite()).collect();
+    let n = v.len();
+    if n < 8 {
+        return None;
+    }
+    let m = mean(&v);
+    let e: Vec<f64> = v.iter().map(|a| a - m).collect();
+
+    // Partial sums.
+    let mut s = 0.0;
+    let mut sum_s2 = 0.0;
+    for &ei in &e {
+        s += ei;
+        sum_s2 += s * s;
+    }
+
+    // Newey–West long-run variance with Bartlett kernel.
+    let lags = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let nf = n as f64;
+    let mut lrv: f64 = e.iter().map(|a| a * a).sum::<f64>() / nf;
+    for k in 1..=lags.min(n - 1) {
+        let w = 1.0 - k as f64 / (lags as f64 + 1.0);
+        let gamma: f64 = (0..n - k).map(|t| e[t] * e[t + k]).sum::<f64>() / nf;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        return None;
+    }
+
+    let eta = sum_s2 / (nf * nf * lrv);
+    let p = interpolate_p(eta, &KPSS_LEVEL_CRIT);
+    Some(KpssResult {
+        statistic: eta,
+        p_value: p,
+        lags,
+        n,
+    })
+}
+
+/// Linear interpolation of a p-value from `(alpha, critical)` pairs ordered
+/// by descending alpha; statistic above the largest critical value clamps to
+/// the smallest alpha and vice versa.
+fn interpolate_p(stat: f64, table: &[(f64, f64)]) -> f64 {
+    if stat <= table[0].1 {
+        return table[0].0;
+    }
+    for w in table.windows(2) {
+        let (a0, c0) = w[0];
+        let (a1, c1) = w[1];
+        if stat <= c1 {
+            let t = (stat - c0) / (c1 - c0);
+            return a0 + t * (a1 - a0);
+        }
+    }
+    table[table.len() - 1].0
+}
+
+/// Result of the Augmented Dickey–Fuller test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdfResult {
+    /// The Dickey–Fuller t statistic on the lagged level.
+    pub statistic: f64,
+    /// Interpolated p-value, clamped to `[0.01, 0.10]` at the table
+    /// boundaries.
+    pub p_value: f64,
+    /// Number of lagged differences included.
+    pub lags: usize,
+    /// Number of regression observations.
+    pub n: usize,
+}
+
+impl AdfResult {
+    /// Whether `H0: unit root` is rejected at level `alpha` — i.e. whether
+    /// the test finds evidence *for* stationarity.
+    pub fn rejects_unit_root(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Large-sample critical values of the ADF t statistic for the
+/// constant-no-trend model (MacKinnon 2010, T→∞), ordered from the mildest
+/// rejection level to the strictest so that p-value interpolation over the
+/// negated statistic works left-to-right.
+const ADF_CONST_CRIT: [(f64, f64); 3] = [(0.10, -2.57), (0.05, -2.86), (0.01, -3.43)];
+
+/// Augmented Dickey–Fuller test with a constant (no trend).
+///
+/// Regresses `Δy_t` on `(1, y_{t−1}, Δy_{t−1}, …, Δy_{t−p})` where the lag
+/// order `p` defaults to Schwert's rule `⌊12 (n/100)^{1/4}⌋` when `lags` is
+/// `None`. Missing values are dropped before differencing.
+///
+/// Returns `None` for series too short for the requested lag order or with
+/// a degenerate regression.
+pub fn adf_test(x: &[f64], lags: Option<usize>) -> Option<AdfResult> {
+    let v: Vec<f64> = x.iter().copied().filter(|a| a.is_finite()).collect();
+    let n = v.len();
+    if n < 12 {
+        return None;
+    }
+    let p = lags.unwrap_or_else(|| (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize);
+    // Differences d_t = y_t - y_{t-1}, t = 1..n-1.
+    let d: Vec<f64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+    // Regression rows: t from p..d.len(), response d[t], regressors
+    // 1, y[t], d[t-1..t-p].
+    let k = 2 + p;
+    let rows = d.len().checked_sub(p)?;
+    if rows <= k + 2 {
+        return None;
+    }
+    let mut design = Vec::with_capacity(rows * k);
+    let mut y = Vec::with_capacity(rows);
+    for t in p..d.len() {
+        design.push(1.0);
+        design.push(v[t]); // y_{t-1} relative to response d[t] = y_{t+1}-y_t
+        for j in 1..=p {
+            design.push(d[t - j]);
+        }
+        y.push(d[t]);
+    }
+    let fit = ols(&design, k, &y)?;
+    let t_stat = fit.t_statistic(1);
+    if !t_stat.is_finite() {
+        return None;
+    }
+    // Table is ordered by increasing alpha <-> increasingly negative crit.
+    // Reuse interpolate_p over (alpha, -crit) with -stat.
+    let table: Vec<(f64, f64)> = ADF_CONST_CRIT.iter().map(|&(a, c)| (a, -c)).collect();
+    let p_value = interpolate_p(-t_stat, &table);
+    Some(AdfResult {
+        statistic: t_stat,
+        p_value,
+        lags: p,
+        n: rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random standard-normal-ish noise (sum of 12
+    /// uniforms, Irwin–Hall) so tests don't need a rand dependency.
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| (0..12).map(|_| next()).sum::<f64>() - 6.0)
+            .collect()
+    }
+
+    #[test]
+    fn kpss_accepts_white_noise() {
+        let x = noise(500, 42);
+        let r = kpss_test(&x).unwrap();
+        assert!(
+            !r.rejects_stationarity(0.05),
+            "white noise is stationary, stat = {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn kpss_rejects_random_walk() {
+        let e = noise(500, 7);
+        let mut x = Vec::with_capacity(e.len());
+        let mut s = 0.0;
+        for v in e {
+            s += v;
+            x.push(s);
+        }
+        let r = kpss_test(&x).unwrap();
+        assert!(
+            r.rejects_stationarity(0.05),
+            "random walk is not stationary, stat = {}",
+            r.statistic
+        );
+        assert!(r.statistic > 0.463);
+    }
+
+    #[test]
+    fn kpss_rejects_trend() {
+        let x: Vec<f64> = (0..300).map(|i| i as f64 * 0.1).collect();
+        let r = kpss_test(&x).unwrap();
+        assert!(r.rejects_stationarity(0.05));
+    }
+
+    #[test]
+    fn kpss_short_series_none() {
+        assert!(kpss_test(&[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn kpss_constant_series_none() {
+        assert!(kpss_test(&[5.0; 100]).is_none());
+    }
+
+    #[test]
+    fn adf_rejects_unit_root_for_white_noise() {
+        let x = noise(500, 99);
+        let r = adf_test(&x, Some(2)).unwrap();
+        assert!(
+            r.rejects_unit_root(0.05),
+            "white noise has no unit root, t = {}",
+            r.statistic
+        );
+        assert!(r.statistic < -2.86);
+    }
+
+    #[test]
+    fn adf_fails_to_reject_for_random_walk() {
+        let e = noise(500, 3);
+        let mut x = Vec::with_capacity(e.len());
+        let mut s = 0.0;
+        for v in e {
+            s += v;
+            x.push(s);
+        }
+        let r = adf_test(&x, Some(2)).unwrap();
+        assert!(
+            !r.rejects_unit_root(0.05),
+            "random walk keeps its unit root, t = {}",
+            r.statistic
+        );
+    }
+
+    #[test]
+    fn adf_mean_reverting_ar1() {
+        // AR(1) with phi = 0.5 is strongly stationary.
+        let e = noise(800, 11);
+        let mut x = vec![0.0];
+        for t in 1..e.len() {
+            let prev = x[t - 1];
+            x.push(0.5 * prev + e[t]);
+        }
+        let r = adf_test(&x, None).unwrap();
+        assert!(r.rejects_unit_root(0.05), "t = {}", r.statistic);
+    }
+
+    #[test]
+    fn adf_short_series_none() {
+        assert!(adf_test(&[1.0; 5], None).is_none());
+    }
+
+    #[test]
+    fn adf_schwert_default_lag() {
+        let x = noise(100, 5);
+        let r = adf_test(&x, None).unwrap();
+        assert_eq!(r.lags, 12); // floor(12 * (100/100)^0.25)
+    }
+
+    #[test]
+    fn interpolation_clamps_to_table() {
+        // Tiny statistic -> p at the 10% boundary; huge -> 1% boundary.
+        assert_eq!(interpolate_p(0.0, &KPSS_LEVEL_CRIT), 0.10);
+        assert_eq!(interpolate_p(10.0, &KPSS_LEVEL_CRIT), 0.01);
+        // Middle of the table interpolates monotonically.
+        let p1 = interpolate_p(0.40, &KPSS_LEVEL_CRIT);
+        let p2 = interpolate_p(0.50, &KPSS_LEVEL_CRIT);
+        assert!(p1 > p2);
+    }
+
+    #[test]
+    fn kpss_and_adf_agree_on_clear_cases() {
+        // Stationary: KPSS accepts, ADF rejects unit root.
+        let stationary = noise(400, 42);
+        assert!(!kpss_test(&stationary).unwrap().rejects_stationarity(0.05));
+        assert!(adf_test(&stationary, Some(3)).unwrap().rejects_unit_root(0.05));
+        // Non-stationary: the reverse.
+        let mut walk = vec![0.0];
+        for (i, v) in noise(400, 321).into_iter().enumerate() {
+            walk.push(walk[i] + v);
+        }
+        assert!(kpss_test(&walk).unwrap().rejects_stationarity(0.05));
+        assert!(!adf_test(&walk, Some(3)).unwrap().rejects_unit_root(0.05));
+    }
+}

@@ -1,0 +1,161 @@
+//! Rank-frequency (Zipf) power-law fitting.
+//!
+//! Section 4.1 of the paper observes that the distribution of traffic
+//! values follows Zipf's law: when values are binned and the bin frequencies
+//! are ranked, frequency decays as a power of rank,
+//! `f(r) ∝ r^{−s}`. This module fits `s` by least squares in log-log space
+//! and reports the goodness of fit, quantifying that claim on any sample.
+
+/// A fitted rank-frequency power law `f(r) ≈ C · r^{−s}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfFit {
+    /// The Zipf exponent `s` (positive for decaying frequencies).
+    pub exponent: f64,
+    /// `log10` of the scale constant `C`.
+    pub log10_scale: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+    /// Number of distinct ranks used in the fit.
+    pub n_ranks: usize,
+}
+
+impl ZipfFit {
+    /// A rule-of-thumb check: the sample "follows Zipf's law" when the
+    /// log-log fit is close to linear (`R² ≥ 0.8`) with a clearly positive
+    /// exponent.
+    pub fn is_zipfian(&self) -> bool {
+        self.r_squared >= 0.8 && self.exponent > 0.25
+    }
+}
+
+/// Fits a Zipf law to the rank-frequency distribution of `xs`.
+///
+/// Values are quantized into `n_bins` logarithmically spaced magnitude
+/// classes over the positive finite values (zero and negative values are
+/// dropped — zero traffic carries no magnitude information). Class
+/// frequencies are sorted descending and regressed against rank in log-log
+/// space. Returns `None` when fewer than three non-empty classes exist.
+pub fn fit_zipf(xs: &[f64], n_bins: usize) -> Option<ZipfFit> {
+    assert!(n_bins >= 3, "need at least three magnitude classes");
+    let positives: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if positives.len() < 10 {
+        return None;
+    }
+    let lo = positives.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = positives.iter().copied().fold(0.0f64, f64::max);
+    if !hi.is_finite() || !lo.is_finite() || hi <= lo {
+        return None;
+    }
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    let width = (lhi - llo) / n_bins as f64;
+    let mut counts = vec![0usize; n_bins];
+    for v in &positives {
+        let i = (((v.ln() - llo) / width) as usize).min(n_bins - 1);
+        counts[i] += 1;
+    }
+    let mut freqs: Vec<f64> = counts
+        .into_iter()
+        .filter(|&c| c > 0)
+        .map(|c| c as f64)
+        .collect();
+    freqs.sort_by(|a, b| b.partial_cmp(a).expect("finite counts"));
+    fit_ranked(&freqs)
+}
+
+/// Fits a Zipf law to already rank-ordered (descending) frequencies.
+pub fn fit_ranked(freqs_desc: &[f64]) -> Option<ZipfFit> {
+    let n = freqs_desc.len();
+    if n < 3 {
+        return None;
+    }
+    // Regress log10(f) on log10(rank).
+    let xs: Vec<f64> = (1..=n).map(|r| (r as f64).log10()).collect();
+    let ys: Vec<f64> = freqs_desc.iter().map(|f| f.log10()).collect();
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(ZipfFit {
+        exponent: -slope,
+        log10_scale: intercept,
+        r_squared: r2,
+        n_ranks: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        // f(r) = 1000 r^{-1.2}
+        let freqs: Vec<f64> = (1..=50)
+            .map(|r| 1000.0 * (r as f64).powf(-1.2))
+            .collect();
+        let fit = fit_ranked(&freqs).unwrap();
+        assert!((fit.exponent - 1.2).abs() < 1e-9);
+        assert!((fit.log10_scale - 3.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.is_zipfian());
+    }
+
+    #[test]
+    fn uniform_frequencies_not_zipfian() {
+        let freqs = vec![10.0; 20];
+        let fit = fit_ranked(&freqs).unwrap();
+        assert!((fit.exponent).abs() < 1e-9);
+        assert!(!fit.is_zipfian());
+    }
+
+    #[test]
+    fn zipfian_sample_detected() {
+        // Draw values so that magnitude class i has ~ c / (i+1)^1.5 members.
+        let mut xs = Vec::new();
+        for class in 0..12u32 {
+            let count = (4000.0 / ((class + 1) as f64).powf(1.5)) as usize;
+            let magnitude = 10f64.powi(class as i32 / 2) * (1.5 + class as f64);
+            xs.extend(std::iter::repeat_n(magnitude, count));
+        }
+        let fit = fit_zipf(&xs, 16).unwrap();
+        assert!(fit.exponent > 0.3, "exponent = {}", fit.exponent);
+        assert!(fit.r_squared > 0.5, "r2 = {}", fit.r_squared);
+    }
+
+    #[test]
+    fn too_few_values_is_none() {
+        assert!(fit_zipf(&[1.0, 2.0, 3.0], 5).is_none());
+        assert!(fit_ranked(&[5.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn zeros_and_negatives_dropped() {
+        let mut xs = vec![0.0; 100];
+        xs.extend(vec![-5.0; 50]);
+        // Only zeros/negatives -> None.
+        assert!(fit_zipf(&xs, 5).is_none());
+    }
+
+    #[test]
+    fn constant_positive_values_is_none() {
+        let xs = vec![7.0; 100];
+        assert!(fit_zipf(&xs, 5).is_none(), "no magnitude spread to fit");
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the statistical primitives.
+
+use proptest::prelude::*;
+use wtts_stats::rank::{mid_ranks, tie_group_sizes};
+use wtts_stats::special::{
+    inc_beta, kolmogorov_sf, ln_gamma, normal_cdf, student_t_sf, student_t_two_sided_p,
+};
+use wtts_stats::{
+    fit_ar, kendall, ks_two_sample, mean, pearson, quantile, spearman, BoxplotStats,
+};
+
+fn finite(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ln Γ satisfies the recurrence Γ(x+1) = x Γ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
+    }
+
+    /// The regularized incomplete beta is a CDF in x: bounded and monotone.
+    #[test]
+    fn inc_beta_is_a_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let fl = inc_beta(a, b, lo);
+        let fh = inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0).contains(&fl));
+        prop_assert!((0.0..=1.0).contains(&fh));
+        prop_assert!(fh >= fl - 1e-9, "not monotone at a={a} b={b}: {fl} > {fh}");
+        // Symmetry identity.
+        let sym = 1.0 - inc_beta(b, a, 1.0 - lo);
+        prop_assert!((fl - sym).abs() < 1e-7);
+    }
+
+    /// Distribution functions stay in [0, 1] and are monotone.
+    #[test]
+    fn distribution_functions_bounded(t in -50.0f64..50.0, df in 1.0f64..200.0) {
+        let p = student_t_sf(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = student_t_two_sided_p(t, df);
+        prop_assert!((0.0..=1.0).contains(&p2));
+        let c = normal_cdf(t);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c));
+        let k = kolmogorov_sf(t.abs());
+        prop_assert!((0.0..=1.0).contains(&k));
+    }
+
+    /// Student-t survival is antisymmetric: sf(t) + sf(-t) = 1.
+    #[test]
+    fn student_t_antisymmetric(t in -20.0f64..20.0, df in 1.0f64..100.0) {
+        let s = student_t_sf(t, df) + student_t_sf(-t, df);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// Mid-ranks are a permutation-invariant bijection onto rank mass:
+    /// they sum to n(n+1)/2 and lie in [1, n].
+    #[test]
+    fn ranks_sum_invariant(xs in finite(1..200)) {
+        let r = mid_ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        for &v in &r {
+            prop_assert!(v >= 1.0 && v <= n);
+        }
+        // Tie groups sizes sum to at most n.
+        let ties = tie_group_sizes(&xs);
+        prop_assert!(ties.iter().sum::<usize>() <= xs.len());
+    }
+
+    /// All coefficients respect monotone transformations for Spearman and
+    /// Kendall: applying exp() to both sides changes nothing.
+    #[test]
+    fn rank_coefficients_monotone_invariant(xs in finite(4..60), ys in finite(4..60)) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let ex: Vec<f64> = xs.iter().map(|v| (v / 1e6).exp()).collect();
+        let ey: Vec<f64> = ys.iter().map(|v| (v / 1e6).exp()).collect();
+        let s1 = spearman(xs, ys).value;
+        let s2 = spearman(&ex, &ey).value;
+        prop_assert!((s1 - s2).abs() < 1e-6, "spearman {s1} vs {s2}");
+        let k1 = kendall(xs, ys).value;
+        let k2 = kendall(&ex, &ey).value;
+        prop_assert!((k1 - k2).abs() < 1e-6, "kendall {k1} vs {k2}");
+    }
+
+    /// Pearson of a series with itself is 1 (when non-constant).
+    #[test]
+    fn pearson_self_is_one(xs in finite(3..100)) {
+        let constant = xs.iter().all(|&v| v == xs[0]);
+        let r = pearson(&xs, &xs);
+        if constant {
+            prop_assert_eq!(r.value, 0.0);
+        } else {
+            prop_assert!((r.value - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// KS statistic is bounded in [0, 1], zero for identical samples.
+    #[test]
+    fn ks_bounds(xs in finite(1..100), ys in finite(1..100)) {
+        if let Some(t) = ks_two_sample(&xs, &ys) {
+            prop_assert!((0.0..=1.0).contains(&t.statistic));
+            prop_assert!((0.0..=1.0).contains(&t.p_value));
+        }
+        let same = ks_two_sample(&xs, &xs).unwrap();
+        prop_assert_eq!(same.statistic, 0.0);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(xs in finite(1..150), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// Boxplot invariants. Note the whiskers are *data points* while the
+    /// quartiles are type-7 interpolations, so a whisker may cross its
+    /// quartile on small samples; the robust invariants are the orderings
+    /// below plus fence consistency.
+    #[test]
+    fn boxplot_invariants(xs in finite(1..200)) {
+        let b = BoxplotStats::from_samples(&xs).unwrap();
+        prop_assert!(b.min <= b.lower_whisker + 1e-9);
+        prop_assert!(b.lower_whisker <= b.upper_whisker + 1e-9);
+        prop_assert!(b.upper_whisker <= b.max + 1e-9);
+        prop_assert!(b.q1 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q3 + 1e-9);
+        // Whiskers respect the 1.5 IQR fences.
+        let iqr = b.iqr();
+        prop_assert!(b.upper_whisker <= b.q3 + 1.5 * iqr + 1e-9);
+        prop_assert!(b.lower_whisker >= b.q1 - 1.5 * iqr - 1e-9);
+        prop_assert!(b.outliers() < b.n);
+    }
+
+    /// AR fitting yields finite coefficients and forecasts.
+    #[test]
+    fn ar_fit_is_finite(xs in finite(20..300), p in 1usize..5) {
+        if let Some(model) = fit_ar(&xs, p) {
+            for c in &model.coefficients {
+                prop_assert!(c.is_finite());
+            }
+            prop_assert!(model.noise_variance >= 0.0);
+            let f = model.forecast_one(&xs);
+            prop_assert!(f.is_finite());
+            prop_assert!((0.0..=1.0).contains(&model.explained_variance()));
+        }
+    }
+
+    /// mean() of finite data is bracketed by min and max.
+    #[test]
+    fn mean_bracketed(xs in finite(1..100)) {
+        let m = mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Time aggregation ("binning") of traffic series.
+//!
+//! Definition 3 of the paper searches over candidate aggregation
+//! granularities (1 minute up to 24 hours) and window starting offsets
+//! (midnight, 2am, 3am) for the binning that maximizes window-to-window
+//! correlation. This module provides the binning primitive that the search in
+//! `wtts-core::aggregation` sweeps over.
+
+use crate::series::TimeSeries;
+use crate::time::Minute;
+
+/// An aggregation granularity, i.e. the width of one time bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Granularity {
+    minutes: u32,
+}
+
+impl Granularity {
+    /// A bin of `n` minutes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub const fn minutes(n: u32) -> Granularity {
+        assert!(n > 0, "granularity must be positive");
+        Granularity { minutes: n }
+    }
+
+    /// A bin of `n` hours.
+    pub const fn hours(n: u32) -> Granularity {
+        Granularity::minutes(n * 60)
+    }
+
+    /// Bin width in minutes.
+    pub fn as_minutes(self) -> u32 {
+        self.minutes
+    }
+
+    /// Number of bins in one day, rounded up.
+    pub fn bins_per_day(self) -> usize {
+        crate::time::MINUTES_PER_DAY.div_ceil(self.minutes) as usize
+    }
+
+    /// Number of bins in one week, rounded up.
+    pub fn bins_per_week(self) -> usize {
+        crate::time::MINUTES_PER_WEEK.div_ceil(self.minutes) as usize
+    }
+
+    /// The daily granularities evaluated in Section 7.1.2 of the paper:
+    /// 1, 5, 10, 30, 60, 90, 120 and 180 minutes.
+    pub fn daily_candidates() -> Vec<Granularity> {
+        [1u32, 5, 10, 30, 60, 90, 120, 180]
+            .into_iter()
+            .map(Granularity::minutes)
+            .collect()
+    }
+
+    /// The weekly granularities evaluated in Section 7.1.1 of the paper:
+    /// 1 minute plus every divisor-of-24 hour width (1, 2, 3, 4, 6, 8, 12,
+    /// 24 hours).
+    pub fn weekly_candidates() -> Vec<Granularity> {
+        let mut v = vec![Granularity::minutes(1)];
+        v.extend([1u32, 2, 3, 4, 6, 8, 12, 24].into_iter().map(Granularity::hours));
+        v
+    }
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.minutes.is_multiple_of(60) {
+            write!(f, "{}h", self.minutes / 60)
+        } else {
+            write!(f, "{}m", self.minutes)
+        }
+    }
+}
+
+/// Aggregates a series into `granularity`-wide bins.
+///
+/// Bin boundaries are anchored at the trace epoch plus `offset_minutes`
+/// (e.g. `offset_minutes = 120` aligns 8-hour bins to 2am/10am/6pm, the
+/// paper's winning weekly configuration). Each output bin is the **sum** of
+/// the input samples it covers — traffic counters are extensive quantities.
+/// A bin whose covered samples are all missing is missing; otherwise missing
+/// samples contribute zero, matching the collection pipeline where an absent
+/// report means "no traffic seen".
+///
+/// Input samples must be at least as fine as the requested granularity and
+/// the granularity must be a multiple of the input step.
+///
+/// # Panics
+/// Panics if `granularity` is not a multiple of the input step.
+pub fn aggregate(series: &TimeSeries, granularity: Granularity, offset_minutes: u32) -> TimeSeries {
+    let g = granularity.as_minutes();
+    let step = series.step_minutes();
+    assert!(
+        g.is_multiple_of(step),
+        "granularity {g}m must be a multiple of the input step {step}m"
+    );
+    if series.is_empty() {
+        return TimeSeries::new(series.start(), g, Vec::new());
+    }
+    let per_bin = (g / step) as usize;
+
+    // First bin boundary at or before the series start. Boundaries sit at
+    // `offset + k*g` for integer k; when the boundary containing the series
+    // start would be negative (series starts before the first offset-aligned
+    // boundary), we advance to the next boundary and drop the leading
+    // samples — shifting the boundary to zero would silently misalign every
+    // bin after it.
+    let start_abs = series.start().0;
+    let rel = start_abs as i64 - offset_minutes as i64;
+    let first_bin = rel.div_euclid(g as i64);
+    let mut first_bin_start = first_bin * g as i64 + offset_minutes as i64;
+    debug_assert!(first_bin_start <= start_abs as i64);
+    while first_bin_start < 0 {
+        first_bin_start += g as i64;
+    }
+    let first_bin_start = first_bin_start as u32;
+    if first_bin_start >= series.end().0 {
+        return TimeSeries::new(Minute(first_bin_start), g, Vec::new());
+    }
+
+    let end_abs = series.end().0;
+    let n_bins = ((end_abs - first_bin_start) as usize).div_ceil(g as usize);
+
+    let mut out = Vec::with_capacity(n_bins);
+    for b in 0..n_bins {
+        let bin_start = first_bin_start + b as u32 * g;
+        let mut sum = 0.0;
+        let mut any = false;
+        for k in 0..per_bin {
+            let t = Minute(bin_start + k as u32 * step);
+            if t < series.start() || t >= series.end() {
+                continue;
+            }
+            let idx = ((t.0 - series.start().0) / step) as usize;
+            let v = series.values()[idx];
+            if v.is_finite() {
+                sum += v;
+                any = true;
+            }
+        }
+        out.push(if any { sum } else { f64::NAN });
+    }
+    TimeSeries::new(Minute(first_bin_start), g, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_into_bins() {
+        let s = TimeSeries::per_minute(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let a = aggregate(&s, Granularity::minutes(3), 0);
+        assert_eq!(a.values(), &[6.0, 15.0]);
+        assert_eq!(a.step_minutes(), 3);
+        assert_eq!(a.start(), Minute(0));
+    }
+
+    #[test]
+    fn partial_last_bin() {
+        let s = TimeSeries::per_minute(vec![1.0; 5]);
+        let a = aggregate(&s, Granularity::minutes(3), 0);
+        assert_eq!(a.values(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn offset_shifts_boundaries() {
+        // Samples at minutes 0..6; offset 2 puts boundaries at 2 and 5. The
+        // pre-offset minutes 0..2 are dropped to keep every bin aligned.
+        let s = TimeSeries::per_minute(vec![1.0, 1.0, 10.0, 10.0, 10.0, 100.0]);
+        let a = aggregate(&s, Granularity::minutes(3), 2);
+        assert_eq!(a.start(), Minute(2));
+        assert_eq!(a.values(), &[30.0, 100.0]);
+    }
+
+    #[test]
+    fn offset_alignment_is_calendar_stable() {
+        // Two weeks of per-minute data; with an 8h granularity and a 2am
+        // offset, every bin boundary must fall at 02:00, 10:00 or 18:00.
+        let s = TimeSeries::per_minute(vec![1.0; 2 * crate::time::MINUTES_PER_WEEK as usize]);
+        let a = aggregate(&s, Granularity::hours(8), 120);
+        assert_eq!(a.start().minute_of_day(), 120);
+        for i in 0..a.len() {
+            let boundary = a.time_at(i).minute_of_day();
+            assert!(
+                [120, 600, 1080].contains(&boundary),
+                "bin {i} starts at minute-of-day {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_with_later_start() {
+        // Series starting at minute 10, offset 2, g=4: boundaries ...,6,10,14
+        let s = TimeSeries::new(Minute(10), 1, vec![1.0; 8]);
+        let a = aggregate(&s, Granularity::minutes(4), 2);
+        assert_eq!(a.start(), Minute(10));
+        assert_eq!(a.values(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_bins_propagate() {
+        let s = TimeSeries::per_minute(vec![f64::NAN, f64::NAN, 5.0, f64::NAN]);
+        let a = aggregate(&s, Granularity::minutes(2), 0);
+        assert!(a.values()[0].is_nan());
+        assert_eq!(a.values()[1], 5.0);
+    }
+
+    #[test]
+    fn identity_granularity() {
+        let s = TimeSeries::per_minute(vec![1.0, f64::NAN, 3.0]);
+        let a = aggregate(&s, Granularity::minutes(1), 0);
+        assert_eq!(a.values()[0], 1.0);
+        assert!(a.values()[1].is_nan());
+        assert_eq!(a.values()[2], 3.0);
+    }
+
+    #[test]
+    fn aggregating_aggregated_series() {
+        let s = TimeSeries::per_minute((0..12).map(|i| i as f64).collect());
+        let hourly = aggregate(&s, Granularity::minutes(6), 0);
+        let bi = aggregate(&hourly, Granularity::minutes(12), 0);
+        assert_eq!(bi.values(), &[66.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the input step")]
+    fn non_multiple_granularity_rejected() {
+        let s = TimeSeries::new(Minute(0), 2, vec![1.0; 4]);
+        let _ = aggregate(&s, Granularity::minutes(3), 0);
+    }
+
+    #[test]
+    fn candidate_lists_match_paper() {
+        let daily: Vec<u32> = Granularity::daily_candidates()
+            .iter()
+            .map(|g| g.as_minutes())
+            .collect();
+        assert_eq!(daily, vec![1, 5, 10, 30, 60, 90, 120, 180]);
+        let weekly: Vec<u32> = Granularity::weekly_candidates()
+            .iter()
+            .map(|g| g.as_minutes())
+            .collect();
+        assert_eq!(weekly, vec![1, 60, 120, 180, 240, 360, 480, 720, 1440]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Granularity::hours(8).to_string(), "8h");
+        assert_eq!(Granularity::minutes(90).to_string(), "90m");
+    }
+
+    #[test]
+    fn total_is_conserved() {
+        let s = TimeSeries::per_minute((0..100).map(|i| (i * 7 % 13) as f64).collect());
+        for g in [1u32, 2, 4, 5, 10, 20, 50] {
+            let a = aggregate(&s, Granularity::minutes(g), 0);
+            assert!(
+                (a.total() - s.total()).abs() < 1e-9,
+                "total changed for g={g}"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Raw cumulative-counter reports and their conversion to per-minute series.
+//!
+//! The paper's gateways log, once per minute, the *cumulative* number of
+//! bytes transmitted and received by each device since the counter was last
+//! reset. Real deployments lose reports (gateway reboots, devices leaving)
+//! and counters wrap or reset; this module converts such a report stream
+//! into the regular per-minute [`TimeSeries`] the analysis framework
+//! consumes.
+
+use crate::series::TimeSeries;
+use crate::time::Minute;
+
+/// One raw measurement report: the cumulative byte counter observed at a
+/// given minute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterReport {
+    /// Report timestamp.
+    pub at: Minute,
+    /// Cumulative bytes since the counter was created or last reset.
+    pub cumulative_bytes: u64,
+}
+
+/// A stream of cumulative-counter reports for a single device and direction.
+///
+/// Reports must be appended in non-decreasing time order; duplicate
+/// timestamps keep the last value, matching how a collection server
+/// overwrites re-sent reports.
+#[derive(Debug, Clone, Default)]
+pub struct CounterTrace {
+    reports: Vec<CounterReport>,
+}
+
+impl CounterTrace {
+    /// An empty trace.
+    pub fn new() -> CounterTrace {
+        CounterTrace::default()
+    }
+
+    /// Appends a report.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the previous report's timestamp.
+    pub fn push(&mut self, at: Minute, cumulative_bytes: u64) {
+        if let Some(last) = self.reports.last_mut() {
+            assert!(at >= last.at, "reports must be time-ordered");
+            if at == last.at {
+                last.cumulative_bytes = cumulative_bytes;
+                return;
+            }
+        }
+        self.reports.push(CounterReport {
+            at,
+            cumulative_bytes,
+        });
+    }
+
+    /// Number of stored reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the trace holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The stored reports, time-ordered.
+    pub fn reports(&self) -> &[CounterReport] {
+        &self.reports
+    }
+
+    /// Converts the cumulative counters into a per-minute byte-count series
+    /// covering `[start, start + len_minutes)`.
+    ///
+    /// Rules, chosen to match how the paper's collection pipeline behaves:
+    ///
+    /// * The delta between two consecutive reports one minute apart becomes
+    ///   the sample of the later minute.
+    /// * A counter that *decreases* is treated as a reset (reboot / wrap):
+    ///   the later cumulative value is taken as the bytes since the reset.
+    /// * A gap of `k > 1` minutes yields one sample carrying the whole delta
+    ///   at the later report's minute and `k - 1` missing samples — we cannot
+    ///   know how traffic was distributed inside the gap, and inventing a
+    ///   uniform spread would fabricate correlation.
+    /// * Minutes before the first report are missing.
+    pub fn to_per_minute(&self, start: Minute, len_minutes: usize) -> TimeSeries {
+        let mut series = TimeSeries::missing(start, 1, len_minutes);
+        let end = start.plus(len_minutes as u32);
+        let values = series.values_mut();
+        for pair in self.reports.windows(2) {
+            let (prev, cur) = (pair[0], pair[1]);
+            if cur.at < start || cur.at >= end {
+                continue;
+            }
+            let delta = if cur.cumulative_bytes >= prev.cumulative_bytes {
+                cur.cumulative_bytes - prev.cumulative_bytes
+            } else {
+                // Counter reset between the reports.
+                cur.cumulative_bytes
+            };
+            let idx = (cur.at.0 - start.0) as usize;
+            values[idx] = delta as f64;
+        }
+        series
+    }
+}
+
+impl FromIterator<(Minute, u64)> for CounterTrace {
+    fn from_iter<T: IntoIterator<Item = (Minute, u64)>>(iter: T) -> CounterTrace {
+        let mut trace = CounterTrace::new();
+        for (at, bytes) in iter {
+            trace.push(at, bytes);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_reports_become_deltas() {
+        let trace: CounterTrace = [
+            (Minute(0), 100),
+            (Minute(1), 150),
+            (Minute(2), 150),
+            (Minute(3), 400),
+        ]
+        .into_iter()
+        .collect();
+        let s = trace.to_per_minute(Minute(0), 4);
+        assert!(s.values()[0].is_nan(), "minute before any delta is missing");
+        assert_eq!(s.values()[1], 50.0);
+        assert_eq!(s.values()[2], 0.0);
+        assert_eq!(s.values()[3], 250.0);
+    }
+
+    #[test]
+    fn counter_reset_detected() {
+        let trace: CounterTrace = [(Minute(0), 1000), (Minute(1), 30)].into_iter().collect();
+        let s = trace.to_per_minute(Minute(0), 2);
+        assert_eq!(s.values()[1], 30.0, "reset takes the new cumulative value");
+    }
+
+    #[test]
+    fn gaps_leave_missing_samples() {
+        let trace: CounterTrace = [(Minute(0), 0), (Minute(4), 400)].into_iter().collect();
+        let s = trace.to_per_minute(Minute(0), 5);
+        for i in 0..4 {
+            assert!(s.values()[i].is_nan(), "minute {i} should be missing");
+        }
+        assert_eq!(s.values()[4], 400.0);
+    }
+
+    #[test]
+    fn duplicate_timestamp_keeps_last() {
+        let mut trace = CounterTrace::new();
+        trace.push(Minute(0), 10);
+        trace.push(Minute(1), 20);
+        trace.push(Minute(1), 30);
+        assert_eq!(trace.len(), 2);
+        let s = trace.to_per_minute(Minute(0), 2);
+        assert_eq!(s.values()[1], 20.0);
+    }
+
+    #[test]
+    fn reports_outside_range_ignored() {
+        let trace: CounterTrace = [(Minute(0), 0), (Minute(1), 10), (Minute(10), 100)]
+            .into_iter()
+            .collect();
+        let s = trace.to_per_minute(Minute(0), 5);
+        assert_eq!(s.values()[1], 10.0);
+        assert_eq!(s.observed_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_rejected() {
+        let mut trace = CounterTrace::new();
+        trace.push(Minute(5), 10);
+        trace.push(Minute(4), 20);
+    }
+
+    #[test]
+    fn empty_trace_is_all_missing() {
+        let trace = CounterTrace::new();
+        let s = trace.to_per_minute(Minute(0), 3);
+        assert_eq!(s.observed_count(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Time-series foundations for wireless-traffic analysis.
+//!
+//! The paper analyzes *regularly sampled* traffic-counter series: each
+//! residential gateway reports, once per minute, the cumulative incoming and
+//! outgoing byte counters of every connected device. This crate provides the
+//! containers and calendar machinery that the rest of the workspace builds
+//! on:
+//!
+//! * [`Minute`] and [`Weekday`] — a minimal calendar anchored at the start of
+//!   the observation campaign (a Monday, 00:00), mirroring the paper's
+//!   dataset which starts on Monday, March 17, 2014.
+//! * [`TimeSeries`] — a regularly sampled series with explicit missing values
+//!   (`NaN`), the unit of all analyses.
+//! * [`CounterTrace`] — raw cumulative-counter reports, convertible to a
+//!   per-minute [`TimeSeries`] with reset and gap handling.
+//! * [`binning`] — time aggregation (Definition 3 of the paper operates over
+//!   candidate binnings).
+//! * [`windows`] — non-overlapping daily and weekly windows, the `W` mapping
+//!   of Definitions 2, 3 and 5.
+
+pub mod binning;
+pub mod counter;
+pub mod series;
+pub mod time;
+pub mod windows;
+
+pub use binning::{aggregate, Granularity};
+pub use counter::{CounterReport, CounterTrace};
+pub use series::TimeSeries;
+pub use time::{Minute, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK};
+pub use windows::{daily_windows, weekly_windows, Window, WindowKind};

@@ -1,0 +1,350 @@
+//! Regularly sampled time series with explicit missing values.
+
+use crate::time::Minute;
+
+/// A regularly sampled time series.
+///
+/// ```
+/// use wtts_timeseries::{TimeSeries, Minute};
+///
+/// let s = TimeSeries::per_minute(vec![10.0, f64::NAN, 30.0]);
+/// assert_eq!(s.observed_count(), 2);
+/// assert_eq!(s.total(), 40.0);
+/// assert_eq!(s.value_at(Minute(1)), None); // missing sample
+/// ```
+///
+/// Values are `f64`; missing observations are stored as `NaN` so that series
+/// keep their calendar alignment even when a gateway skipped reports (the
+/// paper filters gateways by "at least one observation per week/day" rather
+/// than requiring gap-free data). All statistics in `wtts-stats` are
+/// missing-aware: they operate on pairwise-complete observations.
+///
+/// The sample at index `i` covers the half-open interval
+/// `[start + i*step, start + (i+1)*step)` minutes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: Minute,
+    step_minutes: u32,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw values.
+    ///
+    /// # Panics
+    /// Panics if `step_minutes == 0`.
+    pub fn new(start: Minute, step_minutes: u32, values: Vec<f64>) -> TimeSeries {
+        assert!(step_minutes > 0, "step must be positive");
+        TimeSeries {
+            start,
+            step_minutes,
+            values,
+        }
+    }
+
+    /// A per-minute series starting at the trace epoch.
+    pub fn per_minute(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(Minute::ZERO, 1, values)
+    }
+
+    /// An all-missing series of `len` samples.
+    pub fn missing(start: Minute, step_minutes: u32, len: usize) -> TimeSeries {
+        TimeSeries::new(start, step_minutes, vec![f64::NAN; len])
+    }
+
+    /// First covered minute.
+    pub fn start(&self) -> Minute {
+        self.start
+    }
+
+    /// Sampling step in minutes.
+    pub fn step_minutes(&self) -> u32 {
+        self.step_minutes
+    }
+
+    /// Number of samples (including missing ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw sample values (`NaN` = missing).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the sample values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the series, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// The timestamp of sample `i`.
+    pub fn time_at(&self, i: usize) -> Minute {
+        self.start.plus(i as u32 * self.step_minutes)
+    }
+
+    /// One past the last covered minute.
+    pub fn end(&self) -> Minute {
+        self.start.plus(self.values.len() as u32 * self.step_minutes)
+    }
+
+    /// The sample covering `t`, or `None` if `t` is outside the series or the
+    /// sample is missing.
+    pub fn value_at(&self, t: Minute) -> Option<f64> {
+        if t < self.start {
+            return None;
+        }
+        let idx = ((t.0 - self.start.0) / self.step_minutes) as usize;
+        match self.values.get(idx) {
+            Some(v) if v.is_finite() => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of non-missing samples.
+    pub fn observed_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_finite()).count()
+    }
+
+    /// Fraction of samples that are present, in `[0, 1]`; `0` for an empty
+    /// series.
+    pub fn coverage(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.observed_count() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Sum of the non-missing values (`0` if all are missing).
+    pub fn total(&self) -> f64 {
+        self.values.iter().filter(|v| v.is_finite()).sum()
+    }
+
+    /// Mean of the non-missing values, or `None` if all are missing.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.observed_count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.total() / n as f64)
+        }
+    }
+
+    /// Largest non-missing value, or `None` if all are missing.
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Extracts the sub-series covering `[from, from + len_samples*step)`.
+    ///
+    /// Samples outside the stored range come back as missing, so slicing never
+    /// fails: callers can always request calendar-aligned windows.
+    pub fn slice(&self, from: Minute, len_samples: usize) -> TimeSeries {
+        let mut out = Vec::with_capacity(len_samples);
+        for i in 0..len_samples {
+            let t = from.plus(i as u32 * self.step_minutes);
+            let v = if t < self.start {
+                f64::NAN
+            } else {
+                let idx = ((t.0 - self.start.0) / self.step_minutes) as usize;
+                self.values.get(idx).copied().unwrap_or(f64::NAN)
+            };
+            out.push(v);
+        }
+        TimeSeries::new(from, self.step_minutes, out)
+    }
+
+    /// Element-wise sum of two aligned series.
+    ///
+    /// Missing + present = present (a gateway total must not become missing
+    /// because one idle device skipped a report); missing + missing = missing.
+    ///
+    /// # Panics
+    /// Panics if the series are not aligned (same start, step, and length).
+    pub fn add(&self, other: &TimeSeries) -> TimeSeries {
+        self.assert_aligned(other);
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| match (a.is_finite(), b.is_finite()) {
+                (true, true) => a + b,
+                (true, false) => a,
+                (false, true) => b,
+                (false, false) => f64::NAN,
+            })
+            .collect();
+        TimeSeries::new(self.start, self.step_minutes, values)
+    }
+
+    /// Sums any number of aligned series; `None` when the iterator is empty.
+    pub fn sum_all<'a>(mut series: impl Iterator<Item = &'a TimeSeries>) -> Option<TimeSeries> {
+        let first = series.next()?.clone();
+        Some(series.fold(first, |acc, s| acc.add(s)))
+    }
+
+    /// Applies `f` to every non-missing value in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.values {
+            if v.is_finite() {
+                *v = f(*v);
+            }
+        }
+    }
+
+    /// Returns a copy with every non-missing value below `threshold` set to
+    /// zero — the paper's active-traffic filter (Section 6.1).
+    pub fn threshold_below(&self, threshold: f64) -> TimeSeries {
+        let mut out = self.clone();
+        out.map_in_place(|v| if v < threshold { 0.0 } else { v });
+        out
+    }
+
+    /// The non-missing values as a fresh vector.
+    pub fn observed_values(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect()
+    }
+
+    fn assert_aligned(&self, other: &TimeSeries) {
+        assert_eq!(self.start, other.start, "series starts differ");
+        assert_eq!(
+            self.step_minutes, other.step_minutes,
+            "series steps differ"
+        );
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "series lengths differ"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Weekday;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::per_minute(values)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = ts(vec![1.0, 2.0, f64::NAN, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.observed_count(), 3);
+        assert_eq!(s.total(), 7.0);
+        assert_eq!(s.mean(), Some(7.0 / 3.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert!((s.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_degenerate_stats() {
+        let s = ts(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.coverage(), 0.0);
+    }
+
+    #[test]
+    fn all_missing_stats() {
+        let s = TimeSeries::missing(Minute::ZERO, 1, 5);
+        assert_eq!(s.observed_count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn value_at_respects_step() {
+        let s = TimeSeries::new(Minute(10), 5, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.value_at(Minute(10)), Some(1.0));
+        assert_eq!(s.value_at(Minute(14)), Some(1.0));
+        assert_eq!(s.value_at(Minute(15)), Some(2.0));
+        assert_eq!(s.value_at(Minute(9)), None);
+        assert_eq!(s.value_at(Minute(25)), None);
+    }
+
+    #[test]
+    fn slice_pads_with_missing() {
+        let s = TimeSeries::new(Minute(10), 1, vec![1.0, 2.0]);
+        let w = s.slice(Minute(9), 4);
+        assert_eq!(w.len(), 4);
+        assert!(w.values()[0].is_nan());
+        assert_eq!(w.values()[1], 1.0);
+        assert_eq!(w.values()[2], 2.0);
+        assert!(w.values()[3].is_nan());
+        assert_eq!(w.start(), Minute(9));
+    }
+
+    #[test]
+    fn add_merges_missing() {
+        let a = ts(vec![1.0, f64::NAN, f64::NAN]);
+        let b = ts(vec![2.0, 3.0, f64::NAN]);
+        let c = a.add(&b);
+        assert_eq!(c.values()[0], 3.0);
+        assert_eq!(c.values()[1], 3.0);
+        assert!(c.values()[2].is_nan());
+    }
+
+    #[test]
+    fn sum_all_over_three() {
+        let a = ts(vec![1.0, 1.0]);
+        let b = ts(vec![2.0, f64::NAN]);
+        let c = ts(vec![3.0, 3.0]);
+        let sum = TimeSeries::sum_all([&a, &b, &c].into_iter()).unwrap();
+        assert_eq!(sum.values(), &[6.0, 4.0]);
+        assert!(TimeSeries::sum_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn add_rejects_misaligned() {
+        let a = ts(vec![1.0]);
+        let b = ts(vec![1.0, 2.0]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn threshold_below_zeroes_background() {
+        let s = ts(vec![10.0, 4999.0, 5000.0, f64::NAN]);
+        let t = s.threshold_below(5000.0);
+        assert_eq!(t.values()[0], 0.0);
+        assert_eq!(t.values()[1], 0.0);
+        assert_eq!(t.values()[2], 5000.0);
+        assert!(t.values()[3].is_nan());
+    }
+
+    #[test]
+    fn time_at_and_end() {
+        let start = Minute::from_parts(0, Weekday::Tuesday, 0, 0);
+        let s = TimeSeries::new(start, 30, vec![0.0; 4]);
+        assert_eq!(s.time_at(2), start.plus(60));
+        assert_eq!(s.end(), start.plus(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = TimeSeries::new(Minute::ZERO, 0, vec![]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal calendar arithmetic for traffic traces.
+//!
+//! Traces are anchored at an *epoch*: minute 0 is Monday 00:00 of the first
+//! observation week. Working in minutes-since-epoch keeps every calendar
+//! operation (weekday, minute-of-day, week index) a couple of integer
+//! divisions, and the anchoring to a Monday midnight matches the paper's
+//! windowing conventions ("weekly windows starting from Mondays",
+//! "daily windows starting from midnight").
+
+/// Minutes in one day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// Minutes in one week.
+pub const MINUTES_PER_WEEK: u32 = 7 * MINUTES_PER_DAY;
+
+/// A timestamp measured in whole minutes since the trace epoch
+/// (Monday 00:00 of week 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Minute(pub u32);
+
+impl Minute {
+    /// The trace epoch itself.
+    pub const ZERO: Minute = Minute(0);
+
+    /// Builds a timestamp from calendar components.
+    ///
+    /// `week` is the zero-based week index, `weekday` the day within that
+    /// week, and `hour`/`minute` the time of day.
+    ///
+    /// # Panics
+    /// Panics if `hour >= 24` or `minute >= 60`.
+    pub fn from_parts(week: u32, weekday: Weekday, hour: u32, minute: u32) -> Minute {
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        Minute(
+            week * MINUTES_PER_WEEK
+                + weekday.index() as u32 * MINUTES_PER_DAY
+                + hour * 60
+                + minute,
+        )
+    }
+
+    /// Zero-based week index since the epoch.
+    pub fn week(self) -> u32 {
+        self.0 / MINUTES_PER_WEEK
+    }
+
+    /// Day of week.
+    pub fn weekday(self) -> Weekday {
+        Weekday::from_index(((self.0 / MINUTES_PER_DAY) % 7) as u8)
+    }
+
+    /// Zero-based day index since the epoch.
+    pub fn day(self) -> u32 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Minute within the day, `0..1440`.
+    pub fn minute_of_day(self) -> u32 {
+        self.0 % MINUTES_PER_DAY
+    }
+
+    /// Hour within the day, `0..24`.
+    pub fn hour(self) -> u32 {
+        self.minute_of_day() / 60
+    }
+
+    /// Minute within the week, `0..10080`.
+    pub fn minute_of_week(self) -> u32 {
+        self.0 % MINUTES_PER_WEEK
+    }
+
+    /// Whether this minute falls on a Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        self.weekday().is_weekend()
+    }
+
+    /// The timestamp `minutes` later.
+    pub fn plus(self, minutes: u32) -> Minute {
+        Minute(self.0 + minutes)
+    }
+}
+
+impl std::fmt::Display for Minute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "w{} {} {:02}:{:02}",
+            self.week(),
+            self.weekday(),
+            self.hour(),
+            self.minute_of_day() % 60
+        )
+    }
+}
+
+/// Day of week; the trace epoch falls on a Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays in order, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Zero-based index, Monday = 0.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Weekday::index`], modulo 7.
+    pub fn from_index(i: u8) -> Weekday {
+        Weekday::ALL[(i % 7) as usize]
+    }
+
+    /// Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// The day after, wrapping Sunday → Monday.
+    pub fn next(self) -> Weekday {
+        Weekday::from_index(self.index() + 1)
+    }
+}
+
+impl std::fmt::Display for Weekday {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday_midnight() {
+        assert_eq!(Minute::ZERO.weekday(), Weekday::Monday);
+        assert_eq!(Minute::ZERO.hour(), 0);
+        assert_eq!(Minute::ZERO.minute_of_day(), 0);
+        assert_eq!(Minute::ZERO.week(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let m = Minute::from_parts(3, Weekday::Thursday, 17, 42);
+        assert_eq!(m.week(), 3);
+        assert_eq!(m.weekday(), Weekday::Thursday);
+        assert_eq!(m.hour(), 17);
+        assert_eq!(m.minute_of_day(), 17 * 60 + 42);
+    }
+
+    #[test]
+    fn weekday_rolls_over_at_midnight() {
+        let sunday_late = Minute::from_parts(0, Weekday::Sunday, 23, 59);
+        assert_eq!(sunday_late.weekday(), Weekday::Sunday);
+        assert_eq!(sunday_late.plus(1).weekday(), Weekday::Monday);
+        assert_eq!(sunday_late.plus(1).week(), 1);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(Weekday::Sunday.is_weekend());
+        for d in [
+            Weekday::Monday,
+            Weekday::Tuesday,
+            Weekday::Wednesday,
+            Weekday::Thursday,
+            Weekday::Friday,
+        ] {
+            assert!(!d.is_weekend(), "{d} must not be a weekend day");
+        }
+    }
+
+    #[test]
+    fn weekday_next_cycles() {
+        let mut d = Weekday::Monday;
+        for _ in 0..7 {
+            d = d.next();
+        }
+        assert_eq!(d, Weekday::Monday);
+    }
+
+    #[test]
+    fn day_and_minute_of_week() {
+        let m = Minute::from_parts(2, Weekday::Wednesday, 6, 30);
+        assert_eq!(m.day(), 2 * 7 + 2);
+        assert_eq!(m.minute_of_week(), 2 * MINUTES_PER_DAY + 6 * 60 + 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn from_parts_rejects_bad_hour() {
+        let _ = Minute::from_parts(0, Weekday::Monday, 24, 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Minute::from_parts(1, Weekday::Friday, 9, 5);
+        assert_eq!(m.to_string(), "w1 Fri 09:05");
+    }
+}

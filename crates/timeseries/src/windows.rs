@@ -1,0 +1,209 @@
+//! Non-overlapping calendar windows.
+//!
+//! The paper's stationarity notion (Definition 2) and motif mapping
+//! (Definition 5) both operate on *non-overlapping* windows whose starting
+//! points synchronize with calendar boundaries: weekly windows start on
+//! Mondays and daily windows at midnight (optionally shifted, e.g. the
+//! winning weekly aggregation starts days at 2am). This module extracts such
+//! windows from a [`TimeSeries`].
+
+use crate::series::TimeSeries;
+use crate::time::{Minute, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK};
+
+/// Whether a window spans a day or a week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowKind {
+    /// One calendar day (optionally offset from midnight).
+    Daily,
+    /// One calendar week starting on Monday (optionally offset).
+    Weekly,
+}
+
+/// One extracted calendar window of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Daily or weekly.
+    pub kind: WindowKind,
+    /// Zero-based week index the window belongs to.
+    pub week: u32,
+    /// For daily windows, the weekday; `None` for weekly windows.
+    pub weekday: Option<Weekday>,
+    /// The window's samples, calendar-aligned (missing-padded at the edges).
+    pub series: TimeSeries,
+}
+
+impl Window {
+    /// Fraction of the window's samples that are observed.
+    pub fn coverage(&self) -> f64 {
+        self.series.coverage()
+    }
+
+    /// Whether the window has at least one observed sample.
+    pub fn has_observations(&self) -> bool {
+        self.series.observed_count() > 0
+    }
+
+    /// Whether this is a Saturday or Sunday window (daily windows only).
+    pub fn is_weekend(&self) -> bool {
+        self.weekday.is_some_and(Weekday::is_weekend)
+    }
+
+    /// A short human-readable label, e.g. `w2` or `w2/Tue`.
+    pub fn label(&self) -> String {
+        match self.weekday {
+            Some(d) => format!("w{}/{d}", self.week),
+            None => format!("w{}", self.week),
+        }
+    }
+}
+
+/// Extracts the weekly windows of `series` over weeks `0..n_weeks`.
+///
+/// Each window starts on Monday at `offset_minutes` past midnight (the
+/// paper's best weekly aggregation uses a 2am start, i.e. `offset_minutes =
+/// 120`) and spans exactly one week. Windows are missing-padded where the
+/// series does not cover them, so every returned window has the same length —
+/// a prerequisite for the element-wise correlation of Definition 1.
+pub fn weekly_windows(series: &TimeSeries, n_weeks: u32, offset_minutes: u32) -> Vec<Window> {
+    let step = series.step_minutes();
+    let len = (MINUTES_PER_WEEK / step) as usize;
+    (0..n_weeks)
+        .map(|w| {
+            let start = Minute(w * MINUTES_PER_WEEK + offset_minutes);
+            Window {
+                kind: WindowKind::Weekly,
+                week: w,
+                weekday: None,
+                series: series.slice(start, len),
+            }
+        })
+        .collect()
+}
+
+/// Extracts the daily windows of `series` over `n_weeks` weeks.
+///
+/// Each window starts at `offset_minutes` past midnight and spans one day.
+pub fn daily_windows(series: &TimeSeries, n_weeks: u32, offset_minutes: u32) -> Vec<Window> {
+    let step = series.step_minutes();
+    let len = (MINUTES_PER_DAY / step) as usize;
+    let mut out = Vec::with_capacity(n_weeks as usize * 7);
+    for w in 0..n_weeks {
+        for d in Weekday::ALL {
+            let start = Minute(
+                w * MINUTES_PER_WEEK + d.index() as u32 * MINUTES_PER_DAY + offset_minutes,
+            );
+            out.push(Window {
+                kind: WindowKind::Daily,
+                week: w,
+                weekday: Some(d),
+                series: series.slice(start, len),
+            });
+        }
+    }
+    out
+}
+
+/// Groups daily windows by weekday, preserving order within each group.
+///
+/// The paper's daily-pattern analysis compares Mondays with Mondays, Tuesdays
+/// with Tuesdays, and so on (Section 7.1.2).
+pub fn group_by_weekday(windows: &[Window]) -> [Vec<&Window>; 7] {
+    let mut groups: [Vec<&Window>; 7] = Default::default();
+    for w in windows {
+        if let Some(d) = w.weekday {
+            groups[d.index() as usize].push(w);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::{aggregate, Granularity};
+
+    fn two_week_series() -> TimeSeries {
+        // Per-minute series over exactly 2 weeks with value = week index + 1.
+        let mut v = Vec::new();
+        v.extend(std::iter::repeat_n(1.0, MINUTES_PER_WEEK as usize));
+        v.extend(std::iter::repeat_n(2.0, MINUTES_PER_WEEK as usize));
+        TimeSeries::per_minute(v)
+    }
+
+    #[test]
+    fn weekly_windows_align_to_mondays() {
+        let s = two_week_series();
+        let ws = weekly_windows(&s, 2, 0);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].series.start().weekday(), Weekday::Monday);
+        assert_eq!(ws[0].series.len(), MINUTES_PER_WEEK as usize);
+        assert!(ws[0].series.values().iter().all(|&v| v == 1.0));
+        assert!(ws[1].series.values().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn weekly_offset_shifts_and_pads() {
+        let s = two_week_series();
+        let ws = weekly_windows(&s, 2, 120);
+        assert_eq!(ws[0].series.start(), Minute(120));
+        assert_eq!(ws[0].series.start().hour(), 2);
+        // Second window extends 120 minutes past the series end -> padded.
+        let last = &ws[1].series;
+        assert_eq!(last.len(), MINUTES_PER_WEEK as usize);
+        assert_eq!(
+            last.observed_count(),
+            MINUTES_PER_WEEK as usize - 120,
+            "tail past the data must be missing"
+        );
+    }
+
+    #[test]
+    fn daily_windows_cover_all_weekdays() {
+        let s = two_week_series();
+        let ds = daily_windows(&s, 2, 0);
+        assert_eq!(ds.len(), 14);
+        assert_eq!(ds[0].weekday, Some(Weekday::Monday));
+        assert_eq!(ds[6].weekday, Some(Weekday::Sunday));
+        assert_eq!(ds[7].weekday, Some(Weekday::Monday));
+        assert_eq!(ds[7].week, 1);
+        assert!(ds[5].is_weekend());
+        assert!(!ds[4].is_weekend());
+    }
+
+    #[test]
+    fn windows_of_aggregated_series() {
+        let s = two_week_series();
+        let agg = aggregate(&s, Granularity::hours(8), 120);
+        let ws = weekly_windows(&agg, 2, 120);
+        assert_eq!(ws[0].series.len(), 21, "7 days x 3 eight-hour bins");
+        assert_eq!(ws[0].series.step_minutes(), 480);
+    }
+
+    #[test]
+    fn group_by_weekday_partitions() {
+        let s = two_week_series();
+        let ds = daily_windows(&s, 2, 0);
+        let groups = group_by_weekday(&ds);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.len(), 2, "weekday {i} should appear twice");
+        }
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let s = two_week_series();
+        let ws = weekly_windows(&s, 1, 0);
+        assert_eq!(ws[0].label(), "w0");
+        let ds = daily_windows(&s, 1, 0);
+        assert_eq!(ds[1].label(), "w0/Tue");
+    }
+
+    #[test]
+    fn empty_region_windows_have_no_observations() {
+        let s = TimeSeries::per_minute(vec![1.0; 100]);
+        let ws = weekly_windows(&s, 3, 0);
+        assert!(ws[0].has_observations());
+        assert!(!ws[2].has_observations());
+        assert_eq!(ws[2].coverage(), 0.0);
+    }
+}

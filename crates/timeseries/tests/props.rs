@@ -1,0 +1,136 @@
+//! Property-based tests for the time-series foundations.
+
+use proptest::prelude::*;
+use wtts_timeseries::{
+    aggregate, daily_windows, weekly_windows, CounterTrace, Granularity, Minute, TimeSeries,
+    Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK,
+};
+
+fn values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0.0f64..1e8).prop_map(|v| v),
+            2 => Just(f64::NAN),
+        ],
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Calendar round trip: any minute decomposes into consistent parts.
+    #[test]
+    fn minute_calendar_consistency(m in 0u32..(10 * MINUTES_PER_WEEK)) {
+        let t = Minute(m);
+        let rebuilt = Minute::from_parts(
+            t.week(),
+            t.weekday(),
+            t.hour(),
+            t.minute_of_day() % 60,
+        );
+        prop_assert_eq!(t, rebuilt);
+        prop_assert_eq!(t.day(), m / MINUTES_PER_DAY);
+        prop_assert!(t.minute_of_week() < MINUTES_PER_WEEK);
+    }
+
+    /// Weekday index round trip.
+    #[test]
+    fn weekday_index_roundtrip(i in 0u8..7) {
+        let d = Weekday::from_index(i);
+        prop_assert_eq!(d.index(), i);
+        prop_assert_eq!(d.is_weekend(), i >= 5);
+    }
+
+    /// slice() preserves every stored value it covers and pads the rest.
+    #[test]
+    fn slice_preserves_values(vals in values(1..300), offset in 0u32..50, len in 1usize..400) {
+        let s = TimeSeries::new(Minute(offset), 1, vals.clone());
+        let sliced = s.slice(Minute(0), len);
+        prop_assert_eq!(sliced.len(), len);
+        for i in 0..len {
+            let got = sliced.values()[i];
+            let expect = if (i as u32) < offset {
+                f64::NAN
+            } else {
+                vals.get((i as u32 - offset) as usize).copied().unwrap_or(f64::NAN)
+            };
+            prop_assert!(got.is_nan() == expect.is_nan());
+            if got.is_finite() {
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// add() is commutative and conserves the total when merges are
+    /// missing-free on at least one side.
+    #[test]
+    fn add_commutes(a in values(1..200), b in values(1..200)) {
+        let n = a.len().min(b.len());
+        let x = TimeSeries::per_minute(a[..n].to_vec());
+        let y = TimeSeries::per_minute(b[..n].to_vec());
+        let xy = x.add(&y);
+        let yx = y.add(&x);
+        for (p, q) in xy.values().iter().zip(yx.values()) {
+            prop_assert!(p.is_nan() == q.is_nan());
+            if p.is_finite() {
+                prop_assert!((p - q).abs() < 1e-9);
+            }
+        }
+        let expect = x.total() + y.total();
+        let rel = (xy.total() - expect).abs() / expect.abs().max(1.0);
+        prop_assert!(rel < 1e-12);
+    }
+
+    /// Aggregation preserves totals and missing-ness semantics for any
+    /// offset.
+    #[test]
+    fn aggregate_total_conserved_any_offset(
+        vals in values(10..500),
+        g in 1u32..120,
+        offset in 0u32..120,
+    ) {
+        let s = TimeSeries::per_minute(vals);
+        let a = aggregate(&s, Granularity::minutes(g), offset);
+        // Offsets may drop up to `offset` leading samples.
+        let dropped: f64 = s
+            .values()
+            .iter()
+            .take(a.start().0 as usize)
+            .filter(|v| v.is_finite())
+            .sum();
+        let rel = ((a.total() + dropped) - s.total()).abs() / s.total().abs().max(1.0);
+        prop_assert!(rel < 1e-9, "total mismatch: {} vs {}", a.total() + dropped, s.total());
+        prop_assert!(a.step_minutes() == g);
+    }
+
+    /// Weekly and daily windows always have calendar-exact lengths.
+    #[test]
+    fn windows_have_exact_lengths(weeks in 1u32..4, g in prop::sample::select(vec![1u32, 30, 60, 180, 480])) {
+        let s = TimeSeries::per_minute(vec![1.0; (weeks * MINUTES_PER_WEEK) as usize]);
+        let agg = aggregate(&s, Granularity::minutes(g), 0);
+        for w in weekly_windows(&agg, weeks, 0) {
+            prop_assert_eq!(w.series.len(), (MINUTES_PER_WEEK / g) as usize);
+        }
+        for d in daily_windows(&agg, weeks, 0) {
+            prop_assert_eq!(d.series.len(), (MINUTES_PER_DAY / g) as usize);
+        }
+    }
+
+    /// CounterTrace decoding never produces negative deltas.
+    #[test]
+    fn counter_deltas_non_negative(raw in prop::collection::vec(0u64..u32::MAX as u64, 2..100)) {
+        // Interpret raw values as arbitrary cumulative readings (resets
+        // allowed when a value is below its predecessor).
+        let mut trace = CounterTrace::new();
+        for (i, &v) in raw.iter().enumerate() {
+            trace.push(Minute(i as u32), v);
+        }
+        let s = trace.to_per_minute(Minute(0), raw.len());
+        for v in s.values() {
+            if v.is_finite() {
+                prop_assert!(*v >= 0.0);
+            }
+        }
+    }
+}

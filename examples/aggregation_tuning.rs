@@ -1,0 +1,83 @@
+//! Choosing the best aggregation granularity (Section 7.1 of the paper).
+//!
+//! Sweeps candidate binnings for one gateway and reports the week-to-week
+//! and same-weekday correlations per granularity, plus strong-stationarity
+//! verdicts — Definition 3 in action.
+//!
+//! ```text
+//! cargo run --release --example aggregation_tuning [gateway_id]
+//! ```
+
+use wtts::core::aggregation::{
+    best_score, daily_window_correlation, stationary_weekday_count, weekly_stationarity,
+    weekly_window_correlation,
+};
+use wtts::gwsim::{Fleet, FleetConfig};
+use wtts::timeseries::Granularity;
+
+fn main() {
+    let id: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let weeks = 4;
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: id + 1,
+        weeks,
+        ..FleetConfig::default()
+    });
+    let gw = fleet.gateway(id);
+    let total = gw.aggregate_total();
+    println!(
+        "gateway {id} ({}, regularity {:.2}), {} weeks of data\n",
+        gw.archetype, gw.regularity, weeks
+    );
+
+    println!("weekly patterns (windows = whole weeks):");
+    println!("{:>12} {:>10} {:>12}", "granularity", "avg cor", "stationary?");
+    let mut weekly_scores = Vec::new();
+    for g in Granularity::weekly_candidates() {
+        let Some(score) = weekly_window_correlation(&total, weeks, g, 0) else {
+            continue;
+        };
+        let stationary = weekly_stationarity(&total, weeks, g, 0)
+            .map(|c| c.is_stationary())
+            .unwrap_or(false);
+        println!(
+            "{:>12} {:>10.3} {:>12}",
+            g.to_string(),
+            score.mean_correlation,
+            stationary
+        );
+        weekly_scores.push(score);
+    }
+    if let Some(best) = best_score(&weekly_scores) {
+        println!(
+            "--> best weekly aggregation: {} (mean correlation {:.3})\n",
+            best.granularity, best.mean_correlation
+        );
+    }
+
+    println!("daily patterns (Mondays vs Mondays, ...):");
+    println!("{:>12} {:>10} {:>17}", "granularity", "avg cor", "stationary days");
+    let mut daily_scores = Vec::new();
+    for g in Granularity::daily_candidates() {
+        let Some(score) = daily_window_correlation(&total, weeks, g, 0) else {
+            continue;
+        };
+        let days = stationary_weekday_count(&total, weeks, g, 0);
+        println!(
+            "{:>12} {:>10.3} {:>17}",
+            g.to_string(),
+            score.mean_correlation,
+            days
+        );
+        daily_scores.push(score);
+    }
+    if let Some(best) = best_score(&daily_scores) {
+        println!(
+            "--> best daily aggregation: {} (mean correlation {:.3})",
+            best.granularity, best.mean_correlation
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Fleet-wide inventory report: what a simulated ISP deployment looks like,
+//! and how well the MAC/name device classifier recovers ground truth.
+//!
+//! ```text
+//! cargo run --release --example fleet_report [n_gateways]
+//! ```
+
+use std::collections::HashMap;
+use wtts::devid::DeviceType;
+use wtts::gwsim::{Fleet, FleetConfig, Reliability};
+use wtts::stats::fit_zipf;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: n,
+        weeks: 2,
+        ..FleetConfig::default()
+    });
+
+    let mut devices = 0usize;
+    let mut archetypes: HashMap<String, usize> = HashMap::new();
+    let mut reliability: HashMap<&'static str, usize> = HashMap::new();
+    let mut confusion: HashMap<(DeviceType, DeviceType), usize> = HashMap::new();
+    let mut correct = 0usize;
+    let mut traffic_gb = 0.0;
+
+    for gw in fleet.iter() {
+        devices += gw.devices.len();
+        *archetypes.entry(gw.archetype.to_string()).or_insert(0) += 1;
+        let rel = match gw.reliability {
+            Reliability::Reliable => "reliable",
+            Reliability::FlakyDays => "day gaps",
+            Reliability::FlakyWeeks => "week gaps",
+        };
+        *reliability.entry(rel).or_insert(0) += 1;
+        traffic_gb += gw.aggregate_total().total() / 1e9;
+        for d in &gw.devices {
+            let truth = d.spec.true_type;
+            let inferred = d.inferred_type();
+            *confusion.entry((truth, inferred)).or_insert(0) += 1;
+            if truth == inferred {
+                correct += 1;
+            }
+        }
+    }
+
+    println!("fleet: {} gateways, {devices} devices, {traffic_gb:.0} GB over 2 weeks\n", fleet.len());
+
+    println!("household archetypes:");
+    let mut rows: Vec<_> = archetypes.into_iter().collect();
+    rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (name, count) in rows {
+        println!("  {name:<16} {count}");
+    }
+
+    println!("\nreporting reliability:");
+    for (name, count) in reliability {
+        println!("  {name:<10} {count}");
+    }
+
+    println!("\ndevice classifier (rows = truth, columns = inferred):");
+    print!("{:>14}", "");
+    for ty in DeviceType::ALL {
+        print!("{:>13}", ty.label());
+    }
+    println!();
+    for truth in DeviceType::ALL {
+        if truth == DeviceType::Unlabeled {
+            continue; // No ground-truth unlabeled devices are simulated.
+        }
+        print!("{:>14}", truth.label());
+        for inferred in DeviceType::ALL {
+            print!("{:>13}", confusion.get(&(truth, inferred)).copied().unwrap_or(0));
+        }
+        println!();
+    }
+    println!(
+        "\nclassifier accuracy: {:.1}% of {devices} devices",
+        correct as f64 / devices as f64 * 100.0
+    );
+
+    // Zipf check on the fleet's pooled traffic values (Section 4.1).
+    let sample: Vec<f64> = fleet
+        .gateway(0)
+        .aggregate_total()
+        .observed_values();
+    if let Some(fit) = fit_zipf(&sample, 20) {
+        println!(
+            "\ngateway 0 traffic values: Zipf exponent {:.2}, r^2 {:.2} ({})",
+            fit.exponent,
+            fit.r_squared,
+            if fit.is_zipfian() { "zipfian" } else { "not zipfian" }
+        );
+    }
+}

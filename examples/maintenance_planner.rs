@@ -1,0 +1,65 @@
+//! Per-home firmware-update planning — the ISP use case that motivates the
+//! paper's introduction: replace the fleet-wide night-time update broadcast
+//! with a per-gateway window chosen from each home's weekly activity
+//! profile.
+//!
+//! ```text
+//! cargo run --release --example maintenance_planner [n_gateways]
+//! ```
+
+use wtts::core::background::{estimate_tau, remove_background};
+use wtts::core::maintenance::WeeklyProfile;
+use wtts::gwsim::{Fleet, FleetConfig};
+use wtts::timeseries::TimeSeries;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: n,
+        weeks: 3,
+        ..FleetConfig::default()
+    });
+
+    println!(
+        "{:>3}  {:>16}  {:>18}  {:>14}  {:>12}",
+        "gw", "archetype", "update window", "expected bytes", "silent share"
+    );
+    for gw in fleet.iter() {
+        // Active traffic: per-device background removal, then sum.
+        let active: Vec<TimeSeries> = gw
+            .devices
+            .iter()
+            .map(|d| {
+                let tin = estimate_tau(&d.incoming).unwrap_or(f64::INFINITY);
+                let tout = estimate_tau(&d.outgoing).unwrap_or(f64::INFINITY);
+                remove_background(&d.incoming, tin).add(&remove_background(&d.outgoing, tout))
+            })
+            .collect();
+        let total = TimeSeries::sum_all(active.iter()).expect("devices");
+        let Some(profile) = WeeklyProfile::from_active_series(&total, 60) else {
+            println!("{:>3}  (no observations)", gw.id);
+            continue;
+        };
+        match profile.recommend(120) {
+            Some(w) => println!(
+                "{:>3}  {:>16}  {:>18}  {:>14.0}  {:>11.0}%",
+                gw.id,
+                gw.archetype.to_string(),
+                w.label(),
+                w.expected_bytes,
+                w.silent_share * 100.0
+            ),
+            None => println!("{:>3}  {:>16}  (no fully observed window)", gw.id, gw.archetype),
+        }
+        if let Some((day, minute, bytes)) = profile.peak() {
+            println!(
+                "     peak activity: {day} {:02}:00 ({:.1} MB/h) — keep updates away from it",
+                minute / 60,
+                bytes / 1e6
+            );
+        }
+    }
+}

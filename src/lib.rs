@@ -1,0 +1,27 @@
+//! # wtts — Wireless Traffic Time Series analysis
+//!
+//! Facade crate re-exporting the full public API of the `wtts` workspace, a
+//! reproduction of *"Characterizing Home Device Usage From Wireless Traffic
+//! Time Series"* (EDBT 2016).
+//!
+//! The workspace is organized as:
+//!
+//! * [`timeseries`] — time-series containers, calendar arithmetic, binning and
+//!   non-overlapping windowing.
+//! * [`stats`] — correlation coefficients with significance tests, stationarity
+//!   tests (KPSS/ADF), the Kolmogorov–Smirnov test, KDE, boxplot statistics,
+//!   Zipf fitting, and baseline distance measures (Euclidean, DTW).
+//! * [`gwsim`] — a residential-gateway fleet simulator that substitutes the
+//!   paper's closed dataset.
+//! * [`devid`] — device-type inference from MAC OUI prefixes and device names.
+//! * [`core`] — the paper's analysis framework: correlation similarity,
+//!   strong stationarity, best aggregation, dominant devices and motifs.
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! reproduction of every table and figure in the paper.
+
+pub use wtts_core as core;
+pub use wtts_devid as devid;
+pub use wtts_gwsim as gwsim;
+pub use wtts_stats as stats;
+pub use wtts_timeseries as timeseries;

@@ -1,0 +1,173 @@
+//! Statistical invariants the simulated fleet must share with the paper's
+//! dataset — the calibration contract between `wtts-gwsim` and the
+//! experiments. Thresholds are deliberately loose: they assert the *shape*,
+//! not the exact numbers.
+
+use wtts::core::dominance::dominant_devices;
+use wtts::gwsim::{Fleet, FleetConfig};
+use wtts::stats::{fit_zipf, pearson};
+use wtts::timeseries::{TimeSeries, MINUTES_PER_WEEK};
+
+fn fleet() -> Fleet {
+    Fleet::new(FleetConfig {
+        n_gateways: 16,
+        weeks: 2,
+        seed: 0xCA11B, // Not the experiments' seed: the shape must be robust.
+        ..FleetConfig::default()
+    })
+}
+
+/// §4.1: incoming and outgoing traffic are strongly correlated
+/// (paper: mean 0.92 across gateways).
+#[test]
+fn incoming_outgoing_strongly_correlated() {
+    let fleet = fleet();
+    let mut cors = Vec::new();
+    for gw in fleet.iter() {
+        let r = pearson(
+            gw.aggregate_incoming().values(),
+            gw.aggregate_outgoing().values(),
+        );
+        if r.n > 1000 {
+            cors.push(r.value);
+        }
+    }
+    let mean = cors.iter().sum::<f64>() / cors.len() as f64;
+    assert!(mean > 0.8, "mean in/out correlation {mean} too low");
+}
+
+/// §4.1: per-minute traffic values follow Zipf's law on most gateways.
+#[test]
+fn traffic_values_are_zipfian() {
+    let fleet = fleet();
+    let mut zipfian = 0;
+    let mut tested = 0;
+    for gw in fleet.iter() {
+        let values = gw.aggregate_total().observed_values();
+        if let Some(fit) = fit_zipf(&values, 20) {
+            tested += 1;
+            if fit.is_zipfian() {
+                zipfian += 1;
+            }
+        }
+    }
+    assert!(tested >= 10);
+    assert!(
+        zipfian * 3 >= tested * 2,
+        "only {zipfian}/{tested} gateways look zipfian"
+    );
+}
+
+/// §6.2: almost every gateway has at least one dominant device, and never
+/// an absurd number of them.
+#[test]
+fn most_gateways_have_a_dominant_device() {
+    let fleet = fleet();
+    let mut with_dominant = 0;
+    let mut total = 0;
+    for gw in fleet.iter() {
+        let series: Vec<TimeSeries> = gw.devices.iter().map(|d| d.total()).collect();
+        let gw_total = TimeSeries::sum_all(series.iter()).unwrap();
+        let dom = dominant_devices(&gw_total, &series, 0.6);
+        total += 1;
+        if !dom.is_empty() {
+            with_dominant += 1;
+        }
+        assert!(dom.len() <= 5, "gateway {} has {} dominants", gw.id, dom.len());
+    }
+    assert!(
+        with_dominant * 4 >= total * 3,
+        "only {with_dominant}/{total} gateways have a dominant device"
+    );
+}
+
+/// §3: the fleet's device census matches the deployment's scale — around
+/// 8-14 devices per gateway including transient guests.
+#[test]
+fn device_census_scale() {
+    let fleet = fleet();
+    let devices: usize = fleet.iter().map(|gw| gw.devices.len()).sum();
+    let per_gateway = devices as f64 / fleet.len() as f64;
+    assert!(
+        (5.0..=18.0).contains(&per_gateway),
+        "devices per gateway = {per_gateway}"
+    );
+}
+
+/// §3: some gateways have reporting gaps (the eligibility filters must have
+/// something to filter), but the majority report every week.
+#[test]
+fn reporting_gaps_exist_but_are_minority() {
+    let fleet = fleet();
+    let per_week = MINUTES_PER_WEEK as usize;
+    let mut complete = 0;
+    for gw in fleet.iter() {
+        let total = gw.aggregate_total();
+        let weekly_ok = (0..2).all(|w| {
+            total.values()[w * per_week..(w + 1) * per_week]
+                .iter()
+                .any(|v| v.is_finite())
+        });
+        if weekly_ok {
+            complete += 1;
+        }
+    }
+    assert!(complete >= fleet.len() / 2, "too many gappy gateways");
+    // The default config's flaky fractions guarantee some gaps at fleet
+    // scale; with 16 gateways this is probabilistic, so only assert the
+    // filter keeps a majority.
+}
+
+/// Portables must actually come and go (their coverage is below the fixed
+/// devices'), otherwise the connected-device analyses are vacuous.
+#[test]
+fn portables_are_intermittent() {
+    let fleet = fleet();
+    let mut portable_cov = Vec::new();
+    let mut fixed_cov = Vec::new();
+    for gw in fleet.iter() {
+        for d in &gw.devices {
+            if d.spec.guest_days.is_some() {
+                continue;
+            }
+            let cov = d.incoming.coverage();
+            if d.spec.role.is_portable() {
+                portable_cov.push(cov);
+            } else {
+                fixed_cov.push(cov);
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        avg(&portable_cov) < avg(&fixed_cov) - 0.05,
+        "portables ({:.2}) should be less present than fixed ({:.2})",
+        avg(&portable_cov),
+        avg(&fixed_cov)
+    );
+}
+
+/// The classifier recovers the majority of device types from MAC + name.
+#[test]
+fn classifier_recovers_most_types() {
+    let fleet = fleet();
+    let mut correct = 0;
+    let mut total = 0;
+    for gw in fleet.iter() {
+        for d in &gw.devices {
+            total += 1;
+            if d.inferred_type() == d.spec.true_type {
+                correct += 1;
+            }
+        }
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(
+        accuracy > 0.6,
+        "classifier accuracy {accuracy:.2} too low over {total} devices"
+    );
+    assert!(
+        accuracy < 0.999,
+        "a perfect classifier means no unlabeled devices — unrealistic"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the workspace's cross-crate invariants.
+
+use proptest::prelude::*;
+use wtts::core::clustering::cluster_correlated;
+use wtts::core::motif::{discover_motifs, MotifConfig};
+use wtts::core::similarity::cor;
+use wtts::stats::{euclidean, kendall, pearson, spearman, z_normalize};
+use wtts::timeseries::{aggregate, CounterTrace, Granularity, Minute, TimeSeries};
+
+/// A strategy for short plain sample vectors.
+fn samples(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e7, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every correlation coefficient is symmetric and bounded.
+    #[test]
+    fn correlations_symmetric_and_bounded(
+        x in samples(3..40),
+        y in samples(3..40),
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        for f in [pearson, spearman, kendall] {
+            let a = f(x, y);
+            let b = f(y, x);
+            prop_assert!((-1.0..=1.0).contains(&a.value));
+            prop_assert!((0.0..=1.0).contains(&a.p_value));
+            prop_assert!((a.value - b.value).abs() < 1e-9);
+        }
+    }
+
+    /// Definition 1 is invariant to positive affine scaling.
+    #[test]
+    fn cor_scale_invariant(x in samples(8..50), scale in 0.001f64..1000.0) {
+        let y: Vec<f64> = x.iter().map(|v| v * scale + 3.0).collect();
+        let c = cor(&x, &y);
+        // Either the series is degenerate (constant) or similarity is 1.
+        let constant = x.iter().all(|&v| v == x[0]);
+        if !constant {
+            prop_assert!(c > 0.99, "cor = {c}");
+        }
+    }
+
+    /// cor is invariant under z-normalization of either argument.
+    #[test]
+    fn cor_invariant_under_znorm(x in samples(8..40), y in samples(8..40)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let c1 = cor(x, y);
+        let zx = z_normalize(x);
+        let c2 = cor(&zx, y);
+        // Spearman/Kendall unchanged; Pearson unchanged; max therefore
+        // unchanged (up to fp error) unless z-norm degenerates a constant.
+        let x_constant = x.iter().all(|&v| v == x[0]);
+        if !x_constant {
+            prop_assert!((c1 - c2).abs() < 1e-6, "{c1} vs {c2}");
+        }
+    }
+
+    /// Aggregation conserves the total and never lengthens the series.
+    #[test]
+    fn aggregation_conserves(values in samples(10..300), g in 1u32..30) {
+        let s = TimeSeries::per_minute(values);
+        let a = aggregate(&s, Granularity::minutes(g), 0);
+        let rel = (a.total() - s.total()).abs() / s.total().max(1.0);
+        prop_assert!(rel < 1e-9);
+        prop_assert!(a.len() <= s.len());
+    }
+
+    /// Counter traces decode to non-negative per-minute series.
+    #[test]
+    fn counter_decode_non_negative(
+        deltas in prop::collection::vec(0u64..1_000_000, 2..50),
+    ) {
+        let mut trace = CounterTrace::new();
+        let mut cum = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            cum += d;
+            trace.push(Minute(i as u32), cum);
+        }
+        let series = trace.to_per_minute(Minute(0), deltas.len());
+        for (i, v) in series.values().iter().enumerate().skip(1) {
+            prop_assert!(v.is_finite());
+            prop_assert!((*v - deltas[i] as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Euclidean distance satisfies the metric basics on complete data.
+    #[test]
+    fn euclidean_metric_basics(x in samples(2..30), y in samples(2..30)) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        prop_assert!(euclidean(x, y) >= 0.0);
+        prop_assert!((euclidean(x, y) - euclidean(y, x)).abs() < 1e-9);
+        prop_assert_eq!(euclidean(x, x), 0.0);
+    }
+
+    /// Clustering always partitions the input: every index exactly once.
+    #[test]
+    fn clustering_partitions(series in prop::collection::vec(samples(10..11), 2..8)) {
+        let clusters = cluster_correlated(&series, 0.6);
+        let mut seen: Vec<usize> = clusters.into_iter().flatten().collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..series.len()).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Motif members are disjoint across motifs and within bounds.
+    #[test]
+    fn motifs_are_disjoint(series in prop::collection::vec(samples(8..9), 4..16)) {
+        let motifs = discover_motifs(&series, &MotifConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for m in &motifs {
+            for &i in &m.members {
+                prop_assert!(i < series.len());
+                prop_assert!(seen.insert(i), "window {i} appears in two motifs");
+            }
+        }
+    }
+}
