@@ -6,7 +6,12 @@ use wtts_stats::{dtw, dtw_banded, euclidean, z_normalize};
 
 fn series(n: usize, phase: u64) -> Vec<f64> {
     (0..n)
-        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(phase) >> 40) as f64)
+        .map(|i| {
+            ((i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(phase)
+                >> 40) as f64
+        })
         .collect()
 }
 

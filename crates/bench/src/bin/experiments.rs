@@ -12,38 +12,88 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use wtts_bench::experiments::{
-    aggregation, applications, background, dominance, measures, motifs, robustness, sax,
-    standard,
+    aggregation, applications, background, dominance, measures, motifs, robustness, sax, standard,
 };
 use wtts_gwsim::{Fleet, FleetConfig};
 
 const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "statistical portrait of a typical gateway (KDE, boxplots)"),
-    ("sec4-dist", "Zipf fits and in/out correlation (Section 4.1)"),
+    (
+        "fig1",
+        "statistical portrait of a typical gateway (KDE, boxplots)",
+    ),
+    (
+        "sec4-dist",
+        "Zipf fits and in/out correlation (Section 4.1)",
+    ),
     ("fig2", "autocorrelation and cross-correlation of gateways"),
-    ("sec4-stat", "classical stationarity tests and device-count correlation"),
-    ("fig3", "hierarchical clustering of gateways at distance 0.4"),
-    ("fig4", "background threshold tau distribution and device types"),
-    ("fig5", "dominant devices: counts, types, baselines, residents"),
-    ("fig6", "weekly aggregation curves (midnight and 2am starts)"),
+    (
+        "sec4-stat",
+        "classical stationarity tests and device-count correlation",
+    ),
+    (
+        "fig3",
+        "hierarchical clustering of gateways at distance 0.4",
+    ),
+    (
+        "fig4",
+        "background threshold tau distribution and device types",
+    ),
+    (
+        "fig5",
+        "dominant devices: counts, types, baselines, residents",
+    ),
+    (
+        "fig6",
+        "weekly aggregation curves (midnight and 2am starts)",
+    ),
     ("fig7", "stationary gateways per daily granularity"),
     ("fig8", "daily aggregation curves"),
-    ("fig9-10", "motif support distributions and per-gateway participation"),
+    (
+        "fig9-10",
+        "motif support distributions and per-gateway participation",
+    ),
     ("fig11", "weekly motifs of interest"),
     ("fig12-13", "dominant devices of weekly motifs"),
     ("fig14", "daily motifs of interest"),
     ("fig15-16", "dominant devices of daily motifs"),
-    ("motifs-within", "personal (within-gateway) daily motifs (Sec 7.2 aside)"),
+    (
+        "motifs-within",
+        "personal (within-gateway) daily motifs (Sec 7.2 aside)",
+    ),
     ("sec6-bg", "stationarity gain from background removal"),
     ("sec2-sax", "SAX alphabet pathology on Zipfian traffic"),
-    ("sec5-measures", "measure scorecard: cor vs Euclidean vs DTW (Sec 5)"),
-    ("sec3-classifier", "device classifier validated on the survey subset"),
-    ("sec4-arima", "AR forecasting fails on bursty per-minute traffic"),
-    ("sec4-seasonal", "periodogram: no seasonal component at 1-min binning"),
-    ("app-maintenance", "per-gateway firmware-update window recommendations"),
-    ("app-troubleshoot", "anomaly detection against injected home faults"),
-    ("robustness", "headline statistics across seeds and deployment scenarios"),
-    ("ablation", "design-choice ablations (similarity max, motif factor)"),
+    (
+        "sec5-measures",
+        "measure scorecard: cor vs Euclidean vs DTW (Sec 5)",
+    ),
+    (
+        "sec3-classifier",
+        "device classifier validated on the survey subset",
+    ),
+    (
+        "sec4-arima",
+        "AR forecasting fails on bursty per-minute traffic",
+    ),
+    (
+        "sec4-seasonal",
+        "periodogram: no seasonal component at 1-min binning",
+    ),
+    (
+        "app-maintenance",
+        "per-gateway firmware-update window recommendations",
+    ),
+    (
+        "app-troubleshoot",
+        "anomaly detection against injected home faults",
+    ),
+    (
+        "robustness",
+        "headline statistics across seeds and deployment scenarios",
+    ),
+    (
+        "ablation",
+        "design-choice ablations (similarity max, motif factor)",
+    ),
 ];
 
 fn usage() -> ! {

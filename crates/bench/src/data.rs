@@ -5,7 +5,6 @@ use wtts_core::background::{estimate_tau, remove_background};
 use wtts_gwsim::{Fleet, SimGateway};
 use wtts_timeseries::{TimeSeries, MINUTES_PER_DAY, MINUTES_PER_WEEK};
 
-
 /// Maps every gateway of the fleet through `f` in parallel (one OS thread
 /// per core, chunked round-robin), preserving gateway-id order in the
 /// output. Rendering a gateway costs ~100 ms, so fleet-wide experiments
@@ -36,12 +35,18 @@ where
             });
         }
     });
-    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 /// Truncates a per-minute series to the first `weeks` weeks.
 pub fn first_weeks(series: &TimeSeries, weeks: u32) -> TimeSeries {
-    series.slice(wtts_timeseries::Minute::ZERO, (weeks * MINUTES_PER_WEEK) as usize)
+    series.slice(
+        wtts_timeseries::Minute::ZERO,
+        (weeks * MINUTES_PER_WEEK) as usize,
+    )
 }
 
 /// Whether the series has at least one observation in every one of the

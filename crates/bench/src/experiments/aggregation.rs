@@ -29,7 +29,10 @@ fn weekly_eligible(fleet: &Fleet, weeks: u32) -> Vec<wtts_timeseries::TimeSeries
 pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
     let weeks = 4;
     let series = weekly_eligible(fleet, weeks);
-    println!("{} gateways eligible for weekly aggregation analysis", series.len());
+    println!(
+        "{} gateways eligible for weekly aggregation analysis",
+        series.len()
+    );
 
     for offset in [0u32, 120, 180] {
         let mut t = Table::new(
@@ -37,7 +40,12 @@ pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
                 "Fig 6 - weekly aggregation curves (day start {:02}:00)",
                 offset / 60
             ),
-            &["granularity", "avg cor (all)", "avg cor (stationary)", "#stationary"],
+            &[
+                "granularity",
+                "avg cor (all)",
+                "avg cor (stationary)",
+                "#stationary",
+            ],
         );
         for g in Granularity::weekly_candidates() {
             if g.as_minutes() < 60 && offset != 0 {
@@ -80,7 +88,15 @@ pub fn fig7(fleet: &Fleet, out: Option<&Path>) {
 
     let mut t = Table::new(
         "Fig 7 - stationary gateways per daily granularity",
-        &["granularity", "total", "1 day", "2 days", "3 days", "4 days", "5+ days"],
+        &[
+            "granularity",
+            "total",
+            "1 day",
+            "2 days",
+            "3 days",
+            "4 days",
+            "5+ days",
+        ],
     );
     for g in [10u32, 30, 60, 90, 120, 180] {
         let g = Granularity::minutes(g);
@@ -120,7 +136,12 @@ pub fn fig8(fleet: &Fleet, out: Option<&Path>) {
 
     let mut t = Table::new(
         "Fig 8 - daily aggregation curves",
-        &["granularity", "avg cor (all)", "avg cor (stationary)", "#stationary"],
+        &[
+            "granularity",
+            "avg cor (all)",
+            "avg cor (stationary)",
+            "#stationary",
+        ],
     );
     for g in Granularity::daily_candidates() {
         let mut all = Vec::new();

@@ -115,11 +115,16 @@ pub fn sec4_seasonal(fleet: &Fleet, out: Option<&Path>) {
         let lb = ljung_box(&minute, 60);
         t.row(&[
             id.to_string(),
-            fmt(m.map(|(l, _)| l.period_samples() / 60.0).unwrap_or(f64::NAN), 1),
+            fmt(
+                m.map(|(l, _)| l.period_samples() / 60.0)
+                    .unwrap_or(f64::NAN),
+                1,
+            ),
             fmt(m.map(|(_, s)| s).unwrap_or(f64::NAN), 3),
             fmt(h.map(|(l, _)| l.period_samples()).unwrap_or(f64::NAN), 1),
             fmt(h.map(|(_, s)| s).unwrap_or(f64::NAN), 3),
-            lb.map(|l| l.rejects_whiteness(0.05).to_string()).unwrap_or("-".into()),
+            lb.map(|l| l.rejects_whiteness(0.05).to_string())
+                .unwrap_or("-".into()),
         ]);
     }
     t.emit(out);
@@ -177,7 +182,13 @@ pub fn app_maintenance(fleet: &Fleet, out: Option<&Path>) {
 
     let mut t = Table::new(
         "App - example per-gateway recommendations",
-        &["gateway", "archetype", "window", "expected bytes", "silent share"],
+        &[
+            "gateway",
+            "archetype",
+            "window",
+            "expected bytes",
+            "silent share",
+        ],
     );
     for (id, archetype, w) in examples {
         t.row(&[
@@ -273,7 +284,10 @@ pub fn app_troubleshoot(fleet: &Fleet, out: Option<&Path>) {
     t.row(&["injected faults".into(), injected.to_string()]);
     t.row(&[
         "detected".into(),
-        format!("{detected} ({})", pct(detected as f64 / injected.max(1) as f64)),
+        format!(
+            "{detected} ({})",
+            pct(detected as f64 / injected.max(1) as f64)
+        ),
     ]);
     t.row(&["clean days scored".into(), clean_days.to_string()]);
     t.row(&[

@@ -47,7 +47,10 @@ pub fn fig4(fleet: &Fleet, out: Option<&Path>) {
             &["tau bin (B/min)", "devices"],
         );
         for (edge, count) in h.bins() {
-            t.row(&[format!("{:.0}-{:.0}", edge, edge + h.width), count.to_string()]);
+            t.row(&[
+                format!("{:.0}-{:.0}", edge, edge + h.width),
+                count.to_string(),
+            ]);
         }
         t.row(&[">= 50000".into(), h.overflow.to_string()]);
         t.emit(out);
@@ -122,7 +125,10 @@ pub fn sec6_background_gain(fleet: &Fleet, out: Option<&Path>) {
         "Sec 6.1 - stationary gateways before/after background removal",
         &["variant", "cor passes", "KS passes", "stationary", "share"],
     );
-    for (name, counts) in [("raw traffic", raw_counts), ("active traffic", active_counts)] {
+    for (name, counts) in [
+        ("raw traffic", raw_counts),
+        ("active traffic", active_counts),
+    ] {
         t.row(&[
             name.into(),
             counts.0.to_string(),
@@ -132,9 +138,7 @@ pub fn sec6_background_gain(fleet: &Fleet, out: Option<&Path>) {
         ]);
     }
     t.emit(out);
-    println!(
-        "{eligible} gateways eligible (>=1 observation each of {weeks} weeks); binning {g}\n"
-    );
+    println!("{eligible} gateways eligible (>=1 observation each of {weeks} weeks); binning {g}\n");
 }
 
 #[cfg(test)]

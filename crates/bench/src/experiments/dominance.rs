@@ -89,7 +89,9 @@ pub fn fig5(fleet: &Fleet, out: Option<&Path>) {
         if survey.len() < 49 {
             survey.push((gw.residents, dom.len()));
         }
-        *residents_cross.entry((gw.residents, dom.len().min(3))).or_insert(0) += 1;
+        *residents_cross
+            .entry((gw.residents, dom.len().min(3)))
+            .or_insert(0) += 1;
     }
 
     let mut t = Table::new(
@@ -97,13 +99,15 @@ pub fn fig5(fleet: &Fleet, out: Option<&Path>) {
         &["#dominant", "gateways"],
     );
     for k in 0..=3 {
-        let label = if k == 3 { "3+".to_string() } else { k.to_string() };
+        let label = if k == 3 {
+            "3+".to_string()
+        } else {
+            k.to_string()
+        };
         t.row(&[label, count_dist.get(&k).copied().unwrap_or(0).to_string()]);
     }
     t.emit(out);
-    println!(
-        "{eligible} eligible gateways, {total_dominants} dominant devices in total\n"
-    );
+    println!("{eligible} eligible gateways, {total_dominants} dominant devices in total\n");
 
     let mut t = Table::new(
         "Fig 5 - dominant device types by rank",
@@ -162,7 +166,13 @@ pub fn fig5(fleet: &Fleet, out: Option<&Path>) {
         &["residents", "0 dom", "1 dom", "2 dom", "3+ dom"],
     );
     for r in 1..=4usize {
-        let get = |d: usize| residents_cross.get(&(r, d)).copied().unwrap_or(0).to_string();
+        let get = |d: usize| {
+            residents_cross
+                .get(&(r, d))
+                .copied()
+                .unwrap_or(0)
+                .to_string()
+        };
         t.row(&[r.to_string(), get(0), get(1), get(2), get(3)]);
     }
     t.emit(out);
@@ -231,7 +241,11 @@ pub fn ablation_similarity(fleet: &Fleet, out: Option<&Path>) {
                     (test.significant(0.05) && test.value > 0.6).then_some((i, test.value))
                 })
                 .enumerate()
-                .map(|(rank, (device, similarity))| DominantDevice { device, similarity, rank })
+                .map(|(rank, (device, similarity))| DominantDevice {
+                    device,
+                    similarity,
+                    rank,
+                })
                 .collect();
             if !doms.is_empty() {
                 single[k].0 += 1;

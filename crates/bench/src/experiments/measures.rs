@@ -80,12 +80,18 @@ pub fn sec5_measures(fleet: &Fleet, out: Option<&Path>) {
     t.row(&[
         "(a) scaling-invariant trend match".into(),
         pct(scale_cor_ok as f64 / pairs.max(1) as f64),
-        format!("euclid beats zero-day: {}", pct(scale_euc_ok as f64 / pairs.max(1) as f64)),
+        format!(
+            "euclid beats zero-day: {}",
+            pct(scale_euc_ok as f64 / pairs.max(1) as f64)
+        ),
     ]);
     t.row(&[
         "(b) rejects 3h-shifted pattern".into(),
         pct(shift_cor_ok as f64 / pairs.max(1) as f64),
-        format!("dtw rejects shift: {}", pct(shift_dtw_ok as f64 / pairs.max(1) as f64)),
+        format!(
+            "dtw rejects shift: {}",
+            pct(shift_dtw_ok as f64 / pairs.max(1) as f64)
+        ),
     ]);
     let spread = if euc_values.is_empty() {
         0.0
@@ -121,7 +127,15 @@ pub fn sec3_classifier(fleet: &Fleet, out: Option<&Path>) {
     }
     let mut t = Table::new(
         "Sec 3 - classifier confusion over the survey subset (rows = truth)",
-        &["truth \\ inferred", "portable", "fixed", "tv", "game_console", "network_eq", "unlabeled"],
+        &[
+            "truth \\ inferred",
+            "portable",
+            "fixed",
+            "tv",
+            "game_console",
+            "network_eq",
+            "unlabeled",
+        ],
     );
     for truth in DeviceType::ALL {
         if truth == DeviceType::Unlabeled {

@@ -180,7 +180,10 @@ pub fn fig9_10(set: &MotifSet, kind: &str, out: Option<&Path>) {
     let mut per_gateway: HashMap<usize, std::collections::HashSet<usize>> = HashMap::new();
     for (k, m) in set.motifs.iter().enumerate() {
         for &i in &m.members {
-            per_gateway.entry(set.refs[i].gateway).or_default().insert(k);
+            per_gateway
+                .entry(set.refs[i].gateway)
+                .or_default()
+                .insert(k);
         }
     }
     let counts: Vec<f64> = per_gateway.values().map(|s| s.len() as f64).collect();
@@ -189,7 +192,10 @@ pub fn fig9_10(set: &MotifSet, kind: &str, out: Option<&Path>) {
         &["stat", "value"],
     );
     t.row(&["participating gateways".into(), counts.len().to_string()]);
-    t.row(&["mean motifs/gateway".into(), fmt(wtts_stats::mean(&counts), 2)]);
+    t.row(&[
+        "mean motifs/gateway".into(),
+        fmt(wtts_stats::mean(&counts), 2),
+    ]);
     t.row(&[
         "max motifs/gateway".into(),
         fmt(counts.iter().copied().fold(0.0, f64::max), 0),
@@ -289,7 +295,14 @@ pub fn daily_representatives(set: &MotifSet) -> Vec<usize> {
 pub fn fig11(set: &MotifSet, out: Option<&Path>) {
     let mut t = Table::new(
         "Fig 11 - weekly motifs of interest",
-        &["motif", "support", "same-gw share", "weekend share", "evening share", "label"],
+        &[
+            "motif",
+            "support",
+            "same-gw share",
+            "weekend share",
+            "evening share",
+            "label",
+        ],
     );
     for (idx, &k) in weekly_representatives(set).iter().enumerate() {
         let m = &set.motifs[k];
@@ -365,7 +378,13 @@ fn daily_label(pattern: &[f64]) -> &'static str {
 pub fn fig14(set: &MotifSet, out: Option<&Path>) {
     let mut t = Table::new(
         "Fig 14 - daily motifs of interest",
-        &["motif", "support", "same-gw share", "weekend share", "label"],
+        &[
+            "motif",
+            "support",
+            "same-gw share",
+            "weekend share",
+            "label",
+        ],
     );
     for (idx, &k) in daily_representatives(set).iter().enumerate() {
         let m = &set.motifs[k];
@@ -412,7 +431,10 @@ pub fn motif_dominance(
     let mut by_gateway: HashMap<usize, Vec<(usize, usize)>> = HashMap::new(); // gw -> (motif, window idx)
     for (k, m) in &top_motifs {
         for &i in &m.members {
-            by_gateway.entry(set.refs[i].gateway).or_default().push((*k, i));
+            by_gateway
+                .entry(set.refs[i].gateway)
+                .or_default()
+                .push((*k, i));
         }
     }
 
@@ -447,24 +469,22 @@ pub fn motif_dominance(
                 ),
                 Some(d) => (
                     Minute(
-                        r.week * MINUTES_PER_WEEK
-                            + d.index() as u32 * MINUTES_PER_DAY
-                            + set.offset,
+                        r.week * MINUTES_PER_WEEK + d.index() as u32 * MINUTES_PER_DAY + set.offset,
                     ),
                     MINUTES_PER_DAY as usize,
                 ),
             };
             let slot_total = total.slice(start, len);
-            let slot_devices: Vec<TimeSeries> = device_series
-                .iter()
-                .map(|d| d.slice(start, len))
-                .collect();
+            let slot_devices: Vec<TimeSeries> =
+                device_series.iter().map(|d| d.slice(start, len)).collect();
             let dom = dominant_devices(&slot_total, &slot_devices, 0.6);
             *dom_count[k].entry(dom.len().min(4)).or_insert(0) += 1;
             let n_overlap = dom.iter().filter(|d| overall.contains(&d.device)).count();
             *overlap[k].entry(n_overlap.min(3)).or_insert(0) += 1;
             for d in &dom {
-                *types[k].entry(gw.devices[d.device].inferred_type()).or_insert(0) += 1;
+                *types[k]
+                    .entry(gw.devices[d.device].inferred_type())
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -499,7 +519,15 @@ pub fn motif_dominance(
 
     let mut t = Table::new(
         &format!("Fig 13/16a - dominant device types per {kind} motif"),
-        &["motif", "portable", "fixed", "tv", "game_console", "network_eq", "unlabeled"],
+        &[
+            "motif",
+            "portable",
+            "fixed",
+            "tv",
+            "game_console",
+            "network_eq",
+            "unlabeled",
+        ],
     );
     for (k, _) in &top_motifs {
         let get = |ty: DeviceType| types[*k].get(&ty).copied().unwrap_or(0).to_string();

@@ -62,12 +62,35 @@ pub fn robustness(out: Option<&Path>) {
     };
     let mut t = Table::new(
         "Robustness - headline statistics across seeds and scenarios",
-        &["variant", "in/out mean cor", ">=1 dominant", "mean dominants"],
+        &[
+            "variant",
+            "in/out mean cor",
+            ">=1 dominant",
+            "mean dominants",
+        ],
     );
     let variants: Vec<(String, FleetConfig)> = vec![
-        ("default seed A".into(), FleetConfig { seed: 1, ..base.clone() }),
-        ("default seed B".into(), FleetConfig { seed: 0xB0B, ..base.clone() }),
-        ("default seed C".into(), FleetConfig { seed: 0xFEED, ..base.clone() }),
+        (
+            "default seed A".into(),
+            FleetConfig {
+                seed: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "default seed B".into(),
+            FleetConfig {
+                seed: 0xB0B,
+                ..base.clone()
+            },
+        ),
+        (
+            "default seed C".into(),
+            FleetConfig {
+                seed: 0xFEED,
+                ..base.clone()
+            },
+        ),
         (
             "rural ADSL".into(),
             FleetConfig {

@@ -5,17 +5,22 @@ use crate::report::{fmt, pct, Table};
 use std::path::Path;
 use wtts_core::clustering::cluster_correlated;
 use wtts_gwsim::Fleet;
+use wtts_stats::zipf::fit_zipf;
 use wtts_stats::{
     acf, adf_test, ccf, kpss_test, ks_two_sample, pearson, significance_bound, BoxplotStats, Kde,
 };
-use wtts_stats::zipf::fit_zipf;
 use wtts_timeseries::{aggregate, Granularity};
 
 /// Ranks gateway ids by number of week-0 observations, densest first.
 pub fn most_observed_gateways(fleet: &Fleet, top: usize) -> Vec<usize> {
     let mut counts: Vec<(usize, usize)> = fleet
         .iter()
-        .map(|gw| (gw.id, first_weeks(&gw.aggregate_total(), 1).observed_count()))
+        .map(|gw| {
+            (
+                gw.id,
+                first_weeks(&gw.aggregate_total(), 1).observed_count(),
+            )
+        })
         .collect();
     counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     counts.into_iter().take(top).map(|(id, _)| id).collect()
@@ -36,7 +41,10 @@ pub fn fig1(fleet: &Fleet, out: Option<&Path>) {
     );
 
     // (a) PDF estimate near zero.
-    let mut t = Table::new("Fig 1a - KDE of incoming traffic (zoom near 0)", &["bytes", "density"]);
+    let mut t = Table::new(
+        "Fig 1a - KDE of incoming traffic (zoom near 0)",
+        &["bytes", "density"],
+    );
     if let Some(kde) = Kde::from_samples(&values) {
         let hi = wtts_stats::quantile(&values, 0.999);
         for (x, d) in kde.grid(0.0, hi.max(1.0), 25) {
@@ -46,7 +54,10 @@ pub fn fig1(fleet: &Fleet, out: Option<&Path>) {
     t.emit(out);
 
     // (b) series summary per hour-of-day to show the burst structure.
-    let mut t = Table::new("Fig 1b - incoming traffic by hour (week 0)", &["hour", "mean B/min", "max B/min"]);
+    let mut t = Table::new(
+        "Fig 1b - incoming traffic by hour (week 0)",
+        &["hour", "mean B/min", "max B/min"],
+    );
     let hourly = aggregate(&incoming, Granularity::hours(1), 0);
     for h in 0..24 {
         let vals: Vec<f64> = hourly
@@ -76,7 +87,10 @@ pub fn fig1(fleet: &Fleet, out: Option<&Path>) {
     ] {
         t.row(&[name.to_string(), fmt(v, 1)]);
     }
-    t.row(&["outliers above whisker".into(), b.upper_outliers.to_string()]);
+    t.row(&[
+        "outliers above whisker".into(),
+        b.upper_outliers.to_string(),
+    ]);
     t.row(&[
         "outlier share".into(),
         pct(b.upper_outliers as f64 / b.n as f64),
@@ -118,7 +132,10 @@ pub fn sec4_dist(fleet: &Fleet, out: Option<&Path>) {
             cors.push(r.value);
         }
     }
-    let mut t = Table::new("Sec 4.1 - incoming/outgoing correlation", &["stat", "value"]);
+    let mut t = Table::new(
+        "Sec 4.1 - incoming/outgoing correlation",
+        &["stat", "value"],
+    );
     t.row(&["gateways".into(), cors.len().to_string()]);
     t.row(&["mean".into(), fmt(wtts_stats::mean(&cors), 3)]);
     t.row(&["median".into(), fmt(wtts_stats::median(&cors), 3)]);
@@ -136,15 +153,23 @@ pub fn fig2(fleet: &Fleet, out: Option<&Path>) {
         .iter()
         .map(|&id| {
             let gw = fleet.gateway(id);
-            let hourly =
-                aggregate(&first_weeks(&gw.aggregate_total(), 2), Granularity::hours(1), 0);
+            let hourly = aggregate(
+                &first_weeks(&gw.aggregate_total(), 2),
+                Granularity::hours(1),
+                0,
+            );
             (id, acf(hourly.values(), 48))
         })
         .filter(|(_, a)| a.len() > 24)
         .collect();
     let (best_id, best_acf) = acfs
         .iter()
-        .max_by(|a, b| a.1[24].abs().partial_cmp(&b.1[24].abs()).expect("finite acf"))
+        .max_by(|a, b| {
+            a.1[24]
+                .abs()
+                .partial_cmp(&b.1[24].abs())
+                .expect("finite acf")
+        })
         .cloned()
         .expect("at least one gateway with an ACF");
     let n = fleet
@@ -224,7 +249,10 @@ pub fn sec4_stat(fleet: &Fleet, out: Option<&Path>) {
             device_cors.push(sim.value);
         }
     }
-    let mut t = Table::new("Sec 4.2 - classical stationarity at 1-min binning", &["check", "value"]);
+    let mut t = Table::new(
+        "Sec 4.2 - classical stationarity at 1-min binning",
+        &["check", "value"],
+    );
     t.row(&["gateways tested".into(), tested.to_string()]);
     t.row(&[
         "KPSS rejects stationarity".into(),
@@ -289,8 +317,12 @@ pub fn fig3(fleet: &Fleet, out: Option<&Path>) {
         .iter()
         .map(|&id| {
             let gw = fleet.gateway(id);
-            aggregate(&first_weeks(&gw.aggregate_total(), 2), Granularity::hours(3), 0)
-                .into_values()
+            aggregate(
+                &first_weeks(&gw.aggregate_total(), 2),
+                Granularity::hours(3),
+                0,
+            )
+            .into_values()
         })
         .collect();
     let clusters = cluster_correlated(&series, 0.6);
@@ -325,9 +357,8 @@ mod tests {
         let ids = most_observed_gateways(&fleet, 3);
         assert_eq!(ids.len(), 3);
         // Densest-first: verify ordering.
-        let count = |id: usize| {
-            first_weeks(&fleet.gateway(id).aggregate_total(), 1).observed_count()
-        };
+        let count =
+            |id: usize| first_weeks(&fleet.gateway(id).aggregate_total(), 1).observed_count();
         assert!(count(ids[0]) >= count(ids[1]));
     }
 

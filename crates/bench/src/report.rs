@@ -83,7 +83,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|s| field(s)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|s| field(s))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -180,8 +184,10 @@ mod tests {
         t.emit(Some(&dir));
         let path = dir.join("fig-x-demo-table.csv");
         let text = std::fs::read_to_string(&path).expect("csv written");
-        assert!(text.starts_with("a,b
-"));
+        assert!(text.starts_with(
+            "a,b
+"
+        ));
         assert!(text.contains("1,2"));
         let _ = std::fs::remove_dir_all(&dir);
     }

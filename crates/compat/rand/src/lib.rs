@@ -1,0 +1,368 @@
+//! Offline stand-in for the subset of `rand` 0.8 used by this workspace.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the workspace patches `rand` to this crate. It is written to be
+//! *stream-compatible* with `rand` 0.8.5 on 64-bit targets, not merely
+//! API-compatible: [`rngs::SmallRng`] is xoshiro256++ seeded through the
+//! same PCG32 filler `rand_core` uses for `seed_from_u64`, integer
+//! `gen_range` reproduces `UniformInt`'s widening-multiply rejection
+//! (including the per-width `u_large` type choices), and float `gen_range`
+//! reproduces `UniformFloat`'s `[1, 2)` mantissa construction. The
+//! simulator's fixture seeds were tuned against the real crate's stream,
+//! so matching draws bit-for-bit keeps every seeded fixture identical.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding support: only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a deterministically seeded generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable from the "standard" distribution of `rand`:
+/// uniform over the full integer domain, `[0, 1)` for floats.
+pub trait StandardSample {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits, exactly like rand's `Standard` for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        // rand compares the high bit of a u32 draw.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+macro_rules! impl_standard_small_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                // Widths <= 32 draw one u32, as in rand's `Standard`.
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+impl_standard_small_int!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_standard_large_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_large_int!(u64, usize, i64, isize);
+
+/// Types uniformly samplable between two bounds. The blanket
+/// [`SampleRange`] impls below are written over this trait so that a
+/// range of unsuffixed literals (`0..4`) keeps a single inference
+/// candidate, exactly like `rand`'s own `SampleUniform`.
+pub trait SampleUniform: Sized {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+// `UniformInt::sample_single{,_inclusive}` from rand 0.8.5: draw the
+// type's `u_large`, widening-multiply by the range, accept when the low
+// half clears the rejection zone. The zone is computed by modulus for
+// widths <= 16 bits and by the leading-zeros approximation above that —
+// reproducing both branches keeps the consumed stream identical.
+macro_rules! impl_uniform_int {
+    ($($t:ty => $unsigned:ty, $u_large:ty, $wide:ty, $via_u32:tt);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let range = (hi.wrapping_sub(lo)) as $unsigned as $u_large;
+                sample_rejection!(rng, lo, range, $t, $unsigned, $u_large, $wide, $via_u32)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let range = (hi.wrapping_sub(lo)) as $unsigned as $u_large;
+                let range = range.wrapping_add(1);
+                if range == 0 {
+                    // Full-domain range: any draw is uniform.
+                    return draw_u_large!(rng, $u_large, $via_u32) as $t;
+                }
+                sample_rejection!(rng, lo, range, $t, $unsigned, $u_large, $wide, $via_u32)
+            }
+        }
+    )*};
+}
+
+macro_rules! draw_u_large {
+    ($rng:expr, $u_large:ty, true) => {
+        $rng.next_u32() as $u_large
+    };
+    ($rng:expr, $u_large:ty, false) => {
+        $rng.next_u64() as $u_large
+    };
+}
+
+macro_rules! sample_rejection {
+    ($rng:expr, $lo:expr, $range:expr, $t:ty, $unsigned:ty, $u_large:ty, $wide:ty, $via_u32:tt) => {{
+        let range: $u_large = $range;
+        let zone = if (<$unsigned>::MAX as u32) <= u16::MAX as u32 {
+            let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+            <$u_large>::MAX - ints_to_reject
+        } else {
+            (range << range.leading_zeros()).wrapping_sub(1)
+        };
+        loop {
+            let v: $u_large = draw_u_large!($rng, $u_large, $via_u32);
+            let wide = (v as $wide) * (range as $wide);
+            let hi = (wide >> (<$u_large>::BITS)) as $u_large;
+            let lo_part = wide as $u_large;
+            if lo_part <= zone {
+                break $lo.wrapping_add(hi as $t);
+            }
+        }
+    }};
+}
+
+impl_uniform_int!(
+    u8 => u8, u32, u64, true;
+    i8 => u8, u32, u64, true;
+    u16 => u16, u32, u64, true;
+    i16 => u16, u32, u64, true;
+    u32 => u32, u32, u64, true;
+    i32 => u32, u32, u64, true;
+    u64 => u64, u64, u128, false;
+    i64 => u64, u64, u128, false;
+    usize => usize, u64, u128, false;
+    isize => usize, u64, u128, false;
+);
+
+// `UniformFloat::sample_single` from rand 0.8.5: build a float in `[1, 2)`
+// from raw mantissa bits, rescale, and redraw on the (rounding-only) case
+// where the result reaches `hi`.
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let mut scale = hi - lo;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + lo;
+            if res < hi {
+                return res;
+            }
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "gen_range: empty range");
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        ((value1_2 - 1.0) * (hi - lo) + lo).min(hi)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "gen_range: empty range");
+        let mut scale = hi - lo;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = (value1_2 - 1.0) * scale + lo;
+            if res < hi {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "gen_range: empty range");
+        let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+        ((value1_2 - 1.0) * (hi - lo) + lo).min(hi)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// The random-value interface: a tiny `rand::Rng` look-alike.
+pub trait Rng {
+    /// The raw 64-bit source every sampler draws from.
+    fn next_u64(&mut self) -> u64;
+
+    /// 32-bit draw: the high half of a 64-bit draw, as rand's `SmallRng`
+    /// does; matching it keeps streams aligned for 32-bit-and-under
+    /// samples.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A value from the standard distribution (`[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli draw with probability `p`, via rand's fixed-point
+    /// comparison (`p * 2^64` against a raw draw).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p == 1.0 {
+            self.next_u64();
+            return true;
+        }
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind the real `SmallRng` on 64-bit
+    /// targets, seeded through the same PCG32 byte filler `rand_core`'s
+    /// default `seed_from_u64` uses, so every `seed_from_u64(n)` stream is
+    /// bit-identical to `rand` 0.8.5's.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            // rand_core 0.6's default: PCG-XSH-RR 32 fills the seed bytes
+            // four at a time, little-endian.
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            // Xoshiro256PlusPlus::from_seed: four little-endian u64 words.
+            let mut s = [0u64; 4];
+            for (word, bytes) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(bytes.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// The workspace never relies on `StdRng`'s specific stream; alias it.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&x));
+            let y: f64 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..4usize)] = true;
+            let v = r.gen_range(1..=4u32);
+            assert!((1..=4).contains(&v));
+            let s = r.gen_range(-40i32..40);
+            assert!((-40..40).contains(&s));
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn mean_is_half() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        assert!((total / n as f64 - 0.5).abs() < 0.01);
+    }
+}

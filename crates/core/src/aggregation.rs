@@ -12,8 +12,9 @@
 //!   are compared (Mondays with Mondays, …); candidates range 1–180
 //!   minutes. The winner is 3 hours.
 
-use crate::similarity::cor;
+use crate::engine::cor_profiled;
 use crate::stationarity::{strong_stationarity, StationarityCheck};
+use wtts_stats::{CorProfile, CorScratch};
 use wtts_timeseries::{aggregate, daily_windows, weekly_windows, Granularity, TimeSeries};
 
 /// Mean window correlation of one gateway at one candidate binning.
@@ -60,11 +61,15 @@ pub fn weekly_window_correlation(
     if observed.len() < 2 {
         return None;
     }
+    // One profile per week amortizes the mask/moment/rank work across the
+    // pair loop; the sum stays in f64 (Definition 3's objective is a mean).
+    let profiles: Vec<CorProfile> = observed.iter().map(|w| CorProfile::new(w)).collect();
+    let mut scratch = CorScratch::new();
     let mut total = 0.0;
     let mut pairs = 0;
     for i in 0..observed.len() {
         for j in (i + 1)..observed.len() {
-            total += cor(observed[i], observed[j]);
+            total += cor_profiled(&profiles[i], &profiles[j], &mut scratch);
             pairs += 1;
         }
     }
@@ -88,6 +93,7 @@ pub fn daily_window_correlation(
 ) -> Option<GranularityScore> {
     let agg = aggregate(series, granularity, offset_minutes);
     let windows = daily_windows(&agg, weeks, offset_minutes);
+    let mut scratch = CorScratch::new();
     let mut total = 0.0;
     let mut pairs = 0;
     for weekday in 0..7u8 {
@@ -97,9 +103,10 @@ pub fn daily_window_correlation(
             .map(|w| w.series.values())
             .filter(|v| v.iter().any(|x| x.is_finite()))
             .collect();
+        let profiles: Vec<CorProfile> = group.iter().map(|w| CorProfile::new(w)).collect();
         for i in 0..group.len() {
             for j in (i + 1)..group.len() {
-                total += cor(group[i], group[j]);
+                total += cor_profiled(&profiles[i], &profiles[j], &mut scratch);
                 pairs += 1;
             }
         }
@@ -281,7 +288,10 @@ mod tests {
         assert_eq!(n, 7, "every weekday repeats in the regular series");
         let irr = irregular_series(4);
         let n_irr = stationary_weekday_count(&irr, 4, Granularity::hours(3), 0);
-        assert!(n_irr <= 2, "irregular series has few stationary days: {n_irr}");
+        assert!(
+            n_irr <= 2,
+            "irregular series has few stationary days: {n_irr}"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub struct AnomalyDetector {
 impl AnomalyDetector {
     /// Creates a detector from historical daily windows, each tagged with
     /// its weekday.
-    pub fn new(history: impl IntoIterator<Item = (Weekday, Vec<f64>)>, config: AnomalyConfig) -> AnomalyDetector {
+    pub fn new(
+        history: impl IntoIterator<Item = (Weekday, Vec<f64>)>,
+        config: AnomalyConfig,
+    ) -> AnomalyDetector {
         let mut workday_history = Vec::new();
         let mut weekend_history = Vec::new();
         for (day, window) in history {
@@ -206,7 +209,11 @@ mod tests {
         morning[2] = usual_volume / 2.0;
         let verdict = d.score(Weekday::Friday, &morning);
         assert!(verdict.is_anomalous(), "{verdict:?}");
-        if let Verdict::Anomalous { best_similarity, volume_ratio } = verdict {
+        if let Verdict::Anomalous {
+            best_similarity,
+            volume_ratio,
+        } = verdict
+        {
             assert!(best_similarity < 0.6);
             assert!((0.5..2.0).contains(&volume_ratio), "volume looks normal");
         }

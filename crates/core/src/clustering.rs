@@ -7,7 +7,7 @@
 //! clustering over an arbitrary distance matrix plus the `cor`-based
 //! convenience entry point.
 
-use crate::similarity::cor_distance;
+use crate::engine::{cor_matrix, profile_series, CorMatrixConfig};
 
 /// One merge step of the agglomerative clustering.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,10 @@ impl Dendrogram {
 pub fn average_linkage(dist: &[f64], n: usize) -> Dendrogram {
     assert_eq!(dist.len(), n * n, "distance matrix must be n x n");
     if n == 0 {
-        return Dendrogram { n, steps: Vec::new() };
+        return Dendrogram {
+            n,
+            steps: Vec::new(),
+        };
     }
     // Active clusters: id -> member leaves.
     let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
@@ -109,7 +112,11 @@ pub fn average_linkage(dist: &[f64], n: usize) -> Dendrogram {
         members.push(Some(merged));
         active.retain(|&c| c != a && c != b);
         active.push(new_id);
-        steps.push(MergeStep { left: a, right: b, distance: d });
+        steps.push(MergeStep {
+            left: a,
+            right: b,
+            distance: d,
+        });
     }
     Dendrogram { n, steps }
 }
@@ -119,10 +126,12 @@ pub fn average_linkage(dist: &[f64], n: usize) -> Dendrogram {
 /// similarity `0.6`).
 pub fn cluster_correlated(series: &[Vec<f64>], min_similarity: f64) -> Vec<Vec<usize>> {
     let n = series.len();
+    let profiles = profile_series(series);
+    let matrix = cor_matrix(&profiles, &CorMatrixConfig::default());
     let mut dist = vec![0.0; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = cor_distance(&series[i], &series[j]);
+            let d = 1.0 - matrix.get(i, j) as f64;
             dist[i * n + j] = d;
             dist[j * n + i] = d;
         }
@@ -138,7 +147,9 @@ mod tests {
     fn two_well_separated_groups() {
         // Group A: rising series; group B: oscillating series.
         let rising = |k: usize| -> Vec<f64> {
-            (0..30).map(|i| (i * (k + 1)) as f64 + (i % 3) as f64).collect()
+            (0..30)
+                .map(|i| (i * (k + 1)) as f64 + (i % 3) as f64)
+                .collect()
         };
         let wave = |k: usize| -> Vec<f64> {
             (0..30)
@@ -166,7 +177,11 @@ mod tests {
     #[test]
     fn cut_threshold_controls_granularity() {
         let series: Vec<Vec<f64>> = (0..4)
-            .map(|k| (0..30).map(|i| (i * (k + 1)) as f64 + ((i + k) % 4) as f64).collect())
+            .map(|k| {
+                (0..30)
+                    .map(|i| (i * (k + 1)) as f64 + ((i + k) % 4) as f64)
+                    .collect()
+            })
             .collect();
         let tight = cluster_correlated(&series, 0.99999);
         let loose = cluster_correlated(&series, 0.3);

@@ -100,7 +100,13 @@ mod tests {
     fn synthetic() -> (TimeSeries, Vec<TimeSeries>) {
         let n = 500;
         let shaper: Vec<f64> = (0..n)
-            .map(|i| if (i / 60) % 4 == 3 { 50_000.0 + (i % 7) as f64 } else { 100.0 })
+            .map(|i| {
+                if (i / 60) % 4 == 3 {
+                    50_000.0 + (i % 7) as f64
+                } else {
+                    100.0
+                }
+            })
             .collect();
         let hum: Vec<f64> = (0..n).map(|i| 800.0 + (i % 3) as f64).collect();
         let noise: Vec<f64> = (0..n).map(|i| ((i * 7919) % 1000) as f64).collect();
@@ -149,7 +155,13 @@ mod tests {
         let n = 500;
         let big_flat: Vec<f64> = (0..n).map(|_| 100_000.0).collect();
         let small_shaper: Vec<f64> = (0..n)
-            .map(|i| if (i / 30) % 5 == 0 { 900.0 + (i % 5) as f64 } else { 10.0 })
+            .map(|i| {
+                if (i / 30) % 5 == 0 {
+                    900.0 + (i % 5) as f64
+                } else {
+                    10.0
+                }
+            })
             .collect();
         let d0 = TimeSeries::per_minute(big_flat);
         let d1 = TimeSeries::per_minute(small_shaper);
@@ -186,8 +198,16 @@ mod tests {
     #[test]
     fn agreement_counts_matching_positions() {
         let dominants = vec![
-            DominantDevice { device: 4, similarity: 0.9, rank: 0 },
-            DominantDevice { device: 2, similarity: 0.8, rank: 1 },
+            DominantDevice {
+                device: 4,
+                similarity: 0.9,
+                rank: 0,
+            },
+            DominantDevice {
+                device: 2,
+                similarity: 0.8,
+                rank: 1,
+            },
         ];
         assert_eq!(ranking_agreement(&dominants, &[4, 2, 0]), 2);
         assert_eq!(ranking_agreement(&dominants, &[4, 0, 2]), 1);

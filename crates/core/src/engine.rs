@@ -1,0 +1,334 @@
+//! Batch pairwise-correlation engine.
+//!
+//! Every framework primitive — motif discovery (Definition 5), clustering
+//! under `1 − cor` (Figure 3), strong stationarity (Definition 2) and
+//! granularity scoring (Definition 3) — evaluates the similarity measure
+//! over all pairs of a series collection. This module computes that
+//! quadratic sweep from per-series [`CorProfile`]s, which hoist the
+//! per-series work (finite-mask compaction, moments, mid-ranks, sort
+//! permutations, tie statistics) out of the pair loop, and fills the upper
+//! triangle in parallel with work-stealing over rows.
+//!
+//! Results are **bit-identical** to calling
+//! [`correlation_similarity`](crate::similarity::correlation_similarity)
+//! per pair: the profiled coefficient functions reproduce the from-scratch
+//! accumulation orders exactly, and pairs whose finite masks differ fall
+//! back to pairwise deletion internally (see `wtts_stats::corprofile`).
+
+use crate::similarity::CorSimilarity;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wtts_stats::{cor_tests_profiled, CorProfile, CorScratch, ALPHA};
+
+/// Configuration for [`cor_matrix`].
+#[derive(Debug, Clone)]
+pub struct CorMatrixConfig {
+    /// Significance level of Definition 1 (the paper uses α = 0.05).
+    pub alpha: f64,
+    /// Worker threads; `None` uses the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for CorMatrixConfig {
+    fn default() -> CorMatrixConfig {
+        CorMatrixConfig {
+            alpha: ALPHA,
+            threads: None,
+        }
+    }
+}
+
+/// The upper triangle of a symmetric pairwise-similarity matrix, stored
+/// condensed (row-major, diagonal implicit) in `n(n−1)/2` floats.
+///
+/// `f32` keeps fleet-scale matrices compact; the similarity thresholds the
+/// framework compares against (φ, ¾φ, cut heights) are far coarser than
+/// `f32` resolution. The implicit diagonal reads as `1.0` (a series
+/// evolves identically to itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl CondensedMatrix {
+    /// Number of series the matrix covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The condensed upper-triangle storage, row-major: row `i` holds
+    /// `(i, i+1) .. (i, n-1)`.
+    pub fn values(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat index of the pair `(i, j)` with `i < j`.
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// The similarity of series `i` and `j`, in either order; `1.0` on the
+    /// diagonal.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.n && j < self.n, "pair index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => self.data[self.index(i, j)],
+            std::cmp::Ordering::Equal => 1.0,
+            std::cmp::Ordering::Greater => self.data[self.index(j, i)],
+        }
+    }
+}
+
+/// Definition 1 over two profiles: the maximum statistically significant
+/// coefficient at level `alpha`, `0` when none is significant.
+///
+/// Bit-identical to
+/// [`correlation_similarity_at`](crate::similarity::correlation_similarity_at)
+/// on the profiles' source series. `scratch` carries the reusable
+/// per-pair buffers; keep one per thread.
+pub fn correlation_similarity_profiled(
+    a: &CorProfile,
+    b: &CorProfile,
+    scratch: &mut CorScratch,
+    alpha: f64,
+) -> CorSimilarity {
+    let (p, s, k) = cor_tests_profiled(a, b, scratch);
+    let mut value = 0.0;
+    let mut best = None;
+    for test in [&p, &s, &k] {
+        if test.significant(alpha) && (best.is_none() || test.value > value) {
+            value = test.value;
+            best = Some(test.coefficient);
+        }
+    }
+    CorSimilarity {
+        value,
+        best,
+        pearson: p,
+        spearman: s,
+        kendall: k,
+    }
+}
+
+/// `cor(X, Y)` of Definition 1 over two profiles at the paper's α = 0.05.
+pub fn cor_profiled(a: &CorProfile, b: &CorProfile, scratch: &mut CorScratch) -> f64 {
+    correlation_similarity_profiled(a, b, scratch, ALPHA).value
+}
+
+/// Computes the full pairwise similarity matrix of `profiles`.
+///
+/// Rows of the condensed upper triangle are handed out to worker threads
+/// through a work-stealing counter (early rows are the longest, so
+/// stealing balances the triangle's skew). Each worker owns one
+/// [`CorScratch`], amortizing the Kendall buffers across its rows.
+pub fn cor_matrix(profiles: &[CorProfile], config: &CorMatrixConfig) -> CondensedMatrix {
+    let n = profiles.len();
+    let total = n * n.saturating_sub(1) / 2;
+    let mut data = vec![0.0f32; total];
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+
+    if n < 2 {
+        return CondensedMatrix { n, data };
+    }
+
+    if threads == 1 {
+        let mut scratch = CorScratch::new();
+        let mut rest = data.as_mut_slice();
+        for i in 0..n - 1 {
+            let (row, tail) = rest.split_at_mut(n - 1 - i);
+            fill_row(profiles, i, row, &mut scratch, config.alpha);
+            rest = tail;
+        }
+        return CondensedMatrix { n, data };
+    }
+
+    // Carve the condensed storage into per-row slices so workers write
+    // without aliasing; a shared counter hands rows out (the same pattern
+    // the bench fleet generator uses for gateways).
+    let mut rows: Vec<Option<&mut [f32]>> = Vec::with_capacity(n - 1);
+    let mut rest = data.as_mut_slice();
+    for i in 0..n - 1 {
+        let (row, tail) = rest.split_at_mut(n - 1 - i);
+        rows.push(Some(row));
+        rest = tail;
+    }
+    let next = AtomicUsize::new(0);
+    let rows = Mutex::new(rows);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n - 1) {
+            scope.spawn(|| {
+                let mut scratch = CorScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n - 1 {
+                        break;
+                    }
+                    let row = {
+                        let mut guard = rows.lock().expect("no poisoned row lock");
+                        guard[i].take().expect("each row is taken once")
+                    };
+                    fill_row(profiles, i, row, &mut scratch, config.alpha);
+                }
+            });
+        }
+    });
+
+    CondensedMatrix { n, data }
+}
+
+/// Fills row `i` of the condensed triangle: similarities of `(i, j)` for
+/// `j = i+1 .. n-1`.
+fn fill_row(
+    profiles: &[CorProfile],
+    i: usize,
+    row: &mut [f32],
+    scratch: &mut CorScratch,
+    alpha: f64,
+) {
+    for (offset, slot) in row.iter_mut().enumerate() {
+        let j = i + 1 + offset;
+        *slot = correlation_similarity_profiled(&profiles[i], &profiles[j], scratch, alpha).value
+            as f32;
+    }
+}
+
+/// Profiles a collection of series (a convenience for `cor_matrix` callers).
+pub fn profile_series<S: AsRef<[f64]>>(series: &[S]) -> Vec<CorProfile> {
+    series.iter().map(|s| CorProfile::new(s.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cor;
+
+    fn series_fixture(n: usize, len: usize) -> Vec<Vec<f64>> {
+        // Deterministic mix of correlated, shifted and noisy series with a
+        // few NaN holes.
+        (0..n)
+            .map(|s| {
+                (0..len)
+                    .map(|t| {
+                        let base = ((t * (s % 5 + 1)) % 13) as f64;
+                        let wobble = (((t * 7 + s * 3) % 11) as f64) * 0.1;
+                        if (t + s) % 17 == 0 && s % 3 == 0 {
+                            f64::NAN
+                        } else {
+                            base + wobble
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn condensed_index_roundtrip() {
+        let n = 7;
+        let m = CondensedMatrix {
+            n,
+            data: (0..n * (n - 1) / 2).map(|k| k as f32).collect(),
+        };
+        // Walk the triangle in storage order and confirm get() agrees.
+        let mut k = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(m.get(i, j), k as f32);
+                assert_eq!(m.get(j, i), k as f32);
+                k += 1;
+            }
+        }
+        assert_eq!(m.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn matrix_matches_per_pair_cor() {
+        let series = series_fixture(9, 40);
+        let profiles = profile_series(&series);
+        let m = cor_matrix(&profiles, &CorMatrixConfig::default());
+        for i in 0..series.len() {
+            for j in i + 1..series.len() {
+                let reference = cor(&series[i], &series[j]) as f32;
+                assert_eq!(
+                    m.get(i, j).to_bits(),
+                    reference.to_bits(),
+                    "pair ({i}, {j}): {} vs {}",
+                    m.get(i, j),
+                    reference
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let series = series_fixture(8, 30);
+        let profiles = profile_series(&series);
+        let single = cor_matrix(
+            &profiles,
+            &CorMatrixConfig {
+                threads: Some(1),
+                ..CorMatrixConfig::default()
+            },
+        );
+        for threads in [2, 4, 16] {
+            let multi = cor_matrix(
+                &profiles,
+                &CorMatrixConfig {
+                    threads: Some(threads),
+                    ..CorMatrixConfig::default()
+                },
+            );
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_collections() {
+        assert_eq!(cor_matrix(&[], &CorMatrixConfig::default()).n(), 0);
+        let one = profile_series(&[vec![1.0, 2.0, 3.0]]);
+        let m = cor_matrix(&one, &CorMatrixConfig::default());
+        assert_eq!(m.n(), 1);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn profiled_similarity_matches_plain() {
+        let series = series_fixture(4, 50);
+        let profiles = profile_series(&series);
+        let mut scratch = CorScratch::new();
+        for i in 0..series.len() {
+            for j in 0..series.len() {
+                if i == j {
+                    continue;
+                }
+                let plain = crate::similarity::correlation_similarity(&series[i], &series[j]);
+                let fast = correlation_similarity_profiled(
+                    &profiles[i],
+                    &profiles[j],
+                    &mut scratch,
+                    ALPHA,
+                );
+                assert_eq!(plain.value.to_bits(), fast.value.to_bits());
+                assert_eq!(plain.best, fast.best);
+                assert_eq!(plain.pearson, fast.pearson);
+                assert_eq!(plain.spearman, fast.spearman);
+                assert_eq!(plain.kendall, fast.kendall);
+            }
+        }
+    }
+}

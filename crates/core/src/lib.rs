@@ -20,9 +20,11 @@
 //!
 //! Supporting machinery: [`background`] (per-device background-traffic
 //! thresholds from boxplot whiskers, Section 6.1), [`clustering`]
-//! (hierarchical clustering under the `1 − cor` distance, Figure 3) and
+//! (hierarchical clustering under the `1 − cor` distance, Figure 3),
 //! [`sax`] (a SAX baseline quantifying why symbol-based motif tools fail on
-//! Zipfian traffic, Section 2).
+//! Zipfian traffic, Section 2) and [`engine`] (the batch
+//! pairwise-correlation engine: per-series profiles plus a parallel
+//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls).
 //!
 //! Beyond the paper's evaluation, the crate also ships the applications its
 //! introduction motivates and the future work its conclusion names:
@@ -36,13 +38,14 @@ pub mod anomaly;
 pub mod background;
 pub mod clustering;
 pub mod dominance;
+pub mod engine;
 pub mod maintenance;
 pub mod motif;
 pub mod profile;
 pub mod sax;
-pub mod streaming;
 pub mod similarity;
 pub mod stationarity;
+pub mod streaming;
 
 pub use aggregation::{
     best_score, daily_window_correlation, weekly_window_correlation, GranularityScore,
@@ -54,11 +57,15 @@ pub use dominance::{
     dominant_devices, euclidean_ranking, ranking_agreement, volume_ranking, DominantDevice,
     DOMINANCE_PHI,
 };
+pub use engine::{
+    cor_matrix, cor_profiled, correlation_similarity_profiled, profile_series, CondensedMatrix,
+    CorMatrixConfig,
+};
+pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use motif::{discover_motifs, Motif, MotifConfig, WindowRef};
 pub use profile::GatewayProfile;
-pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use similarity::{cor, cor_distance, correlation_similarity, CorSimilarity};
+pub use stationarity::{strong_stationarity, StationarityCheck, STATIONARITY_COR};
 pub use streaming::{
     CompletedWindow, MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator,
 };
-pub use stationarity::{strong_stationarity, StationarityCheck, STATIONARITY_COR};

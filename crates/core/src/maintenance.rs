@@ -225,7 +225,10 @@ mod tests {
         let end_h = (w.start_minute + w.duration_minutes) / 60;
         assert!(w.expected_bytes == 0.0, "{w:?}");
         assert!(w.silent_share == 1.0);
-        assert!(end_h <= 19 || start_h >= 22, "window {w:?} hits the evening");
+        assert!(
+            end_h <= 19 || start_h >= 22,
+            "window {w:?} hits the evening"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! ¾φ-similar to all of them, which maintains both invariants by
 //! construction.
 
-use crate::similarity::cor;
+use crate::engine::{cor_matrix, CorMatrixConfig};
+use wtts_stats::CorProfile;
 use wtts_timeseries::Weekday;
 
 /// Identity of one window in the motif-search input set.
@@ -96,11 +97,7 @@ impl Motif {
     /// Element-wise mean of the member windows — the motif's "shape", what
     /// Figures 11 and 14 plot.
     pub fn average_pattern(&self, windows: &[Vec<f64>]) -> Vec<f64> {
-        let len = self
-            .members
-            .first()
-            .map(|&i| windows[i].len())
-            .unwrap_or(0);
+        let len = self.members.first().map(|&i| windows[i].len()).unwrap_or(0);
         let mut sums = vec![0.0; len];
         let mut counts = vec![0usize; len];
         for &i in &self.members {
@@ -153,34 +150,40 @@ impl Motif {
 /// ```
 pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif> {
     let n = windows.len();
-    let eligible: Vec<bool> = windows
-        .iter()
-        .map(|w| w.iter().filter(|v| v.is_finite()).count() >= config.min_observations)
-        .collect();
-
-    // Pairwise similarity matrix (f32 to halve memory; thresholds are far
-    // coarser than f32 precision).
-    let mut sim = vec![0.0f32; n * n];
-    let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
-    for i in 0..n {
-        if !eligible[i] {
-            continue;
+    // Eligible windows get a slot in the condensed similarity matrix;
+    // ineligible ones never pair with anything.
+    let mut slot: Vec<Option<usize>> = vec![None; n];
+    let mut eligible: Vec<usize> = Vec::new();
+    let mut profiles: Vec<CorProfile> = Vec::new();
+    for (i, w) in windows.iter().enumerate() {
+        if w.iter().filter(|v| v.is_finite()).count() >= config.min_observations {
+            slot[i] = Some(profiles.len());
+            eligible.push(i);
+            profiles.push(CorProfile::new(w));
         }
-        for j in (i + 1)..n {
-            if !eligible[j] {
-                continue;
-            }
-            let c = cor(&windows[i], &windows[j]) as f32;
-            sim[i * n + j] = c;
-            sim[j * n + i] = c;
-            if c as f64 >= config.phi {
+    }
+
+    // One batch upper-triangle sweep replaces the per-pair cor() calls and
+    // the old duplicated n × n storage.
+    let matrix = cor_matrix(&profiles, &CorMatrixConfig::default());
+    let sim = |i: usize, j: usize| -> f32 {
+        match (slot[i], slot[j]) {
+            (Some(a), Some(b)) => matrix.get(a, b),
+            _ => 0.0,
+        }
+    };
+
+    let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
+    for (a, &i) in eligible.iter().enumerate() {
+        for (offset, &j) in eligible[a + 1..].iter().enumerate() {
+            if matrix.get(a, a + 1 + offset) as f64 >= config.phi {
                 candidate_pairs.push((i, j));
             }
         }
     }
     candidate_pairs.sort_by(|a, b| {
-        sim[b.0 * n + b.1]
-            .partial_cmp(&sim[a.0 * n + a.1])
+        sim(b.0, b.1)
+            .partial_cmp(&sim(a.0, a.1))
             .expect("finite similarity")
     });
 
@@ -196,13 +199,13 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
                 motifs.push(vec![i, j]);
             }
             (Some(m), None) => {
-                if motifs[m].iter().all(|&k| sim[j * n + k] >= group_thresh) {
+                if motifs[m].iter().all(|&k| sim(j, k) >= group_thresh) {
                     assignment[j] = Some(m);
                     motifs[m].push(j);
                 }
             }
             (None, Some(m)) => {
-                if motifs[m].iter().all(|&k| sim[i * n + k] >= group_thresh) {
+                if motifs[m].iter().all(|&k| sim(i, k) >= group_thresh) {
                     assignment[i] = Some(m);
                     motifs[m].push(i);
                 }
@@ -225,7 +228,7 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
             };
             let all_cross = ma
                 .iter()
-                .all(|&i| mb.iter().all(|&j| sim[i * n + j] >= merge_thresh));
+                .all(|&i| mb.iter().all(|&j| sim(i, j) >= merge_thresh));
             if all_cross {
                 let mb = merged[b].take().expect("checked above");
                 merged[a].as_mut().expect("checked above").extend(mb);
@@ -245,6 +248,7 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::similarity::cor;
 
     /// An evening-shaped window (8 three-hour bins), with variation.
     fn evening(seed: usize) -> Vec<f64> {
@@ -268,7 +272,9 @@ mod tests {
 
     /// Pure noise windows.
     fn noise(seed: usize) -> Vec<f64> {
-        (0..8).map(|b| ((b * 7919 + seed * 104729) % 997) as f64).collect()
+        (0..8)
+            .map(|b| ((b * 7919 + seed * 104729) % 997) as f64)
+            .collect()
     }
 
     fn refs_for(n: usize) -> Vec<WindowRef> {
@@ -387,10 +393,26 @@ mod tests {
     fn weekend_fraction_counts() {
         let windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
         let refs = vec![
-            WindowRef { gateway: 0, week: 0, weekday: Some(Weekday::Saturday) },
-            WindowRef { gateway: 0, week: 0, weekday: Some(Weekday::Sunday) },
-            WindowRef { gateway: 1, week: 0, weekday: Some(Weekday::Monday) },
-            WindowRef { gateway: 1, week: 1, weekday: Some(Weekday::Tuesday) },
+            WindowRef {
+                gateway: 0,
+                week: 0,
+                weekday: Some(Weekday::Saturday),
+            },
+            WindowRef {
+                gateway: 0,
+                week: 0,
+                weekday: Some(Weekday::Sunday),
+            },
+            WindowRef {
+                gateway: 1,
+                week: 0,
+                weekday: Some(Weekday::Monday),
+            },
+            WindowRef {
+                gateway: 1,
+                week: 1,
+                weekday: Some(Weekday::Tuesday),
+            },
         ];
         let motifs = discover_motifs(&windows, &MotifConfig::default());
         assert_eq!(motifs[0].support(), 4);
@@ -415,11 +437,17 @@ mod tests {
         windows.extend(late);
         let strict = discover_motifs(
             &windows,
-            &MotifConfig { merge_threshold: 0.99, ..MotifConfig::default() },
+            &MotifConfig {
+                merge_threshold: 0.99,
+                ..MotifConfig::default()
+            },
         );
         let permissive = discover_motifs(
             &windows,
-            &MotifConfig { merge_threshold: 0.5, ..MotifConfig::default() },
+            &MotifConfig {
+                merge_threshold: 0.5,
+                ..MotifConfig::default()
+            },
         );
         assert!(
             permissive.len() <= strict.len(),

@@ -68,15 +68,14 @@ impl GatewayProfile {
 
         let strongly_stationary = best_weekly
             .map(|(g, _)| {
-                weekly_stationarity(&active, weeks, g, 0)
-                    .is_some_and(|c| c.is_stationary())
+                weekly_stationarity(&active, weeks, g, 0).is_some_and(|c| c.is_stationary())
             })
             .unwrap_or(false);
 
         let dominants = dominant_devices(&total, device_series, DOMINANCE_PHI);
 
-        let maintenance = WeeklyProfile::from_active_series(&active, 60)
-            .and_then(|p| p.recommend(120));
+        let maintenance =
+            WeeklyProfile::from_active_series(&active, 60).and_then(|p| p.recommend(120));
 
         let total_bytes = total.total();
         Some(GatewayProfile {
@@ -155,7 +154,9 @@ mod tests {
                 }
             })
             .collect();
-        let hum: Vec<f64> = (0..minutes).map(|m| 400.0 + ((m * 11) % 17) as f64).collect();
+        let hum: Vec<f64> = (0..minutes)
+            .map(|m| 400.0 + ((m * 11) % 17) as f64)
+            .collect();
         vec![
             TimeSeries::per_minute(streamer),
             TimeSeries::per_minute(hum),

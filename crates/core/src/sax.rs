@@ -39,7 +39,11 @@ pub fn paa(x: &[f64], segments: usize) -> Vec<f64> {
         .map(|s| {
             let lo = s * n / segments;
             let hi = ((s + 1) * n / segments).max(lo + 1);
-            let vals: Vec<f64> = x[lo..hi].iter().copied().filter(|v| v.is_finite()).collect();
+            let vals: Vec<f64> = x[lo..hi]
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
             if vals.is_empty() {
                 f64::NAN
             } else {

@@ -11,8 +11,8 @@
 //! on every gateway), this notion asks for *repetitive behavior across
 //! calendar windows* — exactly the regularity that motifs formalize.
 
-use crate::similarity::cor;
-use wtts_stats::{ks_two_sample, ALPHA};
+use crate::engine::cor_profiled;
+use wtts_stats::{ks_two_sample, CorProfile, CorScratch, ALPHA};
 
 /// The paper's correlation threshold for strong stationarity.
 pub const STATIONARITY_COR: f64 = 0.6;
@@ -55,12 +55,17 @@ pub fn strong_stationarity_at(
     if observed.len() < 2 {
         return None;
     }
+    // Profile each window once; the quadratic pair loop then reuses the
+    // per-window masks, moments and rank artifacts (full f64 precision, as
+    // min_cor feeds threshold comparisons downstream).
+    let profiles: Vec<CorProfile> = observed.iter().map(|w| CorProfile::new(w)).collect();
+    let mut scratch = CorScratch::new();
     let mut min_cor = f64::INFINITY;
     let mut correlations_pass = true;
     let mut ks_rejected = false;
     for i in 0..observed.len() {
         for j in (i + 1)..observed.len() {
-            let c = cor(observed[i], observed[j]);
+            let c = cor_profiled(&profiles[i], &profiles[j], &mut scratch);
             min_cor = min_cor.min(c);
             if c <= cor_threshold {
                 correlations_pass = false;
@@ -88,6 +93,7 @@ pub fn strong_stationarity(windows: &[&[f64]]) -> Option<StationarityCheck> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::similarity::cor;
 
     /// A repeating daily-shaped window with slight deterministic variation.
     fn shaped_window(phase: usize) -> Vec<f64> {
@@ -113,10 +119,22 @@ mod tests {
     fn shifted_behavior_fails_correlation() {
         // Morning window vs evening window: anti-aligned activity.
         let morning: Vec<f64> = (0..24)
-            .map(|h| if (6..10).contains(&h) { 100.0 } else { 2.0 + (h % 3) as f64 })
+            .map(|h| {
+                if (6..10).contains(&h) {
+                    100.0
+                } else {
+                    2.0 + (h % 3) as f64
+                }
+            })
             .collect();
         let evening: Vec<f64> = (0..24)
-            .map(|h| if (18..22).contains(&h) { 100.0 } else { 2.0 + (h % 3) as f64 })
+            .map(|h| {
+                if (18..22).contains(&h) {
+                    100.0
+                } else {
+                    2.0 + (h % 3) as f64
+                }
+            })
             .collect();
         let check = strong_stationarity(&[&morning, &evening]).unwrap();
         assert!(!check.is_stationary());

@@ -300,7 +300,9 @@ mod tests {
     #[test]
     fn online_pearson_matches_batch() {
         let x: Vec<f64> = (0..200).map(|i| ((i * 13) % 31) as f64).collect();
-        let y: Vec<f64> = (0..200).map(|i| ((i * 13) % 31) as f64 * 2.0 + ((i % 5) as f64)).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| ((i * 13) % 31) as f64 * 2.0 + ((i % 5) as f64))
+            .collect();
         let mut online = OnlinePearson::new();
         for (&a, &b) in x.iter().zip(&y) {
             online.push(a, b);
@@ -341,9 +343,7 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left.len(), whole.len());
-        assert!(
-            (left.correlation().unwrap() - whole.correlation().unwrap()).abs() < 1e-10
-        );
+        assert!((left.correlation().unwrap() - whole.correlation().unwrap()).abs() < 1e-10);
     }
 
     #[test]
@@ -441,8 +441,14 @@ mod tests {
 
     #[test]
     fn matcher_prefers_best_template() {
-        let a = MotifTemplate { name: "a".into(), pattern: vec![0.0, 0.0, 10.0, 10.0] };
-        let b = MotifTemplate { name: "b".into(), pattern: vec![0.0, 5.0, 10.0, 10.0] };
+        let a = MotifTemplate {
+            name: "a".into(),
+            pattern: vec![0.0, 0.0, 10.0, 10.0],
+        };
+        let b = MotifTemplate {
+            name: "b".into(),
+            pattern: vec![0.0, 5.0, 10.0, 10.0],
+        };
         let mut matcher = MotifMatcher::new(vec![a, b], 0.5);
         // Exactly b's shape.
         match matcher.observe(&[1.0, 6.0, 11.0, 11.0]) {

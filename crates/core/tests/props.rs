@@ -3,14 +3,29 @@
 use proptest::prelude::*;
 use wtts_core::background::{capped_tau, estimate_tau, remove_background, TAU_CAP};
 use wtts_core::clustering::average_linkage;
+use wtts_core::engine::{
+    cor_matrix, correlation_similarity_profiled, profile_series, CorMatrixConfig,
+};
 use wtts_core::sax::{alphabet_utilization, dominant_symbol_share, paa, sax_word};
 use wtts_core::similarity::{cor, correlation_similarity};
 use wtts_core::stationarity::strong_stationarity;
 use wtts_core::streaming::OnlinePearson;
+use wtts_stats::{CorProfile, CorScratch, ALPHA};
 use wtts_timeseries::TimeSeries;
 
 fn traffic(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1e7, len)
+}
+
+/// A traffic sample that may be a NaN hole (missing minute) or a quantized
+/// value (heavy ties) — the two regimes that exercise the engine's
+/// pairwise-deletion fallback and tie corrections.
+fn holey_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => 0.0f64..1e7,
+        2 => Just(f64::NAN),
+        3 => (0u32..4).prop_map(|q| (q * 250) as f64),
+    ]
 }
 
 proptest! {
@@ -129,5 +144,70 @@ proptest! {
         if !constant {
             prop_assert!(d < 1e-9, "self-distance must vanish: {d}");
         }
+    }
+
+    /// Every cor_matrix entry is bit-identical to the per-pair Definition 1
+    /// measure, including series with NaN holes and tie-heavy values.
+    #[test]
+    fn cor_matrix_bit_identical(data in prop::collection::vec(holey_value(), 30..120), len in 5usize..15) {
+        let series: Vec<Vec<f64>> = data.chunks_exact(len).map(|c| c.to_vec()).collect();
+        if series.len() < 2 {
+            continue;
+        }
+        let profiles = profile_series(&series);
+        let matrix = cor_matrix(&profiles, &CorMatrixConfig::default());
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                let reference = cor(&series[i], &series[j]) as f32;
+                prop_assert_eq!(
+                    matrix.get(i, j).to_bits(),
+                    reference.to_bits(),
+                    "pair ({}, {}): engine {} vs per-pair {}",
+                    i, j, matrix.get(i, j), reference
+                );
+            }
+        }
+    }
+
+    /// All-tied (constant) series take the degenerate path in every
+    /// coefficient; the engine must reproduce it exactly, at any thread
+    /// count.
+    #[test]
+    fn cor_matrix_handles_all_tied(v in 0.0f64..1e7, len in 3usize..20) {
+        let constant = vec![v; len];
+        let ramp: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let series = [constant.clone(), ramp, constant];
+        let profiles = profile_series(&series);
+        for threads in [1, 4] {
+            let matrix = cor_matrix(
+                &profiles,
+                &CorMatrixConfig { threads: Some(threads), ..CorMatrixConfig::default() },
+            );
+            for i in 0..series.len() {
+                for j in (i + 1)..series.len() {
+                    let reference = cor(&series[i], &series[j]) as f32;
+                    prop_assert_eq!(matrix.get(i, j).to_bits(), reference.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The profiled Definition 1 result matches correlation_similarity
+    /// field for field (f64 bits) on inputs with NaN holes and ties.
+    #[test]
+    fn profiled_similarity_bit_identical(data in prop::collection::vec(holey_value(), 6..100)) {
+        let len = data.len() / 2;
+        let x = data[..len].to_vec();
+        let y = data[len..2 * len].to_vec();
+        let plain = correlation_similarity(&x, &y);
+        let pa = CorProfile::new(&x);
+        let pb = CorProfile::new(&y);
+        let mut scratch = CorScratch::new();
+        let fast = correlation_similarity_profiled(&pa, &pb, &mut scratch, ALPHA);
+        prop_assert_eq!(plain.value.to_bits(), fast.value.to_bits());
+        prop_assert_eq!(plain.best, fast.best);
+        prop_assert_eq!(plain.pearson, fast.pearson);
+        prop_assert_eq!(plain.spearman, fast.spearman);
+        prop_assert_eq!(plain.kendall, fast.kendall);
     }
 }

@@ -116,7 +116,10 @@ mod tests {
     fn separator_and_case_insensitivity() {
         assert_eq!(classify_name("I_PHONE"), Some(DeviceType::Portable));
         assert_eq!(classify_name("apple tv"), Some(DeviceType::SmartTv));
-        assert_eq!(classify_name("Apple-TV-Living-Room"), Some(DeviceType::SmartTv));
+        assert_eq!(
+            classify_name("Apple-TV-Living-Room"),
+            Some(DeviceType::SmartTv)
+        );
     }
 
     #[test]
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn console_names() {
-        assert_eq!(classify_name("PS4-living-room"), Some(DeviceType::GameConsole));
+        assert_eq!(
+            classify_name("PS4-living-room"),
+            Some(DeviceType::GameConsole)
+        );
         assert_eq!(classify_name("xbox360"), Some(DeviceType::GameConsole));
     }
 }

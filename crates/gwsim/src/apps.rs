@@ -116,7 +116,10 @@ mod tests {
         }
         assert!(AppProfile::Streaming.rate_in() > AppProfile::Browsing.rate_in() * 10.0);
         assert!(AppProfile::Upload.out_ratio() > 1.0, "upload is out-heavy");
-        assert!(AppProfile::Streaming.out_ratio() < 0.1, "streaming is in-heavy");
+        assert!(
+            AppProfile::Streaming.out_ratio() < 0.1,
+            "streaming is in-heavy"
+        );
     }
 
     #[test]
@@ -126,7 +129,10 @@ mod tests {
         let games = (0..n)
             .filter(|_| AppProfile::sample(&mut rng, true, false) == AppProfile::Gaming)
             .count();
-        assert!(games as f64 / n as f64 > 0.5, "consoles mostly game: {games}");
+        assert!(
+            games as f64 / n as f64 > 0.5,
+            "consoles mostly game: {games}"
+        );
     }
 
     #[test]

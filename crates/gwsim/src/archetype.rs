@@ -209,7 +209,9 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         let n = 20_000;
         for _ in 0..n {
-            *counts.entry(HouseholdArchetype::sample(&mut rng)).or_insert(0usize) += 1;
+            *counts
+                .entry(HouseholdArchetype::sample(&mut rng))
+                .or_insert(0usize) += 1;
         }
         let evening = counts[&HouseholdArchetype::EveningRegulars] as f64 / n as f64;
         assert!((evening - 0.24).abs() < 0.02, "evening share = {evening}");

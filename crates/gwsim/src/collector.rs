@@ -188,7 +188,10 @@ mod tests {
         let reports = device_reports(&d, heavy_dup, &mut rng);
         let (inc, _) = reassemble(&reports, d.incoming.len());
         let share = recovered_volume_share(&d, &inc);
-        assert!((share - 1.0).abs() < 0.01, "duplication inflated volume: {share}");
+        assert!(
+            (share - 1.0).abs() < 0.01,
+            "duplication inflated volume: {share}"
+        );
     }
 
     #[test]

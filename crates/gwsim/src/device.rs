@@ -138,15 +138,18 @@ pub fn sample_name(rng: &mut impl Rng, role: DeviceRole) -> String {
         DeviceRole::Desktop => ["family-desktop", "office-pc", "gaming-desktop", "imac-home"]
             [rng.gen_range(0..4)]
         .to_string(),
-        DeviceRole::SmartTv => {
-            ["living-room-tv", "samsung tv", "appletv", "bedroom-tv"][rng.gen_range(0..4)]
-                .to_string()
-        }
-        DeviceRole::Console => ["PS4", "xbox-one", "nintendo-wii", "playstation3"]
+        DeviceRole::SmartTv => ["living-room-tv", "samsung tv", "appletv", "bedroom-tv"]
             [rng.gen_range(0..4)]
         .to_string(),
-        DeviceRole::Peripheral => ["epson-printer", "wifi-extender", "hall-repeater", "home-nas"]
-            [rng.gen_range(0..4)]
+        DeviceRole::Console => {
+            ["PS4", "xbox-one", "nintendo-wii", "playstation3"][rng.gen_range(0..4)].to_string()
+        }
+        DeviceRole::Peripheral => [
+            "epson-printer",
+            "wifi-extender",
+            "hall-repeater",
+            "home-nas",
+        ][rng.gen_range(0..4)]
         .to_string(),
     }
 }
@@ -253,7 +256,10 @@ mod tests {
             .map(|_| sample_background_median(&mut r, DeviceType::Fixed))
             .collect();
         let below_5k = |v: &[f64]| v.iter().filter(|&&x| x <= 5_000.0).count() as f64 / n as f64;
-        assert!(below_5k(&portables) > 0.95, "portables sit in the small group");
+        assert!(
+            below_5k(&portables) > 0.95,
+            "portables sit in the small group"
+        );
         let fixed_large = fixed.iter().filter(|&&x| x > 40_000.0).count() as f64 / n as f64;
         assert!(
             fixed_large > 0.01 && fixed_large < 0.15,

@@ -180,6 +180,9 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 1000, "too few contiguous minutes checked: {checked}");
+        assert!(
+            checked > 1000,
+            "too few contiguous minutes checked: {checked}"
+        );
     }
 }

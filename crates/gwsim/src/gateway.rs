@@ -56,7 +56,10 @@ impl AccessTech {
     /// paper deployment's mix.
     pub fn sample(rng: &mut impl Rng, adsl_share: f64) -> AccessTech {
         let fiber = 1.0 - adsl_share.clamp(0.0, 1.0);
-        match weighted_index(rng, &[fiber * 0.92, fiber * 0.08, adsl_share.clamp(0.0, 1.0)]) {
+        match weighted_index(
+            rng,
+            &[fiber * 0.92, fiber * 0.08, adsl_share.clamp(0.0, 1.0)],
+        ) {
             0 => AccessTech::Fiber100,
             1 => AccessTech::Fiber30,
             _ => AccessTech::Adsl24,
@@ -125,14 +128,12 @@ pub struct SimGateway {
 impl SimGateway {
     /// Aggregated per-minute incoming traffic over all devices.
     pub fn aggregate_incoming(&self) -> TimeSeries {
-        TimeSeries::sum_all(self.devices.iter().map(|d| &d.incoming))
-            .expect("gateway has devices")
+        TimeSeries::sum_all(self.devices.iter().map(|d| &d.incoming)).expect("gateway has devices")
     }
 
     /// Aggregated per-minute outgoing traffic over all devices.
     pub fn aggregate_outgoing(&self) -> TimeSeries {
-        TimeSeries::sum_all(self.devices.iter().map(|d| &d.outgoing))
-            .expect("gateway has devices")
+        TimeSeries::sum_all(self.devices.iter().map(|d| &d.outgoing)).expect("gateway has devices")
     }
 
     /// Aggregated overall traffic (incoming + outgoing), the series the
@@ -143,11 +144,7 @@ impl SimGateway {
 
     /// Number of connected (reporting) devices per minute.
     pub fn connected_devices(&self) -> TimeSeries {
-        let n = self
-            .devices
-            .first()
-            .map(|d| d.incoming.len())
-            .unwrap_or(0);
+        let n = self.devices.first().map(|d| d.incoming.len()).unwrap_or(0);
         let mut counts = vec![0.0f64; n];
         for d in &self.devices {
             for (c, v) in counts.iter_mut().zip(d.incoming.values()) {
@@ -307,20 +304,55 @@ fn build_household_devices(
             ));
         }
         if chance(rng, 0.30) {
-            specs.push(make_device(rng, DeviceRole::Tablet, Some(r), employed, 0.7, None));
+            specs.push(make_device(
+                rng,
+                DeviceRole::Tablet,
+                Some(r),
+                employed,
+                0.7,
+                None,
+            ));
         }
     }
     if chance(rng, 0.50) {
-        specs.push(make_device(rng, DeviceRole::Desktop, None, false, 2.2, None));
+        specs.push(make_device(
+            rng,
+            DeviceRole::Desktop,
+            None,
+            false,
+            2.2,
+            None,
+        ));
     }
     if chance(rng, 0.45) {
-        specs.push(make_device(rng, DeviceRole::SmartTv, None, false, 0.45, None));
+        specs.push(make_device(
+            rng,
+            DeviceRole::SmartTv,
+            None,
+            false,
+            0.45,
+            None,
+        ));
     }
     if chance(rng, 0.25) {
-        specs.push(make_device(rng, DeviceRole::Console, None, false, 0.5, None));
+        specs.push(make_device(
+            rng,
+            DeviceRole::Console,
+            None,
+            false,
+            0.5,
+            None,
+        ));
     }
     if chance(rng, 0.35) {
-        specs.push(make_device(rng, DeviceRole::Peripheral, None, false, 0.05, None));
+        specs.push(make_device(
+            rng,
+            DeviceRole::Peripheral,
+            None,
+            false,
+            0.05,
+            None,
+        ));
     }
     // Transient guests.
     let total_days = config.weeks * 7;
@@ -343,7 +375,11 @@ fn build_household_devices(
     if let Some(primary) = specs
         .iter_mut()
         .filter(|s| s.guest_days.is_none())
-        .max_by(|a, b| a.session_weight.partial_cmp(&b.session_weight).expect("finite"))
+        .max_by(|a, b| {
+            a.session_weight
+                .partial_cmp(&b.session_weight)
+                .expect("finite")
+        })
     {
         primary.session_weight *= 4.0;
     }
@@ -561,8 +597,8 @@ fn generate_solo_sessions(
         for day in 0..days {
             let n = poisson(rng, 1.2 * (1.0 - 0.7 * regularity));
             for _ in 0..n {
-                let start = day * MINUTES_PER_DAY as usize
-                    + rng.gen_range(0..MINUTES_PER_DAY as usize);
+                let start =
+                    day * MINUTES_PER_DAY as usize + rng.gen_range(0..MINUTES_PER_DAY as usize);
                 if !device.present[start] {
                     continue;
                 }
@@ -579,8 +615,7 @@ fn generate_solo_sessions(
                         break;
                     }
                     let minute_in = rate_in * (app.burstiness() * normal(rng)).exp();
-                    let minute_out =
-                        minute_in * app.out_ratio() * (0.3 * normal(rng)).exp();
+                    let minute_out = minute_in * app.out_ratio() * (0.3 * normal(rng)).exp();
                     device.incoming[m] = device.incoming[m].max(0.0) + minute_in;
                     device.outgoing[m] = device.outgoing[m].max(0.0) + minute_out;
                 }
@@ -608,7 +643,13 @@ fn generate_sessions(
     // the lead resident carrying most sessions — that concentration is what
     // makes one device dominate a gateway (Section 6.2).
     let resident_offsets: Vec<i32> = (0..residents)
-        .map(|r| if r == 0 { 0 } else { [-3, -2, 2, 3][rng.gen_range(0..4)] })
+        .map(|r| {
+            if r == 0 {
+                0
+            } else {
+                [-3, -2, 2, 3][rng.gen_range(0..4)]
+            }
+        })
         .collect();
     // The household's favorite hour: regular homes go online at the same
     // time every day, irregular ones spread across the archetype's window.
@@ -617,8 +658,8 @@ fn generate_sessions(
         weighted_index(rng, &base_weights) as f64
     };
     let habit_width = 7.0 - 5.5 * regularity; // hours
-    // A regular household also has a regular media diet — the same show at
-    // the same hour pulls the same bytes, stabilizing window magnitudes.
+                                              // A regular household also has a regular media diet — the same show at
+                                              // the same hour pulls the same bytes, stabilizing window magnitudes.
     let habit_app = AppProfile::sample(rng, false, false);
     let resident_weights: Vec<f64> = (0..residents)
         .map(|r| if r == 0 { 1.8 } else { 1.0 })
@@ -694,8 +735,7 @@ fn generate_sessions(
         }
         for _ in 0..n_sessions {
             let resident = weighted_index(rng, &resident_weights);
-            let hour = (weighted_index(rng, &hour_weights) as i32
-                + resident_offsets[resident])
+            let hour = (weighted_index(rng, &hour_weights) as i32 + resident_offsets[resident])
                 .rem_euclid(24) as usize;
             let start = day_start + hour * 60 + rng.gen_range(0..60);
             if start >= minutes {
@@ -790,8 +830,8 @@ mod tests {
         let same_meta = a.residents == b.residents
             && a.archetype == b.archetype
             && a.devices.len() == b.devices.len();
-        let same_data = a.devices[0].incoming.values()[..50]
-            == b.devices[0].incoming.values()[..50];
+        let same_data =
+            a.devices[0].incoming.values()[..50] == b.devices[0].incoming.values()[..50];
         assert!(!(same_meta && same_data));
     }
 

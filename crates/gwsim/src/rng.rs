@@ -111,7 +111,9 @@ mod tests {
     fn lognormal_median_is_the_median() {
         let mut r = rng();
         let n = 20_000;
-        let mut xs: Vec<f64> = (0..n).map(|_| lognormal_median(&mut r, 800.0, 1.0)).collect();
+        let mut xs: Vec<f64> = (0..n)
+            .map(|_| lognormal_median(&mut r, 800.0, 1.0))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[n / 2];
         assert!((med / 800.0 - 1.0).abs() < 0.1, "median = {med}");

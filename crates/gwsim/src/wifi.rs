@@ -116,7 +116,7 @@ mod tests {
     }
 
     #[test]
-    fn portables_link_slower_on_average(){
+    fn portables_link_slower_on_average() {
         let mut rng = SmallRng::seed_from_u64(11);
         let n = 4000;
         let avg = |portable: bool, rng: &mut SmallRng| -> f64 {

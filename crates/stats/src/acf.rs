@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn acf_of_alternating_signal_is_negative_at_lag_one() {
-        let x: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = acf(&x, 2);
         assert!(r[1] < -0.9);
         assert!(r[2] > 0.9);

@@ -121,18 +121,17 @@ pub fn fit_ar_aic(x: &[f64], max_p: usize) -> Option<ArModel> {
     let n = x.iter().filter(|v| v.is_finite()).count();
     (1..=max_p)
         .filter_map(|p| fit_ar(x, p))
-        .min_by(|a, b| {
-            a.aic(n)
-                .partial_cmp(&b.aic(n))
-                .expect("finite AIC")
-        })
+        .min_by(|a, b| a.aic(n).partial_cmp(&b.aic(n)).expect("finite AIC"))
 }
 
 /// Out-of-sample one-step forecast evaluation: fits on the first
 /// `train_frac` of the series and reports root-mean-squared error over the
 /// remainder for (model, mean-predictor, persistence-predictor).
 pub fn forecast_rmse(x: &[f64], p: usize, train_frac: f64) -> Option<ForecastComparison> {
-    assert!((0.1..1.0).contains(&train_frac), "train_frac must be in (0.1, 1)");
+    assert!(
+        (0.1..1.0).contains(&train_frac),
+        "train_frac must be in (0.1, 1)"
+    );
     let split = (x.len() as f64 * train_frac) as usize;
     if split < p + 2 || split >= x.len() {
         return None;
@@ -253,8 +252,16 @@ mod tests {
             x.push(v);
         }
         let model = fit_ar(&x, 2).unwrap();
-        assert!((model.coefficients[0] - 0.5).abs() < 0.08, "{:?}", model.coefficients);
-        assert!((model.coefficients[1] + 0.3).abs() < 0.08, "{:?}", model.coefficients);
+        assert!(
+            (model.coefficients[0] - 0.5).abs() < 0.08,
+            "{:?}",
+            model.coefficients
+        );
+        assert!(
+            (model.coefficients[1] + 0.3).abs() < 0.08,
+            "{:?}",
+            model.coefficients
+        );
     }
 
     #[test]

@@ -1,0 +1,880 @@
+//! Per-series correlation profiles for batch pairwise computation.
+//!
+//! Definition 1 of the paper compares every pair of series with up to
+//! three coefficients, and every framework primitive built on it (motifs,
+//! clustering, stationarity, granularity scoring) is `O(n²)` in the number
+//! of series. Computing each coefficient from scratch repeats a large
+//! amount of *per-series* work per pair: compaction of finite values,
+//! means and second moments, mid-ranks, sort permutations and tie-group
+//! statistics. A [`CorProfile`] hoists all of that out of the pair loop,
+//! so a pair costs only the genuinely pairwise parts — one cross-moment
+//! pass for Pearson, one for Spearman, and a per-run refinement plus
+//! merge-count for Kendall.
+//!
+//! **Exactness.** The profiled functions return results bit-identical to
+//! [`pearson`](crate::pearson) / [`spearman`](crate::spearman) /
+//! [`kendall`](crate::kendall) on the same inputs. The fast path applies
+//! when two profiles share the same finite mask (in particular whenever
+//! both series are complete): then "pairwise-complete observations" are
+//! exactly the profiles' compacted values and every cached statistic is
+//! valid. When masks differ, the pair falls back to pairwise deletion:
+//! the intersected observations are gathered from the two compactions,
+//! and each side's cached sort permutation — filtered down to the
+//! intersection — replaces the per-pair sorts the from-scratch routines
+//! perform. A stable sort of a subsequence is the filtered stable sort of
+//! the full sequence, so the filtered orders, the mid-ranks walked from
+//! them and the tie groups they delimit are exactly what sorting the
+//! gathered values would produce. Accumulation orders match the
+//! from-scratch loops term for term (see `pearson_from_moments` and
+//! `kendall_from_parts`), which is what makes bit-equality hold rather
+//! than mere approximation.
+
+use crate::correlation::{
+    kendall_from_parts, kendall_ties, merge_count, pearson_complete, pearson_from_moments,
+    CorrelationCoefficient, CorrelationTest, KendallTies,
+};
+use crate::rank::rank_series;
+
+/// Everything about one series that pairwise correlation can reuse:
+/// finite-value mask, compacted values, Pearson moments, mid-ranks with
+/// their moments, the stable sort permutation and tie statistics.
+///
+/// Build once per series with [`CorProfile::new`], then hand pairs to
+/// [`pearson_profiled`], [`spearman_profiled`] and [`kendall_profiled`].
+#[derive(Debug, Clone)]
+pub struct CorProfile {
+    /// Original series length (including non-finite positions).
+    len: usize,
+    /// Finite-position bitmask, 64 positions per word, LSB-first.
+    mask: Vec<u64>,
+    /// Whether every position is finite.
+    complete: bool,
+    /// The finite values, in series order.
+    vals: Vec<f64>,
+    /// Mean of `vals`, accumulated exactly like `pearson`'s.
+    mean: f64,
+    /// Centered second moment Σ(v − mean)², in `pearson`'s order.
+    sxx: f64,
+    /// Mid-ranks of `vals` (1-based, ties averaged).
+    ranks: Vec<f64>,
+    /// Mean of `ranks`.
+    rank_mean: f64,
+    /// Centered second moment of `ranks`.
+    rank_sxx: f64,
+    /// Stable sort permutation of `vals` (ascending; ties keep order).
+    order: Vec<u32>,
+    /// `(start, len)` of each tie run (len > 1) in the sorted sequence.
+    tie_runs: Vec<(u32, u32)>,
+    /// Tie aggregates for τ-b's denominator and variance.
+    ties: KendallTies,
+}
+
+impl CorProfile {
+    /// Profiles `series`, treating non-finite values as missing.
+    pub fn new(series: &[f64]) -> CorProfile {
+        let len = series.len();
+        let mut mask = vec![0u64; len.div_ceil(64)];
+        let mut vals = Vec::with_capacity(len);
+        for (i, &v) in series.iter().enumerate() {
+            if v.is_finite() {
+                mask[i / 64] |= 1u64 << (i % 64);
+                vals.push(v);
+            }
+        }
+        let complete = vals.len() == len;
+        let (mean, sxx) = mean_and_sxx(&vals);
+        let ranked = rank_series(&vals);
+        let (rank_mean, rank_sxx) = mean_and_sxx(&ranked.ranks);
+        let ties = kendall_ties(&ranked.ties);
+        let order: Vec<u32> = ranked.order.iter().map(|&i| i as u32).collect();
+        // Tie runs in the sorted sequence; singleton runs need no per-pair
+        // refinement, so only len > 1 runs are kept.
+        let mut tie_runs = Vec::with_capacity(ranked.ties.len());
+        let mut i = 0;
+        while i < vals.len() {
+            let mut j = i;
+            while j + 1 < vals.len() && vals[order[j + 1] as usize] == vals[order[i] as usize] {
+                j += 1;
+            }
+            if j > i {
+                tie_runs.push((i as u32, (j - i + 1) as u32));
+            }
+            i = j + 1;
+        }
+        CorProfile {
+            len,
+            mask,
+            complete,
+            vals,
+            mean,
+            sxx,
+            ranks: ranked.ranks,
+            rank_mean,
+            rank_sxx,
+            order,
+            tie_runs,
+            ties,
+        }
+    }
+
+    /// Original series length, including missing positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the original series was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of finite observations.
+    pub fn n_finite(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether every position holds a finite value.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Whether `self` and `other` have finite values at exactly the same
+    /// positions — the precondition for the cached fast path.
+    pub fn same_mask(&self, other: &CorProfile) -> bool {
+        self.len == other.len && ((self.complete && other.complete) || self.mask == other.mask)
+    }
+}
+
+/// Computes the per-series mean and centered second moment with the same
+/// accumulation order `pearson_complete` uses, so downstream results stay
+/// bit-identical.
+fn mean_and_sxx(vals: &[f64]) -> (f64, f64) {
+    let n = vals.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mean = vals.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    for &v in vals {
+        let dx = v - mean;
+        sxx += dx * dx;
+    }
+    (mean, sxx)
+}
+
+/// Reusable per-thread buffers for the profiled coefficient functions: the
+/// merge-count scratch of the fast path plus the gathered values, filtered
+/// sort orders and rank vectors of the pairwise-deletion fallback. Reusing
+/// them across a batch removes every per-pair allocation.
+#[derive(Debug, Default)]
+pub struct CorScratch {
+    /// Partner values in x-sorted order (Kendall's merge-count input).
+    y: Vec<f64>,
+    /// Merge-count auxiliary buffer.
+    tmp: Vec<f64>,
+    /// Gathered x values on the mask intersection.
+    xs: Vec<f64>,
+    /// Gathered y values on the mask intersection.
+    ys: Vec<f64>,
+    /// `a.vals` index → gathered position (`u32::MAX` when dropped).
+    a_pos: Vec<u32>,
+    /// `b.vals` index → gathered position (`u32::MAX` when dropped).
+    b_pos: Vec<u32>,
+    /// `a`'s sort order filtered down to the intersection.
+    a_order: Vec<u32>,
+    /// `b`'s sort order filtered down to the intersection.
+    b_order: Vec<u32>,
+    /// Mid-ranks of the gathered x values.
+    rx: Vec<f64>,
+    /// Mid-ranks of the gathered y values.
+    ry: Vec<f64>,
+    /// `(start, len)` tie runs of the filtered x order.
+    runs_a: Vec<(u32, u32)>,
+    /// `(start, len)` tie runs of the filtered y order.
+    runs_b: Vec<(u32, u32)>,
+}
+
+impl CorScratch {
+    pub fn new() -> CorScratch {
+        CorScratch::default()
+    }
+}
+
+/// Gathers the pairwise-complete observations of two profiles whose masks
+/// differ into `scratch.xs`/`scratch.ys`, recording each compacted index's
+/// gathered position in `scratch.a_pos`/`scratch.b_pos`.
+///
+/// Walks the mask intersection word by word; within a word, the index of a
+/// value inside a profile's compaction is the running popcount of that
+/// profile's mask below the bit. The gathered vectors are exactly what
+/// [`pairwise_complete`](crate::pairwise_complete) would produce on the raw
+/// series, and the position maps let the profiles' cached sort orders be
+/// filtered down to the intersection without re-sorting.
+///
+/// Returns the two sides' value sums, accumulated in gather order — the
+/// same order `pearson_complete` sums them, so `sum / m` is its mean
+/// bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn gather_pairwise(
+    a: &CorProfile,
+    b: &CorProfile,
+    xs: &mut Vec<f64>,
+    ys: &mut Vec<f64>,
+    a_pos: &mut Vec<u32>,
+    b_pos: &mut Vec<u32>,
+) -> (f64, f64) {
+    assert_eq!(a.len, b.len, "paired samples must have equal length");
+    xs.clear();
+    ys.clear();
+    a_pos.clear();
+    a_pos.resize(a.vals.len(), u32::MAX);
+    b_pos.clear();
+    b_pos.resize(b.vals.len(), u32::MAX);
+    let mut base_a = 0usize;
+    let mut base_b = 0usize;
+    let mut sum_x = 0.0;
+    let mut sum_y = 0.0;
+    for (&wa, &wb) in a.mask.iter().zip(&b.mask) {
+        let mut both = wa & wb;
+        while both != 0 {
+            let bit = both.trailing_zeros();
+            let below = (1u64 << bit) - 1;
+            let ia = base_a + (wa & below).count_ones() as usize;
+            let ib = base_b + (wb & below).count_ones() as usize;
+            a_pos[ia] = xs.len() as u32;
+            b_pos[ib] = ys.len() as u32;
+            sum_x += a.vals[ia];
+            sum_y += b.vals[ib];
+            xs.push(a.vals[ia]);
+            ys.push(b.vals[ib]);
+            both &= both - 1;
+        }
+        base_a += wa.count_ones() as usize;
+        base_b += wb.count_ones() as usize;
+    }
+    (sum_x, sum_y)
+}
+
+/// Whether `sub`'s finite positions are a subset of `sup`'s. Then the
+/// pair's intersection is exactly `sub`'s mask, `sub`'s compaction survives
+/// pairwise deletion verbatim, and every statistic cached on `sub` stays
+/// valid. Both profiles must have equal `len`.
+fn mask_subset(sub: &CorProfile, sup: &CorProfile) -> bool {
+    sup.complete || sub.mask.iter().zip(&sup.mask).all(|(&s, &p)| s & !p == 0)
+}
+
+/// Gathers `sup`'s values at `sub`'s finite positions (requires
+/// [`mask_subset`]`(sub, sup)`), recording each `sup.vals` index's gathered
+/// position in `pos`. Gathered positions coincide with `sub`'s compaction
+/// indices, which is what lets `sub`'s cached artifacts index the result.
+///
+/// Returns the gathered values' sum, accumulated in gather order (see
+/// [`gather_pairwise`]).
+fn gather_superset(
+    sub: &CorProfile,
+    sup: &CorProfile,
+    out: &mut Vec<f64>,
+    pos: &mut Vec<u32>,
+) -> f64 {
+    out.clear();
+    pos.clear();
+    pos.resize(sup.vals.len(), u32::MAX);
+    let mut base = 0usize;
+    let mut sum = 0.0;
+    for (&ws, &wp) in sub.mask.iter().zip(&sup.mask) {
+        let mut bits = ws;
+        while bits != 0 {
+            let bit = bits.trailing_zeros();
+            let below = (1u64 << bit) - 1;
+            let ip = base + (wp & below).count_ones() as usize;
+            pos[ip] = out.len() as u32;
+            sum += sup.vals[ip];
+            out.push(sup.vals[ip]);
+            bits &= bits - 1;
+        }
+        base += wp.count_ones() as usize;
+    }
+    sum
+}
+
+/// Filters a profile's sort order down to the intersection: `out[k]` is the
+/// gathered position of the k-th smallest surviving value.
+///
+/// Because `order` is a stable sort of the full compaction and gathering
+/// preserves index order, the filtered sequence is exactly the stable sort
+/// permutation of the gathered values.
+fn filter_order(order: &[u32], pos: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    for &k in order {
+        let g = pos[k as usize];
+        if g != u32::MAX {
+            out.push(g);
+        }
+    }
+}
+
+/// One walk of `values` along their sort order, producing any of: mid-ranks
+/// (with [`rank_series`]' exact tie-averaging arithmetic), the `(start, len)`
+/// tie runs for Kendall's y-refinement, and the tie aggregates accumulated in
+/// group order exactly like [`kendall_ties`] over
+/// [`tie_group_sizes`](crate::tie_group_sizes).
+fn order_stats(
+    sorted: &[u32],
+    values: &[f64],
+    mut ranks: Option<&mut Vec<f64>>,
+    mut runs: Option<&mut Vec<(u32, u32)>>,
+) -> KendallTies {
+    let m = sorted.len();
+    if let Some(ranks) = ranks.as_deref_mut() {
+        ranks.clear();
+        ranks.resize(m, 0.0);
+    }
+    if let Some(runs) = runs.as_deref_mut() {
+        runs.clear();
+    }
+    let mut ties = KendallTies {
+        n_tied_pairs: 0,
+        vt: 0.0,
+        sum_t2: 0.0,
+        sum_t3: 0.0,
+    };
+    let mut i = 0;
+    while i < m {
+        let mut j = i;
+        while j + 1 < m && values[sorted[j + 1] as usize] == values[sorted[i] as usize] {
+            j += 1;
+        }
+        if let Some(ranks) = ranks.as_deref_mut() {
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &g in &sorted[i..=j] {
+                ranks[g as usize] = avg;
+            }
+        }
+        if j > i {
+            let t = (j - i + 1) as u64;
+            let tf = t as f64;
+            ties.n_tied_pairs += t * (t - 1) / 2;
+            ties.vt += tf * (tf - 1.0) * (2.0 * tf + 5.0);
+            ties.sum_t2 += tf * (tf - 1.0);
+            ties.sum_t3 += tf * (tf - 1.0) * (tf - 2.0);
+            if let Some(runs) = runs.as_deref_mut() {
+                runs.push((i as u32, (j - i + 1) as u32));
+            }
+        }
+        i = j + 1;
+    }
+    ties
+}
+
+/// Kendall's per-pair counting over values already arranged in x-sorted
+/// order: y-refinement inside x-tie runs, the joint-tie count, and the
+/// discordant (inversion) count.
+///
+/// The from-scratch path sorts each pair by `(x, y)` lexicographically;
+/// stably sorting `y` inside each x-tie run of an x-stable order reproduces
+/// that permutation, and joint ties can only occur inside an x-tie run,
+/// where they are the equal-y runs of the refined segment.
+fn kendall_refine(y: &mut [f64], tie_runs: &[(u32, u32)], tmp: &mut Vec<f64>) -> (u64, u64) {
+    let mut n3 = 0u64;
+    for &(start, len) in tie_runs {
+        let seg = &mut y[start as usize..(start + len) as usize];
+        seg.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+        let mut i = 0;
+        while i < seg.len() {
+            let mut j = i;
+            while j + 1 < seg.len() && seg[j + 1] == seg[i] {
+                j += 1;
+            }
+            let g = (j - i + 1) as u64;
+            n3 += g * (g - 1) / 2;
+            i = j + 1;
+        }
+    }
+    tmp.resize(y.len(), 0.0);
+    let discordant = merge_count(y, tmp);
+    (n3, discordant)
+}
+
+/// [`pearson`](crate::pearson) over two profiles; bit-identical, with the
+/// means and second moments cached when the masks agree.
+pub fn pearson_profiled(
+    a: &CorProfile,
+    b: &CorProfile,
+    scratch: &mut CorScratch,
+) -> CorrelationTest {
+    if !a.same_mask(b) {
+        let s = &mut *scratch;
+        gather_pairwise(a, b, &mut s.xs, &mut s.ys, &mut s.a_pos, &mut s.b_pos);
+        return pearson_complete(&s.xs, &s.ys);
+    }
+    let n = a.vals.len();
+    if n < 3 || a.sxx == 0.0 || b.sxx == 0.0 {
+        return CorrelationTest::degenerate(CorrelationCoefficient::Pearson, n);
+    }
+    pearson_from_moments(
+        CorrelationCoefficient::Pearson,
+        &a.vals,
+        &b.vals,
+        a.mean,
+        b.mean,
+        a.sxx,
+        b.sxx,
+    )
+}
+
+/// [`spearman`](crate::spearman) over two profiles; bit-identical, with
+/// mid-ranks and their moments cached when the masks agree. On differing
+/// masks the mid-ranks of the intersection are walked from the profiles'
+/// filtered sort orders instead of re-sorting.
+pub fn spearman_profiled(
+    a: &CorProfile,
+    b: &CorProfile,
+    scratch: &mut CorScratch,
+) -> CorrelationTest {
+    if !a.same_mask(b) {
+        let s = &mut *scratch;
+        gather_pairwise(a, b, &mut s.xs, &mut s.ys, &mut s.a_pos, &mut s.b_pos);
+        let m = s.xs.len();
+        if m < 3 {
+            return CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m);
+        }
+        filter_order(&a.order, &s.a_pos, &mut s.a_order);
+        order_stats(&s.a_order, &s.xs, Some(&mut s.rx), None);
+        filter_order(&b.order, &s.b_pos, &mut s.b_order);
+        order_stats(&s.b_order, &s.ys, Some(&mut s.ry), None);
+        let p = pearson_complete(&s.rx, &s.ry);
+        return CorrelationTest {
+            coefficient: CorrelationCoefficient::Spearman,
+            value: p.value,
+            p_value: p.p_value,
+            n: p.n,
+        };
+    }
+    let n = a.vals.len();
+    if n < 3 || a.rank_sxx == 0.0 || b.rank_sxx == 0.0 {
+        return CorrelationTest::degenerate(CorrelationCoefficient::Spearman, n);
+    }
+    pearson_from_moments(
+        CorrelationCoefficient::Spearman,
+        &a.ranks,
+        &b.ranks,
+        a.rank_mean,
+        b.rank_mean,
+        a.rank_sxx,
+        b.rank_sxx,
+    )
+}
+
+/// [`kendall`](crate::kendall) over two profiles; bit-identical, with the
+/// sort permutation and tie aggregates cached when the masks agree and
+/// filtered down to the intersection when they differ.
+///
+/// Either way `a`'s stable x-order (possibly filtered) replaces the
+/// from-scratch `(x, y)` sort: gathering `b`'s values in that order and
+/// stably sorting only inside x-tie runs reproduces the same permutation —
+/// singleton runs (the common case for traffic values) skip the refinement
+/// entirely.
+pub fn kendall_profiled(
+    a: &CorProfile,
+    b: &CorProfile,
+    scratch: &mut CorScratch,
+) -> CorrelationTest {
+    if !a.same_mask(b) {
+        let s = &mut *scratch;
+        gather_pairwise(a, b, &mut s.xs, &mut s.ys, &mut s.a_pos, &mut s.b_pos);
+        let m = s.xs.len();
+        if m < 3 {
+            return CorrelationTest::degenerate(CorrelationCoefficient::Kendall, m);
+        }
+        // x ties and runs from a's filtered order, y ties from b's.
+        filter_order(&a.order, &s.a_pos, &mut s.a_order);
+        let tx = order_stats(&s.a_order, &s.xs, None, Some(&mut s.runs_a));
+        s.y.clear();
+        let (order, ys, y) = (&s.a_order, &s.ys, &mut s.y);
+        y.extend(order.iter().map(|&g| ys[g as usize]));
+        let (n3, discordant) = kendall_refine(y, &s.runs_a, &mut s.tmp);
+        filter_order(&b.order, &s.b_pos, &mut s.b_order);
+        let ty = order_stats(&s.b_order, &s.ys, None, None);
+        return kendall_from_parts(m, n3, discordant, &tx, &ty);
+    }
+    let n = a.vals.len();
+    if n < 3 {
+        return CorrelationTest::degenerate(CorrelationCoefficient::Kendall, n);
+    }
+
+    // Partner values in x-sorted order, then y-refined within x-tie runs.
+    scratch.y.clear();
+    scratch
+        .y
+        .extend(a.order.iter().map(|&k| b.vals[k as usize]));
+    let (n3, discordant) = kendall_refine(&mut scratch.y, &a.tie_runs, &mut scratch.tmp);
+
+    kendall_from_parts(n, n3, discordant, &a.ties, &b.ties)
+}
+
+/// One side of a pair, resolved down to the mask intersection: either the
+/// profile's cached artifacts verbatim (when its own mask *is* the
+/// intersection) or statistics recomputed into scratch buffers from the
+/// filtered sort order.
+struct SideView<'v> {
+    vals: &'v [f64],
+    mean: f64,
+    sxx: f64,
+    ranks: &'v [f64],
+    rank_mean: f64,
+    rank_sxx: f64,
+    /// Stable ascending order of `vals` (positions into `vals`).
+    order: &'v [u32],
+    /// `(start, len)` tie runs (len > 1) of `order`.
+    runs: &'v [(u32, u32)],
+    ties: KendallTies,
+}
+
+impl CorProfile {
+    /// The profile's cached statistics as a [`SideView`] — valid whenever
+    /// the pair's intersection equals this profile's own mask.
+    fn as_view(&self) -> SideView<'_> {
+        SideView {
+            vals: &self.vals,
+            mean: self.mean,
+            sxx: self.sxx,
+            ranks: &self.ranks,
+            rank_mean: self.rank_mean,
+            rank_sxx: self.rank_sxx,
+            order: &self.order,
+            runs: &self.tie_runs,
+            ties: self.ties,
+        }
+    }
+}
+
+/// Resolves a profile whose mask is strictly wider than the intersection:
+/// filters its sort order down to the `gathered` values and rebuilds ranks,
+/// tie runs, tie aggregates and moments — all without sorting, and with the
+/// from-scratch accumulation orders.
+fn resolve_filtered<'v>(
+    p: &CorProfile,
+    gathered: &'v [f64],
+    sum: f64,
+    pos: &[u32],
+    order_buf: &'v mut Vec<u32>,
+    ranks_buf: &'v mut Vec<f64>,
+    runs_buf: &'v mut Vec<(u32, u32)>,
+) -> SideView<'v> {
+    filter_order(&p.order, pos, order_buf);
+    let ties = order_stats(
+        order_buf,
+        gathered,
+        Some(&mut *ranks_buf),
+        Some(&mut *runs_buf),
+    );
+    // The gather already summed the values in `pearson_complete`'s order;
+    // only the centered second moment needs its own pass.
+    let m = gathered.len();
+    let mean = if m == 0 { 0.0 } else { sum / m as f64 };
+    let mut sxx = 0.0;
+    for &v in gathered {
+        let dx = v - mean;
+        sxx += dx * dx;
+    }
+    let (rank_mean, rank_sxx) = mean_and_sxx(ranks_buf);
+    SideView {
+        vals: gathered,
+        mean,
+        sxx,
+        ranks: ranks_buf,
+        rank_mean,
+        rank_sxx,
+        order: order_buf,
+        runs: runs_buf,
+        ties,
+    }
+}
+
+/// Assembles the three coefficient tests from two resolved sides, with the
+/// from-scratch routines' exact degenerate handling and arithmetic.
+fn assemble(
+    x: &SideView<'_>,
+    y: &SideView<'_>,
+    ybuf: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+) -> (CorrelationTest, CorrelationTest, CorrelationTest) {
+    let m = x.vals.len();
+    if m < 3 {
+        return (
+            CorrelationTest::degenerate(CorrelationCoefficient::Pearson, m),
+            CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m),
+            CorrelationTest::degenerate(CorrelationCoefficient::Kendall, m),
+        );
+    }
+    let p = if x.sxx == 0.0 || y.sxx == 0.0 {
+        CorrelationTest::degenerate(CorrelationCoefficient::Pearson, m)
+    } else {
+        pearson_from_moments(
+            CorrelationCoefficient::Pearson,
+            x.vals,
+            y.vals,
+            x.mean,
+            y.mean,
+            x.sxx,
+            y.sxx,
+        )
+    };
+    let s = if x.rank_sxx == 0.0 || y.rank_sxx == 0.0 {
+        CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m)
+    } else {
+        pearson_from_moments(
+            CorrelationCoefficient::Spearman,
+            x.ranks,
+            y.ranks,
+            x.rank_mean,
+            y.rank_mean,
+            x.rank_sxx,
+            y.rank_sxx,
+        )
+    };
+    ybuf.clear();
+    ybuf.extend(x.order.iter().map(|&g| y.vals[g as usize]));
+    let (n3, discordant) = kendall_refine(ybuf, x.runs, tmp);
+    let k = kendall_from_parts(m, n3, discordant, &x.ties, &y.ties);
+    (p, s, k)
+}
+
+/// All three coefficients of a pair at once — the batch engine's per-pair
+/// entry point. Bit-identical to calling [`pearson_profiled`],
+/// [`spearman_profiled`] and [`kendall_profiled`] in turn, but sharing all
+/// per-pair work across the three tests, with three tiers of reuse:
+///
+/// 1. equal masks — every cached statistic of both profiles applies;
+/// 2. one mask a subset of the other (a complete series against one with
+///    holes is the common case) — the subset side's cache applies verbatim
+///    and only the wider side is filtered;
+/// 3. incomparable masks — both sides are filtered, still without sorting.
+pub fn cor_tests_profiled(
+    a: &CorProfile,
+    b: &CorProfile,
+    scratch: &mut CorScratch,
+) -> (CorrelationTest, CorrelationTest, CorrelationTest) {
+    if a.same_mask(b) {
+        return (
+            pearson_profiled(a, b, scratch),
+            spearman_profiled(a, b, scratch),
+            kendall_profiled(a, b, scratch),
+        );
+    }
+    assert_eq!(a.len, b.len, "paired samples must have equal length");
+    let s = &mut *scratch;
+    if mask_subset(a, b) {
+        let sum = gather_superset(a, b, &mut s.ys, &mut s.b_pos);
+        let y = resolve_filtered(
+            b,
+            &s.ys,
+            sum,
+            &s.b_pos,
+            &mut s.b_order,
+            &mut s.ry,
+            &mut s.runs_b,
+        );
+        assemble(&a.as_view(), &y, &mut s.y, &mut s.tmp)
+    } else if mask_subset(b, a) {
+        let sum = gather_superset(b, a, &mut s.xs, &mut s.a_pos);
+        let x = resolve_filtered(
+            a,
+            &s.xs,
+            sum,
+            &s.a_pos,
+            &mut s.a_order,
+            &mut s.rx,
+            &mut s.runs_a,
+        );
+        assemble(&x, &b.as_view(), &mut s.y, &mut s.tmp)
+    } else {
+        let (sum_x, sum_y) =
+            gather_pairwise(a, b, &mut s.xs, &mut s.ys, &mut s.a_pos, &mut s.b_pos);
+        let x = resolve_filtered(
+            a,
+            &s.xs,
+            sum_x,
+            &s.a_pos,
+            &mut s.a_order,
+            &mut s.rx,
+            &mut s.runs_a,
+        );
+        let y = resolve_filtered(
+            b,
+            &s.ys,
+            sum_y,
+            &s.b_pos,
+            &mut s.b_order,
+            &mut s.ry,
+            &mut s.runs_b,
+        );
+        assemble(&x, &y, &mut s.y, &mut s.tmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::{kendall, pearson, spearman};
+
+    fn assert_bit_identical(x: &[f64], y: &[f64]) {
+        let (pa, pb) = (CorProfile::new(x), CorProfile::new(y));
+        let mut scratch = CorScratch::new();
+        let cases = [
+            (pearson(x, y), pearson_profiled(&pa, &pb, &mut scratch)),
+            (spearman(x, y), spearman_profiled(&pa, &pb, &mut scratch)),
+            (kendall(x, y), kendall_profiled(&pa, &pb, &mut scratch)),
+        ];
+        for (reference, profiled) in cases {
+            assert_eq!(reference.coefficient, profiled.coefficient);
+            assert_eq!(reference.n, profiled.n);
+            assert_eq!(
+                reference.value.to_bits(),
+                profiled.value.to_bits(),
+                "value mismatch: {} vs {} ({})",
+                reference.value,
+                profiled.value,
+                reference.coefficient
+            );
+            assert_eq!(
+                reference.p_value.to_bits(),
+                profiled.p_value.to_bits(),
+                "p mismatch: {} vs {} ({})",
+                reference.p_value,
+                profiled.p_value,
+                reference.coefficient
+            );
+        }
+    }
+
+    #[test]
+    fn complete_series_match_scratch_path() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        assert_bit_identical(&x, &y);
+    }
+
+    #[test]
+    fn tied_series_match_scratch_path() {
+        let x = [1.0, 2.0, 2.0, 3.0, 2.0, 1.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 2.0, 2.0, 4.0];
+        assert_bit_identical(&x, &y);
+    }
+
+    #[test]
+    fn equal_masks_take_the_fast_path() {
+        let x = [1.0, f64::NAN, 3.0, 4.0, 5.0, f64::NAN, 7.0];
+        let y = [2.0, f64::NAN, 6.0, 8.0, 11.0, f64::NAN, 14.0];
+        let (pa, pb) = (CorProfile::new(&x), CorProfile::new(&y));
+        assert!(pa.same_mask(&pb));
+        assert_bit_identical(&x, &y);
+    }
+
+    #[test]
+    fn differing_masks_fall_back_to_pairwise_deletion() {
+        let x = [1.0, 2.0, f64::NAN, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [2.0, 4.0, 6.0, f64::NAN, 10.0, 12.0, 15.0, 16.0];
+        let (pa, pb) = (CorProfile::new(&x), CorProfile::new(&y));
+        assert!(!pa.same_mask(&pb));
+        assert_bit_identical(&x, &y);
+    }
+
+    #[test]
+    fn degenerate_cases_match() {
+        // Constant series, all-tied, and too-few-observations.
+        assert_bit_identical(&[1.0; 6], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_bit_identical(&[2.0; 5], &[3.0; 5]);
+        assert_bit_identical(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_bit_identical(
+            &[1.0, f64::NAN, f64::NAN, 2.0],
+            &[f64::NAN, 1.0, 2.0, f64::NAN],
+        );
+    }
+
+    fn assert_combined_matches(x: &[f64], y: &[f64]) {
+        let (pa, pb) = (CorProfile::new(x), CorProfile::new(y));
+        let mut scratch = CorScratch::new();
+        let (p, s, k) = cor_tests_profiled(&pa, &pb, &mut scratch);
+        for (combined, reference) in [(p, pearson(x, y)), (s, spearman(x, y)), (k, kendall(x, y))] {
+            assert_eq!(combined.coefficient, reference.coefficient);
+            assert_eq!(combined.n, reference.n);
+            assert_eq!(combined.value.to_bits(), reference.value.to_bits());
+            assert_eq!(combined.p_value.to_bits(), reference.p_value.to_bits());
+        }
+    }
+
+    #[test]
+    fn subset_masks_reuse_the_narrow_side() {
+        // Complete against holey, both directions.
+        let complete = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        let holey = [3.0, f64::NAN, 4.0, 1.0, f64::NAN, 9.0, 2.0, 6.0];
+        assert!(mask_subset(
+            &CorProfile::new(&holey),
+            &CorProfile::new(&complete)
+        ));
+        assert_combined_matches(&holey, &complete);
+        assert_combined_matches(&complete, &holey);
+        // Strictly nested holes, neither side complete.
+        let narrow = [3.0, f64::NAN, 4.0, 1.0, f64::NAN, 9.0, 2.0, 2.0];
+        let wide = [1.0, f64::NAN, 3.0, 4.0, 5.0, 6.0, 7.0, 7.0];
+        assert!(mask_subset(
+            &CorProfile::new(&narrow),
+            &CorProfile::new(&wide)
+        ));
+        assert!(!mask_subset(
+            &CorProfile::new(&wide),
+            &CorProfile::new(&narrow)
+        ));
+        assert_combined_matches(&narrow, &wide);
+        assert_combined_matches(&wide, &narrow);
+        // Incomparable masks still go through the two-sided fallback.
+        let left = [1.0, f64::NAN, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let right = [2.0, 4.0, 6.0, f64::NAN, 10.0, 12.0, 15.0, 16.0];
+        assert!(!mask_subset(
+            &CorProfile::new(&left),
+            &CorProfile::new(&right)
+        ));
+        assert_combined_matches(&left, &right);
+    }
+
+    #[test]
+    fn combined_tests_match_individual_functions() {
+        let x = [1.0, 2.0, f64::NAN, 4.0, 4.0, 6.0, 7.0, 8.0];
+        let y = [2.0, 4.0, 6.0, f64::NAN, 10.0, 10.0, 15.0, 16.0];
+        let (pa, pb) = (CorProfile::new(&x), CorProfile::new(&y));
+        let mut scratch = CorScratch::new();
+        let (p, s, k) = cor_tests_profiled(&pa, &pb, &mut scratch);
+        for (combined, individual) in [
+            (p, pearson_profiled(&pa, &pb, &mut scratch)),
+            (s, spearman_profiled(&pa, &pb, &mut scratch)),
+            (k, kendall_profiled(&pa, &pb, &mut scratch)),
+        ] {
+            assert_eq!(combined.coefficient, individual.coefficient);
+            assert_eq!(combined.n, individual.n);
+            assert_eq!(combined.value.to_bits(), individual.value.to_bits());
+            assert_eq!(combined.p_value.to_bits(), individual.p_value.to_bits());
+        }
+        // Too few shared observations degenerate every coefficient.
+        let (pa, pb) = (
+            CorProfile::new(&[1.0, f64::NAN, 3.0, 4.0]),
+            CorProfile::new(&[1.0, 2.0, f64::NAN, 4.0]),
+        );
+        let (p, s, k) = cor_tests_profiled(&pa, &pb, &mut scratch);
+        assert_eq!((p.value, p.n), (0.0, 2));
+        assert_eq!((s.value, s.n), (0.0, 2));
+        assert_eq!((k.value, k.n), (0.0, 2));
+    }
+
+    #[test]
+    fn profile_reports_mask_facts() {
+        let p = CorProfile::new(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.n_finite(), 2);
+        assert!(!p.is_complete());
+        assert!(!p.is_empty());
+        let q = CorProfile::new(&[1.0, 2.0, 3.0]);
+        assert!(q.is_complete());
+        assert!(!p.same_mask(&q));
+        assert!(q.same_mask(&q.clone()));
+    }
+}

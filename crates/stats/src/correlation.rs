@@ -62,7 +62,7 @@ impl CorrelationTest {
         self.p_value < alpha
     }
 
-    fn degenerate(coefficient: CorrelationCoefficient, n: usize) -> CorrelationTest {
+    pub(crate) fn degenerate(coefficient: CorrelationCoefficient, n: usize) -> CorrelationTest {
         CorrelationTest {
             coefficient,
             value: 0.0,
@@ -89,7 +89,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> CorrelationTest {
 }
 
 /// Pearson over already-complete samples (no missing values).
-fn pearson_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
+pub(crate) fn pearson_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
     let n = xs.len();
     if n < 3 {
         return CorrelationTest::degenerate(CorrelationCoefficient::Pearson, n);
@@ -120,6 +120,37 @@ fn pearson_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
     }
 }
 
+/// Finishes a Pearson-style coefficient from precomputed first and second
+/// moments, accumulating only the cross term.
+///
+/// The `sxy` loop adds the exact terms `pearson_complete`'s interleaved
+/// loop adds, in the same order, so the result is bit-identical to the
+/// from-scratch computation — this is what lets batch profiles cache
+/// `mean`/`sxx` per series. Callers must have handled the degenerate cases
+/// (`n < 3`, zero `sxx`/`syy`) already.
+pub(crate) fn pearson_from_moments(
+    coefficient: CorrelationCoefficient,
+    xs: &[f64],
+    ys: &[f64],
+    mx: f64,
+    my: f64,
+    sxx: f64,
+    syy: f64,
+) -> CorrelationTest {
+    let n = xs.len();
+    let mut sxy = 0.0;
+    for (&a, &b) in xs.iter().zip(ys) {
+        sxy += (a - mx) * (b - my);
+    }
+    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    CorrelationTest {
+        coefficient,
+        value: r,
+        p_value: r_to_p(r, n),
+        n,
+    }
+}
+
 /// Two-sided p-value of a correlation `r` over `n` pairs via the t
 /// transformation `t = r sqrt((n-2)/(1-r²))`.
 fn r_to_p(r: f64, n: usize) -> f64 {
@@ -135,11 +166,16 @@ fn r_to_p(r: f64, n: usize) -> f64 {
 /// same t approximation.
 pub fn spearman(x: &[f64], y: &[f64]) -> CorrelationTest {
     let (xs, ys) = pairwise_complete(x, y);
+    spearman_complete(&xs, &ys)
+}
+
+/// Spearman over already-complete samples (no missing values).
+pub(crate) fn spearman_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
     if xs.len() < 3 {
         return CorrelationTest::degenerate(CorrelationCoefficient::Spearman, xs.len());
     }
-    let rx = mid_ranks(&xs);
-    let ry = mid_ranks(&ys);
+    let rx = mid_ranks(xs);
+    let ry = mid_ranks(ys);
     let p = pearson_complete(&rx, &ry);
     CorrelationTest {
         coefficient: CorrelationCoefficient::Spearman,
@@ -163,6 +199,11 @@ pub fn spearman(x: &[f64], y: &[f64]) -> CorrelationTest {
 /// ```
 pub fn kendall(x: &[f64], y: &[f64]) -> CorrelationTest {
     let (xs, ys) = pairwise_complete(x, y);
+    kendall_complete(&xs, &ys)
+}
+
+/// Kendall's τ-b over already-complete samples (no missing values).
+pub(crate) fn kendall_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
     let n = xs.len();
     if n < 3 {
         return CorrelationTest::degenerate(CorrelationCoefficient::Kendall, n);
@@ -171,7 +212,8 @@ pub fn kendall(x: &[f64], y: &[f64]) -> CorrelationTest {
     // Sort by x, breaking ties by y (Knight's algorithm).
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
-        xs[a].partial_cmp(&xs[b])
+        xs[a]
+            .partial_cmp(&xs[b])
             .expect("finite values compare")
             .then(ys[a].partial_cmp(&ys[b]).expect("finite values compare"))
     });
@@ -193,16 +235,68 @@ pub fn kendall(x: &[f64], y: &[f64]) -> CorrelationTest {
         }
     }
 
-    let n_pairs = n as u64 * (n as u64 - 1) / 2;
-    let x_ties = tie_group_sizes(&xs);
-    let y_ties = tie_group_sizes(&ys);
-    let n1: u64 = x_ties.iter().map(|&t| (t as u64) * (t as u64 - 1) / 2).sum();
-    let n2: u64 = y_ties.iter().map(|&t| (t as u64) * (t as u64 - 1) / 2).sum();
+    let tx = kendall_ties(&tie_group_sizes(xs));
+    let ty = kendall_ties(&tie_group_sizes(ys));
 
     // Discordant pairs = swaps needed to sort y_sorted (counted by merge sort).
     let mut buf = y_sorted.clone();
     let mut tmp = vec![0.0; n];
     let discordant = merge_count(&mut buf, &mut tmp);
+
+    kendall_from_parts(n, n3, discordant, &tx, &ty)
+}
+
+/// Per-series tie aggregates feeding τ-b's denominator and the tie-adjusted
+/// variance of S. Depending only on one side's tie-group sizes, they are
+/// precomputable per series and reusable across every pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct KendallTies {
+    /// Number of tied pairs: Σ t(t−1)/2.
+    pub n_tied_pairs: u64,
+    /// Σ t(t−1)(2t+5), the tie term of var(S).
+    pub vt: f64,
+    /// Σ t(t−1).
+    pub sum_t2: f64,
+    /// Σ t(t−1)(t−2).
+    pub sum_t3: f64,
+}
+
+/// Aggregates tie-group sizes (from [`tie_group_sizes`]) into the sums τ-b
+/// needs.
+pub(crate) fn kendall_ties(groups: &[usize]) -> KendallTies {
+    KendallTies {
+        n_tied_pairs: groups
+            .iter()
+            .map(|&t| (t as u64) * (t as u64 - 1) / 2)
+            .sum(),
+        vt: groups
+            .iter()
+            .map(|&t| {
+                let t = t as f64;
+                t * (t - 1.0) * (2.0 * t + 5.0)
+            })
+            .sum(),
+        sum_t2: groups.iter().map(|&t| (t as f64) * (t as f64 - 1.0)).sum(),
+        sum_t3: groups
+            .iter()
+            .map(|&t| (t as f64) * (t as f64 - 1.0) * (t as f64 - 2.0))
+            .sum(),
+    }
+}
+
+/// Finishes τ-b from the pair-level counts (joint ties, discordant pairs)
+/// and the two sides' precomputed tie aggregates. Shared by the
+/// from-scratch path above and the profiled batch path, so both produce
+/// bit-identical results by construction.
+pub(crate) fn kendall_from_parts(
+    n: usize,
+    n3: u64,
+    discordant: u64,
+    tx: &KendallTies,
+    ty: &KendallTies,
+) -> CorrelationTest {
+    let n_pairs = n as u64 * (n as u64 - 1) / 2;
+    let (n1, n2) = (tx.n_tied_pairs, ty.n_tied_pairs);
 
     // S = concordant - discordant. With ties:
     // concordant + discordant = n_pairs - n1 - n2 + n3
@@ -218,39 +312,9 @@ pub fn kendall(x: &[f64], y: &[f64]) -> CorrelationTest {
     // Tie-adjusted variance of S.
     let nf = n as f64;
     let v0 = nf * (nf - 1.0) * (2.0 * nf + 5.0);
-    let vt: f64 = x_ties
-        .iter()
-        .map(|&t| {
-            let t = t as f64;
-            t * (t - 1.0) * (2.0 * t + 5.0)
-        })
-        .sum();
-    let vu: f64 = y_ties
-        .iter()
-        .map(|&t| {
-            let t = t as f64;
-            t * (t - 1.0) * (2.0 * t + 5.0)
-        })
-        .sum();
-    let sum_t2: f64 = x_ties
-        .iter()
-        .map(|&t| (t as f64) * (t as f64 - 1.0))
-        .sum();
-    let sum_u2: f64 = y_ties
-        .iter()
-        .map(|&t| (t as f64) * (t as f64 - 1.0))
-        .sum();
-    let sum_t3: f64 = x_ties
-        .iter()
-        .map(|&t| (t as f64) * (t as f64 - 1.0) * (t as f64 - 2.0))
-        .sum();
-    let sum_u3: f64 = y_ties
-        .iter()
-        .map(|&t| (t as f64) * (t as f64 - 1.0) * (t as f64 - 2.0))
-        .sum();
-    let v1 = sum_t2 * sum_u2 / (2.0 * nf * (nf - 1.0));
-    let v2 = sum_t3 * sum_u3 / (9.0 * nf * (nf - 1.0) * (nf - 2.0));
-    let var_s = (v0 - vt - vu) / 18.0 + v1 + v2;
+    let v1 = tx.sum_t2 * ty.sum_t2 / (2.0 * nf * (nf - 1.0));
+    let v2 = tx.sum_t3 * ty.sum_t3 / (9.0 * nf * (nf - 1.0) * (nf - 2.0));
+    let var_s = (v0 - tx.vt - ty.vt) / 18.0 + v1 + v2;
     if var_s <= 0.0 {
         return CorrelationTest::degenerate(CorrelationCoefficient::Kendall, n);
     }
@@ -265,7 +329,7 @@ pub fn kendall(x: &[f64], y: &[f64]) -> CorrelationTest {
 
 /// Counts inversions (pairs `i < j` with `v[i] > v[j]`) via bottom-up merge
 /// sort; equal values are *not* inversions, matching discordance in τ-b.
-fn merge_count(v: &mut [f64], tmp: &mut [f64]) -> u64 {
+pub(crate) fn merge_count(v: &mut [f64], tmp: &mut [f64]) -> u64 {
     let n = v.len();
     let mut inversions = 0u64;
     let mut width = 1;
@@ -381,7 +445,11 @@ mod tests {
         close(rho.value, 0.828_571_4, 1e-6);
         // The t approximation differs slightly from R's exact test; accept
         // the approximate range.
-        assert!(rho.p_value > 0.02 && rho.p_value < 0.10, "p={}", rho.p_value);
+        assert!(
+            rho.p_value > 0.02 && rho.p_value < 0.10,
+            "p={}",
+            rho.p_value
+        );
     }
 
     #[test]
@@ -432,9 +500,13 @@ mod tests {
         let mut y = Vec::with_capacity(n);
         let mut state = 0x2545F4914F6CDD1Du64;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x.push(((state >> 33) % 17) as f64);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             y.push(((state >> 33) % 11) as f64);
         }
         let fast = kendall(&x, &y).value;

@@ -130,10 +130,7 @@ impl BoxplotStats {
         let hi_fence = q3 + 1.5 * iqr;
         let lo_fence = q1 - 1.5 * iqr;
         // Largest point within the upper fence; quartile itself if none is.
-        let upper_whisker = v
-            .iter()
-            .copied().rfind(|&x| x <= hi_fence)
-            .unwrap_or(q3);
+        let upper_whisker = v.iter().copied().rfind(|&x| x <= hi_fence).unwrap_or(q3);
         let lower_whisker = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(q1);
         let upper_outliers = v.iter().filter(|&&x| x > upper_whisker).count();
         let lower_outliers = v.iter().filter(|&&x| x < lower_whisker).count();

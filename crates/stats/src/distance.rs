@@ -71,7 +71,10 @@ pub fn dtw_banded(x: &[f64], y: &[f64], band: usize) -> f64 {
 }
 
 fn dtw_impl(x: &[f64], y: &[f64], band: Option<usize>) -> f64 {
-    assert!(!x.is_empty() && !y.is_empty(), "dtw requires non-empty series");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "dtw requires non-empty series"
+    );
     assert!(
         x.iter().chain(y).all(|v| v.is_finite()),
         "dtw requires finite values"

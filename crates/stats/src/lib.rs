@@ -11,6 +11,8 @@
 //! * [`correlation`] — Pearson, Spearman and Kendall coefficients, each with
 //!   a two-sided significance test (the ingredients of the paper's
 //!   Definition 1).
+//! * [`corprofile`] — per-series profiles that make batch pairwise
+//!   correlation cheap while staying bit-identical to [`correlation`].
 //! * [`ks`] — the two-sample Kolmogorov–Smirnov test (Definition 2's
 //!   distribution check).
 //! * [`mod@acf`] — autocorrelation and cross-correlation functions (Figure 2).
@@ -28,6 +30,7 @@
 
 pub mod acf;
 pub mod ar;
+pub mod corprofile;
 pub mod correlation;
 pub mod descriptive;
 pub mod distance;
@@ -42,6 +45,10 @@ pub mod zipf;
 
 pub use acf::{acf, ccf, significance_bound};
 pub use ar::{fit_ar, fit_ar_aic, forecast_rmse, ArModel, ForecastComparison};
+pub use corprofile::{
+    cor_tests_profiled, kendall_profiled, pearson_profiled, spearman_profiled, CorProfile,
+    CorScratch,
+};
 pub use correlation::{kendall, pearson, spearman, CorrelationCoefficient, CorrelationTest};
 pub use descriptive::{
     histogram, mean, median, quantile, std_dev, variance, BoxplotStats, Histogram,
@@ -50,8 +57,9 @@ pub use distance::{dtw, dtw_banded, euclidean, z_normalize};
 pub use kde::Kde;
 pub use ks::{ks_two_sample, KsTest};
 pub use ols::OlsFit;
-pub use stationarity::{adf_test, kpss_test, AdfResult, KpssResult};
+pub use rank::{mid_ranks, rank_series, ranks_and_ties, tie_group_sizes, RankedSeries};
 pub use spectrum::{dominant_period, fft, ljung_box, periodogram, LjungBox, SpectralLine};
+pub use stationarity::{adf_test, kpss_test, AdfResult, KpssResult};
 pub use zipf::{fit_ranked, fit_zipf, ZipfFit};
 
 /// The significance level used throughout the paper (α = 0.05).

@@ -168,11 +168,7 @@ mod tests {
         // se(intercept) = √(σ̂²(1/n + x̄²/Sxx)).
         let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
         let e = [0.5, -0.3, 0.2, -0.4, 0.1, 0.3, -0.2, -0.2];
-        let y: Vec<f64> = xs
-            .iter()
-            .zip(e)
-            .map(|(&x, e)| 1.0 + 2.0 * x + e)
-            .collect();
+        let y: Vec<f64> = xs.iter().zip(e).map(|(&x, e)| 1.0 + 2.0 * x + e).collect();
         let design: Vec<f64> = xs.iter().flat_map(|&x| [1.0, x]).collect();
         let fit = ols(&design, 2, &y).unwrap();
         let slope = 82.2 / 42.0;
@@ -240,7 +236,10 @@ mod tests {
             .map(|(i, &x)| 5.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
             .collect();
         let fit = ols(&design, 2, &y).unwrap();
-        assert!(fit.t_statistic(1) > 100.0, "strong slope must be significant");
+        assert!(
+            fit.t_statistic(1) > 100.0,
+            "strong slope must be significant"
+        );
         assert!(fit.t_statistic(0).abs() < 2.0, "intercept ~0");
     }
 }

@@ -82,7 +82,13 @@ pub fn periodogram(x: &[f64]) -> Vec<SpectralLine> {
     let n_fft = n.next_power_of_two();
     let mut buf: Vec<(f64, f64)> = x
         .iter()
-        .map(|&v| if v.is_finite() { (v - m, 0.0) } else { (0.0, 0.0) })
+        .map(|&v| {
+            if v.is_finite() {
+                (v - m, 0.0)
+            } else {
+                (0.0, 0.0)
+            }
+        })
         .chain(std::iter::repeat((0.0, 0.0)))
         .take(n_fft)
         .collect();
@@ -210,8 +216,7 @@ mod tests {
         let mut data: Vec<(f64, f64)> = x.iter().map(|&v| (v, 0.0)).collect();
         fft(&mut data);
         let time_energy: f64 = x.iter().map(|v| v * v).sum();
-        let freq_energy: f64 =
-            data.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / 32.0;
+        let freq_energy: f64 = data.iter().map(|(re, im)| re * re + im * im).sum::<f64>() / 32.0;
         close(freq_energy, time_energy, 1e-9);
     }
 
@@ -231,7 +236,13 @@ mod tests {
     fn bursty_series_spreads_the_spectrum() {
         // Sparse deterministic bursts: no single line dominates.
         let x: Vec<f64> = (0..1024)
-            .map(|t| if (t * 2654435761usize).is_multiple_of(151) { 1e6 } else { 1.0 })
+            .map(|t| {
+                if (t * 2654435761usize).is_multiple_of(151) {
+                    1e6
+                } else {
+                    1.0
+                }
+            })
             .collect();
         let (_, share) = dominant_period(&x).unwrap();
         assert!(share < 0.3, "bursts must not look seasonal: {share}");

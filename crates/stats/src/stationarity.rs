@@ -41,12 +41,8 @@ impl KpssResult {
 
 /// KPSS critical values for level stationarity (Kwiatkowski et al. 1992,
 /// Table 1), at the 10%, 5%, 2.5% and 1% levels.
-const KPSS_LEVEL_CRIT: [(f64, f64); 4] = [
-    (0.10, 0.347),
-    (0.05, 0.463),
-    (0.025, 0.574),
-    (0.01, 0.739),
-];
+const KPSS_LEVEL_CRIT: [(f64, f64); 4] =
+    [(0.10, 0.347), (0.05, 0.463), (0.025, 0.574), (0.01, 0.739)];
 
 /// KPSS test for level stationarity.
 ///
@@ -330,7 +326,9 @@ mod tests {
         // Stationary: KPSS accepts, ADF rejects unit root.
         let stationary = noise(400, 42);
         assert!(!kpss_test(&stationary).unwrap().rejects_stationarity(0.05));
-        assert!(adf_test(&stationary, Some(3)).unwrap().rejects_unit_root(0.05));
+        assert!(adf_test(&stationary, Some(3))
+            .unwrap()
+            .rejects_unit_root(0.05));
         // Non-stationary: the reverse.
         let mut walk = vec![0.0];
         for (i, v) in noise(400, 321).into_iter().enumerate() {

@@ -91,7 +91,11 @@ pub fn fit_ranked(freqs_desc: &[f64]) -> Option<ZipfFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(ZipfFit {
         exponent: -slope,
         log10_scale: intercept,
@@ -107,9 +111,7 @@ mod tests {
     #[test]
     fn exact_power_law_recovered() {
         // f(r) = 1000 r^{-1.2}
-        let freqs: Vec<f64> = (1..=50)
-            .map(|r| 1000.0 * (r as f64).powf(-1.2))
-            .collect();
+        let freqs: Vec<f64> = (1..=50).map(|r| 1000.0 * (r as f64).powf(-1.2)).collect();
         let fit = fit_ranked(&freqs).unwrap();
         assert!((fit.exponent - 1.2).abs() < 1e-9);
         assert!((fit.log10_scale - 3.0).abs() < 1e-9);

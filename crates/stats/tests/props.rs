@@ -5,9 +5,7 @@ use wtts_stats::rank::{mid_ranks, tie_group_sizes};
 use wtts_stats::special::{
     inc_beta, kolmogorov_sf, ln_gamma, normal_cdf, student_t_sf, student_t_two_sided_p,
 };
-use wtts_stats::{
-    fit_ar, kendall, ks_two_sample, mean, pearson, quantile, spearman, BoxplotStats,
-};
+use wtts_stats::{fit_ar, kendall, ks_two_sample, mean, pearson, quantile, spearman, BoxplotStats};
 
 fn finite(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6, len)

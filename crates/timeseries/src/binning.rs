@@ -59,7 +59,11 @@ impl Granularity {
     /// 24 hours).
     pub fn weekly_candidates() -> Vec<Granularity> {
         let mut v = vec![Granularity::minutes(1)];
-        v.extend([1u32, 2, 3, 4, 6, 8, 12, 24].into_iter().map(Granularity::hours));
+        v.extend(
+            [1u32, 2, 3, 4, 6, 8, 12, 24]
+                .into_iter()
+                .map(Granularity::hours),
+        );
         v
     }
 }

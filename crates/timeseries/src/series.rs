@@ -94,7 +94,8 @@ impl TimeSeries {
 
     /// One past the last covered minute.
     pub fn end(&self) -> Minute {
-        self.start.plus(self.values.len() as u32 * self.step_minutes)
+        self.start
+            .plus(self.values.len() as u32 * self.step_minutes)
     }
 
     /// The sample covering `t`, or `None` if `t` is outside the series or the
@@ -225,10 +226,7 @@ impl TimeSeries {
 
     fn assert_aligned(&self, other: &TimeSeries) {
         assert_eq!(self.start, other.start, "series starts differ");
-        assert_eq!(
-            self.step_minutes, other.step_minutes,
-            "series steps differ"
-        );
+        assert_eq!(self.step_minutes, other.step_minutes, "series steps differ");
         assert_eq!(
             self.values.len(),
             other.values.len(),

@@ -33,10 +33,7 @@ impl Minute {
         assert!(hour < 24, "hour out of range: {hour}");
         assert!(minute < 60, "minute out of range: {minute}");
         Minute(
-            week * MINUTES_PER_WEEK
-                + weekday.index() as u32 * MINUTES_PER_DAY
-                + hour * 60
-                + minute,
+            week * MINUTES_PER_WEEK + weekday.index() as u32 * MINUTES_PER_DAY + hour * 60 + minute,
         )
     }
 

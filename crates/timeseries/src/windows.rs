@@ -89,9 +89,8 @@ pub fn daily_windows(series: &TimeSeries, n_weeks: u32, offset_minutes: u32) -> 
     let mut out = Vec::with_capacity(n_weeks as usize * 7);
     for w in 0..n_weeks {
         for d in Weekday::ALL {
-            let start = Minute(
-                w * MINUTES_PER_WEEK + d.index() as u32 * MINUTES_PER_DAY + offset_minutes,
-            );
+            let start =
+                Minute(w * MINUTES_PER_WEEK + d.index() as u32 * MINUTES_PER_DAY + offset_minutes);
             out.push(Window {
                 kind: WindowKind::Daily,
                 week: w,

@@ -34,7 +34,10 @@ fn main() {
     );
 
     println!("weekly patterns (windows = whole weeks):");
-    println!("{:>12} {:>10} {:>12}", "granularity", "avg cor", "stationary?");
+    println!(
+        "{:>12} {:>10} {:>12}",
+        "granularity", "avg cor", "stationary?"
+    );
     let mut weekly_scores = Vec::new();
     for g in Granularity::weekly_candidates() {
         let Some(score) = weekly_window_correlation(&total, weeks, g, 0) else {
@@ -59,7 +62,10 @@ fn main() {
     }
 
     println!("daily patterns (Mondays vs Mondays, ...):");
-    println!("{:>12} {:>10} {:>17}", "granularity", "avg cor", "stationary days");
+    println!(
+        "{:>12} {:>10} {:>17}",
+        "granularity", "avg cor", "stationary days"
+    );
     let mut daily_scores = Vec::new();
     for g in Granularity::daily_candidates() {
         let Some(score) = daily_window_correlation(&total, weeks, g, 0) else {

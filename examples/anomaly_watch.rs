@@ -23,10 +23,7 @@ fn main() {
     // behavioral baseline.
     let gw = fleet
         .iter()
-        .find(|gw| {
-            gw.regularity > 0.7
-                && gw.reliability == wtts::gwsim::Reliability::Reliable
-        })
+        .find(|gw| gw.regularity > 0.7 && gw.reliability == wtts::gwsim::Reliability::Reliable)
         .expect("a regular reliable home exists");
     println!(
         "gateway {}: {} residents, archetype {}, regularity {:.2}\n",
@@ -88,9 +85,7 @@ fn main() {
             Verdict::Anomalous {
                 best_similarity,
                 volume_ratio,
-            } => format!(
-                "ANOMALOUS (best cor {best_similarity:.2}, volume x{volume_ratio:.2})"
-            ),
+            } => format!("ANOMALOUS (best cor {best_similarity:.2}, volume x{volume_ratio:.2})"),
             Verdict::Insufficient => "insufficient data".to_string(),
         };
         println!("week 3 {day}: {text}{note}");

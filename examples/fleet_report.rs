@@ -48,7 +48,10 @@ fn main() {
         }
     }
 
-    println!("fleet: {} gateways, {devices} devices, {traffic_gb:.0} GB over 2 weeks\n", fleet.len());
+    println!(
+        "fleet: {} gateways, {devices} devices, {traffic_gb:.0} GB over 2 weeks\n",
+        fleet.len()
+    );
 
     println!("household archetypes:");
     let mut rows: Vec<_> = archetypes.into_iter().collect();
@@ -74,7 +77,10 @@ fn main() {
         }
         print!("{:>14}", truth.label());
         for inferred in DeviceType::ALL {
-            print!("{:>13}", confusion.get(&(truth, inferred)).copied().unwrap_or(0));
+            print!(
+                "{:>13}",
+                confusion.get(&(truth, inferred)).copied().unwrap_or(0)
+            );
         }
         println!();
     }
@@ -84,16 +90,17 @@ fn main() {
     );
 
     // Zipf check on the fleet's pooled traffic values (Section 4.1).
-    let sample: Vec<f64> = fleet
-        .gateway(0)
-        .aggregate_total()
-        .observed_values();
+    let sample: Vec<f64> = fleet.gateway(0).aggregate_total().observed_values();
     if let Some(fit) = fit_zipf(&sample, 20) {
         println!(
             "\ngateway 0 traffic values: Zipf exponent {:.2}, r^2 {:.2} ({})",
             fit.exponent,
             fit.r_squared,
-            if fit.is_zipfian() { "zipfian" } else { "not zipfian" }
+            if fit.is_zipfian() {
+                "zipfian"
+            } else {
+                "not zipfian"
+            }
         );
     }
 }

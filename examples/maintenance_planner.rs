@@ -52,7 +52,10 @@ fn main() {
                 w.expected_bytes,
                 w.silent_share * 100.0
             ),
-            None => println!("{:>3}  {:>16}  (no fully observed window)", gw.id, gw.archetype),
+            None => println!(
+                "{:>3}  {:>16}  (no fully observed window)",
+                gw.id, gw.archetype
+            ),
         }
         if let Some((day, minute, bytes)) = profile.peak() {
             println!(

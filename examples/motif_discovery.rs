@@ -31,8 +31,7 @@ fn main() {
             .map(|d| {
                 let tau_in = estimate_tau(&d.incoming).unwrap_or(f64::INFINITY);
                 let tau_out = estimate_tau(&d.outgoing).unwrap_or(f64::INFINITY);
-                remove_background(&d.incoming, tau_in)
-                    .add(&remove_background(&d.outgoing, tau_out))
+                remove_background(&d.incoming, tau_in).add(&remove_background(&d.outgoing, tau_out))
             })
             .collect();
         let total = TimeSeries::sum_all(active.iter()).expect("devices");
@@ -79,7 +78,11 @@ fn main() {
         let bars: String = pattern
             .iter()
             .map(|&v| {
-                let i = if v.is_finite() { (v / max * 7.0) as usize } else { 0 };
+                let i = if v.is_finite() {
+                    (v / max * 7.0) as usize
+                } else {
+                    0
+                };
                 [' ', '.', ':', '-', '=', '+', '*', '#'][i.min(7)]
             })
             .collect();

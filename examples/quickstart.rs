@@ -20,7 +20,11 @@ fn main() {
         ..FleetConfig::default()
     });
 
-    println!("simulated {} gateways over {} weeks\n", fleet.len(), fleet.config().weeks);
+    println!(
+        "simulated {} gateways over {} weeks\n",
+        fleet.len(),
+        fleet.config().weeks
+    );
 
     // Take one gateway and look at its overall traffic (gateway 1 of this
     // seed has a clearly dominant device, which makes a better first tour).
@@ -37,7 +41,11 @@ fn main() {
     // Correlation similarity (Definition 1) between two gateways' hourly
     // aggregated traffic: the maximum statistically significant coefficient.
     let a = aggregate(&total, Granularity::hours(1), 0);
-    let b = aggregate(&fleet.gateway(2).aggregate_total(), Granularity::hours(1), 0);
+    let b = aggregate(
+        &fleet.gateway(2).aggregate_total(),
+        Granularity::hours(1),
+        0,
+    );
     let sim = correlation_similarity(a.values(), b.values());
     println!(
         "cor(gateway1, gateway2) at 1h binning = {:.3} (from {:?})",

@@ -12,7 +12,9 @@
 //! ```
 
 use wtts::core::motif::{discover_motifs, MotifConfig, WindowRef};
-use wtts::core::streaming::{MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator};
+use wtts::core::streaming::{
+    MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator,
+};
 use wtts::gwsim::{Fleet, FleetConfig};
 use wtts::timeseries::{aggregate, daily_windows, Granularity, Minute, WindowKind};
 
@@ -30,7 +32,11 @@ fn main() {
     for gw in fleet.iter().take(24) {
         let agg = aggregate(&gw.aggregate_total(), Granularity::hours(3), 0);
         for w in daily_windows(&agg, weeks, 0) {
-            refs.push(WindowRef { gateway: gw.id, week: w.week, weekday: w.weekday });
+            refs.push(WindowRef {
+                gateway: gw.id,
+                week: w.week,
+                weekday: w.weekday,
+            });
             windows.push(w.series.into_values());
         }
     }
@@ -68,10 +74,7 @@ fn main() {
             f64::NAN
         };
         for window in accumulator.push(Minute(m as u32), total) {
-            let day = window
-                .weekday
-                .map(|d| d.to_string())
-                .unwrap_or_default();
+            let day = window.weekday.map(|d| d.to_string()).unwrap_or_default();
             match matcher.observe(&window.values) {
                 MatchOutcome::Matched { index, similarity } => println!(
                     "w{} {day}: matches {} (cor {similarity:.2})",

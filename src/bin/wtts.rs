@@ -17,10 +17,10 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use wtts::core::background::{estimate_tau, remove_background};
 use wtts::core::maintenance::WeeklyProfile;
 use wtts::core::motif::{discover_motifs, MotifConfig};
 use wtts::core::profile::GatewayProfile;
-use wtts::core::background::{estimate_tau, remove_background};
 use wtts::gwsim::{write_traffic_csv, Fleet, FleetConfig};
 use wtts::timeseries::{aggregate, daily_windows, Granularity, TimeSeries};
 
@@ -121,9 +121,16 @@ fn load_csv(reader: impl BufRead) -> Result<LoadedFleet, String> {
         let mut values = vec![f64::NAN; len];
         for (minute, bytes) in samples {
             let slot = &mut values[minute as usize];
-            *slot = if slot.is_finite() { *slot + bytes } else { bytes };
+            *slot = if slot.is_finite() {
+                *slot + bytes
+            } else {
+                bytes
+            };
         }
-        fleet.entry(gw).or_default().push(TimeSeries::per_minute(values));
+        fleet
+            .entry(gw)
+            .or_default()
+            .push(TimeSeries::per_minute(values));
     }
     Ok(fleet)
 }

@@ -71,7 +71,10 @@ fn aggregation_conserves_traffic() {
     ] {
         let agg = aggregate(&total, g, 0);
         let rel = (agg.total() - total.total()).abs() / total.total().max(1.0);
-        assert!(rel < 1e-9, "traffic changed under {g} binning (rel err {rel})");
+        assert!(
+            rel < 1e-9,
+            "traffic changed under {g} binning (rel err {rel})"
+        );
     }
 }
 

@@ -73,7 +73,12 @@ fn most_gateways_have_a_dominant_device() {
         if !dom.is_empty() {
             with_dominant += 1;
         }
-        assert!(dom.len() <= 5, "gateway {} has {} dominants", gw.id, dom.len());
+        assert!(
+            dom.len() <= 5,
+            "gateway {} has {} dominants",
+            gw.id,
+            dom.len()
+        );
     }
     assert!(
         with_dominant * 4 >= total * 3,
