@@ -191,6 +191,22 @@ pub mod strategy {
         }
     }
 
+    // Tuples of strategies are themselves strategies, as in real proptest
+    // (used e.g. as `vec((0.0..1.0, 0.0..1.0), len)` for paired samples).
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident : $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
     macro_rules! impl_int_range {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {

@@ -38,7 +38,7 @@ pub fn dominant_devices(
     device_series: &[TimeSeries],
     phi: f64,
 ) -> Vec<DominantDevice> {
-    let mut hits: Vec<(usize, f64)> = device_series
+    let hits: Vec<(usize, f64)> = device_series
         .iter()
         .enumerate()
         .filter_map(|(i, dev)| {
@@ -46,6 +46,14 @@ pub fn dominant_devices(
             (sim.value > phi).then_some((i, sim.value))
         })
         .collect();
+    rank_dominants(hits)
+}
+
+/// Ranks `(device, similarity)` hits into [`DominantDevice`]s by descending
+/// similarity — the ranking half of Definition 4, shared by the batch path
+/// above and the streaming-ingest dominance tracker (which computes its
+/// similarities incrementally with `OnlinePearson` instead).
+pub fn rank_dominants(mut hits: Vec<(usize, f64)>) -> Vec<DominantDevice> {
     hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
     hits.into_iter()
         .enumerate()
@@ -213,6 +221,19 @@ mod tests {
         assert_eq!(ranking_agreement(&dominants, &[4, 0, 2]), 1);
         assert_eq!(ranking_agreement(&dominants, &[0, 1]), 0);
         assert_eq!(ranking_agreement(&dominants, &[4]), 1, "short baseline");
+    }
+
+    #[test]
+    fn rank_dominants_sorts_descending() {
+        let ranked = rank_dominants(vec![(3, 0.7), (1, 0.95), (8, 0.82)]);
+        assert_eq!(
+            ranked.iter().map(|d| d.device).collect::<Vec<_>>(),
+            vec![1, 8, 3]
+        );
+        assert_eq!(
+            ranked.iter().map(|d| d.rank).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -1,0 +1,1229 @@
+//! Fleet-scale streaming ingest: raw counter reports → calendar windows →
+//! online motif/dominance analysis, sharded and observable.
+//!
+//! The paper's stated future work is running its correlation and motif
+//! framework "in a streaming big data analytics platform"; the ROADMAP
+//! north-star is a production system serving millions of gateways. This
+//! module is that deployment's ingest tier, built from the streaming
+//! primitives ([`WindowAccumulator`], [`OnlinePearson`], the motif-template
+//! matcher) and the counter-decoding rules of
+//! [`wtts_timeseries::counter_delta`]:
+//!
+//! ```text
+//!                      hash(gateway) % shards
+//! (gateway, device, CounterReport) ──┬──▶ [bounded queue] ─▶ shard worker 0
+//!        producer (any source)       ├──▶ [bounded queue] ─▶ shard worker 1
+//!                                    └──▶ [bounded queue] ─▶ shard worker …
+//!
+//! each shard worker, per gateway "lane":
+//!   cumulative counters ─▶ per-minute deltas ─▶ per-minute gateway totals
+//!     ─▶ WindowAccumulator ─▶ completed windows ─▶ motif matching
+//!     └▶ per-device OnlinePearson vs. the total ─▶ φ-dominance ranking
+//! ```
+//!
+//! **Degradation over panics.** Real collection infrastructure produces
+//! late, duplicated, clock-skewed and reset-spanning reports constantly. A
+//! `panic!` on one bad report is a fleet-wide denial of service in a
+//! long-running pipeline, so every malformed input becomes a typed, counted
+//! outcome instead: [`DropReason::Late`], [`DropReason::Duplicate`],
+//! [`DropReason::FutureJump`] for dropped reports, and
+//! [`IngestOutcome::ResetSpanningGap`] for reports that are accepted but
+//! whose byte delta is unattributable (see [`CounterDelta`]). The
+//! invariant `ingested + dropped == offered` is maintained by construction
+//! and checked by [`MetricsSnapshot::fully_accounted`].
+//!
+//! **Scale-out.** Gateways are hash-partitioned across worker shards run
+//! under [`std::thread::scope`]; each shard owns its gateways exclusively,
+//! so no lock is taken on the analysis state and results are *identical for
+//! every shard count*. Queues are bounded — a slow shard back-pressures the
+//! producer instead of buffering unbounded memory.
+//!
+//! **Observability.** All counters live in an atomic [`IngestMetrics`]
+//! registry shared between producer, shards and any monitoring thread;
+//! [`IngestMetrics::snapshot`] is a handful of relaxed loads and can be
+//! called at any rate while ingest runs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::dominance::{rank_dominants, DominantDevice, DOMINANCE_PHI};
+use crate::streaming::{best_match, MatchOutcome, MotifTemplate, OnlinePearson, WindowAccumulator};
+use wtts_timeseries::{counter_delta, CounterDelta, CounterReport, Minute, WindowKind};
+
+/// One raw report entering the pipeline: both directions of one device's
+/// cumulative byte counters, tagged with its gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// Gateway identifier (the shard key).
+    pub gateway: u64,
+    /// Device identifier within the gateway.
+    pub device: u32,
+    /// Reporting minute.
+    pub at: Minute,
+    /// Cumulative incoming bytes since the counter was created or reset.
+    pub cum_in: u64,
+    /// Cumulative outgoing bytes since the counter was created or reset.
+    pub cum_out: u64,
+}
+
+/// Why a report was dropped instead of ingested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The report precedes its device's last accepted report, or its minute
+    /// was already finalized and fed to the window accumulator.
+    Late,
+    /// Same timestamp as the device's last accepted report (a retry); the
+    /// first delivery wins — its delta may already be finalized.
+    Duplicate,
+    /// The report jumps implausibly far into the future (corrupt timestamp
+    /// or clock skew). A *sustained* advance — a gateway resuming after an
+    /// outage — is accepted once a second report corroborates it.
+    FutureJump,
+}
+
+/// Typed outcome of offering one report to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Decoded into a per-minute byte delta.
+    Ingested,
+    /// Accepted as a device's (new) baseline; no delta can be emitted yet.
+    Baseline,
+    /// Accepted, but the counter reset during a multi-minute gap: the delta
+    /// is unattributable and the minute stays missing (the same rule as
+    /// [`CounterDelta::ResetSpanningGap`] in batch decoding).
+    ResetSpanningGap,
+    /// Dropped for the given reason.
+    Dropped(DropReason),
+}
+
+/// Configuration of the ingest pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Number of worker shards gateways are hash-partitioned across.
+    pub shards: usize,
+    /// Bounded queue capacity per shard, in batches; a full queue blocks
+    /// the producer (backpressure) rather than buffering without bound.
+    pub queue_batches: usize,
+    /// Reports per batch handed from the producer to a shard.
+    pub batch_reports: usize,
+    /// Calendar window kind completed windows are cut into.
+    pub window: WindowKind,
+    /// Aggregation bin width in minutes (must divide the window length).
+    pub bin_minutes: u32,
+    /// How many minutes a gateway's per-minute total is held open for
+    /// cross-device stragglers before it is finalized; contributions
+    /// arriving later than this are dropped as [`DropReason::Late`].
+    pub lateness_horizon: u32,
+    /// A report more than this many minutes ahead of its device's last
+    /// accepted report is dropped as [`DropReason::FutureJump`] unless a
+    /// subsequent report corroborates the advance.
+    pub max_future_jump: u32,
+    /// Dominance threshold φ for the online per-device tracker.
+    pub dominance_phi: f64,
+    /// Similarity threshold for matching completed windows to templates.
+    pub motif_threshold: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig {
+            shards: std::thread::available_parallelism()
+                .map(|p| p.get().min(8))
+                .unwrap_or(1),
+            queue_batches: 8,
+            batch_reports: 1024,
+            window: WindowKind::Daily,
+            bin_minutes: 180,
+            lateness_horizon: 5,
+            max_future_jump: 6 * 60,
+            dominance_phi: DOMINANCE_PHI,
+            motif_threshold: 0.8,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Per-shard gauges and counters.
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    queue_depth: AtomicUsize,
+    queue_peak: AtomicUsize,
+    processed: AtomicU64,
+}
+
+/// Atomic metrics registry shared by the producer, every shard worker and
+/// any observer thread. All updates are `Relaxed` single-counter increments;
+/// [`IngestMetrics::snapshot`] never blocks ingest.
+#[derive(Debug)]
+pub struct IngestMetrics {
+    offered: AtomicU64,
+    ingested: AtomicU64,
+    baselines: AtomicU64,
+    reset_spanning_gaps: AtomicU64,
+    counter_resets: AtomicU64,
+    dropped_late: AtomicU64,
+    dropped_duplicate: AtomicU64,
+    dropped_future_jump: AtomicU64,
+    windows_sealed: AtomicU64,
+    windows_matched: AtomicU64,
+    windows_novel: AtomicU64,
+    windows_insufficient: AtomicU64,
+    partial_windows: AtomicU64,
+    shards: Vec<ShardMetrics>,
+}
+
+impl IngestMetrics {
+    fn new(shards: usize) -> IngestMetrics {
+        IngestMetrics {
+            offered: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
+            baselines: AtomicU64::new(0),
+            reset_spanning_gaps: AtomicU64::new(0),
+            counter_resets: AtomicU64::new(0),
+            dropped_late: AtomicU64::new(0),
+            dropped_duplicate: AtomicU64::new(0),
+            dropped_future_jump: AtomicU64::new(0),
+            windows_sealed: AtomicU64::new(0),
+            windows_matched: AtomicU64::new(0),
+            windows_novel: AtomicU64::new(0),
+            windows_insufficient: AtomicU64::new(0),
+            partial_windows: AtomicU64::new(0),
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    fn count(&self, outcome: IngestOutcome) {
+        match outcome {
+            IngestOutcome::Ingested => self.ingested.fetch_add(1, Ordering::Relaxed),
+            IngestOutcome::Baseline => {
+                self.baselines.fetch_add(1, Ordering::Relaxed);
+                self.ingested.fetch_add(1, Ordering::Relaxed)
+            }
+            IngestOutcome::ResetSpanningGap => {
+                self.reset_spanning_gaps.fetch_add(1, Ordering::Relaxed);
+                self.ingested.fetch_add(1, Ordering::Relaxed)
+            }
+            IngestOutcome::Dropped(DropReason::Late) => {
+                self.dropped_late.fetch_add(1, Ordering::Relaxed)
+            }
+            IngestOutcome::Dropped(DropReason::Duplicate) => {
+                self.dropped_duplicate.fetch_add(1, Ordering::Relaxed)
+            }
+            IngestOutcome::Dropped(DropReason::FutureJump) => {
+                self.dropped_future_jump.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+    }
+
+    /// A consistent-enough point-in-time copy of every counter (relaxed
+    /// loads; cheap enough to poll at high rate while ingest runs).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            offered: load(&self.offered),
+            ingested: load(&self.ingested),
+            baselines: load(&self.baselines),
+            reset_spanning_gaps: load(&self.reset_spanning_gaps),
+            counter_resets: load(&self.counter_resets),
+            dropped_late: load(&self.dropped_late),
+            dropped_duplicate: load(&self.dropped_duplicate),
+            dropped_future_jump: load(&self.dropped_future_jump),
+            windows_sealed: load(&self.windows_sealed),
+            windows_matched: load(&self.windows_matched),
+            windows_novel: load(&self.windows_novel),
+            windows_insufficient: load(&self.windows_insufficient),
+            partial_windows: load(&self.partial_windows),
+            per_shard: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    queue_depth: s.queue_depth.load(Ordering::Relaxed),
+                    queue_peak: s.queue_peak.load(Ordering::Relaxed),
+                    processed: s.processed.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one shard's gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Batches currently queued for the shard.
+    pub queue_depth: usize,
+    /// Highest queue depth observed (how close backpressure came).
+    pub queue_peak: usize,
+    /// Reports the shard has processed.
+    pub processed: u64,
+}
+
+/// Point-in-time copy of the ingest counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Reports offered to the pipeline.
+    pub offered: u64,
+    /// Reports accepted (including baselines and reset-spanning gaps).
+    pub ingested: u64,
+    /// Accepted reports that only (re-)established a device baseline.
+    pub baselines: u64,
+    /// Accepted reports whose delta was voided by a reset-spanning gap.
+    pub reset_spanning_gaps: u64,
+    /// Adjacent-minute counter resets decoded (reboot / wrap / rejoin).
+    pub counter_resets: u64,
+    /// Reports dropped as late.
+    pub dropped_late: u64,
+    /// Reports dropped as duplicates.
+    pub dropped_duplicate: u64,
+    /// Reports dropped as uncorroborated future jumps.
+    pub dropped_future_jump: u64,
+    /// Complete calendar windows sealed across all gateways.
+    pub windows_sealed: u64,
+    /// Sealed windows that matched a motif template.
+    pub windows_matched: u64,
+    /// Sealed windows matching no template (novel behavior).
+    pub windows_novel: u64,
+    /// Sealed windows with too few observations to judge.
+    pub windows_insufficient: u64,
+    /// Trailing partial windows flushed at end of stream.
+    pub partial_windows: u64,
+    /// Per-shard queue/throughput gauges.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total dropped reports across all reasons.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_late + self.dropped_duplicate + self.dropped_future_jump
+    }
+
+    /// The conservation law of the pipeline: every offered report is either
+    /// ingested or dropped for a counted reason. (Only meaningful once the
+    /// pipeline is quiescent — mid-flight reports are offered but not yet
+    /// classified.)
+    pub fn fully_accounted(&self) -> bool {
+        self.ingested + self.dropped() == self.offered
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC queue (std-only: Mutex + Condvar)
+// ---------------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue of batches: `push` blocks while full (producer
+/// backpressure), `pop` blocks while empty and returns `None` once the
+/// queue is closed and drained.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues; returns the depth after
+    /// the push so the caller can maintain gauges without re-locking.
+    fn push(&self, item: T) -> usize {
+        let mut state = self.state.lock().expect("ingest queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("ingest queue poisoned");
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        depth
+    }
+
+    /// Blocks until an item is available; `None` once closed and drained.
+    fn pop(&self) -> Option<(T, usize)> {
+        let mut state = self.state.lock().expect("ingest queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                let depth = state.items.len();
+                drop(state);
+                self.not_full.notify_one();
+                return Some((item, depth));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("ingest queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("ingest queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-device decoding state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    /// Last accepted report (timestamp + both cumulative counters).
+    last: Option<(Minute, u64, u64)>,
+    /// Tentative baseline from an uncorroborated future jump.
+    suspect: Option<(Minute, u64, u64)>,
+    /// Online Pearson of (device minute delta, gateway minute total) —
+    /// the streaming version of Definition 4's per-device similarity.
+    dominance: OnlinePearson,
+}
+
+/// What one accepted report contributes to its minute.
+enum Decoded {
+    /// Total byte delta (in + out) attributed to the report's minute.
+    Delta {
+        bytes: f64,
+        reset: bool,
+    },
+    Baseline,
+    ResetSpanningGap,
+    /// The report jumped far into the future and is held as a suspect; its
+    /// classification (baseline of a real outage recovery, or a dropped
+    /// corrupt timestamp) is deferred until a later report resolves it.
+    Held,
+}
+
+/// The decode verdict for one report, plus the deferred verdict for a
+/// previously held suspect that this report just resolved.
+struct DecodeStep {
+    /// Classification of the *suspect* resolved by this arrival, if any:
+    /// `Baseline` when corroborated, `Dropped(FutureJump)` when contradicted.
+    resolved_suspect: Option<IngestOutcome>,
+    decoded: Result<Decoded, DropReason>,
+}
+
+impl DecodeStep {
+    fn now(decoded: Result<Decoded, DropReason>) -> DecodeStep {
+        DecodeStep {
+            resolved_suspect: None,
+            decoded,
+        }
+    }
+}
+
+impl DeviceState {
+    /// Applies timestamp sanity checks and counter decoding; updates the
+    /// baseline on acceptance.
+    fn decode(&mut self, r: &IngestReport, max_future_jump: u32) -> DecodeStep {
+        let Some((last_at, last_in, last_out)) = self.last else {
+            self.last = Some((r.at, r.cum_in, r.cum_out));
+            return DecodeStep::now(Ok(Decoded::Baseline));
+        };
+        if r.at == last_at {
+            return DecodeStep::now(Err(DropReason::Duplicate));
+        }
+        if r.at < last_at {
+            return DecodeStep::now(Err(DropReason::Late));
+        }
+        if r.at.0 > last_at.0 + max_future_jump {
+            // A lone wild timestamp is a corrupt report, but a sustained
+            // advance — the gateway resuming after a long outage — is real.
+            // Hold the first such report unclassified; a second report
+            // agreeing on the new epoch corroborates it (it becomes the
+            // post-outage baseline), a contradiction condemns it.
+            match self.suspect {
+                Some((s_at, s_in, s_out)) if r.at >= s_at && r.at.0 <= s_at.0 + max_future_jump => {
+                    self.suspect = None;
+                    self.last = Some((s_at, s_in, s_out));
+                    // Decode the current report against the corroborated
+                    // baseline (now a normal-range arrival).
+                    let mut step = self.decode(r, max_future_jump);
+                    step.resolved_suspect = Some(IngestOutcome::Baseline);
+                    return step;
+                }
+                old => {
+                    self.suspect = Some((r.at, r.cum_in, r.cum_out));
+                    return DecodeStep {
+                        resolved_suspect: old
+                            .map(|_| IngestOutcome::Dropped(DropReason::FutureJump)),
+                        decoded: Ok(Decoded::Held),
+                    };
+                }
+            }
+        }
+        // A normal-range arrival refutes any pending suspect: time never
+        // reached the suspect's epoch, so its timestamp was corrupt.
+        let refuted = self
+            .suspect
+            .take()
+            .map(|_| IngestOutcome::Dropped(DropReason::FutureJump));
+        let mut step = self.decode_in_range(r, last_at, last_in, last_out);
+        step.resolved_suspect = refuted;
+        step
+    }
+
+    fn decode_in_range(
+        &mut self,
+        r: &IngestReport,
+        last_at: Minute,
+        last_in: u64,
+        last_out: u64,
+    ) -> DecodeStep {
+        let prev = |cum| CounterReport {
+            at: last_at,
+            cumulative_bytes: cum,
+        };
+        let cur = |cum| CounterReport {
+            at: r.at,
+            cumulative_bytes: cum,
+        };
+        let din = counter_delta(prev(last_in), cur(r.cum_in));
+        let dout = counter_delta(prev(last_out), cur(r.cum_out));
+        self.last = Some((r.at, r.cum_in, r.cum_out));
+        let (bytes_in, reset_in) = match din {
+            CounterDelta::Advance(d) => (d, false),
+            CounterDelta::Reset(d) => (d, true),
+            CounterDelta::ResetSpanningGap => {
+                return DecodeStep::now(Ok(Decoded::ResetSpanningGap))
+            }
+        };
+        let (bytes_out, reset_out) = match dout {
+            CounterDelta::Advance(d) => (d, false),
+            CounterDelta::Reset(d) => (d, true),
+            CounterDelta::ResetSpanningGap => {
+                return DecodeStep::now(Ok(Decoded::ResetSpanningGap))
+            }
+        };
+        DecodeStep::now(Ok(Decoded::Delta {
+            bytes: (bytes_in + bytes_out) as f64,
+            reset: reset_in || reset_out,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-gateway lane
+// ---------------------------------------------------------------------------
+
+/// One minute of one gateway still open for straggler contributions.
+struct PendingMinute {
+    minute: u32,
+    /// `(device, byte delta)` contributions; devices absent this minute
+    /// simply do not appear (missing, pairwise-complete semantics).
+    contributions: Vec<(u32, f64)>,
+}
+
+/// All streaming state of one gateway, owned exclusively by one shard.
+struct GatewayLane {
+    gateway: u64,
+    devices: HashMap<u32, DeviceState>,
+    /// Sparse, minute-sorted ring of not-yet-finalized minutes.
+    pending: VecDeque<PendingMinute>,
+    /// First minute that may still accept contributions.
+    watermark: u32,
+    /// Highest minute accepted so far (the lane's stream clock).
+    max_seen: u32,
+    accumulator: WindowAccumulator,
+    support: Vec<u64>,
+    matched: u64,
+    novel: u64,
+    insufficient: u64,
+    sealed: u64,
+    reports: u64,
+}
+
+impl GatewayLane {
+    fn new(gateway: u64, config: &IngestConfig, n_templates: usize) -> GatewayLane {
+        GatewayLane {
+            gateway,
+            devices: HashMap::new(),
+            pending: VecDeque::new(),
+            watermark: 0,
+            max_seen: 0,
+            accumulator: WindowAccumulator::new(config.window, config.bin_minutes),
+            support: vec![0; n_templates],
+            matched: 0,
+            novel: 0,
+            insufficient: 0,
+            sealed: 0,
+            reports: 0,
+        }
+    }
+
+    /// Processes one report, recording both its own outcome and the
+    /// deferred outcome of any suspect it resolves. A report held as a
+    /// future-jump suspect is counted only once its fate is known (here or
+    /// in [`GatewayLane::finish`]), so quiescent accounting stays exact.
+    fn ingest(
+        &mut self,
+        r: &IngestReport,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+        metrics: &IngestMetrics,
+    ) {
+        self.reports += 1;
+        let device = self.devices.entry(r.device).or_default();
+        let step = device.decode(r, config.max_future_jump);
+        if let Some(outcome) = step.resolved_suspect {
+            metrics.count(outcome);
+        }
+        let decoded = match step.decoded {
+            Ok(d) => d,
+            Err(reason) => {
+                metrics.count(IngestOutcome::Dropped(reason));
+                return;
+            }
+        };
+        match decoded {
+            Decoded::Held => {} // counted when resolved
+            Decoded::Baseline => {
+                self.advance_clock(r.at.0, config, templates, metrics);
+                metrics.count(IngestOutcome::Baseline);
+            }
+            Decoded::ResetSpanningGap => {
+                self.advance_clock(r.at.0, config, templates, metrics);
+                metrics.count(IngestOutcome::ResetSpanningGap);
+            }
+            Decoded::Delta { bytes, reset } => {
+                if reset {
+                    metrics.counter_resets.fetch_add(1, Ordering::Relaxed);
+                }
+                if r.at.0 < self.watermark {
+                    // The minute was already finalized: a cross-device
+                    // straggler beyond the lateness horizon.
+                    metrics.count(IngestOutcome::Dropped(DropReason::Late));
+                    return;
+                }
+                self.add_contribution(r.at.0, r.device, bytes);
+                self.advance_clock(r.at.0, config, templates, metrics);
+                metrics.count(IngestOutcome::Ingested);
+            }
+        }
+    }
+
+    /// Inserts a contribution into the sparse minute ring, keeping it
+    /// minute-sorted. The common case (the newest minute) is O(1).
+    fn add_contribution(&mut self, minute: u32, device: u32, bytes: f64) {
+        let pos = self
+            .pending
+            .iter()
+            .rposition(|p| p.minute <= minute)
+            .map(|i| (i, self.pending[i].minute == minute));
+        match pos {
+            Some((i, true)) => self.pending[i].contributions.push((device, bytes)),
+            Some((i, false)) => self.pending.insert(
+                i + 1,
+                PendingMinute {
+                    minute,
+                    contributions: vec![(device, bytes)],
+                },
+            ),
+            None => self.pending.push_front(PendingMinute {
+                minute,
+                contributions: vec![(device, bytes)],
+            }),
+        }
+    }
+
+    /// Advances the lane clock and finalizes every pending minute that has
+    /// fallen out of the lateness horizon.
+    fn advance_clock(
+        &mut self,
+        minute: u32,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+        metrics: &IngestMetrics,
+    ) {
+        self.max_seen = self.max_seen.max(minute);
+        while self
+            .pending
+            .front()
+            .is_some_and(|p| p.minute + config.lateness_horizon <= self.max_seen)
+        {
+            let pm = self.pending.pop_front().expect("front just checked");
+            self.finalize_minute(pm, config, templates, metrics);
+        }
+    }
+
+    /// Seals one minute: its gateway total enters the window accumulator,
+    /// each completed window is matched, and every contributing device's
+    /// dominance tracker pairs its delta with the total.
+    fn finalize_minute(
+        &mut self,
+        pm: PendingMinute,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+        metrics: &IngestMetrics,
+    ) {
+        self.watermark = pm.minute + 1;
+        let total: f64 = pm.contributions.iter().map(|&(_, b)| b).sum();
+        let completed = match self.accumulator.try_push(Minute(pm.minute), total) {
+            Ok(windows) => windows,
+            Err(_) => {
+                // Unreachable by construction: minutes are finalized in
+                // strictly increasing order. Degrade (skip) rather than
+                // panic if the invariant is ever broken.
+                debug_assert!(false, "finalized minutes must be ordered");
+                Vec::new()
+            }
+        };
+        for window in &completed {
+            self.observe_window(&window.values, false, config, templates, metrics);
+        }
+        for (device, bytes) in pm.contributions {
+            if let Some(state) = self.devices.get_mut(&device) {
+                state.dominance.push(bytes, total);
+            }
+        }
+    }
+
+    fn observe_window(
+        &mut self,
+        values: &[f64],
+        partial: bool,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+        metrics: &IngestMetrics,
+    ) {
+        if partial {
+            metrics.partial_windows.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sealed += 1;
+            metrics.windows_sealed.fetch_add(1, Ordering::Relaxed);
+        }
+        match best_match(templates, config.motif_threshold, values) {
+            MatchOutcome::Matched { index, .. } => {
+                self.support[index] += 1;
+                self.matched += 1;
+                metrics.windows_matched.fetch_add(1, Ordering::Relaxed);
+            }
+            MatchOutcome::Novel => {
+                self.novel += 1;
+                metrics.windows_novel.fetch_add(1, Ordering::Relaxed);
+            }
+            MatchOutcome::Insufficient => {
+                self.insufficient += 1;
+                metrics.windows_insufficient.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// End of stream: drain the ring, flush the trailing partial window and
+    /// rank the dominance trackers.
+    fn finish(
+        mut self,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+        metrics: &IngestMetrics,
+    ) -> GatewaySummary {
+        while let Some(pm) = self.pending.pop_front() {
+            self.finalize_minute(pm, config, templates, metrics);
+        }
+        // Suspects never corroborated by end of stream were corrupt.
+        for state in self.devices.values_mut() {
+            if state.suspect.take().is_some() {
+                metrics.count(IngestOutcome::Dropped(DropReason::FutureJump));
+            }
+        }
+        let partial = self.accumulator.flush();
+        if partial.values.iter().any(|v| v.is_finite()) {
+            self.observe_window(&partial.values.clone(), true, config, templates, metrics);
+        }
+        let hits: Vec<(usize, f64)> = self
+            .devices
+            .iter()
+            .filter_map(|(&device, state)| {
+                let c = state.dominance.correlation()?;
+                (c > config.dominance_phi).then_some((device as usize, c))
+            })
+            .collect();
+        GatewaySummary {
+            gateway: self.gateway,
+            reports: self.reports,
+            devices: self.devices.len(),
+            windows_sealed: self.sealed,
+            windows_matched: self.matched,
+            windows_novel: self.novel,
+            windows_insufficient: self.insufficient,
+            support: self.support,
+            dominants: rank_dominants(hits),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+/// Per-gateway results of one ingest run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewaySummary {
+    /// Gateway identifier.
+    pub gateway: u64,
+    /// Reports routed to this gateway (including dropped ones).
+    pub reports: u64,
+    /// Distinct devices seen.
+    pub devices: usize,
+    /// Complete windows sealed.
+    pub windows_sealed: u64,
+    /// Sealed windows that matched a template.
+    pub windows_matched: u64,
+    /// Sealed windows matching nothing.
+    pub windows_novel: u64,
+    /// Sealed windows with too few observations.
+    pub windows_insufficient: u64,
+    /// Per-template support counts (this gateway's windows only).
+    pub support: Vec<u64>,
+    /// φ-dominant devices under the online Pearson tracker, ranked.
+    ///
+    /// Online dominance uses plain Pearson (no significance gate, no
+    /// Spearman/Kendall fallback), a documented degradation from the batch
+    /// Definition 1 measure — O(1) per minute instead of O(n log n) per
+    /// evaluation.
+    pub dominants: Vec<DominantDevice>,
+}
+
+/// Fleet-level results of one ingest run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSummary {
+    /// Per-gateway summaries, sorted by gateway id.
+    pub gateways: Vec<GatewaySummary>,
+    /// Fleet-wide per-template support (sum over gateways).
+    pub support: Vec<u64>,
+    /// Final metrics snapshot (quiescent, so
+    /// [`MetricsSnapshot::fully_accounted`] must hold).
+    pub metrics: MetricsSnapshot,
+}
+
+/// The sharded fleet ingest pipeline. See the [module docs](self) for the
+/// architecture.
+///
+/// Results are deterministic in the shard count: each gateway is owned by
+/// exactly one shard and processed in arrival order, so running the same
+/// stream at 1 or 16 shards yields identical summaries.
+#[derive(Debug)]
+pub struct IngestPipeline {
+    config: IngestConfig,
+    templates: Arc<[MotifTemplate]>,
+    metrics: Arc<IngestMetrics>,
+}
+
+impl IngestPipeline {
+    /// Creates a pipeline matching completed windows against `templates`
+    /// (discovered offline with [`crate::motif::discover_motifs`] and
+    /// exported via [`crate::motif::Motif::to_template`]).
+    ///
+    /// # Panics
+    /// Panics if `config.bin_minutes` does not divide the window length
+    /// (a configuration error, not a data error).
+    pub fn new(config: IngestConfig, templates: Vec<MotifTemplate>) -> IngestPipeline {
+        // Validate eagerly so a bad configuration fails at construction,
+        // not inside a worker thread.
+        let _ = WindowAccumulator::new(config.window, config.bin_minutes);
+        let shards = config.shards.max(1);
+        IngestPipeline {
+            metrics: Arc::new(IngestMetrics::new(shards)),
+            templates: templates.into(),
+            config,
+        }
+    }
+
+    /// The live metrics registry; clone the `Arc` into a monitoring thread
+    /// and call [`IngestMetrics::snapshot`] at any rate.
+    pub fn metrics(&self) -> Arc<IngestMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Which shard a gateway is routed to (Fibonacci multiplicative hash).
+    pub fn shard_of(&self, gateway: u64) -> usize {
+        let shards = self.config.shards.max(1);
+        (gateway.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % shards
+    }
+
+    /// Runs the pipeline to completion over `reports`, consuming the stream
+    /// on the calling thread (the producer) while shard workers ingest in
+    /// parallel. Returns the merged fleet summary.
+    pub fn run<I>(&self, reports: I) -> IngestSummary
+    where
+        I: IntoIterator<Item = IngestReport>,
+    {
+        let shards = self.config.shards.max(1);
+        let queues: Vec<BoundedQueue<Vec<IngestReport>>> = (0..shards)
+            .map(|_| BoundedQueue::new(self.config.queue_batches))
+            .collect();
+
+        let mut gateways = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    let queue = &queues[shard];
+                    scope.spawn(move || self.worker(shard, queue))
+                })
+                .collect();
+
+            let mut batches: Vec<Vec<IngestReport>> = (0..shards)
+                .map(|_| Vec::with_capacity(self.config.batch_reports))
+                .collect();
+            for report in reports {
+                self.metrics.offered.fetch_add(1, Ordering::Relaxed);
+                let shard = self.shard_of(report.gateway);
+                batches[shard].push(report);
+                if batches[shard].len() >= self.config.batch_reports {
+                    let batch = std::mem::replace(
+                        &mut batches[shard],
+                        Vec::with_capacity(self.config.batch_reports),
+                    );
+                    self.offer_batch(shard, &queues[shard], batch);
+                }
+            }
+            for (shard, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    self.offer_batch(shard, &queues[shard], batch);
+                }
+                queues[shard].close();
+            }
+
+            let mut gateways = Vec::new();
+            for handle in handles {
+                gateways.extend(handle.join().expect("ingest shard worker panicked"));
+            }
+            gateways
+        });
+
+        gateways.sort_by_key(|g| g.gateway);
+        let mut support = vec![0u64; self.templates.len()];
+        for g in &gateways {
+            for (s, &c) in support.iter_mut().zip(&g.support) {
+                *s += c;
+            }
+        }
+        IngestSummary {
+            gateways,
+            support,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+
+    fn offer_batch(
+        &self,
+        shard: usize,
+        queue: &BoundedQueue<Vec<IngestReport>>,
+        batch: Vec<IngestReport>,
+    ) {
+        let depth = queue.push(batch);
+        let gauges = &self.metrics.shards[shard];
+        gauges.queue_depth.store(depth, Ordering::Relaxed);
+        gauges.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn worker(&self, shard: usize, queue: &BoundedQueue<Vec<IngestReport>>) -> Vec<GatewaySummary> {
+        let gauges = &self.metrics.shards[shard];
+        let mut lanes: HashMap<u64, GatewayLane> = HashMap::new();
+        while let Some((batch, depth)) = queue.pop() {
+            gauges.queue_depth.store(depth, Ordering::Relaxed);
+            gauges
+                .processed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for report in &batch {
+                let lane = lanes.entry(report.gateway).or_insert_with(|| {
+                    GatewayLane::new(report.gateway, &self.config, self.templates.len())
+                });
+                lane.ingest(report, &self.config, &self.templates, &self.metrics);
+            }
+        }
+        lanes
+            .into_values()
+            .map(|lane| lane.finish(&self.config, &self.templates, &self.metrics))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(gateway: u64, device: u32, at: u32, cum: u64) -> IngestReport {
+        IngestReport {
+            gateway,
+            device,
+            at: Minute(at),
+            cum_in: cum,
+            cum_out: 0,
+        }
+    }
+
+    fn test_config(shards: usize) -> IngestConfig {
+        IngestConfig {
+            shards,
+            batch_reports: 7, // tiny batches to exercise queue churn
+            queue_batches: 2,
+            lateness_horizon: 3,
+            ..IngestConfig::default()
+        }
+    }
+
+    /// A clean in-order stream: every report ingested, accounting closed.
+    #[test]
+    fn clean_stream_fully_ingested() {
+        let pipeline = IngestPipeline::new(test_config(2), Vec::new());
+        let reports = (0..4u64).flat_map(|gw| {
+            (0..200u32).map(move |m| report(gw, 0, m, (m as u64 + 1) * 100 * (gw + 1)))
+        });
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        assert_eq!(m.offered, 800);
+        assert_eq!(m.ingested, 800);
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.baselines, 4, "one baseline per device");
+        assert!(m.fully_accounted());
+        assert_eq!(summary.gateways.len(), 4);
+        assert!(summary
+            .gateways
+            .windows(2)
+            .all(|w| w[0].gateway < w[1].gateway));
+    }
+
+    /// Late, duplicate and future-jump reports are counted, not fatal.
+    #[test]
+    fn malformed_reports_become_counted_outcomes() {
+        let pipeline = IngestPipeline::new(test_config(1), Vec::new());
+        let reports = vec![
+            report(7, 0, 10, 100),
+            report(7, 0, 11, 200),
+            report(7, 0, 11, 200), // duplicate
+            report(7, 0, 5, 50),   // late (before the device baseline)
+            report(7, 0, 12, 300),
+            report(7, 0, 90_000, 10), // future jump, uncorroborated
+            report(7, 0, 13, 400),
+        ];
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        assert_eq!(m.offered, 7);
+        assert_eq!(m.dropped_duplicate, 1);
+        assert_eq!(m.dropped_late, 1);
+        assert_eq!(m.dropped_future_jump, 1);
+        assert_eq!(m.ingested, 4);
+        assert!(m.fully_accounted());
+    }
+
+    /// A sustained clock advance (outage recovery) is accepted after one
+    /// corroborating report; a lone wild timestamp is not.
+    #[test]
+    fn future_jump_corroboration() {
+        let config = test_config(1);
+        let pipeline = IngestPipeline::new(config.clone(), Vec::new());
+        let jump = 10 + config.max_future_jump + 1000;
+        let reports = vec![
+            report(1, 0, 10, 100),
+            report(1, 0, jump, 5_000),     // held as suspect
+            report(1, 0, jump + 1, 5_100), // corroborates: suspect = baseline
+            report(1, 0, jump + 2, 5_200),
+        ];
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        // A real outage recovery loses nothing: the held report becomes the
+        // post-outage baseline once corroborated.
+        assert_eq!(m.dropped_future_jump, 0);
+        assert_eq!(m.ingested, 4);
+        assert_eq!(m.baselines, 2);
+        assert!(m.fully_accounted());
+
+        // A lone wild timestamp with no corroboration ever is condemned at
+        // end of stream.
+        let pipeline = IngestPipeline::new(config, Vec::new());
+        let reports = vec![report(1, 0, 10, 100), report(1, 0, jump, 5_000)];
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        assert_eq!(m.dropped_future_jump, 1);
+        assert_eq!(m.ingested, 1);
+        assert!(m.fully_accounted());
+    }
+
+    /// A counter reset during a reporting gap voids the delta (counted),
+    /// while an adjacent-minute reset decodes as bytes-since-reset.
+    #[test]
+    fn reset_outcomes_match_batch_rules() {
+        let pipeline = IngestPipeline::new(test_config(1), Vec::new());
+        let reports = vec![
+            report(3, 0, 0, 1_000),
+            report(3, 0, 1, 400), // adjacent reset: 400 bytes
+            report(3, 0, 2, 500),
+            report(3, 0, 60, 100), // reset across a 58-minute gap: voided
+            report(3, 0, 61, 250),
+        ];
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        assert_eq!(m.reset_spanning_gaps, 1);
+        assert!(m.counter_resets >= 1);
+        assert_eq!(m.ingested, 5, "reset-gap reports are accepted");
+        assert!(m.fully_accounted());
+        assert_eq!(summary.gateways[0].devices, 1);
+    }
+
+    /// The same stream produces identical summaries at any shard count.
+    #[test]
+    fn summaries_identical_across_shard_counts() {
+        let mk_reports = || {
+            (0..12u64).flat_map(|gw| {
+                (0..500u32).flat_map(move |m| {
+                    (0..3u32).filter_map(move |dev| {
+                        // Deterministic per-device loss pattern.
+                        if (m + dev * 7 + gw as u32).is_multiple_of(11) {
+                            return None;
+                        }
+                        Some(report(
+                            gw,
+                            dev,
+                            m,
+                            (m as u64 + 1) * (100 + dev as u64 * 13 + gw % 5),
+                        ))
+                    })
+                })
+            })
+        };
+        let run =
+            |shards: usize| IngestPipeline::new(test_config(shards), Vec::new()).run(mk_reports());
+        let one = run(1);
+        for shards in [2, 3, 5] {
+            let many = run(shards);
+            assert_eq!(one.gateways, many.gateways, "shards={shards}");
+            assert_eq!(one.support, many.support);
+            assert_eq!(one.metrics.ingested, many.metrics.ingested);
+            assert_eq!(one.metrics.dropped(), many.metrics.dropped());
+        }
+    }
+
+    /// Windows seal online and match templates exactly like the batch
+    /// matcher would.
+    #[test]
+    fn windows_seal_and_match_templates() {
+        // One device, constant 600 bytes/min for 3 days → flat daily
+        // windows; one evening-shaped template that must NOT match, then
+        // check novel counting.
+        let template = MotifTemplate {
+            name: "evening".into(),
+            pattern: vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 900.0, 950.0],
+        };
+        let config = IngestConfig {
+            bin_minutes: 180,
+            ..test_config(1)
+        };
+        let pipeline = IngestPipeline::new(config, vec![template]);
+        let day = wtts_timeseries::MINUTES_PER_DAY;
+        let reports = (0..3 * day).map(|m| report(0, 0, m, (m as u64 + 1) * 600));
+        let summary = pipeline.run(reports);
+        let m = &summary.metrics;
+        assert_eq!(m.windows_sealed, 2, "two complete days sealed by day 3");
+        // Days 1 and 2 seal online; day 3 (never followed by a day-4 push)
+        // surfaces as the flushed partial window — all three are matched,
+        // and none resembles the evening template.
+        assert_eq!(m.windows_novel, 3, "flat days match no evening template");
+        assert_eq!(m.windows_matched, 0);
+        assert_eq!(summary.gateways[0].support, vec![0]);
+        // The trailing partial day was flushed non-destructively.
+        assert_eq!(m.partial_windows, 1);
+    }
+
+    /// The online dominance tracker finds the shaping device.
+    #[test]
+    fn online_dominance_finds_shaper() {
+        let config = IngestConfig {
+            lateness_horizon: 1,
+            ..test_config(1)
+        };
+        let pipeline = IngestPipeline::new(config, Vec::new());
+        // Device 0 shapes the total (bursty), device 1 is a constant hum.
+        let mut reports = Vec::new();
+        let mut cum0 = 0u64;
+        let mut cum1 = 0u64;
+        for m in 0..600u32 {
+            cum0 += if (m / 60) % 3 == 2 {
+                50_000
+            } else {
+                10 + (m % 7) as u64
+            };
+            cum1 += 800;
+            reports.push(report(5, 0, m, cum0));
+            reports.push(report(5, 1, m, cum1));
+        }
+        let summary = pipeline.run(reports);
+        let dom = &summary.gateways[0].dominants;
+        assert!(!dom.is_empty(), "the shaper must be detected");
+        assert_eq!(dom[0].device, 0);
+        assert_eq!(dom[0].rank, 0);
+        assert!(dom[0].similarity > 0.9);
+    }
+
+    /// Backpressure: a tiny queue still processes everything (the producer
+    /// blocks instead of dropping or buffering unbounded).
+    #[test]
+    fn bounded_queue_backpressure_loses_nothing() {
+        let config = IngestConfig {
+            queue_batches: 1,
+            batch_reports: 2,
+            ..test_config(2)
+        };
+        let pipeline = IngestPipeline::new(config, Vec::new());
+        let reports =
+            (0..8u64).flat_map(|gw| (0..300u32).map(move |m| report(gw, 0, m, m as u64 * 50)));
+        let summary = pipeline.run(reports);
+        assert_eq!(summary.metrics.offered, 8 * 300);
+        assert!(summary.metrics.fully_accounted());
+        let processed: u64 = summary.metrics.per_shard.iter().map(|s| s.processed).sum();
+        assert_eq!(processed, 8 * 300);
+        assert!(summary.metrics.per_shard.iter().all(|s| s.queue_depth == 0));
+    }
+
+    /// Metrics can be observed live from another thread while running.
+    #[test]
+    fn metrics_observable_mid_run() {
+        let pipeline = IngestPipeline::new(test_config(1), Vec::new());
+        let metrics = pipeline.metrics();
+        let before = metrics.snapshot();
+        assert_eq!(before.offered, 0);
+        let reports = (0..1000u32).map(|m| report(0, 0, m, m as u64 * 10));
+        let summary = pipeline.run(reports);
+        let after = metrics.snapshot();
+        assert_eq!(after, summary.metrics);
+        assert_eq!(after.offered, 1000);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let pipeline = IngestPipeline::new(test_config(3), Vec::new());
+        for gw in 0..100u64 {
+            let s = pipeline.shard_of(gw);
+            assert!(s < 3);
+            assert_eq!(s, pipeline.shard_of(gw));
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_summary() {
+        let pipeline = IngestPipeline::new(test_config(4), Vec::new());
+        let summary = pipeline.run(Vec::new());
+        assert!(summary.gateways.is_empty());
+        assert_eq!(summary.metrics.offered, 0);
+        assert!(summary.metrics.fully_accounted());
+    }
+}

@@ -30,8 +30,12 @@
 //! introduction motivates and the future work its conclusion names:
 //! [`maintenance`] (per-home firmware-update windows), [`anomaly`]
 //! (behavioral contrast for remote troubleshooting), [`profile`] (the
-//! all-in-one gateway report) and [`streaming`] (online correlation, window
-//! accumulation and motif matching for a Storm/Kinesis-style deployment).
+//! all-in-one gateway report), [`streaming`] (online correlation, window
+//! accumulation and motif matching for a Storm/Kinesis-style deployment)
+//! and [`ingest`] (the sharded fleet ingest pipeline that turns raw
+//! cumulative counter reports into sealed windows, motif support counts and
+//! dominance rankings, with typed degradation and atomic metrics instead of
+//! panics).
 
 pub mod aggregation;
 pub mod anomaly;
@@ -39,6 +43,7 @@ pub mod background;
 pub mod clustering;
 pub mod dominance;
 pub mod engine;
+pub mod ingest;
 pub mod maintenance;
 pub mod motif;
 pub mod profile;
@@ -54,12 +59,16 @@ pub use anomaly::{AnomalyConfig, AnomalyDetector, Verdict};
 pub use background::{estimate_tau, remove_background, BackgroundProfile, TauGroup, TAU_CAP};
 pub use clustering::{cluster_correlated, Dendrogram};
 pub use dominance::{
-    dominant_devices, euclidean_ranking, ranking_agreement, volume_ranking, DominantDevice,
-    DOMINANCE_PHI,
+    dominant_devices, euclidean_ranking, rank_dominants, ranking_agreement, volume_ranking,
+    DominantDevice, DOMINANCE_PHI,
 };
 pub use engine::{
     cor_matrix, cor_profiled, correlation_similarity_profiled, profile_series, CondensedMatrix,
     CorMatrixConfig,
+};
+pub use ingest::{
+    DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
+    IngestReport, IngestSummary, MetricsSnapshot, ShardSnapshot,
 };
 pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use motif::{discover_motifs, Motif, MotifConfig, WindowRef};
@@ -67,5 +76,6 @@ pub use profile::GatewayProfile;
 pub use similarity::{cor, cor_distance, correlation_similarity, CorSimilarity};
 pub use stationarity::{strong_stationarity, StationarityCheck, STATIONARITY_COR};
 pub use streaming::{
-    CompletedWindow, MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator,
+    best_match, CompletedWindow, LateSample, MatchOutcome, MotifMatcher, MotifTemplate,
+    OnlinePearson, WindowAccumulator,
 };

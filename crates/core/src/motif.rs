@@ -114,6 +114,22 @@ impl Motif {
             .collect()
     }
 
+    /// Exports the motif as a streaming template: its average pattern under
+    /// the given name, ready for [`crate::streaming::MotifMatcher`] or the
+    /// fleet-ingest pipeline. This is the batch → streaming hand-off: motifs
+    /// discovered offline become the library live windows are matched
+    /// against.
+    pub fn to_template(
+        &self,
+        name: impl Into<String>,
+        windows: &[Vec<f64>],
+    ) -> crate::streaming::MotifTemplate {
+        crate::streaming::MotifTemplate {
+            name: name.into(),
+            pattern: self.average_pattern(windows),
+        }
+    }
+
     /// Share of members falling on weekend days (daily motifs; Figure 16b).
     pub fn weekend_fraction(&self, refs: &[WindowRef]) -> f64 {
         if self.members.is_empty() {

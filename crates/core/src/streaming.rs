@@ -94,6 +94,32 @@ impl OnlinePearson {
     }
 }
 
+/// A sample that precedes the accumulator's current window — late data the
+/// stream already moved past.
+///
+/// In a long-running pipeline one delayed report must not abort ingest for
+/// a whole shard, so [`WindowAccumulator::try_push`] returns this as a
+/// recoverable error for the caller to count and drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LateSample {
+    /// Timestamp of the late sample.
+    pub at: Minute,
+    /// Start of the window currently being accumulated.
+    pub window_start: Minute,
+}
+
+impl std::fmt::Display for LateSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "late sample at {} (current window starts at {})",
+            self.at, self.window_start
+        )
+    }
+}
+
+impl std::error::Error for LateSample {}
+
 /// A completed calendar window emitted by [`WindowAccumulator`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedWindow {
@@ -152,13 +178,25 @@ impl WindowAccumulator {
     /// stream's advance (more than one if the stream jumped a gap).
     ///
     /// # Panics
-    /// Panics if `at` precedes an already-consumed minute.
+    /// Panics if `at` precedes the current window. Streaming consumers that
+    /// must survive late data should use [`WindowAccumulator::try_push`].
     pub fn push(&mut self, at: Minute, bytes: f64) -> Vec<CompletedWindow> {
-        assert!(
-            at.0 >= self.current_start,
-            "stream must be time-ordered (got {at}, window starts at {})",
-            self.current_start
-        );
+        match self.try_push(at, bytes) {
+            Ok(out) => out,
+            Err(e) => panic!("stream must be time-ordered: {e}"),
+        }
+    }
+
+    /// Feeds one per-minute sample, returning `Err` instead of panicking
+    /// when `at` precedes the current window (the accumulator is unchanged
+    /// in that case — the late sample is the caller's to count and drop).
+    pub fn try_push(&mut self, at: Minute, bytes: f64) -> Result<Vec<CompletedWindow>, LateSample> {
+        if at.0 < self.current_start {
+            return Err(LateSample {
+                at,
+                window_start: Minute(self.current_start),
+            });
+        }
         let mut out = Vec::new();
         while at.0 >= self.current_start + self.window_minutes {
             out.push(self.seal());
@@ -168,15 +206,27 @@ impl WindowAccumulator {
             self.bins[idx] += bytes;
             self.seen[idx] = true;
         }
-        out
+        Ok(out)
     }
 
-    /// Flushes the current partial window (e.g. at end of stream).
-    pub fn flush(&mut self) -> CompletedWindow {
-        self.seal()
+    /// Peeks at the current partial window (e.g. at end of stream) without
+    /// consuming it: the accumulator keeps accumulating into the same
+    /// window, so an in-order sample pushed after `flush` still lands in it.
+    ///
+    /// (An earlier version sealed the partial window and advanced a full
+    /// window length, which made any subsequent in-order `push` panic as
+    /// "late" — flush-then-push is the normal shutdown-then-resume sequence
+    /// of a checkpointing pipeline, so flushing must be non-destructive.)
+    pub fn flush(&self) -> CompletedWindow {
+        self.window_snapshot()
     }
 
-    fn seal(&mut self) -> CompletedWindow {
+    /// Start of the window currently being accumulated.
+    pub fn current_window_start(&self) -> Minute {
+        Minute(self.current_start)
+    }
+
+    fn window_snapshot(&self) -> CompletedWindow {
         let start = Minute(self.current_start);
         let values = self
             .bins
@@ -184,6 +234,16 @@ impl WindowAccumulator {
             .zip(&self.seen)
             .map(|(&v, &s)| if s { v } else { f64::NAN })
             .collect();
+        CompletedWindow {
+            kind: self.kind,
+            week: start.week(),
+            weekday: matches!(self.kind, WindowKind::Daily).then(|| start.weekday()),
+            values,
+        }
+    }
+
+    fn seal(&mut self) -> CompletedWindow {
+        let snapshot = self.window_snapshot();
         for b in &mut self.bins {
             *b = 0.0;
         }
@@ -191,12 +251,7 @@ impl WindowAccumulator {
             *s = false;
         }
         self.current_start += self.window_minutes;
-        CompletedWindow {
-            kind: self.kind,
-            week: start.week(),
-            weekday: matches!(self.kind, WindowKind::Daily).then(|| start.weekday()),
-            values,
-        }
+        snapshot
     }
 }
 
@@ -225,6 +280,32 @@ pub enum MatchOutcome {
     Insufficient,
 }
 
+/// Matches one window against a template library with the Definition 1
+/// similarity, returning the best template at or above `threshold`.
+///
+/// This is the stateless core of [`MotifMatcher::observe`]; the fleet-ingest
+/// worker shards call it directly so many gateways can share one template
+/// slice while keeping their own support counts.
+pub fn best_match(templates: &[MotifTemplate], threshold: f64, window: &[f64]) -> MatchOutcome {
+    if window.iter().filter(|v| v.is_finite()).count() < 3 {
+        return MatchOutcome::Insufficient;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (i, t) in templates.iter().enumerate() {
+        if t.pattern.len() != window.len() {
+            continue;
+        }
+        let c = cor(&t.pattern, window);
+        if c >= threshold && best.is_none_or(|(_, bc)| c > bc) {
+            best = Some((i, c));
+        }
+    }
+    match best {
+        Some((index, similarity)) => MatchOutcome::Matched { index, similarity },
+        None => MatchOutcome::Novel,
+    }
+}
+
 /// Streams windows against a motif-template library, keeping online support
 /// counts — the "assign incoming behavior to known patterns" half of a
 /// streaming deployment.
@@ -251,29 +332,13 @@ impl MotifMatcher {
 
     /// Matches one window and updates the counts.
     pub fn observe(&mut self, window: &[f64]) -> MatchOutcome {
-        if window.iter().filter(|v| v.is_finite()).count() < 3 {
-            return MatchOutcome::Insufficient;
+        let outcome = best_match(&self.templates, self.threshold, window);
+        match outcome {
+            MatchOutcome::Matched { index, .. } => self.support[index] += 1,
+            MatchOutcome::Novel => self.novel += 1,
+            MatchOutcome::Insufficient => {}
         }
-        let mut best: Option<(usize, f64)> = None;
-        for (i, t) in self.templates.iter().enumerate() {
-            if t.pattern.len() != window.len() {
-                continue;
-            }
-            let c = cor(&t.pattern, window);
-            if c >= self.threshold && best.is_none_or(|(_, bc)| c > bc) {
-                best = Some((i, c));
-            }
-        }
-        match best {
-            Some((index, similarity)) => {
-                self.support[index] += 1;
-                MatchOutcome::Matched { index, similarity }
-            }
-            None => {
-                self.novel += 1;
-                MatchOutcome::Novel
-            }
-        }
+        outcome
     }
 
     /// Current support counts per template.
@@ -406,6 +471,76 @@ mod tests {
         let mut acc = WindowAccumulator::new(WindowKind::Daily, 60);
         let _ = acc.push(Minute(MINUTES_PER_DAY * 2), 1.0);
         let _ = acc.push(Minute(0), 1.0);
+    }
+
+    #[test]
+    fn flush_then_push_keeps_accumulating() {
+        // Regression: flush used to seal the partial window and advance
+        // `current_start` a full window, so the next in-order push panicked
+        // with "stream must be time-ordered".
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 720);
+        acc.push(Minute(10), 5.0);
+        let partial = acc.flush();
+        assert_eq!(partial.values[0], 5.0);
+        assert!(partial.values[1].is_nan());
+        assert_eq!(acc.current_window_start(), Minute(0));
+
+        // The very next minute must still be accepted, into the same window.
+        let emitted = acc.push(Minute(11), 7.0);
+        assert!(emitted.is_empty());
+        let partial = acc.flush();
+        assert_eq!(partial.values[0], 12.0, "flush must not drop accumulation");
+
+        // And once the stream passes the window end, it seals normally.
+        let emitted = acc.push(Minute(MINUTES_PER_DAY), 1.0);
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].values[0], 12.0);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 720);
+        acc.push(Minute(3), 2.0);
+        let (a, b) = (acc.flush(), acc.flush());
+        assert_eq!(a.week, b.week);
+        assert_eq!(a.weekday, b.weekday);
+        // Compare bin-by-bin (NaN == NaN would fail a direct comparison).
+        assert_eq!(a.values.len(), b.values.len());
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+        assert_eq!(a.values[0], 2.0);
+    }
+
+    #[test]
+    fn try_push_rejects_late_sample_recoverably() {
+        let mut acc = WindowAccumulator::new(WindowKind::Daily, 60);
+        let _ = acc.push(Minute(MINUTES_PER_DAY * 2), 1.0);
+        let err = acc.try_push(Minute(5), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            LateSample {
+                at: Minute(5),
+                window_start: Minute(MINUTES_PER_DAY * 2)
+            }
+        );
+        assert!(err.to_string().contains("late sample"));
+        // The accumulator survives and keeps accepting in-order samples.
+        let out = acc.try_push(Minute(MINUTES_PER_DAY * 2 + 1), 3.0).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn best_match_is_stateless_core_of_observe() {
+        let t = vec![MotifTemplate {
+            name: "t".into(),
+            pattern: vec![1.0, 2.0, 30.0, 40.0],
+        }];
+        let w = [2.0, 3.0, 31.0, 41.0];
+        let direct = best_match(&t, 0.8, &w);
+        let mut matcher = MotifMatcher::new(t, 0.8);
+        assert_eq!(matcher.observe(&w), direct);
+        assert!(matches!(direct, MatchOutcome::Matched { index: 0, .. }));
     }
 
     #[test]

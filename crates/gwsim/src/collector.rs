@@ -7,18 +7,21 @@
 //! [`CounterTrace`], so the repository exercises the *entire* path from
 //! synthetic household behavior to decoded analysis-ready series.
 
-use crate::gateway::SimDevice;
+use crate::gateway::{SimDevice, SimGateway};
 use crate::rng::chance;
 use rand::Rng;
 use wtts_timeseries::{CounterTrace, Minute, TimeSeries};
 
-/// Loss/duplication characteristics of the reporting channel.
+/// Loss/duplication/reordering characteristics of the reporting channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelConfig {
     /// Probability that a report never reaches the server.
     pub loss: f64,
     /// Probability that a delivered report is delivered twice (retries).
     pub duplication: f64,
+    /// Probability that a delivered report is held back in flight and
+    /// arrives a few reports late (out of order).
+    pub reorder: f64,
 }
 
 impl Default for ChannelConfig {
@@ -26,6 +29,18 @@ impl Default for ChannelConfig {
         ChannelConfig {
             loss: 0.01,
             duplication: 0.002,
+            reorder: 0.001,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// A perfect channel: in-order, exactly-once delivery.
+    pub fn lossless() -> ChannelConfig {
+        ChannelConfig {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
         }
     }
 }
@@ -82,25 +97,110 @@ pub fn device_reports(
         }
         was_present = present;
     }
+    inject_reorder(&mut out, channel, rng);
+    out
+}
+
+/// Holds back a fraction of reports so they arrive a few positions late,
+/// simulating delayed in-flight delivery.
+fn inject_reorder(reports: &mut Vec<Report>, channel: ChannelConfig, rng: &mut impl Rng) {
+    if channel.reorder <= 0.0 {
+        return;
+    }
+    let mut i = 0;
+    while i + 1 < reports.len() {
+        if chance(rng, channel.reorder) {
+            let held = reports.remove(i);
+            let delay = rng.gen_range(1..=4usize);
+            let dest = (i + delay).min(reports.len());
+            reports.insert(dest, held);
+            i = dest; // don't re-delay the same report
+        }
+        i += 1;
+    }
+}
+
+/// A device report tagged with its origin, as the central collector sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaggedReport {
+    /// Gateway the report came from.
+    pub gateway: usize,
+    /// Device index within the gateway.
+    pub device: usize,
+    /// The report payload.
+    pub report: Report,
+}
+
+/// Simulates the full report stream one gateway uploads: every device's
+/// reports through the lossy channel, interleaved by reporting minute the
+/// way a collector would receive them (per-device order is preserved except
+/// where the channel reorders).
+pub fn gateway_reports(
+    gateway: &SimGateway,
+    channel: ChannelConfig,
+    rng: &mut impl Rng,
+) -> Vec<TaggedReport> {
+    let mut streams: Vec<(usize, std::vec::IntoIter<Report>)> = gateway
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(device, d)| (device, device_reports(d, channel, rng).into_iter()))
+        .collect();
+    let mut heads: Vec<(usize, Report)> = Vec::with_capacity(streams.len());
+    for (device, stream) in &mut streams {
+        if let Some(r) = stream.next() {
+            heads.push((*device, r));
+        }
+    }
+    let mut out = Vec::new();
+    // K-way merge on the (possibly locally reordered) per-device streams;
+    // ties break by device index, matching a round-robin uploader.
+    while !heads.is_empty() {
+        let (pos, _) = heads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (device, r))| (r.at.0, *device))
+            .expect("heads is non-empty");
+        let (device, report) = heads[pos];
+        out.push(TaggedReport {
+            gateway: gateway.id,
+            device,
+            report,
+        });
+        match streams[device].1.next() {
+            Some(next) => heads[pos] = (device, next),
+            None => {
+                heads.swap_remove(pos);
+            }
+        }
+    }
     out
 }
 
 /// Server-side reassembly: deduplicates and decodes a report stream into
 /// the per-minute incoming/outgoing series the analyses consume.
 ///
-/// Reports must arrive time-ordered (the simulated channel preserves
-/// order); duplicates overwrite in place, and counter decreases are treated
-/// as re-association resets — both behaviors come from [`CounterTrace`].
-pub fn reassemble(reports: &[Report], len_minutes: usize) -> (TimeSeries, TimeSeries) {
+/// Duplicates overwrite in place and counter decreases are treated as
+/// re-association resets — both behaviors come from [`CounterTrace`].
+/// Out-of-order arrivals (a reordering channel) are dropped rather than
+/// fatal: a delayed cumulative report carries no information its successor
+/// didn't already deliver. Returns the decoded series and the number of
+/// late reports dropped.
+pub fn reassemble(reports: &[Report], len_minutes: usize) -> (TimeSeries, TimeSeries, usize) {
     let mut inc = CounterTrace::new();
     let mut out = CounterTrace::new();
+    let mut late = 0usize;
     for r in reports {
-        inc.push(r.at, r.cum_in);
-        out.push(r.at, r.cum_out);
+        if inc.try_push(r.at, r.cum_in).is_err() {
+            late += 1;
+            continue;
+        }
+        let _ = out.try_push(r.at, r.cum_out);
     }
     (
         inc.to_per_minute(Minute(0), len_minutes),
         out.to_per_minute(Minute(0), len_minutes),
+        late,
     )
 }
 
@@ -138,15 +238,9 @@ mod tests {
     fn lossless_channel_roundtrips_contiguous_minutes() {
         let d = device();
         let mut rng = SmallRng::seed_from_u64(1);
-        let reports = device_reports(
-            &d,
-            ChannelConfig {
-                loss: 0.0,
-                duplication: 0.0,
-            },
-            &mut rng,
-        );
-        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let reports = device_reports(&d, ChannelConfig::lossless(), &mut rng);
+        let (inc, _, late) = reassemble(&reports, d.incoming.len());
+        assert_eq!(late, 0, "a lossless channel never delivers late");
         let mut checked = 0usize;
         for m in 1..d.incoming.len() {
             let (prev, cur) = (d.incoming.values()[m - 1], d.incoming.values()[m]);
@@ -168,7 +262,7 @@ mod tests {
         let d = device();
         let mut rng = SmallRng::seed_from_u64(2);
         let reports = device_reports(&d, ChannelConfig::default(), &mut rng);
-        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let (inc, _, _) = reassemble(&reports, d.incoming.len());
         let share = recovered_volume_share(&d, &inc);
         // Cumulative counters are loss-tolerant: a missing report's delta is
         // recovered by the next one, so ~1% loss costs ≪ 1% volume (only the
@@ -182,11 +276,11 @@ mod tests {
         let d = device();
         let mut rng = SmallRng::seed_from_u64(3);
         let heavy_dup = ChannelConfig {
-            loss: 0.0,
             duplication: 0.5,
+            ..ChannelConfig::lossless()
         };
         let reports = device_reports(&d, heavy_dup, &mut rng);
-        let (inc, _) = reassemble(&reports, d.incoming.len());
+        let (inc, _, _) = reassemble(&reports, d.incoming.len());
         let share = recovered_volume_share(&d, &inc);
         assert!(
             (share - 1.0).abs() < 0.01,
@@ -198,14 +292,7 @@ mod tests {
     fn report_counters_reset_on_reassociation() {
         let d = device();
         let mut rng = SmallRng::seed_from_u64(4);
-        let reports = device_reports(
-            &d,
-            ChannelConfig {
-                loss: 0.0,
-                duplication: 0.0,
-            },
-            &mut rng,
-        );
+        let reports = device_reports(&d, ChannelConfig::lossless(), &mut rng);
         // Counters never decrease within a presence run, but must reset
         // (drop) right after a gap if the device was ever absent.
         let mut decreases = 0;
@@ -219,5 +306,59 @@ mod tests {
         // Portables disconnect overnight, so at least one reset is expected
         // for a portable; fixed devices may have none. Just assert sanity.
         let _ = decreases;
+    }
+
+    #[test]
+    fn reordering_channel_delivers_out_of_order() {
+        let d = device();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let shuffly = ChannelConfig {
+            reorder: 0.05,
+            ..ChannelConfig::lossless()
+        };
+        let reports = device_reports(&d, shuffly, &mut rng);
+        let inversions = reports
+            .windows(2)
+            .filter(|pair| pair[1].at < pair[0].at)
+            .count();
+        assert!(inversions > 0, "5% reorder must produce inversions");
+        // Reassembly degrades gracefully: late reports are dropped and
+        // counted, and the decoded volume stays close to the truth (a late
+        // cumulative report carries nothing its successor didn't).
+        let (inc, _, late) = reassemble(&reports, d.incoming.len());
+        assert!(late > 0);
+        assert!(
+            late <= inversions * 4,
+            "late={late} inversions={inversions}"
+        );
+        let share = recovered_volume_share(&d, &inc);
+        assert!(share > 0.9, "recovered share {share}");
+    }
+
+    #[test]
+    fn gateway_reports_interleave_devices() {
+        let gw = Fleet::new(FleetConfig {
+            n_gateways: 1,
+            weeks: 1,
+            ..FleetConfig::default()
+        })
+        .gateway(0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let tagged = gateway_reports(&gw, ChannelConfig::lossless(), &mut rng);
+        assert!(!tagged.is_empty());
+        assert!(tagged.iter().all(|t| t.gateway == gw.id));
+        let devices: std::collections::HashSet<usize> = tagged.iter().map(|t| t.device).collect();
+        assert!(devices.len() > 1, "expected several devices reporting");
+        // Lossless merge is globally time-ordered, and each device's
+        // sub-stream is exactly its own report stream.
+        assert!(tagged.windows(2).all(|w| w[0].report.at <= w[1].report.at));
+        for device in 0..gw.devices.len() {
+            let sub: Vec<Report> = tagged
+                .iter()
+                .filter(|t| t.device == device)
+                .map(|t| t.report)
+                .collect();
+            assert!(sub.windows(2).all(|w| w[0].at < w[1].at));
+        }
     }
 }

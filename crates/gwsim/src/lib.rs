@@ -38,7 +38,9 @@ pub mod wifi;
 
 pub use apps::AppProfile;
 pub use archetype::HouseholdArchetype;
-pub use collector::{device_reports, reassemble, ChannelConfig, Report};
+pub use collector::{
+    device_reports, gateway_reports, reassemble, ChannelConfig, Report, TaggedReport,
+};
 pub use config::FleetConfig;
 pub use device::{DeviceRole, DeviceSpec};
 pub use export::{write_counter_csv, write_inventory_csv, write_traffic_csv};

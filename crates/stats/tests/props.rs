@@ -111,6 +111,37 @@ proptest! {
         prop_assert_eq!(same.statistic, 0.0);
     }
 
+    /// The KS statistic equals the brute-force supremum of |F1 - F2| over
+    /// all observed values, on tie-heavy integer samples — the regime where
+    /// a sloppy single-sweep implementation miscounts tied runs.
+    #[test]
+    fn ks_statistic_matches_brute_force_on_ties(
+        xs in prop::collection::vec(0i32..12, 1..60),
+        ys in prop::collection::vec(0i32..12, 1..60),
+    ) {
+        let a: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let b: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        let t = ks_two_sample(&a, &b).unwrap();
+
+        // Brute force: evaluate both empirical CDFs at every observed value.
+        let mut points: Vec<f64> = a.iter().chain(&b).copied().collect();
+        points.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        points.dedup();
+        let cdf = |sample: &[f64], v: f64| {
+            sample.iter().filter(|&&s| s <= v).count() as f64 / sample.len() as f64
+        };
+        let d_max = points
+            .iter()
+            .map(|&v| (cdf(&a, v) - cdf(&b, v)).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            (t.statistic - d_max).abs() < 1e-12,
+            "sweep D = {} vs brute-force D = {}",
+            t.statistic,
+            d_max
+        );
+    }
+
     /// Quantiles are monotone in q and bracketed by min/max.
     #[test]
     fn quantiles_monotone(xs in finite(1..150), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {

@@ -20,6 +20,67 @@ pub struct CounterReport {
     pub cumulative_bytes: u64,
 }
 
+/// A report that precedes the previous accepted report of its trace.
+///
+/// Real collection servers see these constantly (retries on a slow path,
+/// clock skew between gateway and server); a robust consumer counts and
+/// drops them instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderReport {
+    /// Timestamp of the offending report.
+    pub at: Minute,
+    /// Timestamp of the last accepted report.
+    pub last: Minute,
+}
+
+impl std::fmt::Display for OutOfOrderReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-order report at {} (last accepted {})",
+            self.at, self.last
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderReport {}
+
+/// How the delta between two consecutive counter reports decodes.
+///
+/// This is the single classification shared by batch decoding
+/// ([`CounterTrace::to_per_minute`]) and the online fleet-ingest decoder, so
+/// both paths attribute traffic identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterDelta {
+    /// Monotone advance: `bytes` are attributed to the later report's
+    /// minute (the whole delta when the reports span a gap — intermediate
+    /// minutes stay missing).
+    Advance(u64),
+    /// The counter decreased between two *adjacent* minutes: a reset
+    /// (reboot, wrap, re-association). The later cumulative value is the
+    /// bytes since the reset and is attributed to the later minute.
+    Reset(u64),
+    /// The counter decreased across a multi-minute gap: the reset moment is
+    /// unknown, the pre-reset tail is lost, and the post-reset cumulative
+    /// value may cover hours — attributing it to any single minute would
+    /// fabricate a spike, so the delta is unattributable and the later
+    /// minute stays missing.
+    ResetSpanningGap,
+}
+
+/// Classifies the byte delta carried by `cur` given the previous report
+/// `prev` of the same trace. Requires `cur.at > prev.at`.
+pub fn counter_delta(prev: CounterReport, cur: CounterReport) -> CounterDelta {
+    debug_assert!(cur.at > prev.at, "counter_delta needs a forward step");
+    if cur.cumulative_bytes >= prev.cumulative_bytes {
+        CounterDelta::Advance(cur.cumulative_bytes - prev.cumulative_bytes)
+    } else if cur.at.0 == prev.at.0 + 1 {
+        CounterDelta::Reset(cur.cumulative_bytes)
+    } else {
+        CounterDelta::ResetSpanningGap
+    }
+}
+
 /// A stream of cumulative-counter reports for a single device and direction.
 ///
 /// Reports must be appended in non-decreasing time order; duplicate
@@ -39,19 +100,34 @@ impl CounterTrace {
     /// Appends a report.
     ///
     /// # Panics
-    /// Panics if `at` precedes the previous report's timestamp.
+    /// Panics if `at` precedes the previous report's timestamp. Streaming
+    /// consumers that must survive disordered input should use
+    /// [`CounterTrace::try_push`] instead.
     pub fn push(&mut self, at: Minute, cumulative_bytes: u64) {
+        if let Err(e) = self.try_push(at, cumulative_bytes) {
+            panic!("reports must be time-ordered: {e}");
+        }
+    }
+
+    /// Appends a report, returning `Err` instead of panicking when `at`
+    /// precedes the previous report's timestamp (the trace is unchanged in
+    /// that case). A duplicate timestamp overwrites the stored value, like a
+    /// collection server overwriting a re-sent report.
+    pub fn try_push(&mut self, at: Minute, cumulative_bytes: u64) -> Result<(), OutOfOrderReport> {
         if let Some(last) = self.reports.last_mut() {
-            assert!(at >= last.at, "reports must be time-ordered");
+            if at < last.at {
+                return Err(OutOfOrderReport { at, last: last.at });
+            }
             if at == last.at {
                 last.cumulative_bytes = cumulative_bytes;
-                return;
+                return Ok(());
             }
         }
         self.reports.push(CounterReport {
             at,
             cumulative_bytes,
         });
+        Ok(())
     }
 
     /// Number of stored reports.
@@ -76,12 +152,18 @@ impl CounterTrace {
     ///
     /// * The delta between two consecutive reports one minute apart becomes
     ///   the sample of the later minute.
-    /// * A counter that *decreases* is treated as a reset (reboot / wrap):
-    ///   the later cumulative value is taken as the bytes since the reset.
+    /// * A counter that *decreases* between adjacent minutes is treated as a
+    ///   reset (reboot / wrap): the later cumulative value is taken as the
+    ///   bytes since the reset.
     /// * A gap of `k > 1` minutes yields one sample carrying the whole delta
     ///   at the later report's minute and `k - 1` missing samples — we cannot
     ///   know how traffic was distributed inside the gap, and inventing a
     ///   uniform spread would fabricate correlation.
+    /// * A reset *coinciding with* a multi-minute gap leaves the later
+    ///   minute missing too: the post-reset cumulative value may cover hours
+    ///   of traffic, and charging it to one minute would fabricate a spike
+    ///   (inflating e.g. background-threshold whiskers) — attribution is
+    ///   unknowable, the same rationale as the gap rule.
     /// * Minutes before the first report are missing.
     pub fn to_per_minute(&self, start: Minute, len_minutes: usize) -> TimeSeries {
         let mut series = TimeSeries::missing(start, 1, len_minutes);
@@ -92,11 +174,9 @@ impl CounterTrace {
             if cur.at < start || cur.at >= end {
                 continue;
             }
-            let delta = if cur.cumulative_bytes >= prev.cumulative_bytes {
-                cur.cumulative_bytes - prev.cumulative_bytes
-            } else {
-                // Counter reset between the reports.
-                cur.cumulative_bytes
+            let delta = match counter_delta(prev, cur) {
+                CounterDelta::Advance(d) | CounterDelta::Reset(d) => d,
+                CounterDelta::ResetSpanningGap => continue,
             };
             let idx = (cur.at.0 - start.0) as usize;
             values[idx] = delta as f64;
@@ -141,6 +221,88 @@ mod tests {
         let trace: CounterTrace = [(Minute(0), 1000), (Minute(1), 30)].into_iter().collect();
         let s = trace.to_per_minute(Minute(0), 2);
         assert_eq!(s.values()[1], 30.0, "reset takes the new cumulative value");
+    }
+
+    #[test]
+    fn reset_spanning_gap_is_missing() {
+        // Regression: a reboot during a 4-hour reporting gap used to charge
+        // the whole post-reset cumulative value (hours of traffic) to one
+        // minute, fabricating a spike.
+        let trace: CounterTrace = [
+            (Minute(0), 5_000_000),
+            (Minute(240), 3_600_000), // decreased across a 240-minute gap
+            (Minute(241), 3_600_500),
+        ]
+        .into_iter()
+        .collect();
+        let s = trace.to_per_minute(Minute(0), 242);
+        assert!(
+            s.values()[240].is_nan(),
+            "reset-spanning gap must stay missing, got {}",
+            s.values()[240]
+        );
+        assert_eq!(s.values()[241], 500.0, "decoding resumes after the reset");
+    }
+
+    #[test]
+    fn reset_spanning_gap_does_not_inflate_distribution_tail() {
+        // A quiet device (100 B/min) with an overnight outage + reboot: the
+        // fabricated multi-hour spike used to dominate the value
+        // distribution's upper tail (and hence any whisker-style background
+        // threshold derived from it).
+        let mut trace = CounterTrace::new();
+        for m in 0..60u32 {
+            trace.push(Minute(m), 1_000 * (m as u64 + 1));
+        }
+        // 8 h outage with a reboot; the restarted counter has accumulated
+        // 8 h of quiet traffic (100 B/min) when reporting resumes.
+        trace.push(Minute(540), 48_000);
+        trace.push(Minute(541), 48_100);
+        let s = trace.to_per_minute(Minute(0), 542);
+        let max = s
+            .values()
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::MIN, f64::max);
+        assert!(
+            max <= 1_000.0,
+            "no decoded minute may exceed the true per-minute rate, got {max}"
+        );
+    }
+
+    #[test]
+    fn counter_delta_classification() {
+        let r = |at: u32, cum: u64| CounterReport {
+            at: Minute(at),
+            cumulative_bytes: cum,
+        };
+        assert_eq!(counter_delta(r(0, 10), r(1, 25)), CounterDelta::Advance(15));
+        assert_eq!(counter_delta(r(0, 10), r(5, 25)), CounterDelta::Advance(15));
+        assert_eq!(counter_delta(r(0, 10), r(1, 4)), CounterDelta::Reset(4));
+        assert_eq!(
+            counter_delta(r(0, 10), r(2, 4)),
+            CounterDelta::ResetSpanningGap
+        );
+    }
+
+    #[test]
+    fn try_push_reports_out_of_order() {
+        let mut trace = CounterTrace::new();
+        trace.try_push(Minute(5), 10).unwrap();
+        let err = trace.try_push(Minute(4), 20).unwrap_err();
+        assert_eq!(
+            err,
+            OutOfOrderReport {
+                at: Minute(4),
+                last: Minute(5)
+            }
+        );
+        assert!(err.to_string().contains("out-of-order"));
+        // The trace is untouched and keeps accepting in-order reports.
+        assert_eq!(trace.len(), 1);
+        trace.try_push(Minute(6), 30).unwrap();
+        assert_eq!(trace.len(), 2);
     }
 
     #[test]

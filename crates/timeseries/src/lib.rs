@@ -25,7 +25,7 @@ pub mod time;
 pub mod windows;
 
 pub use binning::{aggregate, Granularity};
-pub use counter::{CounterReport, CounterTrace};
+pub use counter::{counter_delta, CounterDelta, CounterReport, CounterTrace, OutOfOrderReport};
 pub use series::TimeSeries;
 pub use time::{Minute, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK};
 pub use windows::{daily_windows, weekly_windows, Window, WindowKind};

@@ -1,0 +1,118 @@
+//! Fleet-scale streaming ingest — gwsim → sharded pipeline → online motifs.
+//!
+//! Learns motif templates from a training fleet in batch, then replays a
+//! *separate* fleet's raw counter reports — cumulative byte counters per
+//! device, pushed through a lossy, duplicating, reordering channel — into
+//! the sharded [`IngestPipeline`]. Every malformed report becomes a counted
+//! outcome instead of a panic, completed calendar windows are matched
+//! against the learned templates online, and per-device dominance is
+//! tracked incrementally.
+//!
+//! ```text
+//! cargo run --release --example fleet_ingest
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wtts::core::ingest::{IngestConfig, IngestPipeline, IngestReport};
+use wtts::core::motif::{discover_motifs, MotifConfig};
+use wtts::gwsim::{gateway_reports, ChannelConfig, Fleet, FleetConfig, TaggedReport};
+use wtts::timeseries::{aggregate, daily_windows, Granularity};
+
+fn envelope(t: &TaggedReport) -> IngestReport {
+    IngestReport {
+        gateway: t.gateway as u64,
+        device: t.device as u32,
+        at: t.report.at,
+        cum_in: t.report.cum_in,
+        cum_out: t.report.cum_out,
+    }
+}
+
+fn main() {
+    // ---- Batch phase: learn daily motif templates from a training fleet. --
+    let training = Fleet::new(FleetConfig {
+        n_gateways: 24,
+        weeks: 2,
+        ..FleetConfig::default()
+    });
+    let mut windows = Vec::new();
+    for gw in training.iter() {
+        let agg = aggregate(&gw.aggregate_total(), Granularity::hours(3), 0);
+        for w in daily_windows(&agg, 2, 0) {
+            windows.push(w.series.into_values());
+        }
+    }
+    let templates: Vec<_> = discover_motifs(&windows, &MotifConfig::default())
+        .iter()
+        .filter(|m| m.support() >= 4)
+        .enumerate()
+        .map(|(k, m)| m.to_template(format!("motif-{}", k + 1), &windows))
+        .collect();
+    println!(
+        "learned {} motif templates from {} training windows",
+        templates.len(),
+        windows.len()
+    );
+
+    // ---- Ingest phase: a fresh fleet uploads raw counter reports. --------
+    let fleet_size = 40;
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways: fleet_size,
+        weeks: 1,
+        seed: 7,
+        ..FleetConfig::default()
+    });
+    let channel = ChannelConfig {
+        loss: 0.02,
+        duplication: 0.01,
+        reorder: 0.01,
+    };
+    let mut reports = Vec::new();
+    for id in 0..fleet_size {
+        let gw = fleet.gateway(id);
+        let mut rng = SmallRng::seed_from_u64(100 + id as u64);
+        reports.extend(gateway_reports(&gw, channel, &mut rng).iter().map(envelope));
+    }
+    println!(
+        "replaying {} reports from {fleet_size} gateways through a lossy channel\n",
+        reports.len()
+    );
+
+    let pipeline = IngestPipeline::new(
+        IngestConfig {
+            shards: 4,
+            ..IngestConfig::default()
+        },
+        templates,
+    );
+    let summary = pipeline.run(reports);
+
+    // ---- Results: metrics first, then per-gateway highlights. ------------
+    let m = &summary.metrics;
+    println!("ingested {} / {} offered", m.ingested, m.offered);
+    println!(
+        "dropped: {} late, {} duplicate, {} future-jump ({} reset-spanning gaps voided)",
+        m.dropped_late, m.dropped_duplicate, m.dropped_future_jump, m.reset_spanning_gaps
+    );
+    assert!(m.fully_accounted(), "every report must be accounted for");
+    println!(
+        "windows: {} sealed, {} matched, {} novel, {} partial",
+        m.windows_sealed, m.windows_matched, m.windows_novel, m.partial_windows
+    );
+    println!("fleet-wide template support: {:?}\n", summary.support);
+
+    for g in summary.gateways.iter().take(8) {
+        let dominant = g
+            .dominants
+            .first()
+            .map(|d| format!("device {} (cor {:.2})", d.device, d.similarity))
+            .unwrap_or_else(|| "none".into());
+        // `windows_matched` counts the trailing partial window too, so it
+        // can exceed `windows_sealed` by one.
+        println!(
+            "gateway {:>2}: {} devices, {} windows sealed, {} matched, dominant: {}",
+            g.gateway, g.devices, g.windows_sealed, g.windows_matched, dominant
+        );
+    }
+}

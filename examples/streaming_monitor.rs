@@ -12,9 +12,7 @@
 //! ```
 
 use wtts::core::motif::{discover_motifs, MotifConfig, WindowRef};
-use wtts::core::streaming::{
-    MatchOutcome, MotifMatcher, MotifTemplate, OnlinePearson, WindowAccumulator,
-};
+use wtts::core::streaming::{MatchOutcome, MotifMatcher, OnlinePearson, WindowAccumulator};
 use wtts::gwsim::{Fleet, FleetConfig};
 use wtts::timeseries::{aggregate, daily_windows, Granularity, Minute, WindowKind};
 
@@ -41,13 +39,15 @@ fn main() {
         }
     }
     let motifs = discover_motifs(&windows, &MotifConfig::default());
-    let templates: Vec<MotifTemplate> = motifs
+    let templates: Vec<_> = motifs
         .iter()
         .filter(|m| m.support() >= 4)
         .enumerate()
-        .map(|(k, m)| MotifTemplate {
-            name: format!("motif-{} (support {})", k + 1, m.support()),
-            pattern: m.average_pattern(&windows),
+        .map(|(k, m)| {
+            m.to_template(
+                format!("motif-{} (support {})", k + 1, m.support()),
+                &windows,
+            )
         })
         .collect();
     println!(

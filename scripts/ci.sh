@@ -16,4 +16,7 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== ingest bench (smoke) =="
+cargo bench -p wtts-bench --bench ingest -- --smoke
+
 echo "CI checks passed."
