@@ -10,7 +10,9 @@
 //! `results/` unless `--no-csv` is given.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use wtts_bench::experiments::{
     aggregation, applications, background, dominance, measures, motifs, robustness, sax, standard,
 };
@@ -96,6 +98,57 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Shared progress state for the heartbeat line: which experiment is
+/// running and how many are done, updated by the main loop and printed
+/// periodically by a watcher thread so long runs are visibly alive.
+struct Heartbeat {
+    done: AtomicUsize,
+    total: usize,
+    current: Mutex<String>,
+    stop: AtomicBool,
+    started: Instant,
+}
+
+impl Heartbeat {
+    fn start(total: usize) -> (Arc<Heartbeat>, std::thread::JoinHandle<()>) {
+        let hb = Arc::new(Heartbeat {
+            done: AtomicUsize::new(0),
+            total,
+            current: Mutex::new(String::new()),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let watcher = Arc::clone(&hb);
+        let handle = std::thread::spawn(move || {
+            // Tick in short sleeps so shutdown is prompt, print every ~15 s.
+            let mut last_beat = Instant::now();
+            while !watcher.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                if last_beat.elapsed() < Duration::from_secs(15) {
+                    continue;
+                }
+                last_beat = Instant::now();
+                let current = watcher.current.lock().expect("heartbeat lock").clone();
+                println!(
+                    "[heartbeat] {:.0}s elapsed, {}/{} experiments done, running: {current}",
+                    watcher.started.elapsed().as_secs_f64(),
+                    watcher.done.load(Ordering::Relaxed),
+                    watcher.total,
+                );
+            }
+        });
+        (hb, handle)
+    }
+
+    fn begin(&self, id: &str) {
+        *self.current.lock().expect("heartbeat lock") = id.to_string();
+    }
+
+    fn finish_one(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 fn usage() -> ! {
     eprintln!("usage: experiments [--small] [--no-csv] [--seed N] <id>... | all\n");
     eprintln!("experiments:");
@@ -156,8 +209,10 @@ fn main() {
     let out_dir: Option<PathBuf> = csv.then(|| Path::new("results").to_path_buf());
     let out = out_dir.as_deref();
 
+    let (heartbeat, heartbeat_handle) = Heartbeat::start(ids.len());
     for id in &ids {
         let started = Instant::now();
+        heartbeat.begin(id);
         println!("==== {id} ====");
         match id.as_str() {
             "fig1" => standard::fig1(&fleet, out),
@@ -214,6 +269,9 @@ fn main() {
                 usage();
             }
         }
+        heartbeat.finish_one();
         println!("[{id} done in {:.1}s]\n", started.elapsed().as_secs_f64());
     }
+    heartbeat.stop.store(true, Ordering::Relaxed);
+    heartbeat_handle.join().expect("heartbeat thread");
 }

@@ -71,7 +71,8 @@ impl Bencher {
         let warmup = Instant::now();
         black_box(f());
         let once = warmup.elapsed();
-        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as usize;
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000)
+            as usize;
 
         let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -110,10 +111,7 @@ impl BenchmarkGroup<'_> {
             last_median: Duration::ZERO,
         };
         f(&mut b);
-        println!(
-            "{}/{}: {:>12.3?} per iter",
-            self.name, label, b.last_median
-        );
+        println!("{}/{}: {:>12.3?} per iter", self.name, label, b.last_median);
         self
     }
 

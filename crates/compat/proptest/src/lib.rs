@@ -95,7 +95,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { inner: self, f, whence }
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 //! accumulation orders exactly, and pairs whose finite masks differ fall
 //! back to pairwise deletion internally (see `wtts_stats::corprofile`).
 
+use crate::obs::PipelineObs;
 use crate::similarity::CorSimilarity;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -41,10 +42,15 @@ impl Default for CorMatrixConfig {
 /// The upper triangle of a symmetric pairwise-similarity matrix, stored
 /// condensed (row-major, diagonal implicit) in `n(n−1)/2` floats.
 ///
-/// `f32` keeps fleet-scale matrices compact; the similarity thresholds the
-/// framework compares against (φ, ¾φ, cut heights) are far coarser than
-/// `f32` resolution. The implicit diagonal reads as `1.0` (a series
-/// evolves identically to itself).
+/// `f32` keeps fleet-scale matrices compact, at a price at decision
+/// thresholds: rounding `f64 → f32` can carry a similarity just *below*
+/// φ = 0.8 (or ¾φ = 0.6) up across the threshold, flipping Definition 4/5
+/// membership versus an exact evaluation. Consumers that decide membership
+/// by `≥ threshold` therefore re-verify comparisons landing within
+/// [`crate::motif::F32_REVERIFY_BAND`] of the threshold in `f64` (see
+/// [`crate::motif::discover_motifs`]); the matrix itself stays a compact
+/// pre-filter. The implicit diagonal reads as `1.0` (a series evolves
+/// identically to itself).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CondensedMatrix {
     n: usize,
@@ -129,6 +135,18 @@ pub fn cor_profiled(a: &CorProfile, b: &CorProfile, scratch: &mut CorScratch) ->
 /// stealing balances the triangle's skew). Each worker owns one
 /// [`CorScratch`], amortizing the Kendall buffers across its rows.
 pub fn cor_matrix(profiles: &[CorProfile], config: &CorMatrixConfig) -> CondensedMatrix {
+    cor_matrix_observed(profiles, config, None)
+}
+
+/// [`cor_matrix`] with optional observability: when `obs` is `Some`, every
+/// row fill opens a span on [`PipelineObs::row_fill`] (one per row, across
+/// all worker threads). With `None` this is exactly `cor_matrix` — no
+/// atomics touched, no clocks read, bit-identical output.
+pub fn cor_matrix_observed(
+    profiles: &[CorProfile],
+    config: &CorMatrixConfig,
+    obs: Option<&PipelineObs>,
+) -> CondensedMatrix {
     let n = profiles.len();
     let total = n * n.saturating_sub(1) / 2;
     let mut data = vec![0.0f32; total];
@@ -150,6 +168,7 @@ pub fn cor_matrix(profiles: &[CorProfile], config: &CorMatrixConfig) -> Condense
         let mut rest = data.as_mut_slice();
         for i in 0..n - 1 {
             let (row, tail) = rest.split_at_mut(n - 1 - i);
+            let _span = obs.map(|o| o.row_fill.enter());
             fill_row(profiles, i, row, &mut scratch, config.alpha);
             rest = tail;
         }
@@ -181,6 +200,7 @@ pub fn cor_matrix(profiles: &[CorProfile], config: &CorMatrixConfig) -> Condense
                         let mut guard = rows.lock().expect("no poisoned row lock");
                         guard[i].take().expect("each row is taken once")
                     };
+                    let _span = obs.map(|o| o.row_fill.enter());
                     fill_row(profiles, i, row, &mut scratch, config.alpha);
                 }
             });
@@ -208,7 +228,22 @@ fn fill_row(
 
 /// Profiles a collection of series (a convenience for `cor_matrix` callers).
 pub fn profile_series<S: AsRef<[f64]>>(series: &[S]) -> Vec<CorProfile> {
-    series.iter().map(|s| CorProfile::new(s.as_ref())).collect()
+    profile_series_observed(series, None)
+}
+
+/// [`profile_series`] with optional observability: when `obs` is `Some`,
+/// each profile construction opens a span on [`PipelineObs::profile_build`].
+pub fn profile_series_observed<S: AsRef<[f64]>>(
+    series: &[S],
+    obs: Option<&PipelineObs>,
+) -> Vec<CorProfile> {
+    series
+        .iter()
+        .map(|s| {
+            let _span = obs.map(|o| o.profile_build.enter());
+            CorProfile::new(s.as_ref())
+        })
+        .collect()
 }
 
 #[cfg(test)]

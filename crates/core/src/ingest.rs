@@ -48,6 +48,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::dominance::{rank_dominants, DominantDevice, DOMINANCE_PHI};
+use crate::obs::{Stage, StageSnapshot};
 use crate::streaming::{best_match, MatchOutcome, MotifTemplate, OnlinePearson, WindowAccumulator};
 use wtts_timeseries::{counter_delta, CounterDelta, CounterReport, Minute, WindowKind};
 
@@ -153,6 +154,9 @@ struct ShardMetrics {
     queue_depth: AtomicUsize,
     queue_peak: AtomicUsize,
     processed: AtomicU64,
+    /// Batch-processing stage: entered/exited/in-flight batches plus a
+    /// log-bucketed latency histogram (one span per popped batch).
+    batch_stage: Stage,
 }
 
 /// Atomic metrics registry shared by the producer, every shard worker and
@@ -244,6 +248,7 @@ impl IngestMetrics {
                     queue_depth: s.queue_depth.load(Ordering::Relaxed),
                     queue_peak: s.queue_peak.load(Ordering::Relaxed),
                     processed: s.processed.load(Ordering::Relaxed),
+                    batch_stage: s.batch_stage.snapshot(),
                 })
                 .collect(),
         }
@@ -251,7 +256,7 @@ impl IngestMetrics {
 }
 
 /// Point-in-time copy of one shard's gauges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSnapshot {
     /// Batches currently queued for the shard.
     pub queue_depth: usize,
@@ -259,6 +264,10 @@ pub struct ShardSnapshot {
     pub queue_peak: usize,
     /// Reports the shard has processed.
     pub processed: u64,
+    /// Batch-processing stage counters and latency histogram; at quiescence
+    /// `batch_stage.entered == batch_stage.exited` and nothing is in flight
+    /// ([`StageSnapshot::quiescent`]).
+    pub batch_stage: StageSnapshot,
 }
 
 /// Point-in-time copy of the ingest counters.
@@ -306,6 +315,51 @@ impl MetricsSnapshot {
     /// classified.)
     pub fn fully_accounted(&self) -> bool {
         self.ingested + self.dropped() == self.offered
+    }
+
+    /// The snapshot as a JSON object — what `fleet_ingest --metrics-json`
+    /// emits and `scripts/ci.sh` validates against the conservation laws.
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"queue_depth\":{},\"queue_peak\":{},\"processed\":{},\
+                     \"batches_entered\":{},\"batches_exited\":{},\"batches_in_flight\":{},\
+                     \"batch_latency_ns\":{}}}",
+                    s.queue_depth,
+                    s.queue_peak,
+                    s.processed,
+                    s.batch_stage.entered,
+                    s.batch_stage.exited,
+                    s.batch_stage.in_flight,
+                    s.batch_stage.latency_ns.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"offered\":{},\"ingested\":{},\"baselines\":{},\"reset_spanning_gaps\":{},\
+             \"counter_resets\":{},\"dropped_late\":{},\"dropped_duplicate\":{},\
+             \"dropped_future_jump\":{},\"windows_sealed\":{},\"windows_matched\":{},\
+             \"windows_novel\":{},\"windows_insufficient\":{},\"partial_windows\":{},\
+             \"fully_accounted\":{},\"per_shard\":[{}]}}",
+            self.offered,
+            self.ingested,
+            self.baselines,
+            self.reset_spanning_gaps,
+            self.counter_resets,
+            self.dropped_late,
+            self.dropped_duplicate,
+            self.dropped_future_jump,
+            self.windows_sealed,
+            self.windows_matched,
+            self.windows_novel,
+            self.windows_insufficient,
+            self.partial_windows,
+            self.fully_accounted(),
+            shards.join(",")
+        )
     }
 }
 
@@ -940,6 +994,7 @@ impl IngestPipeline {
         let gauges = &self.metrics.shards[shard];
         let mut lanes: HashMap<u64, GatewayLane> = HashMap::new();
         while let Some((batch, depth)) = queue.pop() {
+            let _span = gauges.batch_stage.enter();
             gauges.queue_depth.store(depth, Ordering::Relaxed);
             gauges
                 .processed
@@ -951,6 +1006,12 @@ impl IngestPipeline {
                 lane.ingest(report, &self.config, &self.templates, &self.metrics);
             }
         }
+        // The queue is closed and drained; settle the depth gauge at 0.
+        // (The producer's relaxed store after its *last* push can otherwise
+        // race this worker's store for that pop and leave a stale non-zero
+        // reading at quiescence. This store happens-after every producer
+        // store via the queue mutex, so the final gauge is deterministic.)
+        gauges.queue_depth.store(0, Ordering::Relaxed);
         lanes
             .into_values()
             .map(|lane| lane.finish(&self.config, &self.templates, &self.metrics))

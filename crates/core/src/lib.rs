@@ -22,9 +22,12 @@
 //! thresholds from boxplot whiskers, Section 6.1), [`clustering`]
 //! (hierarchical clustering under the `1 − cor` distance, Figure 3),
 //! [`sax`] (a SAX baseline quantifying why symbol-based motif tools fail on
-//! Zipfian traffic, Section 2) and [`engine`] (the batch
+//! Zipfian traffic, Section 2), [`engine`] (the batch
 //! pairwise-correlation engine: per-series profiles plus a parallel
-//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls).
+//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls)
+//! and [`obs`] (lock-free pipeline observability: per-stage counters,
+//! log-bucketed histograms, span timers and a conservation-checked
+//! snapshot, zero-cost when disabled).
 //!
 //! Beyond the paper's evaluation, the crate also ships the applications its
 //! introduction motivates and the future work its conclusion names:
@@ -46,6 +49,7 @@ pub mod engine;
 pub mod ingest;
 pub mod maintenance;
 pub mod motif;
+pub mod obs;
 pub mod profile;
 pub mod sax;
 pub mod similarity;
@@ -63,18 +67,26 @@ pub use dominance::{
     DominantDevice, DOMINANCE_PHI,
 };
 pub use engine::{
-    cor_matrix, cor_profiled, correlation_similarity_profiled, profile_series, CondensedMatrix,
-    CorMatrixConfig,
+    cor_matrix, cor_matrix_observed, cor_profiled, correlation_similarity_profiled, profile_series,
+    profile_series_observed, CondensedMatrix, CorMatrixConfig,
 };
 pub use ingest::{
     DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
     IngestReport, IngestSummary, MetricsSnapshot, ShardSnapshot,
 };
 pub use maintenance::{MaintenanceWindow, WeeklyProfile};
-pub use motif::{discover_motifs, Motif, MotifConfig, WindowRef};
+pub use motif::{
+    discover_motifs, discover_motifs_observed, Motif, MotifConfig, WindowRef, F32_REVERIFY_BAND,
+};
+pub use obs::{
+    HistogramSnapshot, LogHistogram, ObsSnapshot, PipelineObs, Stage, StageSnapshot,
+    NEAR_THRESHOLD_BAND,
+};
 pub use profile::GatewayProfile;
 pub use similarity::{cor, cor_distance, correlation_similarity, CorSimilarity};
-pub use stationarity::{strong_stationarity, StationarityCheck, STATIONARITY_COR};
+pub use stationarity::{
+    strong_stationarity, strong_stationarity_observed, StationarityCheck, STATIONARITY_COR,
+};
 pub use streaming::{
     best_match, CompletedWindow, LateSample, MatchOutcome, MotifMatcher, MotifTemplate,
     OnlinePearson, WindowAccumulator,

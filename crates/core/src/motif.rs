@@ -13,9 +13,85 @@
 //! ¾φ-similar to all of them, which maintains both invariants by
 //! construction.
 
-use crate::engine::{cor_matrix, CorMatrixConfig};
-use wtts_stats::CorProfile;
+use crate::engine::{cor_matrix_observed, cor_profiled, CorMatrixConfig};
+use crate::obs::{PipelineObs, NEAR_THRESHOLD_BAND};
+use std::collections::HashMap;
+use wtts_stats::{CorProfile, CorScratch};
 use wtts_timeseries::Weekday;
+
+/// Half-width of the f64 band around a decision threshold inside which the
+/// condensed matrix's `f32` similarity is re-verified in `f64` before a
+/// membership verdict.
+///
+/// Rounding `f64 → f32` moves a similarity by at most half an `f32` ULP
+/// (≈ 3·10⁻⁸ near φ = 0.8), so a flipped verdict requires the exact value
+/// to lie within that distance of the threshold. The band is two orders of
+/// magnitude wider — comfortably conservative, yet narrow enough that
+/// re-verification stays rare (the `f64_reverified` counter measures how
+/// rare on real data).
+pub const F32_REVERIFY_BAND: f64 = 1e-6;
+
+/// Re-verifies near-threshold `f32` similarities in `f64`.
+///
+/// The exact value is recomputed from the same [`CorProfile`]s that filled
+/// the condensed matrix, so it is bit-identical to the pre-rounding `f64`;
+/// a small cache keeps each pair's recompute to one.
+struct ExactChecker<'a> {
+    profiles: &'a [CorProfile],
+    slot: &'a [Option<usize>],
+    scratch: CorScratch,
+    cache: HashMap<(usize, usize), f64>,
+}
+
+impl<'a> ExactChecker<'a> {
+    fn new(profiles: &'a [CorProfile], slot: &'a [Option<usize>]) -> ExactChecker<'a> {
+        ExactChecker {
+            profiles,
+            slot,
+            scratch: CorScratch::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The exact `f64` similarity of original windows `i` and `j`.
+    fn exact(&mut self, i: usize, j: usize) -> f64 {
+        let (Some(a), Some(b)) = (self.slot[i], self.slot[j]) else {
+            return 0.0;
+        };
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let v = cor_profiled(
+            &self.profiles[key.0],
+            &self.profiles[key.1],
+            &mut self.scratch,
+        );
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Whether the similarity of windows `i` and `j` meets `threshold`,
+    /// deciding in `f64` whenever the rounded value `approx` lands within
+    /// [`F32_REVERIFY_BAND`] of the threshold.
+    fn meets(
+        &mut self,
+        approx: f32,
+        i: usize,
+        j: usize,
+        threshold: f64,
+        obs: Option<&PipelineObs>,
+    ) -> bool {
+        let approx = approx as f64;
+        if (approx - threshold).abs() > F32_REVERIFY_BAND {
+            return approx >= threshold;
+        }
+        if let Some(o) = obs {
+            o.f64_reverified.incr();
+        }
+        self.exact(i, j) >= threshold
+    }
+}
 
 /// Identity of one window in the motif-search input set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,6 +241,22 @@ impl Motif {
 /// assert!(!motifs[0].members.contains(&4)); // the noise day stays out
 /// ```
 pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif> {
+    discover_motifs_observed(windows, config, None)
+}
+
+/// [`discover_motifs`] with optional observability: when `obs` is `Some`,
+/// the run opens a span on [`PipelineObs::motif_discovery`] and feeds the
+/// pair counters (`pairs_evaluated` / `candidate_pairs` / `pairs_pruned` /
+/// `members_grown` / `motifs_merged`), the near-threshold instrument
+/// (`near_phi` / `near_group`, within
+/// [`NEAR_THRESHOLD_BAND`](crate::obs::NEAR_THRESHOLD_BAND) of φ and ¾φ)
+/// and `f64_reverified`. With `None` the run is exactly `discover_motifs`.
+pub fn discover_motifs_observed(
+    windows: &[Vec<f64>],
+    config: &MotifConfig,
+    obs: Option<&PipelineObs>,
+) -> Vec<Motif> {
+    let _span = obs.map(|o| o.motif_discovery.enter());
     let n = windows.len();
     // Eligible windows get a slot in the condensed similarity matrix;
     // ineligible ones never pair with anything.
@@ -175,25 +267,45 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
         if w.iter().filter(|v| v.is_finite()).count() >= config.min_observations {
             slot[i] = Some(profiles.len());
             eligible.push(i);
+            let _p = obs.map(|o| o.profile_build.enter());
             profiles.push(CorProfile::new(w));
         }
     }
 
     // One batch upper-triangle sweep replaces the per-pair cor() calls and
     // the old duplicated n × n storage.
-    let matrix = cor_matrix(&profiles, &CorMatrixConfig::default());
+    let matrix = cor_matrix_observed(&profiles, &CorMatrixConfig::default(), obs);
     let sim = |i: usize, j: usize| -> f32 {
         match (slot[i], slot[j]) {
             (Some(a), Some(b)) => matrix.get(a, b),
             _ => 0.0,
         }
     };
+    // Membership verdicts near a threshold are decided in f64, never off
+    // the rounded f32 (the CondensedMatrix quantization guard).
+    let mut exact = ExactChecker::new(&profiles, &slot);
 
     let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
+    let group_threshold = config.group_threshold();
     for (a, &i) in eligible.iter().enumerate() {
         for (offset, &j) in eligible[a + 1..].iter().enumerate() {
-            if matrix.get(a, a + 1 + offset) as f64 >= config.phi {
+            let s = matrix.get(a, a + 1 + offset);
+            if let Some(o) = obs {
+                o.pairs_evaluated.incr();
+                if (s as f64 - config.phi).abs() <= NEAR_THRESHOLD_BAND {
+                    o.near_phi.incr();
+                }
+                if (s as f64 - group_threshold).abs() <= NEAR_THRESHOLD_BAND {
+                    o.near_group.incr();
+                }
+            }
+            if exact.meets(s, i, j, config.phi, obs) {
                 candidate_pairs.push((i, j));
+                if let Some(o) = obs {
+                    o.candidate_pairs.incr();
+                }
+            } else if let Some(o) = obs {
+                o.pairs_pruned.incr();
             }
         }
     }
@@ -206,7 +318,6 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
     // Greedy growth.
     let mut assignment: Vec<Option<usize>> = vec![None; n];
     let mut motifs: Vec<Vec<usize>> = Vec::new();
-    let group_thresh = config.group_threshold() as f32;
     for (i, j) in candidate_pairs {
         match (assignment[i], assignment[j]) {
             (None, None) => {
@@ -215,15 +326,27 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
                 motifs.push(vec![i, j]);
             }
             (Some(m), None) => {
-                if motifs[m].iter().all(|&k| sim(j, k) >= group_thresh) {
+                if motifs[m]
+                    .iter()
+                    .all(|&k| exact.meets(sim(j, k), j, k, group_threshold, obs))
+                {
                     assignment[j] = Some(m);
                     motifs[m].push(j);
+                    if let Some(o) = obs {
+                        o.members_grown.incr();
+                    }
                 }
             }
             (None, Some(m)) => {
-                if motifs[m].iter().all(|&k| sim(i, k) >= group_thresh) {
+                if motifs[m]
+                    .iter()
+                    .all(|&k| exact.meets(sim(i, k), i, k, group_threshold, obs))
+                {
                     assignment[i] = Some(m);
                     motifs[m].push(i);
+                    if let Some(o) = obs {
+                        o.members_grown.incr();
+                    }
                 }
             }
             (Some(_), Some(_)) => {}
@@ -232,7 +355,6 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
 
     // Merge phase: combine motifs whose cross pairs all reach the merge
     // threshold. One pass over motif pairs, smallest into largest.
-    let merge_thresh = config.merge_threshold as f32;
     let mut merged: Vec<Option<Vec<usize>>> = motifs.into_iter().map(Some).collect();
     for a in 0..merged.len() {
         if merged[a].is_none() {
@@ -242,12 +364,16 @@ pub fn discover_motifs(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif>
             let (Some(ma), Some(mb)) = (&merged[a], &merged[b]) else {
                 continue;
             };
-            let all_cross = ma
-                .iter()
-                .all(|&i| mb.iter().all(|&j| sim(i, j) >= merge_thresh));
+            let all_cross = ma.iter().all(|&i| {
+                mb.iter()
+                    .all(|&j| exact.meets(sim(i, j), i, j, config.merge_threshold, obs))
+            });
             if all_cross {
                 let mb = merged[b].take().expect("checked above");
                 merged[a].as_mut().expect("checked above").extend(mb);
+                if let Some(o) = obs {
+                    o.motifs_merged.incr();
+                }
             }
         }
     }

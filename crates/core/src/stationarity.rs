@@ -12,6 +12,7 @@
 //! calendar windows* — exactly the regularity that motifs formalize.
 
 use crate::engine::cor_profiled;
+use crate::obs::{sim_millis, PipelineObs};
 use wtts_stats::{ks_two_sample, CorProfile, CorScratch, ALPHA};
 
 /// The paper's correlation threshold for strong stationarity.
@@ -48,6 +49,20 @@ pub fn strong_stationarity_at(
     cor_threshold: f64,
     alpha: f64,
 ) -> Option<StationarityCheck> {
+    strong_stationarity_observed(windows, cor_threshold, alpha, None)
+}
+
+/// [`strong_stationarity_at`] with optional observability: when `obs` is
+/// `Some`, the sweep opens a span on [`PipelineObs::stationarity_sweep`],
+/// counts each two-sample KS test on `ks_tests`, and records every pairwise
+/// similarity (in thousandths) into `stationarity_sim_millis`. With `None`
+/// the sweep is exactly `strong_stationarity_at`.
+pub fn strong_stationarity_observed(
+    windows: &[&[f64]],
+    cor_threshold: f64,
+    alpha: f64,
+    obs: Option<&PipelineObs>,
+) -> Option<StationarityCheck> {
     let observed: Vec<&&[f64]> = windows
         .iter()
         .filter(|w| w.iter().any(|v| v.is_finite()))
@@ -55,10 +70,17 @@ pub fn strong_stationarity_at(
     if observed.len() < 2 {
         return None;
     }
+    let _span = obs.map(|o| o.stationarity_sweep.enter());
     // Profile each window once; the quadratic pair loop then reuses the
     // per-window masks, moments and rank artifacts (full f64 precision, as
     // min_cor feeds threshold comparisons downstream).
-    let profiles: Vec<CorProfile> = observed.iter().map(|w| CorProfile::new(w)).collect();
+    let profiles: Vec<CorProfile> = observed
+        .iter()
+        .map(|w| {
+            let _p = obs.map(|o| o.profile_build.enter());
+            CorProfile::new(w)
+        })
+        .collect();
     let mut scratch = CorScratch::new();
     let mut min_cor = f64::INFINITY;
     let mut correlations_pass = true;
@@ -70,7 +92,13 @@ pub fn strong_stationarity_at(
             if c <= cor_threshold {
                 correlations_pass = false;
             }
+            if let Some(o) = obs {
+                o.stationarity_sim_millis.record(sim_millis(c));
+            }
             if let Some(ks) = ks_two_sample(observed[i], observed[j]) {
+                if let Some(o) = obs {
+                    o.ks_tests.incr();
+                }
                 if ks.rejected(alpha) {
                     ks_rejected = true;
                 }

@@ -101,6 +101,37 @@ fn two_hundred_gateway_week_fully_accounted() {
     let lane_sealed: u64 = summary.gateways.iter().map(|g| g.windows_sealed).sum();
     assert_eq!(lane_sealed, m.windows_sealed);
     assert!(summary.gateways.iter().all(|g| g.devices > 0));
+
+    // Per-shard batch-stage conservation at quiescence: every batch that
+    // entered a shard worker exited it, nothing is in flight, every batch
+    // left a latency sample, and the shards together processed the stream.
+    assert_eq!(m.per_shard.len(), 3);
+    let mut batches_total = 0;
+    for (shard, s) in m.per_shard.iter().enumerate() {
+        let stage = &s.batch_stage;
+        assert!(stage.quiescent(), "shard {shard} not quiescent: {stage:?}");
+        assert!(stage.entered > 0, "shard {shard} saw no batches");
+        assert_eq!(
+            stage.latency_ns.total(),
+            stage.exited,
+            "shard {shard}: one latency sample per exited batch"
+        );
+        assert_eq!(s.queue_depth, 0, "shard {shard} queue drained");
+        batches_total += stage.entered;
+    }
+    let processed: u64 = m.per_shard.iter().map(|s| s.processed).sum();
+    assert_eq!(processed, offered, "shards processed the whole stream");
+    // Batching is bounded by the configured batch size.
+    let batch_reports = IngestConfig::default().batch_reports as u64;
+    assert!(
+        batches_total >= offered / batch_reports,
+        "{batches_total} batches cannot carry {offered} reports"
+    );
+
+    // The emitted JSON carries the same books the assertions above checked.
+    let json = m.to_json();
+    assert!(json.contains("\"fully_accounted\":true"));
+    assert!(json.contains("\"batches_in_flight\":0"));
 }
 
 /// Shard-count invariance on a chaotic stream: the partitioning is pure

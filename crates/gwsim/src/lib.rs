@@ -39,7 +39,8 @@ pub mod wifi;
 pub use apps::AppProfile;
 pub use archetype::HouseholdArchetype;
 pub use collector::{
-    device_reports, gateway_reports, reassemble, ChannelConfig, Report, TaggedReport,
+    delivery_stats, device_reports, gateway_reports, reassemble, ChannelConfig, DeliveryStats,
+    Report, TaggedReport,
 };
 pub use config::FleetConfig;
 pub use device::{DeviceRole, DeviceSpec};

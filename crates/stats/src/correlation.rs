@@ -153,12 +153,31 @@ pub(crate) fn pearson_from_moments(
 
 /// Two-sided p-value of a correlation `r` over `n` pairs via the t
 /// transformation `t = r sqrt((n-2)/(1-r²))`.
+///
+/// Total over its domain: `n < 3` (no degrees of freedom for the t test)
+/// reports "not significant" (`p = 1`) rather than underflowing `n − 2` or
+/// asserting inside the t distribution; `|r| ≥ 1` pins the perfectly
+/// determined case to `p = 0`; and the t statistic is clamped to a large
+/// finite magnitude so `|r| → 1` can never push `Inf`/`NaN` into the
+/// incomplete-beta evaluation.
 fn r_to_p(r: f64, n: usize) -> f64 {
-    let df = (n - 2) as f64;
+    if n < 3 {
+        return 1.0;
+    }
+    if !r.is_finite() {
+        return 1.0;
+    }
     if r.abs() >= 1.0 {
         return 0.0;
     }
-    let t = r * (df / (1.0 - r * r)).sqrt();
+    let df = (n - 2) as f64;
+    let denom = 1.0 - r * r;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    // |t| ≤ 1e15 keeps t² and the beta arguments finite; the two-sided
+    // p-value at that magnitude is ≪ f64::MIN_POSITIVE anyway.
+    let t = (r * (df / denom).sqrt()).clamp(-1e15, 1e15);
     student_t_two_sided_p(t, df)
 }
 
@@ -577,5 +596,65 @@ mod tests {
             close(a.value, b.value, 1e-12);
             close(a.p_value, b.p_value, 1e-12);
         }
+    }
+
+    #[test]
+    fn r_to_p_is_zero_at_perfect_correlation() {
+        for n in [3, 4, 10, 1000] {
+            assert_eq!(r_to_p(1.0, n), 0.0, "r=1, n={n}");
+            assert_eq!(r_to_p(-1.0, n), 0.0, "r=-1, n={n}");
+        }
+    }
+
+    #[test]
+    fn r_to_p_is_finite_arbitrarily_close_to_one() {
+        // 1 − 1e-16 rounds to the largest f64 below 1 (1 − 2⁻⁵³); the t
+        // statistic is enormous but must stay finite, and the p-value a
+        // genuine number in [0, 1] — not NaN from Inf entering the beta
+        // function.
+        let r = 1.0 - 1e-16;
+        assert!(r < 1.0, "test premise: r is representable below 1");
+        for n in [3, 5, 50] {
+            for sign in [1.0, -1.0] {
+                let p = r_to_p(sign * r, n);
+                assert!(p.is_finite(), "n={n} sign={sign}: p={p}");
+                assert!((0.0..=1.0).contains(&p), "n={n} sign={sign}: p={p}");
+            }
+        }
+        // With real degrees of freedom such an r is overwhelming evidence.
+        assert!(r_to_p(r, 50) < 1e-10);
+    }
+
+    #[test]
+    fn r_to_p_without_degrees_of_freedom_is_not_significant() {
+        // n < 3 used to underflow `n - 2` (n ≤ 1) or assert df > 0 inside
+        // the t distribution (n = 2); all must report p = 1 instead.
+        for n in [0, 1, 2] {
+            for r in [0.0, 0.5, 1.0, -1.0] {
+                assert_eq!(r_to_p(r, n), 1.0, "r={r}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_to_p_non_finite_r_is_not_significant() {
+        assert_eq!(r_to_p(f64::NAN, 10), 1.0);
+        assert_eq!(r_to_p(f64::INFINITY, 10), 1.0);
+    }
+
+    #[test]
+    fn pearson_at_exact_linearity_is_significant() {
+        // End-to-end: a perfectly linear relation whose moment square
+        // roots are exact (sxx = 4, syy = 36/16) reaches r = ±1 exactly and
+        // must come out maximally significant, not NaN.
+        let x = [0.0, 0.0, 2.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let up = pearson(&x, &y);
+        assert_eq!(up.value, 1.0);
+        assert_eq!(up.p_value, 0.0);
+        let y_down: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        let down = pearson(&x, &y_down);
+        assert_eq!(down.value, -1.0);
+        assert_eq!(down.p_value, 0.0);
     }
 }

@@ -34,6 +34,16 @@ impl KsTest {
 /// effective-sample-size correction
 /// `λ = (√n_e + 0.12 + 0.11/√n_e) · D` (Numerical Recipes), which is
 /// accurate for `n_e ≳ 4`. Returns `None` if either sample is empty.
+///
+/// Boundary behavior (exercised by the unit tests and the brute-force
+/// differential proptests): the tie sweep advances *past* every value equal
+/// to the current step point in both samples before evaluating the CDF gap,
+/// so cross-sample ties — including all-tied samples and runs of trailing
+/// equal values, common after a constant-traffic window — contribute
+/// distance only where the empirical CDFs genuinely differ. Singleton
+/// samples (`n = 1`, a window with a single finite observation) are valid
+/// inputs: `D` is exact, and the small-`n_e` p-value is conservative (≈ 1),
+/// so a single observation never rejects stationarity on its own.
 pub fn ks_two_sample(x: &[f64], y: &[f64]) -> Option<KsTest> {
     let mut a: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
     let mut b: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
@@ -155,5 +165,63 @@ mod tests {
         let b = ks_two_sample(&y, &x).unwrap();
         assert_eq!(a.statistic, b.statistic);
         assert_eq!(a.p_value, b.p_value);
+    }
+
+    #[test]
+    fn singleton_samples() {
+        // n = 1 vs n = 1: equal values → D = 0; distinct → D = 1. Either
+        // way the tiny effective sample must keep the p-value conservative
+        // (a lone observation can never reject stationarity).
+        let same = ks_two_sample(&[4.0], &[4.0]).unwrap();
+        assert_eq!((same.n1, same.n2), (1, 1));
+        assert_eq!(same.statistic, 0.0);
+        assert!(!same.rejected(0.05));
+
+        let diff = ks_two_sample(&[1.0], &[9.0]).unwrap();
+        assert_eq!(diff.statistic, 1.0);
+        assert!(diff.p_value.is_finite());
+        assert!(!diff.rejected(0.05), "p = {}", diff.p_value);
+
+        // Singleton against a larger sample: the lone value sits below the
+        // whole other sample, so D = 1 is exact.
+        let t = ks_two_sample(&[0.0], &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+
+        // The singleton equal to the other sample's minimum: after the tie
+        // advance, F1 = 1 and F2 = 1/4.
+        let t = ks_two_sample(&[5.0], &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert!((t.statistic - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trailing_equal_values() {
+        // Both samples end in a shared run of equal values (a flat window
+        // tail). The tie sweep must consume the whole run in both samples
+        // at once; D comes only from the differing prefixes.
+        // After t = 1: F1 = 2/5, F2 = 1/5 → D = 0.2; the trailing 9s then
+        // close both CDFs to 1 together.
+        let x = [0.0, 1.0, 9.0, 9.0, 9.0];
+        let y = [1.0, 2.0, 9.0, 9.0, 9.0];
+        let t = ks_two_sample(&x, &y).unwrap();
+        assert!((t.statistic - 0.2).abs() < 1e-12, "D = {}", t.statistic);
+
+        // Identical samples with a trailing plateau: D must be exactly 0.
+        let z = [1.0, 2.0, 7.0, 7.0, 7.0, 7.0];
+        let t = ks_two_sample(&z, &z).unwrap();
+        assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    fn all_tied_samples_of_unequal_sizes() {
+        // Every value identical within and across samples — the degenerate
+        // constant-traffic case. D = 0 and H0 stands, for any size split.
+        for (n1, n2) in [(1, 1), (1, 30), (30, 1), (17, 5)] {
+            let x = vec![2.5; n1];
+            let y = vec![2.5; n2];
+            let t = ks_two_sample(&x, &y).unwrap();
+            assert_eq!(t.statistic, 0.0, "n1={n1} n2={n2}");
+            assert!((t.p_value - 1.0).abs() < 1e-9);
+            assert!(!t.rejected(0.05));
+        }
     }
 }

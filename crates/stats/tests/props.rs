@@ -142,6 +142,75 @@ proptest! {
         );
     }
 
+    /// Brute-force KS agreement when both samples share a run of trailing
+    /// equal values (a flat window tail): the tie sweep must drain the
+    /// shared plateau from both samples before measuring any CDF gap.
+    #[test]
+    fn ks_statistic_matches_brute_force_on_trailing_equals(
+        xs in prop::collection::vec(0i32..12, 1..40),
+        ys in prop::collection::vec(0i32..12, 1..40),
+        tail_val in 12i32..15,
+        tail in 1usize..6,
+    ) {
+        // Append the same above-range plateau to both samples so it is
+        // guaranteed to be the trailing run after sorting.
+        let a: Vec<f64> = xs.iter().map(|&v| v as f64)
+            .chain(std::iter::repeat_n(tail_val as f64, tail))
+            .collect();
+        let b: Vec<f64> = ys.iter().map(|&v| v as f64)
+            .chain(std::iter::repeat_n(tail_val as f64, tail))
+            .collect();
+        let t = ks_two_sample(&a, &b).unwrap();
+
+        let mut points: Vec<f64> = a.iter().chain(&b).copied().collect();
+        points.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        points.dedup();
+        let cdf = |sample: &[f64], v: f64| {
+            sample.iter().filter(|&&s| s <= v).count() as f64 / sample.len() as f64
+        };
+        let d_max = points
+            .iter()
+            .map(|&v| (cdf(&a, v) - cdf(&b, v)).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            (t.statistic - d_max).abs() < 1e-12,
+            "sweep D = {} vs brute-force D = {}",
+            t.statistic,
+            d_max
+        );
+    }
+
+    /// Brute-force KS agreement with a singleton sample (n = 1) on either
+    /// side — the smallest window stationarity can ever hand the test.
+    #[test]
+    fn ks_statistic_matches_brute_force_on_singletons(
+        x0 in 0i32..12,
+        ys in prop::collection::vec(0i32..12, 1..40),
+    ) {
+        let a = vec![x0 as f64];
+        let b: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        for (s1, s2) in [(&a, &b), (&b, &a)] {
+            let t = ks_two_sample(s1, s2).unwrap();
+            let mut points: Vec<f64> = s1.iter().chain(s2.iter()).copied().collect();
+            points.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            points.dedup();
+            let cdf = |sample: &[f64], v: f64| {
+                sample.iter().filter(|&&s| s <= v).count() as f64 / sample.len() as f64
+            };
+            let d_max = points
+                .iter()
+                .map(|&v| (cdf(s1, v) - cdf(s2, v)).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                (t.statistic - d_max).abs() < 1e-12,
+                "sweep D = {} vs brute-force D = {}",
+                t.statistic,
+                d_max
+            );
+            prop_assert!((0.0..=1.0).contains(&t.p_value));
+        }
+    }
+
     /// Quantiles are monotone in q and bracketed by min/max.
     #[test]
     fn quantiles_monotone(xs in finite(1..150), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {

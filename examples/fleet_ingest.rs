@@ -10,7 +10,13 @@
 //!
 //! ```text
 //! cargo run --release --example fleet_ingest
+//! cargo run --release --example fleet_ingest -- --metrics-json metrics.json
 //! ```
+//!
+//! With `--metrics-json [PATH]` the final [`MetricsSnapshot`] — counters,
+//! per-shard queue gauges and batch-stage latency histograms, plus the
+//! conservation verdict — is emitted as JSON to `PATH` (or stdout when no
+//! path is given).
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -29,7 +35,16 @@ fn envelope(t: &TaggedReport) -> IngestReport {
     }
 }
 
+/// Parses `--metrics-json [PATH]`: `None` = flag absent, `Some(None)` =
+/// emit to stdout, `Some(Some(path))` = write to `path`.
+fn parse_metrics_json_arg() -> Option<Option<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let at = args.iter().position(|a| a == "--metrics-json")?;
+    Some(args.get(at + 1).filter(|a| !a.starts_with("--")).cloned())
+}
+
 fn main() {
+    let metrics_json = parse_metrics_json_arg();
     // ---- Batch phase: learn daily motif templates from a training fleet. --
     let training = Fleet::new(FleetConfig {
         n_gateways: 24,
@@ -114,5 +129,16 @@ fn main() {
             "gateway {:>2}: {} devices, {} windows sealed, {} matched, dominant: {}",
             g.gateway, g.devices, g.windows_sealed, g.windows_matched, dominant
         );
+    }
+
+    if let Some(target) = metrics_json {
+        let json = m.to_json();
+        match target {
+            Some(path) => {
+                std::fs::write(&path, &json).expect("write metrics JSON");
+                println!("\nmetrics JSON written to {path}");
+            }
+            None => println!("\n{json}"),
+        }
     }
 }

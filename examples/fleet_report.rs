@@ -3,14 +3,74 @@
 //!
 //! ```text
 //! cargo run --release --example fleet_report [n_gateways]
+//! cargo run --release --example fleet_report -- 12 --metrics-json metrics.json
 //! ```
+//!
+//! With `--metrics-json [PATH]` the report additionally runs an
+//! *instrumented* analysis pass — profile build, condensed-matrix row fill,
+//! motif discovery and a stationarity sweep over the fleet's daily windows,
+//! observed by a [`PipelineObs`] registry — and emits the resulting
+//! [`ObsSnapshot`] (stage spans, counters, near-threshold instrument,
+//! conservation verdict) as JSON to `PATH` (or stdout when no path is
+//! given).
 
 use std::collections::HashMap;
+use wtts::core::motif::{discover_motifs_observed, MotifConfig};
+use wtts::core::obs::PipelineObs;
+use wtts::core::{strong_stationarity_observed, STATIONARITY_COR};
 use wtts::devid::DeviceType;
 use wtts::gwsim::{Fleet, FleetConfig, Reliability};
-use wtts::stats::fit_zipf;
+use wtts::stats::{fit_zipf, ALPHA};
+use wtts::timeseries::{aggregate, daily_windows, Granularity};
+
+/// Parses `--metrics-json [PATH]`: `None` = flag absent, `Some(None)` =
+/// emit to stdout, `Some(Some(path))` = write to `path`.
+fn parse_metrics_json_arg() -> Option<Option<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let at = args.iter().position(|a| a == "--metrics-json")?;
+    Some(args.get(at + 1).filter(|a| !a.starts_with("--")).cloned())
+}
+
+/// The instrumented analysis pass behind `--metrics-json`: motif discovery
+/// and per-gateway stationarity sweeps over daily windows, every stage and
+/// counter recorded in `obs`.
+fn observed_analysis(fleet: &Fleet, obs: &PipelineObs) {
+    // Cap the gateway count so the quadratic motif sweep stays snappy in a
+    // smoke run; the instrument needs coverage, not scale.
+    let gateways = fleet.len().min(12);
+    let mut windows = Vec::new();
+    let mut per_gateway: Vec<Vec<Vec<f64>>> = Vec::new();
+    for id in 0..gateways {
+        let gw = fleet.gateway(id);
+        let agg = aggregate(&gw.aggregate_total(), Granularity::hours(3), 0);
+        let mine: Vec<Vec<f64>> = daily_windows(&agg, 2, 0)
+            .into_iter()
+            .map(|w| w.series.into_values())
+            .collect();
+        windows.extend(mine.iter().cloned());
+        per_gateway.push(mine);
+    }
+    let motifs = discover_motifs_observed(&windows, &MotifConfig::default(), Some(obs));
+    println!(
+        "\ninstrumented pass: {} motifs over {} daily windows from {gateways} gateways",
+        motifs.len(),
+        windows.len()
+    );
+    let mut stationary = 0usize;
+    for mine in &per_gateway {
+        let refs: Vec<&[f64]> = mine.iter().map(|w| w.as_slice()).collect();
+        if let Some(check) = strong_stationarity_observed(&refs, STATIONARITY_COR, ALPHA, Some(obs))
+        {
+            if check.is_stationary() {
+                stationary += 1;
+            }
+        }
+    }
+    println!("instrumented pass: {stationary}/{gateways} gateways strongly stationary (daily)");
+}
 
 fn main() {
+    let metrics_json = parse_metrics_json_arg();
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -102,5 +162,20 @@ fn main() {
                 "not zipfian"
             }
         );
+    }
+
+    if let Some(target) = metrics_json {
+        let obs = PipelineObs::new();
+        observed_analysis(&fleet, &obs);
+        let snap = obs.snapshot();
+        assert!(snap.quiescent(), "all stages settle before the snapshot");
+        let json = snap.to_json();
+        match target {
+            Some(path) => {
+                std::fs::write(&path, &json).expect("write metrics JSON");
+                println!("metrics JSON written to {path}");
+            }
+            None => println!("{json}"),
+        }
     }
 }

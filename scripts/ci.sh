@@ -19,4 +19,32 @@ cargo test -q
 echo "== ingest bench (smoke) =="
 cargo bench -p wtts-bench --bench ingest -- --smoke
 
+echo "== examples (smoke) =="
+cargo run --release --example quickstart >/dev/null
+metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics_json"' EXIT
+cargo run --release --example fleet_ingest -- --metrics-json "$metrics_json" >/dev/null
+python3 - "$metrics_json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    m = json.load(fh)
+
+accounted = (
+    m["ingested"]
+    + m["dropped_late"]
+    + m["dropped_duplicate"]
+    + m["dropped_future_jump"]
+)
+assert accounted == m["offered"], (accounted, m["offered"])
+assert m["fully_accounted"] is True
+for shard in m["per_shard"]:
+    entered = shard["batches_entered"]
+    exited = shard["batches_exited"]
+    in_flight = shard["batches_in_flight"]
+    assert entered == exited + in_flight, shard
+    assert in_flight == 0, shard
+print("metrics JSON ok: conservation holds across", len(m["per_shard"]), "shards")
+PY
+
 echo "CI checks passed."
