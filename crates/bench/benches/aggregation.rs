@@ -39,7 +39,7 @@ fn bench_granularity_sweep(c: &mut Criterion) {
     });
     group.bench_function("full_weekly_sweep", |b| {
         b.iter(|| {
-            for g in Granularity::weekly_candidates() {
+            for &g in Granularity::weekly_candidates() {
                 black_box(weekly_window_correlation(&total, 4, g, 0));
             }
         })

@@ -1,0 +1,333 @@
+//! Benchmark of the granularity-pyramid Definition-3 sweep against the
+//! pre-pyramid per-candidate path, on the paper's hardest grid: the daily
+//! sweep over every 1–180-minute granularity of one gateway's four-week
+//! per-minute series.
+//!
+//! The baseline re-runs, per candidate, exactly what the experiments runner
+//! used to execute to produce the daily figures: fig 8 called
+//! `daily_window_correlation` and then `stationary_weekday_count`, and fig 7
+//! independently re-ran `stationary_weekday_count` over the shared
+//! candidates — three passes per candidate, each aggregating the minute
+//! series from scratch, re-extracting windows and rebuilding profiles
+//! (generalized here to the full 1–180 grid both figures now read from one
+//! sweep). The sweep path builds one prefix-sum pyramid, shares windows,
+//! profiles and the fused correlation + stationarity loop across all 180
+//! candidates, and serves both figures from a single result.
+//!
+//! Besides the interactive Criterion output, a run refreshes the committed
+//! baseline at `results/BENCH_aggregation.json` (median wall times, the
+//! single-thread speedup, and the bit-identity verdict — every score and
+//! stationarity check is compared against the baseline before timing).
+//!
+//! `--smoke` runs a fast pass over a small series and asserts bit-identity
+//! plus the observability conservation laws, without touching the committed
+//! baseline; `--metrics-json PATH` additionally writes the obs snapshot
+//! (used by `scripts/ci.sh`).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
+use wtts_core::engine::cor_profiled;
+use wtts_core::obs::PipelineObs;
+use wtts_core::stationarity::{strong_stationarity, StationarityCheck};
+use wtts_core::sweep::{daily_sweep, DailySweep, SweepConfig};
+use wtts_gwsim::{generate_gateway, FleetConfig};
+use wtts_stats::{CorProfile, CorScratch};
+use wtts_timeseries::{aggregate, daily_windows, Granularity, TimeSeries};
+
+const WEEKS: u32 = 4;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One simulated gateway's four-week per-minute series, quantized to whole
+/// bytes so the integer prefix-sum pyramid engages (real counter deltas are
+/// integral; the simulator's shaping leaves fractional parts).
+fn gateway_series(weeks: u32) -> TimeSeries {
+    let config = FleetConfig {
+        n_gateways: 1,
+        weeks,
+        ..FleetConfig::default()
+    };
+    let mut total = generate_gateway(&config, 0).aggregate_total();
+    for v in total.values_mut() {
+        *v = v.trunc();
+    }
+    total
+}
+
+/// The full sweep the paper's Section 7.1 asks for: every whole-minute
+/// granularity from 1 to 180.
+fn full_candidates() -> Vec<Granularity> {
+    (1..=180).map(Granularity::minutes).collect()
+}
+
+struct BaselineCell {
+    /// Pass 1 — the old `daily_window_correlation` body.
+    score: Option<(f64, usize)>,
+    /// Pass 2 — the old `daily_stationarity_by_weekday` body (fig 8).
+    checks: [Option<StationarityCheck>; 7],
+    /// Pass 3 — fig 7's independent `stationary_weekday_count` call.
+    stationary_days: usize,
+}
+
+/// The old `daily_stationarity_by_weekday` body: aggregate from scratch,
+/// extract daily windows, run the untouched `strong_stationarity` (which
+/// profiles internally) per weekday.
+fn baseline_stationarity(
+    series: &TimeSeries,
+    weeks: u32,
+    g: Granularity,
+) -> [Option<StationarityCheck>; 7] {
+    let agg = aggregate(series, g, 0);
+    let windows = daily_windows(&agg, weeks, 0);
+    let mut checks: [Option<StationarityCheck>; 7] = Default::default();
+    for (weekday, slot) in checks.iter_mut().enumerate() {
+        let group: Vec<&[f64]> = windows
+            .iter()
+            .filter(|w| w.weekday.map(|d| d.index() as usize) == Some(weekday))
+            .map(|w| w.series.values())
+            .collect();
+        *slot = strong_stationarity(&group);
+    }
+    checks
+}
+
+/// The pre-pyramid experiments path for one candidate: the three passes the
+/// runner used to execute per gateway for the daily figures, each
+/// re-aggregating and re-profiling from scratch.
+fn baseline_cell(series: &TimeSeries, weeks: u32, g: Granularity) -> BaselineCell {
+    // Pass 1: the old `daily_window_correlation` body (fig 8's score).
+    let agg = aggregate(series, g, 0);
+    let windows = daily_windows(&agg, weeks, 0);
+    let mut scratch = CorScratch::new();
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for weekday in 0..7u8 {
+        let group: Vec<&[f64]> = windows
+            .iter()
+            .filter(|w| w.weekday.map(|d| d.index()) == Some(weekday))
+            .map(|w| w.series.values())
+            .filter(|v| v.iter().any(|x| x.is_finite()))
+            .collect();
+        let profiles: Vec<CorProfile> = group.iter().map(|w| CorProfile::new(w)).collect();
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                total += cor_profiled(&profiles[i], &profiles[j], &mut scratch);
+                pairs += 1;
+            }
+        }
+    }
+    let score = (pairs > 0).then(|| (total / pairs as f64, pairs));
+
+    // Pass 2: fig 8's stationarity sweep.
+    let checks = baseline_stationarity(series, weeks, g);
+    // Pass 3: fig 7's independent re-run of the same call.
+    let stationary_days = baseline_stationarity(series, weeks, g)
+        .iter()
+        .filter(|c| c.is_some_and(|c| c.is_stationary()))
+        .count();
+    BaselineCell {
+        score,
+        checks,
+        stationary_days,
+    }
+}
+
+fn baseline_sweep(
+    series: &TimeSeries,
+    weeks: u32,
+    candidates: &[Granularity],
+) -> Vec<BaselineCell> {
+    candidates
+        .iter()
+        .map(|&g| baseline_cell(series, weeks, g))
+        .collect()
+}
+
+fn pyramid_sweep(
+    series: &TimeSeries,
+    weeks: u32,
+    candidates: &[Granularity],
+    threads: usize,
+    obs: Option<&PipelineObs>,
+) -> DailySweep {
+    daily_sweep(
+        std::slice::from_ref(series),
+        weeks,
+        candidates,
+        0,
+        &SweepConfig {
+            threads: Some(threads),
+        },
+        obs,
+    )
+}
+
+/// Every score and stationarity verdict must match the baseline bitwise.
+fn assert_bit_identical(sweep: &DailySweep, baseline: &[BaselineCell]) {
+    assert_eq!(sweep.cells[0].len(), baseline.len());
+    for (k, (cell, reference)) in sweep.cells[0].iter().zip(baseline).enumerate() {
+        let g = sweep.candidates[k];
+        match (&reference.score, &cell.score) {
+            (None, None) => {}
+            (Some((mean, pairs)), Some(s)) => {
+                assert_eq!(
+                    mean.to_bits(),
+                    s.mean_correlation.to_bits(),
+                    "daily mean at {g}"
+                );
+                assert_eq!(*pairs, s.n_pairs, "pair count at {g}");
+            }
+            other => panic!("score presence mismatch at {g}: {other:?}"),
+        }
+        assert_eq!(&reference.checks, &cell.stationarity, "stationarity at {g}");
+        assert_eq!(
+            reference.stationary_days,
+            cell.stationary_weekday_count(),
+            "stationary-day count at {g}"
+        );
+    }
+}
+
+fn bench_granularity_sweep(c: &mut Criterion) {
+    let series = gateway_series(WEEKS);
+    let candidates = full_candidates();
+    let mut group = c.benchmark_group("granularity_sweep");
+    group.sample_size(10);
+    group.bench_function("baseline_daily_candidates", |b| {
+        b.iter(|| {
+            baseline_sweep(
+                black_box(&series),
+                WEEKS,
+                black_box(Granularity::daily_candidates()),
+            )
+        })
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_1_180", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| pyramid_sweep(black_box(&series), WEEKS, &candidates, threads, None))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Median wall time of `samples` runs, in milliseconds.
+fn median_ms<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Verifies bit-identity on the full grid, then times both paths and writes
+/// the JSON baseline the repo commits under `results/`.
+fn write_baseline() {
+    let series = gateway_series(WEEKS);
+    let candidates = full_candidates();
+
+    let reference = baseline_sweep(&series, WEEKS, &candidates);
+    let sweep = pyramid_sweep(&series, WEEKS, &candidates, 1, None);
+    assert_bit_identical(&sweep, &reference);
+
+    let baseline_ms = median_ms(5, || {
+        black_box(baseline_sweep(black_box(&series), WEEKS, &candidates));
+    });
+    let mut entries = Vec::new();
+    let mut single = f64::NAN;
+    for threads in THREAD_COUNTS {
+        let t = median_ms(5, || {
+            black_box(pyramid_sweep(
+                black_box(&series),
+                WEEKS,
+                &candidates,
+                threads,
+                None,
+            ));
+        });
+        if threads == 1 {
+            single = t;
+        }
+        entries.push(format!("    \"{threads}\": {t:.3}"));
+    }
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n\"bench\": \"granularity_sweep\",\n\"baseline\": \"pre-PR figs 7+8 pattern: daily_window_correlation + 2x stationary_weekday_count per candidate, each aggregating from scratch\",\n\"series_len\": {},\n\"weeks\": {WEEKS},\n\"candidates\": {},\n\"available_parallelism\": {available},\n\"baseline_ms\": {baseline_ms:.3},\n\"sweep_ms_by_threads\": {{\n{}\n}},\n\"speedup_single_thread\": {:.2},\n\"bit_identical\": true\n}}\n",
+        series.len(),
+        candidates.len(),
+        entries.join(",\n"),
+        baseline_ms / single,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_aggregation.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// CI smoke: a two-week series over the paper's daily candidates, with
+/// bit-identity against the legacy path and the observability conservation
+/// laws asserted. `--metrics-json PATH` writes the obs snapshot.
+fn smoke(metrics_json: Option<&str>) {
+    let series = gateway_series(2);
+    let candidates = Granularity::daily_candidates();
+    let start = Instant::now();
+
+    let obs = PipelineObs::new();
+    let sweep = pyramid_sweep(&series, 2, candidates, 2, Some(&obs));
+    let reference = baseline_sweep(&series, 2, candidates);
+    assert_bit_identical(&sweep, &reference);
+
+    let snapshot = obs.snapshot();
+    assert!(snapshot.conserved(), "stage books must balance");
+    assert!(snapshot.quiescent(), "no span may be left open");
+    let rebins = snapshot.counter("rebins_pyramid") + snapshot.counter("rebins_direct");
+    assert_eq!(
+        rebins,
+        candidates.len() as u64,
+        "every candidate is one rebin"
+    );
+    assert!(
+        snapshot.counter("rebins_pyramid") > 0,
+        "integer series must engage the pyramid"
+    );
+    println!(
+        "granularity_sweep smoke: {} candidates, {} pyramid rebins, {} level folds, bit-identical in {:.2?}",
+        candidates.len(),
+        snapshot.counter("rebins_pyramid"),
+        snapshot.counter("level_folds"),
+        start.elapsed(),
+    );
+    if let Some(path) = metrics_json {
+        std::fs::write(path, snapshot.to_json()).expect("write metrics json");
+        println!("metrics written to {path}");
+    }
+}
+
+criterion_group!(benches, bench_granularity_sweep);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        let metrics_json = args
+            .iter()
+            .position(|a| a == "--metrics-json")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str);
+        smoke(metrics_json);
+        return;
+    }
+    benches();
+    write_baseline();
+}

@@ -210,6 +210,8 @@ fn main() {
     let out = out_dir.as_deref();
 
     let (heartbeat, heartbeat_handle) = Heartbeat::start(ids.len());
+    // Figures 7 and 8 read the same daily sweep; compute it once on first use.
+    let mut daily: Option<aggregation::DailyAnalysis> = None;
     for id in &ids {
         let started = Instant::now();
         heartbeat.begin(id);
@@ -223,8 +225,14 @@ fn main() {
             "fig4" => background::fig4(&fleet, out),
             "fig5" => dominance::fig5(&fleet, out),
             "fig6" => aggregation::fig6(&fleet, out),
-            "fig7" => aggregation::fig7(&fleet, out),
-            "fig8" => aggregation::fig8(&fleet, out),
+            "fig7" => {
+                let daily = daily.get_or_insert_with(|| aggregation::daily_analysis(&fleet));
+                aggregation::fig7(daily, out);
+            }
+            "fig8" => {
+                let daily = daily.get_or_insert_with(|| aggregation::daily_analysis(&fleet));
+                aggregation::fig8(daily, out);
+            }
             "fig9-10" => {
                 let weekly = motifs::weekly_motifs(&fleet);
                 motifs::fig9_10(&weekly, "weekly", out);

@@ -1,22 +1,38 @@
 //! Figures 6–8: choosing the best aggregation period for weekly and daily
 //! patterns.
+//!
+//! All three figures are views over two sweep grids: one weekly
+//! `(granularity, offset)` grid (fig. 6) and one daily granularity grid
+//! (figs. 7 and 8). Each grid is evaluated once through
+//! `wtts_core::sweep`, which shares the per-gateway prefix-sum pyramid
+//! across candidates and yields Definition-3 scores and Definition-2
+//! stationarity verdicts together — the runner no longer re-runs identical
+//! per-candidate computations per figure.
 
 use crate::data::{active_total, first_weeks, fleet_map, observed_every_day, observed_every_week};
 use crate::report::{fmt, Table};
 use std::path::Path;
-use wtts_core::aggregation::{
-    daily_window_correlation, stationary_weekday_count, weekly_stationarity,
-    weekly_window_correlation,
-};
+use wtts_core::sweep::{daily_sweep, weekly_sweep, DailySweep, SweepConfig};
 use wtts_gwsim::Fleet;
 use wtts_stats::mean;
-use wtts_timeseries::Granularity;
+use wtts_timeseries::{Granularity, TimeSeries};
 
 /// The gateways eligible for weekly analyses, with their active series.
-fn weekly_eligible(fleet: &Fleet, weeks: u32) -> Vec<wtts_timeseries::TimeSeries> {
+fn weekly_eligible(fleet: &Fleet, weeks: u32) -> Vec<TimeSeries> {
     fleet_map(fleet, |gw| {
         let active = first_weeks(&active_total(&gw), weeks);
         observed_every_week(&active, weeks).then_some(active)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// The gateways eligible for daily analyses, with their active series.
+fn daily_eligible(fleet: &Fleet, weeks: u32) -> Vec<TimeSeries> {
+    fleet_map(fleet, |gw| {
+        let active = first_weeks(&active_total(&gw), weeks);
+        observed_every_day(&active, weeks).then_some(active)
     })
     .into_iter()
     .flatten()
@@ -34,7 +50,21 @@ pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
         series.len()
     );
 
-    for offset in [0u32, 120, 180] {
+    let offsets = [0u32, 120, 180];
+    let mut candidates = Vec::new();
+    for &offset in &offsets {
+        for &g in Granularity::weekly_candidates() {
+            if g.as_minutes() < 60 && offset != 0 {
+                continue; // 1-minute binning only evaluated from midnight.
+            }
+            candidates.push((g, offset));
+        }
+    }
+    // One sweep over the whole offset x granularity grid: every figure row
+    // below is a read-out of its cells.
+    let sweep = weekly_sweep(&series, weeks, &candidates, &SweepConfig::default(), None);
+
+    for &offset in &offsets {
         let mut t = Table::new(
             &format!(
                 "Fig 6 - weekly aggregation curves (day start {:02}:00)",
@@ -47,18 +77,19 @@ pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
                 "#stationary",
             ],
         );
-        for g in Granularity::weekly_candidates() {
-            if g.as_minutes() < 60 && offset != 0 {
-                continue; // 1-minute binning only evaluated from midnight.
+        for (k, &(g, o)) in sweep.candidates.iter().enumerate() {
+            if o != offset {
+                continue;
             }
             let mut all = Vec::new();
             let mut stat = Vec::new();
-            for s in &series {
-                let Some(score) = weekly_window_correlation(s, weeks, g, offset) else {
+            for row in &sweep.cells {
+                let cell = &row[k];
+                let Some(score) = cell.score else {
                     continue;
                 };
                 all.push(score.mean_correlation);
-                if weekly_stationarity(s, weeks, g, offset).is_some_and(|c| c.is_stationary()) {
+                if cell.stationarity.is_some_and(|c| c.is_stationary()) {
                     stat.push(score.mean_correlation);
                 }
             }
@@ -73,18 +104,48 @@ pub fn fig6(fleet: &Fleet, out: Option<&Path>) {
     }
 }
 
+/// The shared daily analysis behind figures 7 and 8: one sweep of every
+/// daily-eligible gateway over the paper's 1–180-minute candidates.
+pub struct DailyAnalysis {
+    /// Number of gateways that passed the daily eligibility filter.
+    pub n_eligible: usize,
+    /// The full daily sweep (scores plus per-weekday stationarity).
+    pub sweep: DailySweep,
+}
+
+/// Runs the daily eligibility filter and the shared candidate sweep once;
+/// the experiments runner hands the result to both [`fig7`] and [`fig8`].
+pub fn daily_analysis(fleet: &Fleet) -> DailyAnalysis {
+    let weeks = 4;
+    let series = daily_eligible(fleet, weeks);
+    let sweep = daily_sweep(
+        &series,
+        weeks,
+        Granularity::daily_candidates(),
+        0,
+        &SweepConfig::default(),
+        None,
+    );
+    DailyAnalysis {
+        n_eligible: series.len(),
+        sweep,
+    }
+}
+
+/// Looks up a granularity's column in the shared daily sweep.
+fn daily_column(daily: &DailyAnalysis, g: Granularity) -> usize {
+    daily
+        .sweep
+        .candidates
+        .iter()
+        .position(|&c| c == g)
+        .expect("figure granularities are paper daily candidates")
+}
+
 /// Figure 7: number of strongly stationary gateways per daily aggregation
 /// granularity, stacked by how many weekdays are stationary.
-pub fn fig7(fleet: &Fleet, out: Option<&Path>) {
-    let weeks = 4;
-    let series: Vec<wtts_timeseries::TimeSeries> = fleet_map(fleet, |gw| {
-        let active = first_weeks(&active_total(&gw), weeks);
-        observed_every_day(&active, weeks).then_some(active)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    println!("{} gateways eligible for daily analysis", series.len());
+pub fn fig7(daily: &DailyAnalysis, out: Option<&Path>) {
+    println!("{} gateways eligible for daily analysis", daily.n_eligible);
 
     let mut t = Table::new(
         "Fig 7 - stationary gateways per daily granularity",
@@ -100,9 +161,10 @@ pub fn fig7(fleet: &Fleet, out: Option<&Path>) {
     );
     for g in [10u32, 30, 60, 90, 120, 180] {
         let g = Granularity::minutes(g);
+        let k = daily_column(daily, g);
         let mut by_days = [0usize; 5];
-        for s in &series {
-            let days = stationary_weekday_count(s, weeks, g, 0);
+        for row in &daily.sweep.cells {
+            let days = row[k].stationary_weekday_count();
             if days > 0 {
                 by_days[(days - 1).min(4)] += 1;
             }
@@ -124,16 +186,7 @@ pub fn fig7(fleet: &Fleet, out: Option<&Path>) {
 /// Figure 8: average same-weekday correlation per daily granularity, for
 /// all eligible gateways and for gateways with at least one stationary
 /// weekday.
-pub fn fig8(fleet: &Fleet, out: Option<&Path>) {
-    let weeks = 4;
-    let series: Vec<wtts_timeseries::TimeSeries> = fleet_map(fleet, |gw| {
-        let active = first_weeks(&active_total(&gw), weeks);
-        observed_every_day(&active, weeks).then_some(active)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-
+pub fn fig8(daily: &DailyAnalysis, out: Option<&Path>) {
     let mut t = Table::new(
         "Fig 8 - daily aggregation curves",
         &[
@@ -143,15 +196,17 @@ pub fn fig8(fleet: &Fleet, out: Option<&Path>) {
             "#stationary",
         ],
     );
-    for g in Granularity::daily_candidates() {
+    for &g in Granularity::daily_candidates() {
+        let k = daily_column(daily, g);
         let mut all = Vec::new();
         let mut stat = Vec::new();
-        for s in &series {
-            let Some(score) = daily_window_correlation(s, weeks, g, 0) else {
+        for row in &daily.sweep.cells {
+            let cell = &row[k];
+            let Some(score) = cell.score else {
                 continue;
             };
             all.push(score.mean_correlation);
-            if stationary_weekday_count(s, weeks, g, 0) > 0 {
+            if cell.stationary_weekday_count() > 0 {
                 stat.push(score.mean_correlation);
             }
         }
@@ -177,6 +232,21 @@ mod tests {
         assert!(eligible.len() <= fleet.len());
         for s in &eligible {
             assert!(observed_every_week(s, 2));
+        }
+    }
+
+    #[test]
+    fn daily_analysis_covers_paper_candidates() {
+        let fleet = Fleet::new(FleetConfig::small());
+        let daily = daily_analysis(&fleet);
+        assert_eq!(
+            daily.sweep.candidates,
+            Granularity::daily_candidates().to_vec()
+        );
+        assert_eq!(daily.sweep.cells.len(), daily.n_eligible);
+        // Every fig-7 granularity must resolve to a sweep column.
+        for g in [10u32, 30, 60, 90, 120, 180] {
+            let _ = daily_column(&daily, Granularity::minutes(g));
         }
     }
 }

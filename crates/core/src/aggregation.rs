@@ -11,11 +11,15 @@
 //! * **daily patterns** — windows are days, but only *same weekday* pairs
 //!   are compared (Mondays with Mondays, …); candidates range 1–180
 //!   minutes. The winner is 3 hours.
+//!
+//! The functions here are single-`(granularity, offset)` conveniences;
+//! evaluating a whole candidate grid should go through [`crate::sweep`],
+//! which amortizes the per-series work (prefix-sum pyramid, window
+//! extraction, profiles) across all candidates and parallelizes the grid.
 
-use crate::engine::cor_profiled;
-use crate::stationarity::{strong_stationarity, StationarityCheck};
-use wtts_stats::{CorProfile, CorScratch};
-use wtts_timeseries::{aggregate, daily_windows, weekly_windows, Granularity, TimeSeries};
+use crate::stationarity::StationarityCheck;
+use crate::sweep::{daily_cell, weekly_cell};
+use wtts_timeseries::{Granularity, TimeSeries};
 
 /// Mean window correlation of one gateway at one candidate binning.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,96 +34,33 @@ pub struct GranularityScore {
     pub n_pairs: usize,
 }
 
-/// Aggregates a per-minute series and extracts its weekly windows as plain
-/// sample vectors.
-fn weekly_window_values(
-    series: &TimeSeries,
-    weeks: u32,
-    granularity: Granularity,
-    offset_minutes: u32,
-) -> Vec<Vec<f64>> {
-    let agg = aggregate(series, granularity, offset_minutes);
-    weekly_windows(&agg, weeks, offset_minutes)
-        .into_iter()
-        .map(|w| w.series.into_values())
-        .collect()
-}
-
 /// Mean pairwise correlation among the weekly windows of `series` at the
 /// given binning; `None` when fewer than two weeks carry observations.
+///
+/// A thin wrapper over one [`crate::sweep::weekly_cell`] — full candidate
+/// grids should go through [`crate::sweep::weekly_sweep`], which shares the
+/// per-series prefix-sum pyramid across all candidates.
 pub fn weekly_window_correlation(
     series: &TimeSeries,
     weeks: u32,
     granularity: Granularity,
     offset_minutes: u32,
 ) -> Option<GranularityScore> {
-    let windows = weekly_window_values(series, weeks, granularity, offset_minutes);
-    let observed: Vec<&Vec<f64>> = windows
-        .iter()
-        .filter(|w| w.iter().any(|v| v.is_finite()))
-        .collect();
-    if observed.len() < 2 {
-        return None;
-    }
-    // One profile per week amortizes the mask/moment/rank work across the
-    // pair loop; the sum stays in f64 (Definition 3's objective is a mean).
-    let profiles: Vec<CorProfile> = observed.iter().map(|w| CorProfile::new(w)).collect();
-    let mut scratch = CorScratch::new();
-    let mut total = 0.0;
-    let mut pairs = 0;
-    for i in 0..observed.len() {
-        for j in (i + 1)..observed.len() {
-            total += cor_profiled(&profiles[i], &profiles[j], &mut scratch);
-            pairs += 1;
-        }
-    }
-    Some(GranularityScore {
-        granularity,
-        offset_minutes,
-        mean_correlation: total / pairs as f64,
-        n_pairs: pairs,
-    })
+    weekly_cell(series, weeks, granularity, offset_minutes, false, None).score
 }
 
 /// Mean same-weekday correlation among the daily windows of `series`:
 /// Mondays against Mondays, Tuesdays against Tuesdays, and so on.
 ///
-/// `None` when no weekday has two observed instances.
+/// `None` when no weekday has two observed instances. For candidate grids,
+/// prefer [`crate::sweep::daily_sweep`].
 pub fn daily_window_correlation(
     series: &TimeSeries,
     weeks: u32,
     granularity: Granularity,
     offset_minutes: u32,
 ) -> Option<GranularityScore> {
-    let agg = aggregate(series, granularity, offset_minutes);
-    let windows = daily_windows(&agg, weeks, offset_minutes);
-    let mut scratch = CorScratch::new();
-    let mut total = 0.0;
-    let mut pairs = 0;
-    for weekday in 0..7u8 {
-        let group: Vec<&[f64]> = windows
-            .iter()
-            .filter(|w| w.weekday.map(|d| d.index()) == Some(weekday))
-            .map(|w| w.series.values())
-            .filter(|v| v.iter().any(|x| x.is_finite()))
-            .collect();
-        let profiles: Vec<CorProfile> = group.iter().map(|w| CorProfile::new(w)).collect();
-        for i in 0..group.len() {
-            for j in (i + 1)..group.len() {
-                total += cor_profiled(&profiles[i], &profiles[j], &mut scratch);
-                pairs += 1;
-            }
-        }
-    }
-    if pairs == 0 {
-        return None;
-    }
-    Some(GranularityScore {
-        granularity,
-        offset_minutes,
-        mean_correlation: total / pairs as f64,
-        n_pairs: pairs,
-    })
+    daily_cell(series, weeks, granularity, offset_minutes, false, None).score
 }
 
 /// Strong stationarity of the weekly windows at a binning (Definition 2
@@ -130,9 +71,7 @@ pub fn weekly_stationarity(
     granularity: Granularity,
     offset_minutes: u32,
 ) -> Option<StationarityCheck> {
-    let windows = weekly_window_values(series, weeks, granularity, offset_minutes);
-    let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
-    strong_stationarity(&refs)
+    weekly_cell(series, weeks, granularity, offset_minutes, true, None).stationarity
 }
 
 /// Per-weekday strong stationarity of daily windows: entry `d` is the check
@@ -144,18 +83,7 @@ pub fn daily_stationarity_by_weekday(
     granularity: Granularity,
     offset_minutes: u32,
 ) -> [Option<StationarityCheck>; 7] {
-    let agg = aggregate(series, granularity, offset_minutes);
-    let windows = daily_windows(&agg, weeks, offset_minutes);
-    let mut out: [Option<StationarityCheck>; 7] = Default::default();
-    for (weekday, slot) in out.iter_mut().enumerate() {
-        let group: Vec<&[f64]> = windows
-            .iter()
-            .filter(|w| w.weekday.map(|d| d.index() as usize) == Some(weekday))
-            .map(|w| w.series.values())
-            .collect();
-        *slot = strong_stationarity(&group);
-    }
-    out
+    daily_cell(series, weeks, granularity, offset_minutes, true, None).stationarity
 }
 
 /// Number of strongly stationary weekdays of a gateway at a binning.
@@ -165,10 +93,7 @@ pub fn stationary_weekday_count(
     granularity: Granularity,
     offset_minutes: u32,
 ) -> usize {
-    daily_stationarity_by_weekday(series, weeks, granularity, offset_minutes)
-        .iter()
-        .filter(|c| c.is_some_and(|c| c.is_stationary()))
-        .count()
+    daily_cell(series, weeks, granularity, offset_minutes, true, None).stationary_weekday_count()
 }
 
 /// The score with the highest mean correlation (Definition 3's argmax).

@@ -24,10 +24,12 @@
 //! [`sax`] (a SAX baseline quantifying why symbol-based motif tools fail on
 //! Zipfian traffic, Section 2), [`engine`] (the batch
 //! pairwise-correlation engine: per-series profiles plus a parallel
-//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls)
-//! and [`obs`] (lock-free pipeline observability: per-stage counters,
-//! log-bucketed histograms, span timers and a conservation-checked
-//! snapshot, zero-cost when disabled).
+//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls),
+//! [`sweep`] (the granularity-pyramid sweep engine that evaluates
+//! Definition 3's whole candidate grid from exact prefix sums, bit-identical
+//! to the per-call path) and [`obs`] (lock-free pipeline observability:
+//! per-stage counters, log-bucketed histograms, span timers and a
+//! conservation-checked snapshot, zero-cost when disabled).
 //!
 //! Beyond the paper's evaluation, the crate also ships the applications its
 //! introduction motivates and the future work its conclusion names:
@@ -55,6 +57,7 @@ pub mod sax;
 pub mod similarity;
 pub mod stationarity;
 pub mod streaming;
+pub mod sweep;
 
 pub use aggregation::{
     best_score, daily_window_correlation, weekly_window_correlation, GranularityScore,
@@ -90,4 +93,8 @@ pub use stationarity::{
 pub use streaming::{
     best_match, CompletedWindow, LateSample, MatchOutcome, MotifMatcher, MotifTemplate,
     OnlinePearson, WindowAccumulator,
+};
+pub use sweep::{
+    daily_cell, daily_sweep, weekly_cell, weekly_sweep, DailyCell, DailySweep, SweepConfig,
+    WeeklyCell, WeeklySweep,
 };

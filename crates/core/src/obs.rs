@@ -299,6 +299,15 @@ pub struct PipelineObs {
     pub motif_discovery: Stage,
     /// One strong-stationarity sweep over a window set.
     pub stationarity_sweep: Stage,
+    /// One granularity-pyramid construction (prefix sums plus levels) for a
+    /// series entering the Definition-3 sweep.
+    pub pyramid_build: Stage,
+    /// One `(granularity, offset)` re-binning inside the sweep, whichever
+    /// path served it.
+    pub rebin: Stage,
+    /// One window-set scoring pass (profiles plus the fused pair loop) for
+    /// one sweep cell.
+    pub window_score: Stage,
     /// Pairs whose similarity was compared against a motif threshold.
     pub pairs_evaluated: Counter,
     /// Pairs accepted as motif candidates (`cor ≥ φ`).
@@ -318,6 +327,13 @@ pub struct PipelineObs {
     pub f64_reverified: Counter,
     /// Two-sample KS tests run by stationarity sweeps.
     pub ks_tests: Counter,
+    /// Re-binnings served from prefix sums (pyramid base or a level).
+    pub rebins_pyramid: Counter,
+    /// Re-binnings that fell back to direct summation (non-integer series).
+    pub rebins_direct: Counter,
+    /// Pyramid re-binnings that folded from a coarse level rather than the
+    /// per-sample base (a subset of `rebins_pyramid`).
+    pub level_folds: Counter,
     /// Pairwise similarities observed by stationarity sweeps, in
     /// thousandths (see [`sim_millis`]).
     pub stationarity_sim_millis: LogHistogram,
@@ -338,6 +354,9 @@ impl PipelineObs {
                 ("row_fill", self.row_fill.snapshot()),
                 ("motif_discovery", self.motif_discovery.snapshot()),
                 ("stationarity_sweep", self.stationarity_sweep.snapshot()),
+                ("pyramid_build", self.pyramid_build.snapshot()),
+                ("rebin", self.rebin.snapshot()),
+                ("window_score", self.window_score.snapshot()),
             ],
             counters: vec![
                 ("pairs_evaluated", self.pairs_evaluated.get()),
@@ -349,6 +368,9 @@ impl PipelineObs {
                 ("near_group", self.near_group.get()),
                 ("f64_reverified", self.f64_reverified.get()),
                 ("ks_tests", self.ks_tests.get()),
+                ("rebins_pyramid", self.rebins_pyramid.get()),
+                ("rebins_direct", self.rebins_direct.get()),
+                ("level_folds", self.level_folds.get()),
             ],
             stationarity_sim_millis: self.stationarity_sim_millis.snapshot(),
         }

@@ -8,10 +8,11 @@
 //! the best aggregation granularity, the dominant devices, and a
 //! recommended maintenance window.
 
-use crate::aggregation::{best_score, weekly_stationarity, weekly_window_correlation};
+use crate::aggregation::best_score;
 use crate::background::{estimate_tau, remove_background};
 use crate::dominance::{dominant_devices, DominantDevice, DOMINANCE_PHI};
 use crate::maintenance::{MaintenanceWindow, WeeklyProfile};
+use crate::sweep::{weekly_sweep, SweepConfig};
 use wtts_timeseries::{Granularity, TimeSeries};
 
 /// Everything the framework can say about one gateway.
@@ -58,17 +59,32 @@ impl GatewayProfile {
             .collect();
         let active = TimeSeries::sum_all(active_per_device.iter())?;
 
-        // Definition 3 sweep over the paper's weekly candidates.
-        let scores: Vec<_> = Granularity::weekly_candidates()
-            .into_iter()
+        // Definition 3 sweep over the paper's weekly candidates — one call
+        // shares the active series' prefix-sum pyramid across candidates
+        // and yields every cell's stationarity verdict alongside its score.
+        let candidates: Vec<(Granularity, u32)> = Granularity::weekly_candidates()
+            .iter()
             .filter(|g| g.as_minutes() >= 60)
-            .filter_map(|g| weekly_window_correlation(&active, weeks, g, 0))
+            .map(|&g| (g, 0))
             .collect();
+        let sweep = weekly_sweep(
+            std::slice::from_ref(&active),
+            weeks,
+            &candidates,
+            &SweepConfig { threads: Some(1) },
+            None,
+        );
+        let cells = &sweep.cells[0];
+        let scores: Vec<_> = cells.iter().filter_map(|c| c.score).collect();
         let best_weekly = best_score(&scores).map(|s| (s.granularity, s.mean_correlation));
 
         let strongly_stationary = best_weekly
             .map(|(g, _)| {
-                weekly_stationarity(&active, weeks, g, 0).is_some_and(|c| c.is_stationary())
+                cells
+                    .iter()
+                    .find(|c| c.score.is_some_and(|s| s.granularity == g))
+                    .and_then(|c| c.stationarity)
+                    .is_some_and(|c| c.is_stationary())
             })
             .unwrap_or(false);
 

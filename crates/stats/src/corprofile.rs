@@ -142,6 +142,16 @@ impl CorProfile {
     pub fn same_mask(&self, other: &CorProfile) -> bool {
         self.len == other.len && ((self.complete && other.complete) || self.mask == other.mask)
     }
+
+    /// The finite values in ascending order, gathered from the cached stable
+    /// sort permutation. Bit-identical — including the relative order of
+    /// `-0.0`/`0.0` ties — to what sorting the finite values with
+    /// `sort_by(partial_cmp)` produces, so the result can feed
+    /// [`ks_two_sample_sorted`](crate::ks_two_sample_sorted) in place of a
+    /// per-pair sort.
+    pub fn sorted_values(&self) -> Vec<f64> {
+        self.order.iter().map(|&k| self.vals[k as usize]).collect()
+    }
 }
 
 /// Computes the per-series mean and centered second moment with the same
@@ -863,6 +873,19 @@ mod tests {
         assert_eq!((p.value, p.n), (0.0, 2));
         assert_eq!((s.value, s.n), (0.0, 2));
         assert_eq!((k.value, k.n), (0.0, 2));
+    }
+
+    #[test]
+    fn sorted_values_match_direct_sort() {
+        let x = [5.0, f64::NAN, 1.0, 3.0, -0.0, 0.0, 3.0, 8.0, f64::NAN];
+        let p = CorProfile::new(&x);
+        let mut expect: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = p.sorted_values();
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
     }
 
     #[test]

@@ -47,11 +47,25 @@ impl KsTest {
 pub fn ks_two_sample(x: &[f64], y: &[f64]) -> Option<KsTest> {
     let mut a: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
     let mut b: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    ks_two_sample_sorted(&a, &b)
+}
+
+/// [`ks_two_sample`] over samples that are already finite-only and sorted
+/// ascending — the batch fast path when a caller tests one window against
+/// many partners and can sort each window once instead of once per pair.
+///
+/// Bit-identical to [`ks_two_sample`] when each input equals the stably
+/// sorted finite subsequence of the corresponding raw sample: the stable
+/// sort is deterministic, so pre-sorting upstream yields the very sequence
+/// the unsorted entry point would produce internally.
+pub fn ks_two_sample_sorted(a: &[f64], b: &[f64]) -> Option<KsTest> {
     if a.is_empty() || b.is_empty() {
         return None;
     }
-    a.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
-    b.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
 
     let (n1, n2) = (a.len(), b.len());
     let mut i = 0;
@@ -209,6 +223,22 @@ mod tests {
         let z = [1.0, 2.0, 7.0, 7.0, 7.0, 7.0];
         let t = ks_two_sample(&z, &z).unwrap();
         assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    fn sorted_entry_point_matches_unsorted() {
+        let x = [5.0, f64::NAN, 1.0, 3.0, 3.0, 8.0];
+        let y = [2.0, 2.0, f64::NAN, 6.0, 7.0];
+        let mut xs: Vec<f64> = x.iter().copied().filter(|v| v.is_finite()).collect();
+        let mut ys: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let a = ks_two_sample(&x, &y).unwrap();
+        let b = ks_two_sample_sorted(&xs, &ys).unwrap();
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+        assert_eq!((a.n1, a.n2), (b.n1, b.n2));
+        assert!(ks_two_sample_sorted(&[], &ys).is_none());
     }
 
     #[test]

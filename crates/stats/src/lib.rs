@@ -55,7 +55,7 @@ pub use descriptive::{
 };
 pub use distance::{dtw, dtw_banded, euclidean, z_normalize};
 pub use kde::Kde;
-pub use ks::{ks_two_sample, KsTest};
+pub use ks::{ks_two_sample, ks_two_sample_sorted, KsTest};
 pub use ols::OlsFit;
 pub use rank::{mid_ranks, rank_series, ranks_and_ties, tie_group_sizes, RankedSeries};
 pub use spectrum::{dominant_period, fft, ljung_box, periodogram, LjungBox, SpectralLine};

@@ -47,24 +47,36 @@ impl Granularity {
 
     /// The daily granularities evaluated in Section 7.1.2 of the paper:
     /// 1, 5, 10, 30, 60, 90, 120 and 180 minutes.
-    pub fn daily_candidates() -> Vec<Granularity> {
-        [1u32, 5, 10, 30, 60, 90, 120, 180]
-            .into_iter()
-            .map(Granularity::minutes)
-            .collect()
+    pub fn daily_candidates() -> &'static [Granularity] {
+        const DAILY: [Granularity; 8] = [
+            Granularity::minutes(1),
+            Granularity::minutes(5),
+            Granularity::minutes(10),
+            Granularity::minutes(30),
+            Granularity::minutes(60),
+            Granularity::minutes(90),
+            Granularity::minutes(120),
+            Granularity::minutes(180),
+        ];
+        &DAILY
     }
 
     /// The weekly granularities evaluated in Section 7.1.1 of the paper:
     /// 1 minute plus every divisor-of-24 hour width (1, 2, 3, 4, 6, 8, 12,
     /// 24 hours).
-    pub fn weekly_candidates() -> Vec<Granularity> {
-        let mut v = vec![Granularity::minutes(1)];
-        v.extend(
-            [1u32, 2, 3, 4, 6, 8, 12, 24]
-                .into_iter()
-                .map(Granularity::hours),
-        );
-        v
+    pub fn weekly_candidates() -> &'static [Granularity] {
+        const WEEKLY: [Granularity; 9] = [
+            Granularity::minutes(1),
+            Granularity::hours(1),
+            Granularity::hours(2),
+            Granularity::hours(3),
+            Granularity::hours(4),
+            Granularity::hours(6),
+            Granularity::hours(8),
+            Granularity::hours(12),
+            Granularity::hours(24),
+        ];
+        &WEEKLY
     }
 }
 
@@ -75,6 +87,44 @@ impl std::fmt::Display for Granularity {
         } else {
             write!(f, "{}m", self.minutes)
         }
+    }
+}
+
+/// Where the bins of a `(granularity, offset)` binning fall over the sample
+/// span `[start_abs, end_abs)`, in absolute minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinLayout {
+    /// The first usable bin boundary is already at or past the span's end;
+    /// the binned series is empty and starts at that boundary.
+    Empty { first_bin_start: u32 },
+    /// Bins start at `first_bin_start + k*g` for `k in 0..n_bins`.
+    Bins { first_bin_start: u32, n_bins: usize },
+}
+
+/// Computes the bin geometry [`aggregate`] uses, shared with the granularity
+/// pyramid so both paths can never disagree on boundaries.
+///
+/// Boundaries sit at `offset + k*g` for integer `k`; the first bin is the one
+/// containing `start_abs`, except when that boundary would be negative
+/// (series starts before the first offset-aligned boundary): then we advance
+/// to the first non-negative boundary and drop the leading samples — shifting
+/// the boundary to zero would silently misalign every bin after it.
+pub(crate) fn bin_layout(start_abs: u32, end_abs: u32, g: u32, offset_minutes: u32) -> BinLayout {
+    let rel = start_abs as i64 - offset_minutes as i64;
+    let first_bin = rel.div_euclid(g as i64);
+    let mut first_bin_start = first_bin * g as i64 + offset_minutes as i64;
+    debug_assert!(first_bin_start <= start_abs as i64);
+    while first_bin_start < 0 {
+        first_bin_start += g as i64;
+    }
+    let first_bin_start = first_bin_start as u32;
+    if first_bin_start >= end_abs {
+        return BinLayout::Empty { first_bin_start };
+    }
+    let n_bins = ((end_abs - first_bin_start) as usize).div_ceil(g as usize);
+    BinLayout::Bins {
+        first_bin_start,
+        n_bins,
     }
 }
 
@@ -105,27 +155,16 @@ pub fn aggregate(series: &TimeSeries, granularity: Granularity, offset_minutes: 
     }
     let per_bin = (g / step) as usize;
 
-    // First bin boundary at or before the series start. Boundaries sit at
-    // `offset + k*g` for integer k; when the boundary containing the series
-    // start would be negative (series starts before the first offset-aligned
-    // boundary), we advance to the next boundary and drop the leading
-    // samples — shifting the boundary to zero would silently misalign every
-    // bin after it.
-    let start_abs = series.start().0;
-    let rel = start_abs as i64 - offset_minutes as i64;
-    let first_bin = rel.div_euclid(g as i64);
-    let mut first_bin_start = first_bin * g as i64 + offset_minutes as i64;
-    debug_assert!(first_bin_start <= start_abs as i64);
-    while first_bin_start < 0 {
-        first_bin_start += g as i64;
-    }
-    let first_bin_start = first_bin_start as u32;
-    if first_bin_start >= series.end().0 {
-        return TimeSeries::new(Minute(first_bin_start), g, Vec::new());
-    }
-
-    let end_abs = series.end().0;
-    let n_bins = ((end_abs - first_bin_start) as usize).div_ceil(g as usize);
+    let (first_bin_start, n_bins) =
+        match bin_layout(series.start().0, series.end().0, g, offset_minutes) {
+            BinLayout::Empty { first_bin_start } => {
+                return TimeSeries::new(Minute(first_bin_start), g, Vec::new());
+            }
+            BinLayout::Bins {
+                first_bin_start,
+                n_bins,
+            } => (first_bin_start, n_bins),
+        };
 
     let mut out = Vec::with_capacity(n_bins);
     for b in 0..n_bins {

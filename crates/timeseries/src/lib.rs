@@ -15,17 +15,21 @@
 //!   per-minute [`TimeSeries`] with reset and gap handling.
 //! * [`binning`] — time aggregation (Definition 3 of the paper operates over
 //!   candidate binnings).
+//! * [`pyramid`] — exact integer prefix sums for O(bins) re-binning, the
+//!   fast path of the Definition-3 granularity sweep.
 //! * [`windows`] — non-overlapping daily and weekly windows, the `W` mapping
 //!   of Definitions 2, 3 and 5.
 
 pub mod binning;
 pub mod counter;
+pub mod pyramid;
 pub mod series;
 pub mod time;
 pub mod windows;
 
 pub use binning::{aggregate, Granularity};
 pub use counter::{counter_delta, CounterDelta, CounterReport, CounterTrace, OutOfOrderReport};
+pub use pyramid::{GranularityPyramid, PyramidLevel};
 pub use series::TimeSeries;
 pub use time::{Minute, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK};
 pub use windows::{daily_windows, weekly_windows, Window, WindowKind};

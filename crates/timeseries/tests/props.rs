@@ -2,14 +2,25 @@
 
 use proptest::prelude::*;
 use wtts_timeseries::{
-    aggregate, daily_windows, weekly_windows, CounterTrace, Granularity, Minute, TimeSeries,
-    Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK,
+    aggregate, daily_windows, weekly_windows, CounterTrace, Granularity, GranularityPyramid,
+    Minute, TimeSeries, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK,
 };
 
 fn values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(
         prop_oneof![
             8 => (0.0f64..1e8).prop_map(|v| v),
+            2 => Just(f64::NAN),
+        ],
+        len,
+    )
+}
+
+/// Integer-valued traffic with NaN gaps — the pyramid's exact domain.
+fn integer_values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0i64..100_000_000).prop_map(|v| v as f64),
             2 => Just(f64::NAN),
         ],
         len,
@@ -115,6 +126,69 @@ proptest! {
         for d in daily_windows(&agg, weeks, 0) {
             prop_assert_eq!(d.series.len(), (MINUTES_PER_DAY / g) as usize);
         }
+    }
+
+    /// Pyramid rebinning is bit-identical to direct `aggregate` for any
+    /// step, granularity multiple, offset, start, and NaN-gapped integer
+    /// series whose length need not divide the bin width.
+    #[test]
+    fn pyramid_rebin_matches_aggregate(
+        vals in integer_values(1..400),
+        step in prop::sample::select(vec![1u32, 2, 3, 5]),
+        mult in 1u32..40,
+        offset in 0u32..2000,
+        start in 0u32..500,
+    ) {
+        let s = TimeSeries::new(Minute(start), step, vals);
+        let p = GranularityPyramid::try_new(&s).expect("integer values are exact");
+        let g = Granularity::minutes(step * mult);
+        let direct = aggregate(&s, g, offset);
+        let fast = p.rebin(g, offset);
+        prop_assert_eq!(fast.start(), direct.start());
+        prop_assert_eq!(fast.step_minutes(), direct.step_minutes());
+        prop_assert_eq!(fast.len(), direct.len());
+        for (a, b) in fast.values().iter().zip(direct.values()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+    }
+
+    /// Folding a coarser granularity from a pyramid level matches direct
+    /// aggregation bit-for-bit.
+    #[test]
+    fn pyramid_level_fold_matches_aggregate(
+        vals in integer_values(1..400),
+        step in prop::sample::select(vec![1u32, 2, 5]),
+        base_mult in 1u32..8,
+        fold_mult in 1u32..8,
+        offset in 0u32..600,
+        start in 0u32..200,
+    ) {
+        let s = TimeSeries::new(Minute(start), step, vals);
+        let p = GranularityPyramid::try_new(&s).expect("integer values are exact");
+        let base = step * base_mult;
+        let g = Granularity::minutes(base * fold_mult);
+        let level = p.level(Granularity::minutes(base), offset);
+        let direct = aggregate(&s, g, offset);
+        let folded = level.rebin(g);
+        prop_assert_eq!(folded.start(), direct.start());
+        prop_assert_eq!(folded.len(), direct.len());
+        for (a, b) in folded.values().iter().zip(direct.values()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+    }
+
+    /// Any non-integer finite value disables the pyramid fast path.
+    #[test]
+    fn pyramid_rejects_fractional_values(
+        vals in integer_values(2..100),
+        frac in 0.01f64..0.99,
+        at in 0usize..1000,
+    ) {
+        let mut vals = vals;
+        let k = at % vals.len();
+        vals[k] = 42.0 + frac;
+        let s = TimeSeries::per_minute(vals);
+        prop_assert!(GranularityPyramid::try_new(&s).is_none());
     }
 
     /// CounterTrace decoding never produces negative deltas.

@@ -2,16 +2,16 @@
 //!
 //! Sweeps candidate binnings for one gateway and reports the week-to-week
 //! and same-weekday correlations per granularity, plus strong-stationarity
-//! verdicts — Definition 3 in action.
+//! verdicts — Definition 3 in action. Both sweeps run through the
+//! granularity-pyramid engine, which shares the gateway's prefix sums
+//! across every candidate.
 //!
 //! ```text
 //! cargo run --release --example aggregation_tuning [gateway_id]
 //! ```
 
-use wtts::core::aggregation::{
-    best_score, daily_window_correlation, stationary_weekday_count, weekly_stationarity,
-    weekly_window_correlation,
-};
+use wtts::core::aggregation::best_score;
+use wtts::core::sweep::{daily_sweep, weekly_sweep, SweepConfig};
 use wtts::gwsim::{Fleet, FleetConfig};
 use wtts::timeseries::Granularity;
 
@@ -33,22 +33,31 @@ fn main() {
         gw.archetype, gw.regularity, weeks
     );
 
+    let series = std::slice::from_ref(&total);
+    let config = SweepConfig::default();
+
     println!("weekly patterns (windows = whole weeks):");
     println!(
         "{:>12} {:>10} {:>12}",
         "granularity", "avg cor", "stationary?"
     );
+    let candidates: Vec<(Granularity, u32)> = Granularity::weekly_candidates()
+        .iter()
+        .map(|&g| (g, 0))
+        .collect();
+    let weekly = weekly_sweep(series, weeks, &candidates, &config, None);
     let mut weekly_scores = Vec::new();
-    for g in Granularity::weekly_candidates() {
-        let Some(score) = weekly_window_correlation(&total, weeks, g, 0) else {
+    for cell in &weekly.cells[0] {
+        let Some(score) = cell.score else {
             continue;
         };
-        let stationary = weekly_stationarity(&total, weeks, g, 0)
+        let stationary = cell
+            .stationarity
             .map(|c| c.is_stationary())
             .unwrap_or(false);
         println!(
             "{:>12} {:>10.3} {:>12}",
-            g.to_string(),
+            score.granularity.to_string(),
             score.mean_correlation,
             stationary
         );
@@ -66,17 +75,24 @@ fn main() {
         "{:>12} {:>10} {:>17}",
         "granularity", "avg cor", "stationary days"
     );
+    let daily = daily_sweep(
+        series,
+        weeks,
+        Granularity::daily_candidates(),
+        0,
+        &config,
+        None,
+    );
     let mut daily_scores = Vec::new();
-    for g in Granularity::daily_candidates() {
-        let Some(score) = daily_window_correlation(&total, weeks, g, 0) else {
+    for cell in &daily.cells[0] {
+        let Some(score) = cell.score else {
             continue;
         };
-        let days = stationary_weekday_count(&total, weeks, g, 0);
         println!(
             "{:>12} {:>10.3} {:>17}",
-            g.to_string(),
+            score.granularity.to_string(),
             score.mean_correlation,
-            days
+            cell.stationary_weekday_count()
         );
         daily_scores.push(score);
     }

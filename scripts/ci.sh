@@ -19,10 +19,44 @@ cargo test -q
 echo "== ingest bench (smoke) =="
 cargo bench -p wtts-bench --bench ingest -- --smoke
 
+metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
+sweep_metrics_json="$(mktemp /tmp/wtts_ci_sweep_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics_json" "$sweep_metrics_json"' EXIT
+
+echo "== granularity_sweep bench (smoke) =="
+cargo bench -p wtts-bench --bench granularity_sweep -- --smoke --metrics-json "$sweep_metrics_json"
+python3 - "$sweep_metrics_json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    m = json.load(fh)
+
+assert m["conserved"] is True, "stage books must balance"
+assert m["quiescent"] is True, "no span may be left open"
+stages = m["stages"]
+for name in ("pyramid_build", "rebin", "window_score"):
+    s = stages[name]
+    assert s["entered"] == s["exited"] + s["in_flight"], (name, s)
+    assert s["entered"] > 0, f"stage {name} never ran"
+c = m["counters"]
+assert c["rebins_pyramid"] + c["rebins_direct"] == stages["rebin"]["entered"], c
+assert c["level_folds"] <= c["rebins_pyramid"], c
+print("sweep obs ok:", c["rebins_pyramid"], "pyramid rebins,", c["level_folds"], "level folds")
+PY
+python3 - results/BENCH_aggregation.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    b = json.load(fh)
+
+assert b["bench"] == "granularity_sweep", b["bench"]
+assert b["bit_identical"] is True
+assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
+print("recorded sweep baseline ok: speedup", b["speedup_single_thread"], "x")
+PY
+
 echo "== examples (smoke) =="
 cargo run --release --example quickstart >/dev/null
-metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
-trap 'rm -f "$metrics_json"' EXIT
 cargo run --release --example fleet_ingest -- --metrics-json "$metrics_json" >/dev/null
 python3 - "$metrics_json" <<'PY'
 import json, sys
