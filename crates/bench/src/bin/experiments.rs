@@ -212,6 +212,10 @@ fn main() {
     let (heartbeat, heartbeat_handle) = Heartbeat::start(ids.len());
     // Figures 7 and 8 read the same daily sweep; compute it once on first use.
     let mut daily: Option<aggregation::DailyAnalysis> = None;
+    // The motif experiments all read the two window families; each set
+    // (windows + shared sketch index + motifs) is built once on first use.
+    let mut weekly_set: Option<motifs::MotifSet> = None;
+    let mut daily_set: Option<motifs::MotifSet> = None;
     for id in &ids {
         let started = Instant::now();
         heartbeat.begin(id);
@@ -234,28 +238,28 @@ fn main() {
                 aggregation::fig8(daily, out);
             }
             "fig9-10" => {
-                let weekly = motifs::weekly_motifs(&fleet);
-                motifs::fig9_10(&weekly, "weekly", out);
-                let daily = motifs::daily_motifs(&fleet);
-                motifs::fig9_10(&daily, "daily", out);
+                let weekly = weekly_set.get_or_insert_with(|| motifs::weekly_motifs(&fleet));
+                motifs::fig9_10(weekly, "weekly", out);
+                let daily = daily_set.get_or_insert_with(|| motifs::daily_motifs(&fleet));
+                motifs::fig9_10(daily, "daily", out);
             }
             "fig11" => {
-                let weekly = motifs::weekly_motifs(&fleet);
-                motifs::fig11(&weekly, out);
+                let weekly = weekly_set.get_or_insert_with(|| motifs::weekly_motifs(&fleet));
+                motifs::fig11(weekly, out);
             }
             "fig12-13" => {
-                let weekly = motifs::weekly_motifs(&fleet);
-                let sel = motifs::weekly_representatives(&weekly);
-                motifs::motif_dominance(&fleet, &weekly, &sel, "weekly", out);
+                let weekly = weekly_set.get_or_insert_with(|| motifs::weekly_motifs(&fleet));
+                let sel = motifs::weekly_representatives(weekly);
+                motifs::motif_dominance(&fleet, weekly, &sel, "weekly", out);
             }
             "fig14" => {
-                let daily = motifs::daily_motifs(&fleet);
-                motifs::fig14(&daily, out);
+                let daily = daily_set.get_or_insert_with(|| motifs::daily_motifs(&fleet));
+                motifs::fig14(daily, out);
             }
             "fig15-16" => {
-                let daily = motifs::daily_motifs(&fleet);
-                let sel = motifs::daily_representatives(&daily);
-                motifs::motif_dominance(&fleet, &daily, &sel, "daily", out);
+                let daily = daily_set.get_or_insert_with(|| motifs::daily_motifs(&fleet));
+                let sel = motifs::daily_representatives(daily);
+                motifs::motif_dominance(&fleet, daily, &sel, "daily", out);
             }
             "motifs-within" => motifs::motifs_within_gateways(&fleet, out),
             "sec6-bg" => background::sec6_background_gain(&fleet, out),
@@ -269,8 +273,8 @@ fn main() {
             "robustness" => robustness::robustness(out),
             "ablation" => {
                 dominance::ablation_similarity(&fleet, out);
-                let weekly = motifs::weekly_motifs(&fleet);
-                motifs::ablation_group_factor(&weekly.windows, out);
+                let weekly = weekly_set.get_or_insert_with(|| motifs::weekly_motifs(&fleet));
+                motifs::ablation_group_factor(weekly, out);
             }
             other => {
                 eprintln!("unknown experiment: {other}\n");

@@ -6,7 +6,9 @@ use crate::report::{fmt, pct, Table};
 use std::collections::HashMap;
 use std::path::Path;
 use wtts_core::dominance::dominant_devices;
-use wtts_core::motif::{discover_motifs, Motif, MotifConfig, WindowRef};
+use wtts_core::motif::{
+    discover_motifs, discover_motifs_indexed, Motif, MotifConfig, MotifIndex, WindowRef,
+};
 use wtts_devid::DeviceType;
 use wtts_gwsim::Fleet;
 use wtts_timeseries::{
@@ -20,6 +22,10 @@ pub struct MotifSet {
     pub refs: Vec<WindowRef>,
     /// The window sample vectors.
     pub windows: Vec<Vec<f64>>,
+    /// Profiles and pruning sketches of the windows, built once and shared
+    /// by every discovery over this set (the threshold ablations re-run
+    /// discovery several times; the sketches never change).
+    pub index: MotifIndex,
     /// Discovered motifs, largest support first.
     pub motifs: Vec<Motif>,
     /// Number of gateways that contributed windows.
@@ -70,10 +76,13 @@ pub fn weekly_motifs(fleet: &Fleet) -> MotifSet {
             windows.push(w);
         }
     }
-    let motifs = discover_motifs(&windows, &MotifConfig::default());
+    let config = MotifConfig::default();
+    let index = MotifIndex::new(&windows, config.min_observations);
+    let motifs = discover_motifs_indexed(&index, &config, None);
     MotifSet {
         refs,
         windows,
+        index,
         motifs,
         n_gateways,
         weeks,
@@ -120,10 +129,13 @@ pub fn daily_motifs(fleet: &Fleet) -> MotifSet {
             windows.push(w);
         }
     }
-    let motifs = discover_motifs(&windows, &MotifConfig::default());
+    let config = MotifConfig::default();
+    let index = MotifIndex::new(&windows, config.min_observations);
+    let motifs = discover_motifs_indexed(&index, &config, None);
     MotifSet {
         refs,
         windows,
+        index,
         motifs,
         n_gateways,
         weeks,
@@ -557,18 +569,20 @@ pub fn motif_dominance(
 }
 
 /// Ablation: motif census vs the group-similarity factor (the paper's ¾).
-pub fn ablation_group_factor(set_windows: &[Vec<f64>], out: Option<&Path>) {
+/// Reuses the set's shared index — three discoveries, one sketch build.
+pub fn ablation_group_factor(set: &MotifSet, out: Option<&Path>) {
     let mut t = Table::new(
         "Ablation - motif census vs group-similarity factor",
         &["factor", "motifs", "max support", "windows in motifs"],
     );
     for factor in [0.5, 0.75, 1.0] {
-        let motifs = discover_motifs(
-            set_windows,
+        let motifs = discover_motifs_indexed(
+            &set.index,
             &MotifConfig {
                 group_factor: factor,
                 ..MotifConfig::default()
             },
+            None,
         );
         let max_support = motifs.first().map(|m| m.support()).unwrap_or(0);
         let covered: usize = motifs.iter().map(|m| m.support()).sum();

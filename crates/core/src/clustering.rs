@@ -7,7 +7,9 @@
 //! clustering over an arbitrary distance matrix plus the `cor`-based
 //! convenience entry point.
 
-use crate::engine::{cor_matrix, profile_series, CorMatrixConfig};
+use crate::engine::{
+    cor_matrix, cor_matrix_pruned, profile_series, sketch_series, CorMatrixConfig, PruneConfig,
+};
 
 /// One merge step of the agglomerative clustering.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +141,54 @@ pub fn cluster_correlated(series: &[Vec<f64>], min_similarity: f64) -> Vec<Vec<u
     average_linkage(&dist, n).cut(1.0 - min_similarity)
 }
 
+/// Connected components of the `cor ≥ min_similarity` graph, computed
+/// from the sketch-pruned sparse matrix — the fleet-scale companion to
+/// [`cluster_correlated`].
+///
+/// Average linkage needs *every* pairwise distance, so it cannot ride the
+/// pruned path unchanged. The component decomposition can, and it
+/// provably **coarsens** the average-linkage cut: a merge applied at
+/// average distance `≤ 1 − min_similarity` implies at least one member
+/// pair with similarity `≥ min_similarity`, so every cluster
+/// [`cluster_correlated`] returns is wholly contained in one component
+/// returned here. Use it to split a fleet into independent sub-problems
+/// before running the exact clustering per component.
+///
+/// Components are sorted by smallest member, members ascending (the same
+/// shape [`Dendrogram::cut`] returns).
+pub fn correlation_components(series: &[Vec<f64>], min_similarity: f64) -> Vec<Vec<usize>> {
+    let n = series.len();
+    let profiles = profile_series(series);
+    let config = PruneConfig::at_threshold(min_similarity);
+    let sketches = sketch_series(&profiles, &config.sketch);
+    let (sparse, _) = cor_matrix_pruned(&profiles, &sketches, &config);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (i, j, v) in sparse.entries() {
+        // The same f32 comparison the dense consumers make: a pruned pair
+        // is provably below threshold even after f32 rounding (see
+        // `wtts_stats::sketch`), so the edge set matches a dense scan.
+        if v as f64 >= min_similarity {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+            if a != b {
+                parent[b] = a;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for leaf in 0..n {
+        let root = find(&mut parent, leaf);
+        groups.entry(root).or_default().push(leaf);
+    }
+    groups.into_values().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +238,56 @@ mod tests {
         assert!(tight.len() >= loose.len());
         // All four rising series correlate strongly: one loose cluster.
         assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn components_match_clusters_on_separated_groups() {
+        let rising = |k: usize| -> Vec<f64> {
+            (0..30)
+                .map(|i| (i * (k + 1)) as f64 + (i % 3) as f64)
+                .collect()
+        };
+        let wave = |k: usize| -> Vec<f64> {
+            (0..30)
+                .map(|i| (i as f64 * 0.9 + k as f64 * 0.01).sin() * 100.0)
+                .collect()
+        };
+        let series: Vec<Vec<f64>> = (0..3).map(rising).chain((0..3).map(wave)).collect();
+        let components = correlation_components(&series, 0.6);
+        assert_eq!(components, cluster_correlated(&series, 0.6));
+    }
+
+    #[test]
+    fn components_coarsen_average_linkage() {
+        // Mixed fixture: components must contain every exact cluster.
+        let series: Vec<Vec<f64>> = (0..8)
+            .map(|s| {
+                (0..36)
+                    .map(|t| {
+                        ((t * (s % 4 + 1)) % 13) as f64 * 10.0
+                            + ((t * 7 + s) % 5) as f64
+                            + t as f64 * 1e-3
+                    })
+                    .collect()
+            })
+            .collect();
+        for phi in [0.4, 0.6, 0.8] {
+            let clusters = cluster_correlated(&series, phi);
+            let components = correlation_components(&series, phi);
+            let comp_of = |leaf: usize| {
+                components
+                    .iter()
+                    .position(|c| c.contains(&leaf))
+                    .expect("every leaf in a component")
+            };
+            for cluster in &clusters {
+                let home = comp_of(cluster[0]);
+                assert!(
+                    cluster.iter().all(|&m| comp_of(m) == home),
+                    "cluster {cluster:?} split across components {components:?} at φ={phi}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::obs::PipelineObs;
 use crate::similarity::CorSimilarity;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use wtts_stats::sketch::{prune_pair, CorSketch, PruneTier, SketchConfig};
 use wtts_stats::{cor_tests_profiled, CorProfile, CorScratch, ALPHA};
 
 /// Configuration for [`cor_matrix`].
@@ -246,6 +247,341 @@ pub fn profile_series_observed<S: AsRef<[f64]>>(
         .collect()
 }
 
+/// Configuration for the sketch-pruned matrix build: the similarity
+/// threshold pruning targets, the sketch resolution, and the exact
+/// engine's own settings for survivors.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// The similarity threshold φ: pairs provably below it are pruned.
+    /// Pruning is sound only for `threshold > 0` (Definition 1 maps
+    /// insignificant pairs to 0); at `threshold ≤ 0` every pair is
+    /// evaluated exactly.
+    pub threshold: f64,
+    /// Sketch resolution (segments and SAX alphabet).
+    pub sketch: SketchConfig,
+    /// Exact-path settings (significance level, worker threads).
+    pub matrix: CorMatrixConfig,
+}
+
+impl PruneConfig {
+    /// Default sketches and exact-path settings at threshold `phi`.
+    pub fn at_threshold(phi: f64) -> PruneConfig {
+        PruneConfig {
+            threshold: phi,
+            sketch: SketchConfig::default(),
+            matrix: CorMatrixConfig::default(),
+        }
+    }
+}
+
+/// Per-tier accounting of one pruned matrix build. The conservation law
+/// `pairs_pruned() + pairs_evaluated == pairs_total` holds by
+/// construction and is what the CI smoke asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// All unordered pairs considered (`n(n−1)/2`).
+    pub pairs_total: u64,
+    /// Pairs dismissed because a side degenerates every coefficient.
+    pub pruned_degenerate: u64,
+    /// Pairs dismissed by the symbolized (SAX MINDIST) bounds.
+    pub pruned_sax: u64,
+    /// Pairs dismissed by the segment-mean (moment) bounds.
+    pub pruned_moment: u64,
+    /// Pairs evaluated exactly (stored in the sparse matrix).
+    pub pairs_evaluated: u64,
+    /// Evaluated pairs that were ineligible for pruning because their
+    /// finite masks differ (a subset of `pairs_evaluated`).
+    pub mask_fallthrough: u64,
+}
+
+impl PruneStats {
+    /// Pairs dismissed across all tiers.
+    pub fn pairs_pruned(&self) -> u64 {
+        self.pruned_degenerate + self.pruned_sax + self.pruned_moment
+    }
+
+    /// Fraction of pairs dismissed without exact work (0 for `n < 2`).
+    pub fn prune_rate(&self) -> f64 {
+        if self.pairs_total == 0 {
+            0.0
+        } else {
+            self.pairs_pruned() as f64 / self.pairs_total as f64
+        }
+    }
+
+    /// The conservation law every build must satisfy.
+    pub fn conserved(&self) -> bool {
+        self.pairs_pruned() + self.pairs_evaluated == self.pairs_total
+    }
+
+    fn absorb(&mut self, other: &PruneStats) {
+        self.pairs_total += other.pairs_total;
+        self.pruned_degenerate += other.pruned_degenerate;
+        self.pruned_sax += other.pruned_sax;
+        self.pruned_moment += other.pruned_moment;
+        self.pairs_evaluated += other.pairs_evaluated;
+        self.mask_fallthrough += other.mask_fallthrough;
+    }
+}
+
+/// The sparse upper triangle a pruned build produces: only pairs that
+/// survived pruning carry a value (bit-identical to the dense
+/// [`CondensedMatrix`] entry); pruned pairs are absent, which certifies
+/// their similarity is strictly below the build threshold.
+///
+/// Storage is CSR-like: `row_start[i] .. row_start[i+1]` indexes the
+/// columns (`j > i`, ascending) and values of row `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseCorMatrix {
+    n: usize,
+    threshold: f64,
+    row_start: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl SparseCorMatrix {
+    /// Number of series the matrix covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The threshold the build pruned against: `get` returning `None`
+    /// certifies the pair's exact similarity is below this.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of stored (exactly evaluated) pairs.
+    pub fn evaluated_pairs(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The similarity of series `i` and `j`, in either order: `Some` with
+    /// the dense-identical value when the pair was evaluated, `1.0` on the
+    /// diagonal, `None` when the pair was pruned (provably `< threshold`).
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Option<f32> {
+        assert!(i < self.n && j < self.n, "pair index out of bounds");
+        let (i, j) = match i.cmp(&j) {
+            std::cmp::Ordering::Less => (i, j),
+            std::cmp::Ordering::Equal => return Some(1.0),
+            std::cmp::Ordering::Greater => (j, i),
+        };
+        let row = &self.cols[self.row_start[i]..self.row_start[i + 1]];
+        row.binary_search(&(j as u32))
+            .ok()
+            .map(|k| self.vals[self.row_start[i] + k])
+    }
+
+    /// All stored entries `(i, j, value)` with `i < j`, in lexicographic
+    /// `(i, j)` order — the same order a dense candidate scan visits
+    /// pairs, which is what keeps pruned motif discovery bit-identical.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (self.row_start[i]..self.row_start[i + 1])
+                .map(move |k| (i, self.cols[k] as usize, self.vals[k]))
+        })
+    }
+}
+
+/// Builds the pruning sketch of every profile (a convenience for
+/// [`cor_matrix_pruned`] callers).
+pub fn sketch_series(profiles: &[CorProfile], config: &SketchConfig) -> Vec<CorSketch> {
+    sketch_series_observed(profiles, config, None)
+}
+
+/// [`sketch_series`] with optional observability: when `obs` is `Some`,
+/// each sketch construction opens a span on [`PipelineObs::sketch_build`].
+pub fn sketch_series_observed(
+    profiles: &[CorProfile],
+    config: &SketchConfig,
+    obs: Option<&PipelineObs>,
+) -> Vec<CorSketch> {
+    profiles
+        .iter()
+        .map(|p| {
+            let _span = obs.map(|o| o.sketch_build.enter());
+            CorSketch::from_profile(p, config)
+        })
+        .collect()
+}
+
+/// Sketch-pruned pairwise similarity: evaluates only the pairs whose
+/// coefficient upper bounds do not already prove `cor < threshold`.
+///
+/// Zero false dismissals: every pair whose exact similarity is at or
+/// above `config.threshold` is present in the result with the value the
+/// dense [`cor_matrix`] would store, bit for bit (survivors run through
+/// the identical exact path). Pairs whose finite masks differ are never
+/// pruned — the sketch bounds assume a shared mask — and fall through to
+/// exact evaluation, counted in [`PruneStats::mask_fallthrough`].
+pub fn cor_matrix_pruned(
+    profiles: &[CorProfile],
+    sketches: &[CorSketch],
+    config: &PruneConfig,
+) -> (SparseCorMatrix, PruneStats) {
+    cor_matrix_pruned_observed(profiles, sketches, config, None)
+}
+
+/// [`cor_matrix_pruned`] with optional observability: row fills open
+/// spans on [`PipelineObs::row_fill`], and the per-tier prune counters
+/// ([`PipelineObs::prune_pairs_total`] and friends) accumulate the
+/// returned [`PruneStats`].
+pub fn cor_matrix_pruned_observed(
+    profiles: &[CorProfile],
+    sketches: &[CorSketch],
+    config: &PruneConfig,
+    obs: Option<&PipelineObs>,
+) -> (SparseCorMatrix, PruneStats) {
+    assert_eq!(
+        profiles.len(),
+        sketches.len(),
+        "one sketch per profile required"
+    );
+    let n = profiles.len();
+    let threads = config
+        .matrix
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+
+    let mut stats = PruneStats::default();
+    let mut row_cols: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut row_vals: Vec<Vec<f32>> = Vec::with_capacity(n);
+
+    if n < 2 {
+        row_cols.resize_with(n, Vec::new);
+        row_vals.resize_with(n, Vec::new);
+    } else if threads == 1 {
+        let mut scratch = CorScratch::new();
+        for i in 0..n {
+            let _span = (i + 1 < n).then(|| obs.map(|o| o.row_fill.enter()));
+            let (cols, vals) =
+                fill_row_pruned(profiles, sketches, i, config, &mut scratch, &mut stats);
+            row_cols.push(cols);
+            row_vals.push(vals);
+        }
+    } else {
+        let mut slots: Vec<Option<(Vec<u32>, Vec<f32>)>> = Vec::new();
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(slots);
+        let total = Mutex::new(PruneStats::default());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n - 1) {
+                scope.spawn(|| {
+                    let mut scratch = CorScratch::new();
+                    let mut local = PruneStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n - 1 {
+                            break;
+                        }
+                        let _span = obs.map(|o| o.row_fill.enter());
+                        let row = fill_row_pruned(
+                            profiles,
+                            sketches,
+                            i,
+                            config,
+                            &mut scratch,
+                            &mut local,
+                        );
+                        slots.lock().expect("no poisoned slot lock")[i] = Some(row);
+                    }
+                    total.lock().expect("no poisoned stats lock").absorb(&local);
+                });
+            }
+        });
+        stats = total.into_inner().expect("no poisoned stats lock");
+        for slot in slots.into_inner().expect("no poisoned slot lock") {
+            let (cols, vals) = slot.unwrap_or_default();
+            row_cols.push(cols);
+            row_vals.push(vals);
+        }
+    }
+
+    let mut row_start = Vec::with_capacity(n + 1);
+    row_start.push(0usize);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for (rc, rv) in row_cols.iter().zip(&row_vals) {
+        cols.extend_from_slice(rc);
+        vals.extend_from_slice(rv);
+        row_start.push(cols.len());
+    }
+
+    if let Some(o) = obs {
+        o.prune_pairs_total.add(stats.pairs_total);
+        o.pairs_pruned_degenerate.add(stats.pruned_degenerate);
+        o.pairs_pruned_sax.add(stats.pruned_sax);
+        o.pairs_pruned_moment.add(stats.pruned_moment);
+        o.prune_pairs_evaluated.add(stats.pairs_evaluated);
+        o.prune_mask_fallthrough.add(stats.mask_fallthrough);
+    }
+    debug_assert!(stats.conserved());
+    (
+        SparseCorMatrix {
+            n,
+            threshold: config.threshold,
+            row_start,
+            cols,
+            vals,
+        },
+        stats,
+    )
+}
+
+/// Fills one pruned row: prune-or-evaluate every pair `(i, j)`, `j > i`.
+fn fill_row_pruned(
+    profiles: &[CorProfile],
+    sketches: &[CorSketch],
+    i: usize,
+    config: &PruneConfig,
+    scratch: &mut CorScratch,
+    stats: &mut PruneStats,
+) -> (Vec<u32>, Vec<f32>) {
+    let n = profiles.len();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for j in i + 1..n {
+        stats.pairs_total += 1;
+        let same_mask = profiles[i].same_mask(&profiles[j]);
+        let tier = if same_mask {
+            prune_pair(&sketches[i], &sketches[j], config.threshold)
+        } else {
+            None
+        };
+        match tier {
+            Some(PruneTier::Degenerate) => stats.pruned_degenerate += 1,
+            Some(PruneTier::Sax) => stats.pruned_sax += 1,
+            Some(PruneTier::Moment) => stats.pruned_moment += 1,
+            None => {
+                stats.pairs_evaluated += 1;
+                if !same_mask {
+                    stats.mask_fallthrough += 1;
+                }
+                let v = correlation_similarity_profiled(
+                    &profiles[i],
+                    &profiles[j],
+                    scratch,
+                    config.matrix.alpha,
+                )
+                .value as f32;
+                cols.push(j as u32);
+                vals.push(v);
+            }
+        }
+    }
+    (cols, vals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +675,127 @@ mod tests {
         let m = cor_matrix(&one, &CorMatrixConfig::default());
         assert_eq!(m.n(), 1);
         assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    /// Pruned-vs-dense agreement on a fixture: survivors bit-identical,
+    /// pruned pairs truly below threshold, books conserved.
+    fn assert_pruned_matches_dense(series: &[Vec<f64>], phi: f64, threads: Option<usize>) {
+        let profiles = profile_series(series);
+        let mut config = PruneConfig::at_threshold(phi);
+        config.matrix.threads = threads;
+        let sketches = sketch_series(&profiles, &config.sketch);
+        let (sparse, stats) = cor_matrix_pruned(&profiles, &sketches, &config);
+        let dense = cor_matrix(&profiles, &config.matrix);
+        assert!(stats.conserved(), "{stats:?}");
+        assert_eq!(stats.pairs_evaluated as usize, sparse.evaluated_pairs());
+        for i in 0..series.len() {
+            for j in i + 1..series.len() {
+                let d = dense.get(i, j);
+                match sparse.get(i, j) {
+                    Some(v) => assert_eq!(v.to_bits(), d.to_bits(), "pair ({i},{j})"),
+                    None => assert!(
+                        (d as f64) < phi,
+                        "pair ({i},{j}) pruned but dense = {d} ≥ {phi}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matrix_matches_dense_on_fixture() {
+        let series = series_fixture(12, 48);
+        for phi in [0.3, 0.6, 0.9] {
+            assert_pruned_matches_dense(&series, phi, Some(1));
+        }
+        assert_pruned_matches_dense(&series, 0.6, Some(4));
+    }
+
+    #[test]
+    fn non_positive_threshold_evaluates_everything() {
+        let series = series_fixture(6, 30);
+        let profiles = profile_series(&series);
+        let config = PruneConfig::at_threshold(0.0);
+        let sketches = sketch_series(&profiles, &config.sketch);
+        let (sparse, stats) = cor_matrix_pruned(&profiles, &sketches, &config);
+        assert_eq!(stats.pairs_pruned(), 0);
+        assert_eq!(stats.pairs_evaluated, stats.pairs_total);
+        assert_eq!(sparse.evaluated_pairs() as u64, stats.pairs_total);
+    }
+
+    #[test]
+    fn pruned_matrix_prunes_antiphase_pairs() {
+        // Two strongly separated shape families with a continuous tilt so
+        // values are tie-free: cross-family pairs must actually prune.
+        let n = 56;
+        let series: Vec<Vec<f64>> = (0..10)
+            .map(|s| {
+                let sign = if s % 2 == 0 { 1.0 } else { -1.0 };
+                (0..n)
+                    .map(|t| {
+                        sign * (t as f64 * std::f64::consts::TAU / 8.0).sin() * 100.0
+                            + (t as f64) * 1e-3
+                            + (s as f64) * 1e-4 * (t as f64 % 7.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let profiles = profile_series(&series);
+        let config = PruneConfig::at_threshold(0.6);
+        let sketches = sketch_series(&profiles, &config.sketch);
+        let (_, stats) = cor_matrix_pruned(&profiles, &sketches, &config);
+        assert!(
+            stats.pairs_pruned() >= 25,
+            "expected cross-family prunes, got {stats:?}"
+        );
+        assert_pruned_matches_dense(&series, 0.6, Some(1));
+    }
+
+    #[test]
+    fn pruned_matrix_obs_counters_conserve() {
+        let series = series_fixture(10, 40);
+        let profiles = profile_series(&series);
+        let config = PruneConfig::at_threshold(0.6);
+        let obs = PipelineObs::new();
+        let sketches = sketch_series_observed(&profiles, &config.sketch, Some(&obs));
+        let (_, stats) = cor_matrix_pruned_observed(&profiles, &sketches, &config, Some(&obs));
+        let snap = obs.snapshot();
+        assert!(snap.quiescent());
+        assert_eq!(snap.counter("prune_pairs_total"), stats.pairs_total);
+        assert_eq!(
+            snap.counter("pairs_pruned_degenerate")
+                + snap.counter("pairs_pruned_sax")
+                + snap.counter("pairs_pruned_moment")
+                + snap.counter("prune_pairs_evaluated"),
+            snap.counter("prune_pairs_total"),
+        );
+        let sketch_stage = snap
+            .stages
+            .iter()
+            .find(|(name, _)| *name == "sketch_build")
+            .map(|(_, s)| s.clone())
+            .expect("sketch_build stage present");
+        assert_eq!(sketch_stage.entered, series.len() as u64);
+    }
+
+    #[test]
+    fn sparse_get_handles_diagonal_and_orientation() {
+        let series = series_fixture(5, 30);
+        let profiles = profile_series(&series);
+        let config = PruneConfig::at_threshold(0.5);
+        let sketches = sketch_series(&profiles, &config.sketch);
+        let (sparse, _) = cor_matrix_pruned(&profiles, &sketches, &config);
+        assert_eq!(sparse.get(2, 2), Some(1.0));
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(sparse.get(i, j), sparse.get(j, i));
+            }
+        }
+        let collected: Vec<_> = sparse.entries().collect();
+        assert_eq!(collected.len(), sparse.evaluated_pairs());
+        assert!(collected
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! [`sax`] (a SAX baseline quantifying why symbol-based motif tools fail on
 //! Zipfian traffic, Section 2), [`engine`] (the batch
 //! pairwise-correlation engine: per-series profiles plus a parallel
-//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls),
+//! upper-triangle kernel, bit-identical to per-pair [`similarity`] calls,
+//! with a sketch-pruned sparse variant that discards provably
+//! below-threshold pairs without exact work),
 //! [`sweep`] (the granularity-pyramid sweep engine that evaluates
 //! Definition 3's whole candidate grid from exact prefix sums, bit-identical
 //! to the per-call path) and [`obs`] (lock-free pipeline observability:
@@ -64,14 +66,16 @@ pub use aggregation::{
 };
 pub use anomaly::{AnomalyConfig, AnomalyDetector, Verdict};
 pub use background::{estimate_tau, remove_background, BackgroundProfile, TauGroup, TAU_CAP};
-pub use clustering::{cluster_correlated, Dendrogram};
+pub use clustering::{cluster_correlated, correlation_components, Dendrogram};
 pub use dominance::{
     dominant_devices, euclidean_ranking, rank_dominants, ranking_agreement, volume_ranking,
     DominantDevice, DOMINANCE_PHI,
 };
 pub use engine::{
-    cor_matrix, cor_matrix_observed, cor_profiled, correlation_similarity_profiled, profile_series,
-    profile_series_observed, CondensedMatrix, CorMatrixConfig,
+    cor_matrix, cor_matrix_observed, cor_matrix_pruned, cor_matrix_pruned_observed, cor_profiled,
+    correlation_similarity_profiled, profile_series, profile_series_observed, sketch_series,
+    sketch_series_observed, CondensedMatrix, CorMatrixConfig, PruneConfig, PruneStats,
+    SparseCorMatrix,
 };
 pub use ingest::{
     DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
@@ -79,14 +83,15 @@ pub use ingest::{
 };
 pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use motif::{
-    discover_motifs, discover_motifs_observed, Motif, MotifConfig, WindowRef, F32_REVERIFY_BAND,
+    discover_motifs, discover_motifs_indexed, discover_motifs_observed, discover_motifs_pruned,
+    Motif, MotifConfig, MotifIndex, WindowRef, F32_REVERIFY_BAND,
 };
 pub use obs::{
     HistogramSnapshot, LogHistogram, ObsSnapshot, PipelineObs, Stage, StageSnapshot,
     NEAR_THRESHOLD_BAND,
 };
 pub use profile::GatewayProfile;
-pub use similarity::{cor, cor_distance, correlation_similarity, CorSimilarity};
+pub use similarity::{cor, cor_at_least, cor_distance, correlation_similarity, CorSimilarity};
 pub use stationarity::{
     strong_stationarity, strong_stationarity_observed, StationarityCheck, STATIONARITY_COR,
 };

@@ -13,11 +13,23 @@
 //! ¾φ-similar to all of them, which maintains both invariants by
 //! construction.
 
-use crate::engine::{cor_matrix_observed, cor_profiled, CorMatrixConfig};
+use crate::engine::{
+    cor_matrix_observed, cor_matrix_pruned_observed, cor_profiled, sketch_series_observed,
+    CorMatrixConfig, PruneConfig,
+};
 use crate::obs::{PipelineObs, NEAR_THRESHOLD_BAND};
 use std::collections::HashMap;
+use wtts_stats::sketch::{CorSketch, SketchConfig};
 use wtts_stats::{CorProfile, CorScratch};
 use wtts_timeseries::Weekday;
+
+/// Similarity reported for pairs the sketch tier pruned: far below every
+/// admissible threshold *and* far outside [`F32_REVERIFY_BAND`], so every
+/// membership verdict on a pruned pair is `false` without consulting the
+/// exact checker — exactly the verdict the dense path reaches, since a
+/// pruned pair's true similarity is provably below the prune threshold
+/// (which never exceeds φ, ¾φ or the merge threshold).
+const PRUNED_SIM: f32 = -2.0;
 
 /// Half-width of the f64 band around a decision threshold inside which the
 /// condensed matrix's `f32` similarity is re-verified in `f64` before a
@@ -309,6 +321,23 @@ pub fn discover_motifs_observed(
             }
         }
     }
+    assemble_motifs(n, candidate_pairs, &sim, &mut exact, config, obs)
+}
+
+/// The shared back half of motif discovery: sorts the φ-candidate pairs by
+/// descending similarity, grows motifs greedily and merges them. Both the
+/// dense and the sketch-pruned front ends feed this with the same candidate
+/// list and bit-identical `sim` values for every pair that can influence a
+/// verdict, which is what makes their outputs identical.
+fn assemble_motifs(
+    n: usize,
+    mut candidate_pairs: Vec<(usize, usize)>,
+    sim: &dyn Fn(usize, usize) -> f32,
+    exact: &mut ExactChecker<'_>,
+    config: &MotifConfig,
+    obs: Option<&PipelineObs>,
+) -> Vec<Motif> {
+    let group_threshold = config.group_threshold();
     candidate_pairs.sort_by(|a, b| {
         sim(b.0, b.1)
             .partial_cmp(&sim(a.0, a.1))
@@ -385,6 +414,178 @@ pub fn discover_motifs_observed(
         .collect();
     out.sort_by_key(|m| std::cmp::Reverse(m.support()));
     out
+}
+
+/// The reusable front half of sketch-pruned motif discovery: eligibility,
+/// per-window [`CorProfile`]s and pruning sketches, built **once** and
+/// shared across every discovery run over the same window family — the
+/// daily and weekly sweeps, threshold ablations, repeated configs.
+///
+/// Profiles and sketches depend only on the windows and the eligibility
+/// cutoff, not on the thresholds, so one index serves any number of
+/// [`discover_motifs_indexed`] calls with different [`MotifConfig`]s.
+#[derive(Debug, Clone)]
+pub struct MotifIndex {
+    n_windows: usize,
+    min_observations: usize,
+    slot: Vec<Option<usize>>,
+    eligible: Vec<usize>,
+    profiles: Vec<CorProfile>,
+    sketches: Vec<CorSketch>,
+}
+
+impl MotifIndex {
+    /// Builds the index: one profile and one pruning sketch per window with
+    /// at least `min_observations` finite samples.
+    pub fn new(windows: &[Vec<f64>], min_observations: usize) -> MotifIndex {
+        MotifIndex::observed(windows, min_observations, None)
+    }
+
+    /// [`MotifIndex::new`] with optional observability: profile and sketch
+    /// constructions open spans on [`PipelineObs::profile_build`] and
+    /// [`PipelineObs::sketch_build`].
+    pub fn observed(
+        windows: &[Vec<f64>],
+        min_observations: usize,
+        obs: Option<&PipelineObs>,
+    ) -> MotifIndex {
+        let n = windows.len();
+        let mut slot: Vec<Option<usize>> = vec![None; n];
+        let mut eligible: Vec<usize> = Vec::new();
+        let mut profiles: Vec<CorProfile> = Vec::new();
+        for (i, w) in windows.iter().enumerate() {
+            if w.iter().filter(|v| v.is_finite()).count() >= min_observations {
+                slot[i] = Some(profiles.len());
+                eligible.push(i);
+                let _p = obs.map(|o| o.profile_build.enter());
+                profiles.push(CorProfile::new(w));
+            }
+        }
+        let sketches = sketch_series_observed(&profiles, &SketchConfig::default(), obs);
+        MotifIndex {
+            n_windows: n,
+            min_observations,
+            slot,
+            eligible,
+            profiles,
+            sketches,
+        }
+    }
+
+    /// Number of windows the index was built over (eligible or not).
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// Number of windows that passed the eligibility cutoff.
+    pub fn n_eligible(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// The eligibility cutoff the index was built with; configs passed to
+    /// [`discover_motifs_indexed`] must use the same value.
+    pub fn min_observations(&self) -> usize {
+        self.min_observations
+    }
+}
+
+/// Sketch-pruned [`discover_motifs`]: identical output, but pairs provably
+/// below every decision threshold are dismissed by cheap sketch bounds
+/// instead of exact Definition-1 evaluation. Builds a throwaway
+/// [`MotifIndex`]; to amortize the index across several runs (daily *and*
+/// weekly families, ablation sweeps), build it once and call
+/// [`discover_motifs_indexed`].
+pub fn discover_motifs_pruned(windows: &[Vec<f64>], config: &MotifConfig) -> Vec<Motif> {
+    discover_motifs_indexed(
+        &MotifIndex::new(windows, config.min_observations),
+        config,
+        None,
+    )
+}
+
+/// Motif discovery over a prebuilt [`MotifIndex`], with sketch pruning.
+///
+/// Bit-identical to `discover_motifs_observed` on the same windows and
+/// config, by the following argument:
+///
+/// * The sparse matrix prunes at `φ_prune = min(φ, ¾φ-group, merge)`, so a
+///   pruned pair's exact similarity is provably `< φ_prune − margin`, and
+///   its dense `f32` value is `< φ_prune` — below **every** threshold any
+///   verdict uses, even after `f64` re-verification. Reporting it as
+///   [`PRUNED_SIM`] therefore yields the same `false` verdict the dense
+///   path reaches. If any threshold is ≤ 0 the prune threshold is ≤ 0 and
+///   the engine evaluates every pair — trivially dense.
+/// * Surviving pairs carry the engine's bit-identical `f32` similarity, the
+///   candidate scan walks them in the same lexicographic order the dense
+///   scan uses, and the descending-similarity sort is stable — so the
+///   greedy growth sees the exact same pair sequence.
+///
+/// Returns motifs sorted by descending support. Panics if
+/// `config.min_observations` differs from the index's.
+pub fn discover_motifs_indexed(
+    index: &MotifIndex,
+    config: &MotifConfig,
+    obs: Option<&PipelineObs>,
+) -> Vec<Motif> {
+    assert_eq!(
+        config.min_observations, index.min_observations,
+        "MotifIndex was built with a different eligibility cutoff"
+    );
+    let _span = obs.map(|o| o.motif_discovery.enter());
+    let group_threshold = config.group_threshold();
+    let phi_prune = config.phi.min(group_threshold).min(config.merge_threshold);
+    let prune_config = PruneConfig {
+        threshold: phi_prune,
+        sketch: SketchConfig::default(),
+        matrix: CorMatrixConfig::default(),
+    };
+    let (sparse, _stats) =
+        cor_matrix_pruned_observed(&index.profiles, &index.sketches, &prune_config, obs);
+
+    let slot = &index.slot;
+    let sim = |i: usize, j: usize| -> f32 {
+        match (slot[i], slot[j]) {
+            (Some(a), Some(b)) => sparse.get(a, b).unwrap_or(PRUNED_SIM),
+            _ => 0.0,
+        }
+    };
+    let mut exact = ExactChecker::new(&index.profiles, slot);
+
+    // Candidate scan over the survivors only, in the same lexicographic
+    // (row-major upper-triangle) order the dense scan uses. Pruned pairs
+    // can never be candidates — their dense f32 similarity is below
+    // φ_prune ≤ φ and their exact value below φ_prune − margin, so the
+    // dense scan rejects them with or without re-verification.
+    let mut candidate_pairs: Vec<(usize, usize)> = Vec::new();
+    for (a, b, s) in sparse.entries() {
+        let (i, j) = (index.eligible[a], index.eligible[b]);
+        if let Some(o) = obs {
+            o.pairs_evaluated.incr();
+            if (s as f64 - config.phi).abs() <= NEAR_THRESHOLD_BAND {
+                o.near_phi.incr();
+            }
+            if (s as f64 - group_threshold).abs() <= NEAR_THRESHOLD_BAND {
+                o.near_group.incr();
+            }
+        }
+        if exact.meets(s, i, j, config.phi, obs) {
+            candidate_pairs.push((i, j));
+            if let Some(o) = obs {
+                o.candidate_pairs.incr();
+            }
+        } else if let Some(o) = obs {
+            o.pairs_pruned.incr();
+        }
+    }
+
+    assemble_motifs(
+        index.n_windows,
+        candidate_pairs,
+        &sim,
+        &mut exact,
+        config,
+        obs,
+    )
 }
 
 #[cfg(test)]
@@ -559,6 +760,69 @@ mod tests {
         let motifs = discover_motifs(&windows, &MotifConfig::default());
         assert_eq!(motifs[0].support(), 4);
         assert!((motifs[0].weekend_fraction(&refs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indexed_discovery_matches_dense() {
+        let mut windows: Vec<Vec<f64>> = (0..6).map(evening).collect();
+        windows.extend((0..5).map(morning));
+        windows.extend((0..4).map(noise));
+        windows.push(vec![f64::NAN; 8]); // Ineligible window in the mix.
+        let configs = [
+            MotifConfig::default(),
+            MotifConfig {
+                phi: 0.6,
+                ..MotifConfig::default()
+            },
+            MotifConfig {
+                phi: 0.9,
+                merge_threshold: 0.85,
+                ..MotifConfig::default()
+            },
+            // Non-positive merge threshold disables pruning entirely; the
+            // pruned path must still agree.
+            MotifConfig {
+                merge_threshold: -0.5,
+                ..MotifConfig::default()
+            },
+        ];
+        let index = MotifIndex::new(&windows, MotifConfig::default().min_observations);
+        for config in &configs {
+            let dense = discover_motifs(&windows, config);
+            let pruned = discover_motifs_pruned(&windows, config);
+            assert_eq!(dense, pruned, "phi {}", config.phi);
+            let indexed = discover_motifs_indexed(&index, config, None);
+            assert_eq!(dense, indexed, "indexed, phi {}", config.phi);
+        }
+    }
+
+    #[test]
+    fn one_index_serves_daily_and_weekly_families() {
+        // The satellite: one shared sketch index reused across window
+        // families and configs, instead of rebuilding per family.
+        let windows: Vec<Vec<f64>> = (0..5).map(evening).chain((0..5).map(morning)).collect();
+        let index = MotifIndex::new(&windows, 3);
+        assert_eq!(index.n_windows(), 10);
+        assert_eq!(index.n_eligible(), 10);
+        for phi in [0.6, 0.7, 0.8, 0.9] {
+            let config = MotifConfig {
+                phi,
+                ..MotifConfig::default()
+            };
+            assert_eq!(
+                discover_motifs_indexed(&index, &config, None),
+                discover_motifs(&windows, &config),
+                "phi {phi}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eligibility cutoff")]
+    fn indexed_discovery_rejects_mismatched_cutoff() {
+        let windows: Vec<Vec<f64>> = (0..4).map(evening).collect();
+        let index = MotifIndex::new(&windows, 5);
+        let _ = discover_motifs_indexed(&index, &MotifConfig::default(), None);
     }
 
     #[test]

@@ -308,6 +308,9 @@ pub struct PipelineObs {
     /// One window-set scoring pass (profiles plus the fused pair loop) for
     /// one sweep cell.
     pub window_score: Stage,
+    /// Per-series pruning-sketch construction
+    /// ([`crate::engine::sketch_series`]).
+    pub sketch_build: Stage,
     /// Pairs whose similarity was compared against a motif threshold.
     pub pairs_evaluated: Counter,
     /// Pairs accepted as motif candidates (`cor ≥ φ`).
@@ -334,6 +337,21 @@ pub struct PipelineObs {
     /// Pyramid re-binnings that folded from a coarse level rather than the
     /// per-sample base (a subset of `rebins_pyramid`).
     pub level_folds: Counter,
+    /// Pairs a pruned matrix build considered (its conservation total:
+    /// the three prune tiers plus exact evaluations sum to this).
+    pub prune_pairs_total: Counter,
+    /// Pairs dismissed by the degenerate tier (constant side or too few
+    /// shared observations).
+    pub pairs_pruned_degenerate: Counter,
+    /// Pairs dismissed by the symbolized (SAX MINDIST) bound tier.
+    pub pairs_pruned_sax: Counter,
+    /// Pairs dismissed by the segment-mean (moment signature) bound tier.
+    pub pairs_pruned_moment: Counter,
+    /// Pairs that fell through pruning and were evaluated exactly.
+    pub prune_pairs_evaluated: Counter,
+    /// Exactly-evaluated pairs that were ineligible for pruning because
+    /// their finite masks differ (a subset of `prune_pairs_evaluated`).
+    pub prune_mask_fallthrough: Counter,
     /// Pairwise similarities observed by stationarity sweeps, in
     /// thousandths (see [`sim_millis`]).
     pub stationarity_sim_millis: LogHistogram,
@@ -357,6 +375,7 @@ impl PipelineObs {
                 ("pyramid_build", self.pyramid_build.snapshot()),
                 ("rebin", self.rebin.snapshot()),
                 ("window_score", self.window_score.snapshot()),
+                ("sketch_build", self.sketch_build.snapshot()),
             ],
             counters: vec![
                 ("pairs_evaluated", self.pairs_evaluated.get()),
@@ -371,6 +390,15 @@ impl PipelineObs {
                 ("rebins_pyramid", self.rebins_pyramid.get()),
                 ("rebins_direct", self.rebins_direct.get()),
                 ("level_folds", self.level_folds.get()),
+                ("prune_pairs_total", self.prune_pairs_total.get()),
+                (
+                    "pairs_pruned_degenerate",
+                    self.pairs_pruned_degenerate.get(),
+                ),
+                ("pairs_pruned_sax", self.pairs_pruned_sax.get()),
+                ("pairs_pruned_moment", self.pairs_pruned_moment.get()),
+                ("prune_pairs_evaluated", self.prune_pairs_evaluated.get()),
+                ("prune_mask_fallthrough", self.prune_mask_fallthrough.get()),
             ],
             stationarity_sim_millis: self.stationarity_sim_millis.snapshot(),
         }

@@ -10,22 +10,14 @@
 //! experiment harness can quantify that argument.
 
 use wtts_stats::z_normalize;
+use wtts_stats::{gaussian_breakpoints, mindist_cell_gaps};
 
 /// Gaussian breakpoints dividing N(0,1) into `a` equiprobable regions, for
-/// alphabet sizes 2–10 (Lin et al. 2007, Table 3).
+/// alphabet sizes 2–10 (Lin et al. 2007, Table 3). Shared with the pruning
+/// sketches via [`wtts_stats::gaussian_breakpoints`], so both symbolize
+/// identically.
 fn breakpoints(alphabet: usize) -> &'static [f64] {
-    match alphabet {
-        2 => &[0.0],
-        3 => &[-0.43, 0.43],
-        4 => &[-0.67, 0.0, 0.67],
-        5 => &[-0.84, -0.25, 0.25, 0.84],
-        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
-        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
-        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
-        9 => &[-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
-        10 => &[-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
-        _ => panic!("SAX alphabet size must be in 2..=10, got {alphabet}"),
-    }
+    gaussian_breakpoints(alphabet)
 }
 
 /// Piecewise Aggregate Approximation: mean of each of `segments` equal
@@ -68,6 +60,33 @@ pub fn sax_word(x: &[f64], segments: usize, alphabet: usize) -> Vec<u8> {
             bp.iter().take_while(|&&b| v > b).count() as u8
         })
         .collect()
+}
+
+/// MINDIST between two SAX words of series length `n` (Lin et al. 2007):
+/// `sqrt(n / w) · sqrt(Σ gap(a_i, b_i)²)`, where `gap` is the precomputed
+/// breakpoint cell-gap table ([`wtts_stats::mindist_cell_gaps`]) — zero
+/// for equal or adjacent symbols. Lower-bounds the Euclidean distance
+/// between the z-normalized series, which is what makes SAX index pruning
+/// admissible.
+///
+/// # Panics
+/// Panics when the words differ in length, are empty, or contain symbols
+/// outside the alphabet.
+pub fn sax_mindist(a: &[u8], b: &[u8], n: usize, alphabet: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "SAX words must have equal length");
+    assert!(!a.is_empty(), "MINDIST of empty SAX words");
+    let w = a.len();
+    let gaps = mindist_cell_gaps(alphabet);
+    let mut d2 = 0.0;
+    for (&sa, &sb) in a.iter().zip(b) {
+        assert!(
+            (sa as usize) < alphabet && (sb as usize) < alphabet,
+            "symbol outside alphabet {alphabet}"
+        );
+        let g = gaps[sa as usize * alphabet + sb as usize];
+        d2 += g * g;
+    }
+    (n as f64 / w as f64).sqrt() * d2.sqrt()
 }
 
 /// Fraction of the alphabet actually used by the word — the paper's
@@ -163,6 +182,43 @@ mod tests {
     #[should_panic(expected = "alphabet size")]
     fn oversized_alphabet_rejected() {
         let _ = sax_word(&[1.0, 2.0], 2, 11);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_z_normalized_euclidean() {
+        // Two out-of-phase waves; MINDIST between their SAX words must
+        // never exceed the true Euclidean distance of the z-series.
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2 + 2.0).sin()).collect();
+        for (w, a) in [(8, 4), (16, 6), (32, 8)] {
+            let (wa, wb) = (sax_word(&x, w, a), sax_word(&y, w, a));
+            let md = sax_mindist(&wa, &wb, n, a);
+            let zx = z_normalize(&x);
+            let zy = z_normalize(&y);
+            let eu = zx
+                .iter()
+                .zip(&zy)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
+            assert!(md <= eu + 1e-9, "w={w} a={a}: MINDIST {md} > Euclid {eu}");
+        }
+    }
+
+    #[test]
+    fn mindist_is_symmetric_and_zero_on_close_words() {
+        assert_eq!(sax_mindist(&[0, 1, 2], &[1, 2, 3], 30, 4), 0.0);
+        let d1 = sax_mindist(&[0, 0, 3], &[3, 1, 0], 30, 4);
+        let d2 = sax_mindist(&[3, 1, 0], &[0, 0, 3], 30, 4);
+        assert_eq!(d1, d2);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mindist_rejects_length_mismatch() {
+        let _ = sax_mindist(&[0, 1], &[0], 10, 4);
     }
 
     #[test]

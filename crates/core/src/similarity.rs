@@ -8,7 +8,10 @@
 //! whichever dependence is present. The measure is invariant to scaling —
 //! it follows the *evolution* of traffic rather than its absolute volume.
 
-use wtts_stats::{kendall, pearson, spearman, CorrelationCoefficient, CorrelationTest, ALPHA};
+use wtts_stats::sketch::{prune_pair, CorSketch, SketchConfig};
+use wtts_stats::{
+    kendall, pearson, spearman, CorProfile, CorrelationCoefficient, CorrelationTest, ALPHA,
+};
 
 /// Full result of evaluating the correlation similarity measure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +87,23 @@ pub fn cor(x: &[f64], y: &[f64]) -> f64 {
 /// no significant dependence, up to `2` for perfect anti-correlation).
 pub fn cor_distance(x: &[f64], y: &[f64]) -> f64 {
     1.0 - cor(x, y)
+}
+
+/// Whether `cor(x, y) ≥ threshold`, answered as cheaply as possible: a
+/// sketch-bound check first (for same-mask pairs at a positive threshold),
+/// exact Definition 1 only when the bounds cannot rule the pair out.
+/// Always agrees with `cor(x, y) >= threshold`.
+pub fn cor_at_least(x: &[f64], y: &[f64], threshold: f64) -> bool {
+    let (px, py) = (CorProfile::new(x), CorProfile::new(y));
+    if px.same_mask(&py) && threshold > 0.0 {
+        let cfg = SketchConfig::default();
+        let sx = CorSketch::from_profile(&px, &cfg);
+        let sy = CorSketch::from_profile(&py, &cfg);
+        if prune_pair(&sx, &sy, threshold).is_some() {
+            return false;
+        }
+    }
+    cor(x, y) >= threshold
 }
 
 #[cfg(test)]
@@ -187,6 +207,30 @@ mod tests {
             .max(sim.spearman.value)
             .max(sim.kendall.value);
         assert!((sim.value - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cor_at_least_agrees_with_exact() {
+        let mk = |phase: f64| -> Vec<f64> {
+            (0..48)
+                .map(|i| (i as f64 * 0.3 + phase).sin() * 50.0 + i as f64 * 1e-3)
+                .collect()
+        };
+        let series = [mk(0.0), mk(0.1), mk(1.6), mk(3.1)];
+        for a in &series {
+            for b in &series {
+                for thr in [-0.5, 0.0, 0.3, 0.6, 0.9] {
+                    assert_eq!(cor_at_least(a, b, thr), cor(a, b) >= thr, "threshold {thr}");
+                }
+            }
+        }
+        // Differing masks take the exact path and still agree.
+        let mut holey = mk(0.2);
+        holey[7] = f64::NAN;
+        assert_eq!(
+            cor_at_least(&holey, &series[0], 0.6),
+            cor(&holey, &series[0]) >= 0.6
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@ use proptest::prelude::*;
 use wtts_core::background::{capped_tau, estimate_tau, remove_background, TAU_CAP};
 use wtts_core::clustering::average_linkage;
 use wtts_core::engine::{
-    cor_matrix, correlation_similarity_profiled, profile_series, CorMatrixConfig,
+    cor_matrix, cor_matrix_pruned, correlation_similarity_profiled, profile_series, sketch_series,
+    CorMatrixConfig, PruneConfig,
 };
+use wtts_core::motif::{discover_motifs, discover_motifs_pruned, MotifConfig};
 use wtts_core::sax::{alphabet_utilization, dominant_symbol_share, paa, sax_word};
 use wtts_core::similarity::{cor, correlation_similarity};
 use wtts_core::stationarity::strong_stationarity;
@@ -264,6 +266,66 @@ proptest! {
             (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
             (a, b) => prop_assert_eq!(a, b),
         }
+    }
+
+    /// Zero false dismissals: the sketch-pruned sparse matrix agrees with
+    /// the dense matrix on every pair at or above the threshold — survivor
+    /// values bit-identical, absent pairs certifiably below φ — and the
+    /// tier counters conserve, for arbitrary series (NaN holes, ties) and
+    /// arbitrary thresholds.
+    #[test]
+    fn pruned_matrix_never_dismisses_falsely(
+        data in prop::collection::vec(holey_value(), 40..160),
+        len in 5usize..16,
+        phi in 0.05f64..0.95,
+    ) {
+        let series: Vec<Vec<f64>> = data.chunks_exact(len).map(|c| c.to_vec()).collect();
+        if series.len() < 2 {
+            continue;
+        }
+        let profiles = profile_series(&series);
+        let config = PruneConfig::at_threshold(phi);
+        let sketches = sketch_series(&profiles, &config.sketch);
+        let (sparse, stats) = cor_matrix_pruned(&profiles, &sketches, &config);
+        let dense = cor_matrix(&profiles, &CorMatrixConfig::default());
+        prop_assert!(stats.conserved(), "tier counters must balance");
+        prop_assert_eq!(stats.pairs_total, (series.len() * (series.len() - 1) / 2) as u64);
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                let d = dense.get(i, j);
+                match sparse.get(i, j) {
+                    Some(s) => prop_assert_eq!(
+                        s.to_bits(), d.to_bits(),
+                        "survivor ({}, {}) differs: {} vs {}", i, j, s, d
+                    ),
+                    None => prop_assert!(
+                        (d as f64) < phi,
+                        "pair ({}, {}) pruned at phi {} but dense is {}", i, j, phi, d
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Sketch-pruned motif discovery returns exactly the motifs of the
+    /// dense path — same members, same order — for arbitrary window sets
+    /// and thresholds.
+    #[test]
+    fn pruned_motifs_match_dense(
+        data in prop::collection::vec(holey_value(), 40..120),
+        len in 6usize..12,
+        phi in 0.2f64..0.95,
+        merge in 0.1f64..0.9,
+    ) {
+        let windows: Vec<Vec<f64>> = data.chunks_exact(len).map(|c| c.to_vec()).collect();
+        if windows.len() < 2 {
+            continue;
+        }
+        let config = MotifConfig { phi, merge_threshold: merge, ..MotifConfig::default() };
+        prop_assert_eq!(
+            discover_motifs(&windows, &config),
+            discover_motifs_pruned(&windows, &config)
+        );
     }
 
     /// The profiled Definition 1 result matches correlation_similarity

@@ -34,6 +34,7 @@ pub mod export;
 pub mod fleet;
 pub mod gateway;
 pub mod rng;
+pub mod synth;
 pub mod wifi;
 
 pub use apps::AppProfile;
@@ -47,4 +48,5 @@ pub use device::{DeviceRole, DeviceSpec};
 pub use export::{write_counter_csv, write_inventory_csv, write_traffic_csv};
 pub use fleet::Fleet;
 pub use gateway::{generate_gateway, AccessTech, Reliability, SimDevice, SimGateway};
+pub use synth::{synthetic_window, synthetic_windows, SynthConfig};
 pub use wifi::{apply_airtime_contention, PhyRate};

@@ -1,0 +1,211 @@
+//! Lightweight synthetic gateway windows for pruning-scale experiments.
+//!
+//! The full fleet simulator ([`crate::fleet`]) renders per-minute traffic
+//! through the device/application stack — faithful, but far too slow to
+//! produce the 50k–100k gateway populations the sketch-pruning benchmarks
+//! sweep. This module is the cheap substitute: one weekly window per
+//! gateway, drawn from a small set of behavioral *families*. A family is an
+//! activity *schedule* — which 3-hour slots of the week the household is
+//! online, like the workday/evening/weekend archetypes the motif analysis
+//! recovers — plus a family-specific traffic level per slot; gateways add
+//! individual amplitude and multiplicative noise on top.
+//!
+//! Within a family, windows correlate strongly (same schedule, small
+//! noise); across families the schedules are independent coin flips per
+//! slot, so both value and *rank* correlations concentrate near zero
+//! (±1/√len). That last property is what makes the population prunable at
+//! moderate thresholds: the binding constraint of the sketch cascade is
+//! Daniels' inequality `τ ≤ (2ρ + 1)/3`, which needs the Spearman bound
+//! under `(3φ − 1)/2` — at φ = 0.6 that is ρ < 0.4, comfortably clear of a
+//! near-zero bulk but hopeless for shape models (e.g. randomly placed
+//! usage bumps) whose collisions scatter cross-family ρ across [0.3, 0.6].
+//!
+//! Everything is a pure function of `(SynthConfig, gateway id)` via
+//! splitmix64 hashing — no RNG state, so windows can be rendered lazily,
+//! in parallel, or re-rendered bit-identically on another machine. The
+//! noise is continuous (ties almost surely absent), keeping the Kendall
+//! tie-aware bounds in their strongest regime.
+
+/// Configuration of the synthetic window population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of gateways (one weekly window each).
+    pub n_gateways: usize,
+    /// Samples per window. The default 56 is one week at 3-hour bins.
+    pub series_len: usize,
+    /// Bins per day — kept so callers can re-derive calendar structure.
+    pub bins_per_day: usize,
+    /// Number of behavioral families; gateway `id` belongs to family
+    /// `id % families`.
+    pub families: usize,
+    /// Relative amplitude of the multiplicative per-bin noise.
+    pub noise: f64,
+    /// Probability that a bin is missing (`NaN`).
+    pub missing_rate: f64,
+    /// Seed folded into every hash.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            n_gateways: 2_000,
+            series_len: 56,
+            bins_per_day: 8,
+            families: 32,
+            noise: 0.08,
+            missing_rate: 0.0,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer-style mixer. Full avalanche,
+/// so consecutive inputs give statistically independent outputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash input.
+fn unit(z: u64) -> f64 {
+    (splitmix64(z) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The family's noise-free traffic level at bin `b`.
+///
+/// Each bin is independently *active* with the family's duty cycle.
+/// Active bins carry a family-specific level in `[0.6, 1.4]` (streaming
+/// vs. browsing evenings differ); idle bins carry background in
+/// `[0.02, 0.06]`, its per-bin variation wide enough (±50%) that the
+/// within-family ordering of idle bins is set by the schedule, not by
+/// per-gateway noise — which keeps ranks family-deterministic and the
+/// rank-domain sketch bounds tight.
+fn family_level(cfg: &SynthConfig, family: usize, b: usize) -> f64 {
+    let key = cfg.seed ^ 0xFA41_17E5 ^ (family as u64).wrapping_mul(0x100_0000_01B3);
+    // Duty cycle in [0.35, 0.6]: households are online a minority-to-half
+    // of the week's slots.
+    let duty = 0.35 + 0.25 * unit(key);
+    let bin_key = key.wrapping_add((b as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    if unit(bin_key) < duty {
+        0.6 + 0.8 * unit(bin_key.wrapping_add(1))
+    } else {
+        0.02 + 0.04 * unit(bin_key.wrapping_add(2))
+    }
+}
+
+/// Renders the weekly window of gateway `id` under `cfg`.
+///
+/// Deterministic: the same `(cfg, id)` always yields the same window.
+pub fn synthetic_window(cfg: &SynthConfig, id: usize) -> Vec<f64> {
+    assert!(cfg.families > 0, "families must be positive");
+    assert!(cfg.series_len > 0, "series_len must be positive");
+    let family = id % cfg.families;
+    let gw_key = cfg.seed ^ 0x6A7E_44A7 ^ (id as u64).wrapping_mul(0x9E37_79B9);
+    // Per-gateway traffic volume; cor() is scale-invariant, so this only
+    // proves the pipeline never relies on absolute amplitude.
+    let amplitude = 2_000.0 * (0.5 + 1.5 * unit(gw_key));
+    (0..cfg.series_len)
+        .map(|b| {
+            let bin_key = gw_key.wrapping_add(0x51_7E11 + (b as u64).wrapping_mul(0x85EB_CA6B));
+            if cfg.missing_rate > 0.0 && unit(bin_key.wrapping_add(7)) < cfg.missing_rate {
+                return f64::NAN;
+            }
+            // Multiplicative continuous noise: ties almost surely absent.
+            let jitter = 1.0 + cfg.noise * (2.0 * unit(bin_key) - 1.0);
+            amplitude * family_level(cfg, family, b) * jitter
+        })
+        .collect()
+}
+
+/// Renders every gateway's window: `out[id] = synthetic_window(cfg, id)`.
+pub fn synthetic_windows(cfg: &SynthConfig) -> Vec<Vec<f64>> {
+    (0..cfg.n_gateways)
+        .map(|id| synthetic_window(cfg, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_stats::sketch::{prune_pair, CorSketch, SketchConfig};
+    use wtts_stats::CorProfile;
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let cfg = SynthConfig {
+            n_gateways: 8,
+            ..SynthConfig::default()
+        };
+        let a = synthetic_windows(&cfg);
+        let b = synthetic_windows(&cfg);
+        assert_eq!(a, b);
+        for w in &a {
+            assert_eq!(w.len(), cfg.series_len);
+            assert!(w.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        // Different seeds change the data.
+        let other = synthetic_window(&SynthConfig { seed: 1, ..cfg }, 0);
+        assert_ne!(a[0], other);
+    }
+
+    #[test]
+    fn missing_rate_produces_nans() {
+        let cfg = SynthConfig {
+            n_gateways: 4,
+            missing_rate: 0.25,
+            ..SynthConfig::default()
+        };
+        let windows = synthetic_windows(&cfg);
+        let nan = windows.iter().flatten().filter(|v| v.is_nan()).count();
+        let total = cfg.n_gateways * cfg.series_len;
+        assert!(nan > total / 10 && nan < total / 2, "nan count {nan}");
+    }
+
+    #[test]
+    fn same_family_correlates_cross_family_does_not() {
+        let cfg = SynthConfig {
+            n_gateways: 64,
+            ..SynthConfig::default()
+        };
+        let windows = synthetic_windows(&cfg);
+        // Gateways 0 and 32 share family 0; 0 and 1 do not.
+        let same = wtts_stats::pearson(&windows[0], &windows[32]).value;
+        let cross = wtts_stats::pearson(&windows[0], &windows[1]).value;
+        assert!(same > 0.9, "within-family pearson {same}");
+        assert!(cross < 0.5, "cross-family pearson {cross}");
+    }
+
+    #[test]
+    fn population_prunes_heavily_at_moderate_threshold() {
+        // The property the pruning benchmarks depend on: at φ = 0.6 the
+        // sketch tier dismisses ≥ 90% of pairs without exact work.
+        let cfg = SynthConfig {
+            n_gateways: 400,
+            ..SynthConfig::default()
+        };
+        let windows = synthetic_windows(&cfg);
+        let profiles: Vec<CorProfile> = windows.iter().map(|w| CorProfile::new(w)).collect();
+        let sketch_cfg = SketchConfig::default();
+        let sketches: Vec<CorSketch> = profiles
+            .iter()
+            .map(|p| CorSketch::from_profile(p, &sketch_cfg))
+            .collect();
+        let mut pruned = 0u64;
+        let mut total = 0u64;
+        for i in 0..sketches.len() {
+            for j in (i + 1)..sketches.len() {
+                total += 1;
+                if prune_pair(&sketches[i], &sketches[j], 0.6).is_some() {
+                    pruned += 1;
+                }
+            }
+        }
+        let rate = pruned as f64 / total as f64;
+        assert!(rate >= 0.90, "prune rate {rate:.3} below 0.90");
+        // And the within-family pairs survive: not everything is pruned.
+        assert!(rate < 1.0, "pruning dismissed every pair");
+    }
+}

@@ -152,6 +152,51 @@ impl CorProfile {
     pub fn sorted_values(&self) -> Vec<f64> {
         self.order.iter().map(|&k| self.vals[k as usize]).collect()
     }
+
+    /// The finite values in series order (the profile's compaction).
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mean of the finite values.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Centered second moment Σ(v − mean)² of the finite values. Zero iff
+    /// the series is constant (which degenerates all three coefficients).
+    pub fn sxx(&self) -> f64 {
+        self.sxx
+    }
+
+    /// Mid-ranks of the finite values (1-based, ties averaged).
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+
+    /// Mean of the mid-ranks.
+    pub fn rank_mean(&self) -> f64 {
+        self.rank_mean
+    }
+
+    /// Centered second moment of the mid-ranks.
+    pub fn rank_sxx(&self) -> f64 {
+        self.rank_sxx
+    }
+
+    /// Whether the finite values contain no ties at all. When both sides of
+    /// a pair are tie-free, Kendall's τ and Spearman's ρ are linked by
+    /// Daniels' inequality −1 ≤ 3τ − 2ρ ≤ 1, which the pruning sketches
+    /// exploit.
+    pub fn tie_free(&self) -> bool {
+        self.tie_runs.is_empty()
+    }
+
+    /// Number of tied pairs Σ t(t−1)/2 over the tie groups — the `n1`/`n2`
+    /// term of τ-b's denominator.
+    pub fn n_tied_pairs(&self) -> u64 {
+        self.ties.n_tied_pairs
+    }
 }
 
 /// Computes the per-series mean and centered second moment with the same

@@ -13,6 +13,9 @@
 //!   Definition 1).
 //! * [`corprofile`] — per-series profiles that make batch pairwise
 //!   correlation cheap while staying bit-identical to [`correlation`].
+//! * [`sketch`] — per-series pruning sketches whose coefficient upper
+//!   bounds let batch engines discard provably-below-threshold pairs
+//!   without exact work (zero false dismissals).
 //! * [`ks`] — the two-sample Kolmogorov–Smirnov test (Definition 2's
 //!   distribution check).
 //! * [`mod@acf`] — autocorrelation and cross-correlation functions (Figure 2).
@@ -38,6 +41,7 @@ pub mod kde;
 pub mod ks;
 pub mod ols;
 pub mod rank;
+pub mod sketch;
 pub mod special;
 pub mod spectrum;
 pub mod stationarity;
@@ -58,6 +62,10 @@ pub use kde::Kde;
 pub use ks::{ks_two_sample, ks_two_sample_sorted, KsTest};
 pub use ols::OlsFit;
 pub use rank::{mid_ranks, rank_series, ranks_and_ties, tie_group_sizes, RankedSeries};
+pub use sketch::{
+    gaussian_breakpoints, mindist_cell_gaps, prune_pair, CorSketch, PruneTier, SketchConfig,
+    PRUNE_MARGIN,
+};
 pub use spectrum::{dominant_period, fft, ljung_box, periodogram, LjungBox, SpectralLine};
 pub use stationarity::{adf_test, kpss_test, AdfResult, KpssResult};
 pub use zipf::{fit_ranked, fit_zipf, ZipfFit};

@@ -1,0 +1,493 @@
+//! Per-series pruning sketches with provable upper bounds on Definition 1.
+//!
+//! Every pairwise surface of the framework — correlation matrices, motif
+//! discovery, clustering — is O(n²) in series count, and Definition 1's
+//! exact evaluation (up to three coefficients with significance tests) is
+//! the expensive inner loop. Following the sketch-and-prune playbook of
+//! multi-scale correlation search, a [`CorSketch`] condenses each series
+//! into a few dozen bytes from which *upper bounds* on all three
+//! coefficients of any same-mask pair can be computed in O(w) for w
+//! segments. A pair whose bounds all fall below the similarity threshold φ
+//! is provably below threshold and can be discarded without any pairwise
+//! exact work; survivors go through the unchanged exact path, so pruning
+//! never changes a reported value — it only skips pairs that could not
+//! reach φ ("zero false dismissals").
+//!
+//! # The bounds
+//!
+//! **Pearson.** Population-z-normalize the finite values: `z_i = (v_i −
+//! mean) / sqrt(sxx / n)`, so `Σ z_i² = n` and `r = 1 − ‖z_x − z_y‖² /
+//! (2n)`. Partition `0..n` into `w` disjoint segments; by Cauchy–Schwarz,
+//! within each segment `Σ (z_xi − z_yi)² ≥ |s| · (z̄_xs − z̄_ys)²`, hence
+//!
+//! ```text
+//! r ≤ UB_p = 1 − (1 / 2n) · Σ_s |s| · (z̄_xs − z̄_ys)²
+//! ```
+//!
+//! The sketch stores the per-segment means `z̄_s` (the "moment
+//! signature"). A still cheaper tier symbolizes those means with SAX
+//! Gaussian breakpoints: when two symbols differ by ≥ 2 alphabet cells the
+//! segment means are separated by at least the gap between the two cells'
+//! breakpoints (the classic MINDIST argument), giving a weaker bound from
+//! byte compares and a precomputed `alphabet × alphabet` gap table.
+//!
+//! **Spearman.** Identical machinery applied to the mid-ranks (the profile
+//! caches them), since ρ is Pearson on ranks.
+//!
+//! **Kendall.** Two complementary bounds:
+//! * both series tie-free → Daniels' inequality `−1 ≤ 3τ − 2ρ ≤ 1` gives
+//!   `τ ≤ (2·UB_s + 1) / 3`;
+//! * otherwise, with `P = n(n−1)/2` pairs and `n1`/`n2` tied pairs per
+//!   side, `S ≤ P − n1 − n2 + n3 ≤ P − max(n1, n2) = min(u, v)` for
+//!   `u = P − n1`, `v = P − n2`, so `τ_b = S / sqrt(u·v) ≤
+//!   sqrt(min(u, v) / max(u, v))`; `u·v = 0` degenerates τ to 0.
+//!
+//! # Soundness conditions
+//!
+//! * Bounds require the two series to share one finite mask (pairwise
+//!   deletion can change every cached statistic); callers must fall back
+//!   to exact evaluation when masks differ. [`prune_pair`] asserts equal
+//!   `n` but cannot see masks.
+//! * `cor` is 0 when no coefficient is significant, so pruning against
+//!   φ ≤ 0 would falsely dismiss such pairs; [`prune_pair`] refuses to
+//!   prune (returns `None`) unless φ > 0.
+//! * Bounds are compared as `ub + PRUNE_MARGIN < φ`. The margin (1e-7)
+//!   dwarfs f64 accumulation error in the bound arithmetic (≲ 1e-12 for
+//!   realistic lengths) and the f32 rounding of downstream matrices
+//!   (≲ 6e-8), so a pruned pair's exact value — in f64 *and* rounded to
+//!   f32 — is strictly below φ.
+//!
+//! After z-normalization every sketch has the same ℓ² norm (√n), so the
+//! "bucketed norm" of generic sketch schemes carries no information here;
+//! its role is taken by the degeneracy flag (constant series) and the
+//! tie-mass bucket (`n_tied_pairs`), which feed the degenerate tier and
+//! the Kendall bound respectively.
+
+use std::sync::OnceLock;
+
+use crate::corprofile::CorProfile;
+
+/// Safety margin for bound-vs-threshold comparisons: prune only when
+/// `upper_bound + PRUNE_MARGIN < φ`. See the module docs for why 1e-7
+/// strictly dominates both f64 bound arithmetic error and downstream f32
+/// rounding.
+pub const PRUNE_MARGIN: f64 = 1e-7;
+
+/// Gaussian breakpoints dividing N(0,1) into `alphabet` equiprobable
+/// regions (Lin et al. 2007, Table 3), for alphabet sizes 2–10. Shared by
+/// classic SAX in `wtts-core` and the sketch symbolizer here so both
+/// representations agree cell for cell.
+///
+/// # Panics
+/// Panics when `alphabet` is outside `2..=10`.
+pub fn gaussian_breakpoints(alphabet: usize) -> &'static [f64] {
+    match alphabet {
+        2 => &[0.0],
+        3 => &[-0.43, 0.43],
+        4 => &[-0.67, 0.0, 0.67],
+        5 => &[-0.84, -0.25, 0.25, 0.84],
+        6 => &[-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => &[-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => &[-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        9 => &[-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+        10 => &[-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+        _ => panic!("SAX alphabet size must be in 2..=10, got {alphabet}"),
+    }
+}
+
+/// Precomputed MINDIST cell-gap table for `alphabet`: the entry at
+/// `a * alphabet + b` is the minimal distance between a value in
+/// breakpoint cell `a` and one in cell `b` — `0` for equal or adjacent
+/// cells, otherwise the gap between the cells' nearest breakpoints. Built
+/// once per alphabet and cached for the life of the process, so neither
+/// SAX MINDIST nor the sketch bounds recompute breakpoint arithmetic per
+/// call.
+///
+/// # Panics
+/// Panics when `alphabet` is outside `2..=10`.
+pub fn mindist_cell_gaps(alphabet: usize) -> &'static [f64] {
+    assert!(
+        (2..=10).contains(&alphabet),
+        "SAX alphabet size must be in 2..=10, got {alphabet}"
+    );
+    static TABLES: OnceLock<Vec<Vec<f64>>> = OnceLock::new();
+    let all = TABLES.get_or_init(|| {
+        (0..=10usize)
+            .map(|a| {
+                if a < 2 {
+                    return Vec::new();
+                }
+                let bp = gaussian_breakpoints(a);
+                let mut t = vec![0.0; a * a];
+                for lo in 0..a {
+                    for hi in lo + 2..a {
+                        let gap = bp[hi - 1] - bp[lo];
+                        t[lo * a + hi] = gap;
+                        t[hi * a + lo] = gap;
+                    }
+                }
+                t
+            })
+            .collect()
+    });
+    &all[alphabet]
+}
+
+/// Sketch parameters: how many disjoint segments the moment signature
+/// uses and how many symbols the SAX tier quantizes them into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchConfig {
+    /// Number of disjoint segments covering the compacted series. More
+    /// segments tighten the bounds at the cost of per-pair work.
+    pub segments: usize,
+    /// SAX alphabet size for the symbolized tier (2..=10).
+    pub alphabet: usize,
+}
+
+impl Default for SketchConfig {
+    /// 64 segments and the largest well-conditioned alphabet.
+    ///
+    /// The paper's calendar windows are short — 8 bins per day, 56 per
+    /// week — so 64 segments means full resolution (one sample per
+    /// segment, surplus segments stay empty) and the moment bounds are
+    /// exact Pearson/Spearman values rather than PAA relaxations. That
+    /// tightness is what lets the Daniels bound `τ ≤ (2ρ + 1)/3` get
+    /// under moderate thresholds: rank profiles of low-traffic stretches
+    /// are noise-ordered, and any coarser averaging discards exactly the
+    /// rank variance the Spearman bound needs. The signature stays an
+    /// order of magnitude cheaper than an exact evaluation, which pays
+    /// for significance tests and Kendall's pair statistics on top.
+    fn default() -> SketchConfig {
+        SketchConfig {
+            segments: 64,
+            alphabet: 8,
+        }
+    }
+}
+
+/// Which tier of the pruning cascade dismissed a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneTier {
+    /// Fewer than 3 shared observations or a constant side — every
+    /// coefficient degenerates, so `cor = 0 < φ`.
+    Degenerate,
+    /// The symbolized (SAX MINDIST-style) bounds already fall below φ.
+    Sax,
+    /// The exact segment-mean (moment signature) bounds fall below φ.
+    Moment,
+}
+
+/// A per-series pruning sketch derived from a [`CorProfile`]: per-segment
+/// means of the population-z-normalized values and mid-ranks, their SAX
+/// symbolizations, and the degeneracy/tie facts the Kendall bound needs.
+#[derive(Debug, Clone)]
+pub struct CorSketch {
+    /// Number of finite observations (pair-shared when masks agree).
+    n: usize,
+    /// SAX alphabet the words were symbolized with.
+    alphabet: usize,
+    /// Segment lengths `|s|` (disjoint, covering `0..n`; may contain 0).
+    seg_len: Vec<u32>,
+    /// Per-segment means of population-z-normalized values.
+    z_means: Vec<f64>,
+    /// `z_means` symbolized with the Gaussian breakpoints.
+    z_word: Vec<u8>,
+    /// Per-segment means of population-z-normalized mid-ranks.
+    r_means: Vec<f64>,
+    /// `r_means` symbolized with the Gaussian breakpoints.
+    r_word: Vec<u8>,
+    /// Constant series (or `n < 3`): all three coefficients degenerate.
+    degenerate: bool,
+    /// No ties anywhere — enables Daniels' inequality for Kendall.
+    tie_free: bool,
+    /// Tied-pair count Σ t(t−1)/2 for the τ-b denominator bound.
+    tied_pairs: u64,
+}
+
+impl CorSketch {
+    /// Builds the sketch for one profiled series. O(n) given the profile.
+    pub fn from_profile(p: &CorProfile, config: &SketchConfig) -> CorSketch {
+        let n = p.n_finite();
+        let w = config.segments.max(1);
+        let degenerate = n < 3 || p.sxx() == 0.0;
+        let mut seg_len = vec![0u32; w];
+        let mut z_means = vec![0.0; w];
+        let mut r_means = vec![0.0; w];
+        if !degenerate {
+            let vals = p.values();
+            let ranks = p.ranks();
+            // Population normalization: Σ z² = n exactly, which is what
+            // the r = 1 − ‖Δz‖²/(2n) identity needs.
+            let v_scale = (p.sxx() / n as f64).sqrt();
+            // A non-constant series has at least two distinct values,
+            // hence at least two distinct mid-ranks: rank_sxx > 0.
+            let r_scale = (p.rank_sxx() / n as f64).sqrt();
+            for s in 0..w {
+                let lo = s * n / w;
+                let hi = (s + 1) * n / w;
+                seg_len[s] = (hi - lo) as u32;
+                if hi > lo {
+                    let inv = 1.0 / (hi - lo) as f64;
+                    let mv = vals[lo..hi].iter().sum::<f64>() * inv;
+                    let mr = ranks[lo..hi].iter().sum::<f64>() * inv;
+                    z_means[s] = (mv - p.mean()) / v_scale;
+                    r_means[s] = (mr - p.rank_mean()) / r_scale;
+                }
+            }
+        }
+        let bp = gaussian_breakpoints(config.alphabet);
+        let sym = |v: f64| bp.iter().take_while(|&&b| v > b).count() as u8;
+        let z_word = z_means.iter().map(|&v| sym(v)).collect();
+        let r_word = r_means.iter().map(|&v| sym(v)).collect();
+        CorSketch {
+            n,
+            alphabet: config.alphabet,
+            seg_len,
+            z_means,
+            z_word,
+            r_means,
+            r_word,
+            degenerate,
+            tie_free: p.tie_free(),
+            tied_pairs: p.n_tied_pairs(),
+        }
+    }
+
+    /// Number of finite observations the sketch summarizes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the series degenerates every coefficient on its own
+    /// (constant values or fewer than 3 observations).
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
+    }
+
+    /// The SAX word over the z-normalized segment means.
+    pub fn z_word(&self) -> &[u8] {
+        &self.z_word
+    }
+}
+
+/// Σ_s |s| · gap(word_a[s], word_b[s])² from the precomputed cell-gap
+/// table — a lower bound on Σ_s |s| · (mean_a[s] − mean_b[s])².
+fn sax_dist2(seg_len: &[u32], a: &[u8], b: &[u8], gaps: &[f64], alphabet: usize) -> f64 {
+    let mut d2 = 0.0;
+    for ((&l, &sa), &sb) in seg_len.iter().zip(a).zip(b) {
+        let g = gaps[sa as usize * alphabet + sb as usize];
+        d2 += l as f64 * g * g;
+    }
+    d2
+}
+
+/// Σ_s |s| · (mean_a[s] − mean_b[s])² over the exact segment means.
+fn moment_dist2(seg_len: &[u32], a: &[f64], b: &[f64]) -> f64 {
+    let mut d2 = 0.0;
+    for ((&l, &ma), &mb) in seg_len.iter().zip(a).zip(b) {
+        let d = ma - mb;
+        d2 += l as f64 * d * d;
+    }
+    d2
+}
+
+/// Upper bound on Kendall's τ-b given an upper bound on Spearman's ρ and
+/// both sides' tie facts. See the module docs for the two cases.
+fn kendall_ub(a: &CorSketch, b: &CorSketch, ub_s: f64) -> f64 {
+    let n = a.n as u64;
+    let pairs = n * (n - 1) / 2;
+    let u = pairs - a.tied_pairs;
+    let v = pairs - b.tied_pairs;
+    if u == 0 || v == 0 {
+        // τ-b's denominator vanishes: the coefficient is degenerate (0).
+        return 0.0;
+    }
+    let tie_unbalance = ((u.min(v) as f64) / (u.max(v) as f64)).sqrt();
+    if a.tie_free && b.tie_free {
+        tie_unbalance.min((2.0 * ub_s + 1.0) / 3.0)
+    } else {
+        tie_unbalance
+    }
+}
+
+/// Decides whether a same-mask pair can be pruned at similarity threshold
+/// `phi`: returns the tier that proved `cor(a, b) < phi`, or `None` when
+/// the pair must be evaluated exactly.
+///
+/// Soundness requires the two series to share one finite mask (the caller
+/// checks [`CorProfile::same_mask`]) and `phi > 0` (otherwise `None` is
+/// returned unconditionally — insignificant pairs have `cor = 0`).
+///
+/// # Panics
+/// Panics when the sketches disagree on length, segment count or
+/// alphabet.
+pub fn prune_pair(a: &CorSketch, b: &CorSketch, phi: f64) -> Option<PruneTier> {
+    if phi <= 0.0 {
+        return None;
+    }
+    assert_eq!(a.n, b.n, "pruning requires a shared finite mask");
+    if a.degenerate || b.degenerate {
+        return Some(PruneTier::Degenerate);
+    }
+    assert_eq!(a.seg_len.len(), b.seg_len.len(), "segment counts differ");
+    assert_eq!(a.alphabet, b.alphabet, "alphabets differ");
+    let inv2n = 1.0 / (2.0 * a.n as f64);
+    let cut = phi - PRUNE_MARGIN;
+
+    // Tier 1: symbolized bounds — byte compares and one table lookup per
+    // segment. Weaker than the moment bounds (cell gaps under-estimate
+    // mean separation), so anything pruned here would also be pruned
+    // below; the point is skipping the f64 arithmetic for far pairs.
+    let gaps = mindist_cell_gaps(a.alphabet);
+    let ub_p = 1.0 - sax_dist2(&a.seg_len, &a.z_word, &b.z_word, gaps, a.alphabet) * inv2n;
+    if ub_p < cut {
+        let ub_s = 1.0 - sax_dist2(&a.seg_len, &a.r_word, &b.r_word, gaps, a.alphabet) * inv2n;
+        if ub_s < cut && kendall_ub(a, b, ub_s) < cut {
+            return Some(PruneTier::Sax);
+        }
+    }
+
+    // Tier 2: exact segment-mean (moment) bounds.
+    let ub_p = 1.0 - moment_dist2(&a.seg_len, &a.z_means, &b.z_means) * inv2n;
+    if ub_p < cut {
+        let ub_s = 1.0 - moment_dist2(&a.seg_len, &a.r_means, &b.r_means) * inv2n;
+        if ub_s < cut && kendall_ub(a, b, ub_s) < cut {
+            return Some(PruneTier::Moment);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corprofile::{cor_tests_profiled, CorScratch};
+    use crate::ALPHA;
+
+    fn max_significant(x: &[f64], y: &[f64]) -> f64 {
+        let (pa, pb) = (CorProfile::new(x), CorProfile::new(y));
+        let mut scratch = CorScratch::new();
+        let (p, s, k) = cor_tests_profiled(&pa, &pb, &mut scratch);
+        [p, s, k]
+            .iter()
+            .filter(|t| t.significant(ALPHA))
+            .map(|t| t.value)
+            .fold(0.0f64, f64::max)
+    }
+
+    fn sketch(x: &[f64], cfg: &SketchConfig) -> CorSketch {
+        CorSketch::from_profile(&CorProfile::new(x), cfg)
+    }
+
+    #[test]
+    fn gap_tables_are_symmetric_with_zero_adjacent_cells() {
+        for a in 2..=10usize {
+            let t = mindist_cell_gaps(a);
+            assert_eq!(t.len(), a * a);
+            for i in 0..a {
+                for j in 0..a {
+                    assert_eq!(t[i * a + j], t[j * a + i]);
+                    if i.abs_diff(j) <= 1 {
+                        assert_eq!(t[i * a + j], 0.0);
+                    } else {
+                        assert!(t[i * a + j] > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antiphase_sines_prune_at_moderate_threshold() {
+        let n = 56;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 8.0).sin() + i as f64 * 1e-4)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| -(i as f64 * std::f64::consts::TAU / 8.0).sin() + i as f64 * 1.1e-4)
+            .collect();
+        let cfg = SketchConfig::default();
+        let (sx, sy) = (sketch(&x, &cfg), sketch(&y, &cfg));
+        let tier = prune_pair(&sx, &sy, 0.6);
+        assert!(tier.is_some(), "anti-phase pair must prune");
+        // And the prune is honest: the exact Definition-1 value is below.
+        assert!(max_significant(&x, &y) < 0.6);
+    }
+
+    #[test]
+    fn identical_series_never_prune() {
+        let x: Vec<f64> = (0..40).map(|i| ((i * 37) % 41) as f64).collect();
+        let cfg = SketchConfig::default();
+        let (sx, sy) = (sketch(&x, &cfg), sketch(&x, &cfg));
+        assert_eq!(prune_pair(&sx, &sy, 0.99), None);
+    }
+
+    #[test]
+    fn degenerate_sides_prune_immediately() {
+        let cfg = SketchConfig::default();
+        let constant = sketch(&[5.0; 20], &cfg);
+        let varied = sketch(&(0..20).map(|i| i as f64).collect::<Vec<_>>(), &cfg);
+        assert_eq!(
+            prune_pair(&constant, &varied, 0.5),
+            Some(PruneTier::Degenerate)
+        );
+        let short = sketch(&[1.0, 2.0], &cfg);
+        assert_eq!(
+            prune_pair(&short, &sketch(&[2.0, 1.0], &cfg), 0.5),
+            Some(PruneTier::Degenerate)
+        );
+    }
+
+    #[test]
+    fn non_positive_threshold_disables_pruning() {
+        let cfg = SketchConfig::default();
+        let constant = sketch(&[5.0; 20], &cfg);
+        assert_eq!(prune_pair(&constant, &constant.clone(), 0.0), None);
+        assert_eq!(prune_pair(&constant, &constant.clone(), -0.5), None);
+    }
+
+    /// The load-bearing property: for a spread of same-mask pairs, every
+    /// coefficient upper bound dominates the exact Definition-1 value, so
+    /// a pruned pair is always truly below threshold.
+    #[test]
+    fn bounds_dominate_exact_cor() {
+        let n = 48;
+        let cfg = SketchConfig {
+            segments: 12,
+            alphabet: 6,
+        };
+        let mk = |phase: f64, tie_every: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    let v = (t * std::f64::consts::TAU / 12.0 + phase).sin() * 100.0
+                        + (t * 0.37).cos() * 9.0;
+                    if tie_every > 0 && i % tie_every == 0 {
+                        (v / 25.0).round() * 25.0
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        };
+        let series: Vec<Vec<f64>> = (0..8)
+            .map(|k| mk(k as f64 * 0.9, if k % 3 == 0 { 4 } else { 0 }))
+            .collect();
+        for i in 0..series.len() {
+            for j in i + 1..series.len() {
+                let exact = max_significant(&series[i], &series[j]);
+                let (si, sj) = (sketch(&series[i], &cfg), sketch(&series[j], &cfg));
+                // Search for the smallest φ at which this pair prunes;
+                // exact cor must sit strictly below it.
+                for phi in [0.05, 0.2, 0.4, 0.6, 0.8, 0.95] {
+                    if prune_pair(&si, &sj, phi).is_some() {
+                        assert!(
+                            exact < phi,
+                            "pair ({i},{j}) pruned at {phi} but cor = {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

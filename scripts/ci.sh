@@ -21,7 +21,8 @@ cargo bench -p wtts-bench --bench ingest -- --smoke
 
 metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
 sweep_metrics_json="$(mktemp /tmp/wtts_ci_sweep_metrics.XXXXXX.json)"
-trap 'rm -f "$metrics_json" "$sweep_metrics_json"' EXIT
+prune_metrics_json="$(mktemp /tmp/wtts_ci_prune_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json"' EXIT
 
 echo "== granularity_sweep bench (smoke) =="
 cargo bench -p wtts-bench --bench granularity_sweep -- --smoke --metrics-json "$sweep_metrics_json"
@@ -53,6 +54,40 @@ assert b["bench"] == "granularity_sweep", b["bench"]
 assert b["bit_identical"] is True
 assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
 print("recorded sweep baseline ok: speedup", b["speedup_single_thread"], "x")
+PY
+
+echo "== pruned_pairwise bench (smoke) =="
+cargo bench -p wtts-bench --bench pruned_pairwise -- --smoke --metrics-json "$prune_metrics_json"
+python3 - "$prune_metrics_json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    m = json.load(fh)
+
+assert m["conserved"] is True, "stage books must balance"
+assert m["quiescent"] is True, "no span may be left open"
+c = m["counters"]
+pruned = (
+    c["pairs_pruned_degenerate"]
+    + c["pairs_pruned_sax"]
+    + c["pairs_pruned_moment"]
+)
+assert pruned + c["prune_pairs_evaluated"] == c["prune_pairs_total"], c
+rate = pruned / c["prune_pairs_total"]
+assert rate >= 0.90, f"prune rate {rate:.3f} below 0.90 at phi = 0.6"
+print(f"prune obs ok: {pruned} of {c['prune_pairs_total']} pairs pruned ({rate:.3f})")
+PY
+python3 - results/BENCH_pruning.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    b = json.load(fh)
+
+assert b["bench"] == "pruned_pairwise", b["bench"]
+assert b["bit_identical"] is True
+assert b["threads"] == 1
+assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
+print("recorded pruning baseline ok: speedup", b["speedup_single_thread"], "x at 10k gateways")
 PY
 
 echo "== examples (smoke) =="
