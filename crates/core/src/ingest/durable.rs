@@ -1,0 +1,1314 @@
+//! Durable, replayable ingest: per-shard write-ahead log + periodic
+//! snapshots + deterministic recovery.
+//!
+//! The streaming pipeline of the parent module is lossless while the
+//! process lives; this module makes it lossless across a `kill -9`. Three
+//! artifacts per shard, all in one directory:
+//!
+//! * **WAL** (`wal-<shard>.log`) — an append-only log of every report the
+//!   shard *consumes*, written before the state transition it causes.
+//!   Records are length-prefixed and CRC32-checksummed, so a torn tail
+//!   (the process died mid-write) is detected and truncated, never
+//!   misparsed. Logging consumed rather than merely accepted reports is
+//!   deliberate: drop classification (late / duplicate / future-jump) is a
+//!   *function of state*, so replaying the same consumed sequence
+//!   reproduces the same drops, counters and windows bit for bit.
+//! * **Snapshot** (`snap-<shard>.bin`, atomic tmp+rename) — the full
+//!   [`ShardState`] (every gateway lane: device baselines, suspect holds,
+//!   dominance accumulators, open window accumulator, pending minutes,
+//!   support counts) plus the [`ShardCounts`] ledger, written every
+//!   [`DurableConfig::snapshot_every_reports`] consumed reports. The WAL
+//!   is flushed first and the snapshot records how many WAL bytes it
+//!   covers, so recovery replays exactly the tail.
+//! * **Recovery** ([`DurablePipeline::recover`]) — load the snapshot
+//!   (discarding it if its WAL coverage exceeds the valid WAL length),
+//!   truncate the torn tail, replay the remaining records through the same
+//!   [`ShardState::consume`] the live path uses, and restore the metrics
+//!   books from the recovered ledgers.
+//!
+//! **Recovery invariants** (tested in `tests/durable.rs` and below):
+//!
+//! 1. *Bit-identical state*: after recovery, each shard's canonical state
+//!    encoding equals a fresh fold of [`ShardState::consume`] over its
+//!    durably-logged record sequence — snapshots are a pure optimization.
+//! 2. *Bit-identical completion*: crash at any point, recover, re-feed the
+//!    stream ([`DurablePipeline::run`] skips the durable prefix), and the
+//!    final [`IngestSummary`], pre-finish state digest and the
+//!    deterministic metrics projection
+//!    ([`MetricsSnapshot::replay_invariant_core`]) equal an uninterrupted
+//!    run's.
+//! 3. *Durable accounting*: at quiescence `wal_records == offered`
+//!    ([`MetricsSnapshot::durably_accounted`]), because nothing is consumed
+//!    before it is logged and nothing already logged is re-offered.
+//!
+//! Sequence numbers are global (1-based, assigned by the producer in
+//! stream order), so each shard's WAL holds a strictly increasing
+//! subsequence and `min` over shards of the last logged seq is a safe
+//! resume point ([`DurablePipeline::resume_seq`]); re-feeding the full
+//! stream is always correct and is what [`DurablePipeline::run`] expects.
+//!
+//! Durability of the files themselves is `fsync`-gated
+//! ([`DurableConfig::fsync`], default off): without it a *machine* crash
+//! can lose buffered bytes, but recovery still lands on a valid
+//! checksummed prefix — the guarantee degrades to "replayable from an
+//! earlier point", never to corruption.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use super::{
+    GatewayLane, IngestConfig, IngestMetrics, IngestPipeline, IngestReport, IngestSummary,
+    KillSwitch, PendingMinute, RunEnd, ShardCounts, ShardState,
+};
+use crate::streaming::{MotifTemplate, OnlinePearson, WindowAccumulator};
+use wtts_timeseries::Minute;
+
+// ---------------------------------------------------------------------------
+// Checksums and digests (no external deps: CRC32/IEEE and FNV-1a by hand)
+// ---------------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected, init/final xor `0xFFFF_FFFF`) — the
+/// polynomial every torn-tail detector speaks.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a offset basis (the seed of every digest fold in this module).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64_bytes(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc = (acc ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Folds one `u64` into an FNV-1a accumulator (little-endian bytes).
+pub(crate) fn fnv1a64_u64(acc: u64, v: u64) -> u64 {
+    fnv1a64_bytes(acc, &v.to_le_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian encode/decode helpers
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("durable ingest: {what}"),
+    )
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(corrupt("truncated record"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix that must be satisfiable by the remaining bytes
+    /// (each element at least `min_width` bytes) — rejects hostile lengths
+    /// before any allocation.
+    fn len(&mut self, min_width: usize) -> io::Result<usize> {
+        let n = self.u64()? as usize;
+        if n.saturating_mul(min_width.max(1)) > self.buf.len() - self.pos {
+            return Err(corrupt("implausible length prefix"));
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical state encoding
+// ---------------------------------------------------------------------------
+
+/// Fingerprint of everything that determines state semantics: a snapshot
+/// or WAL written under one configuration must not be replayed under
+/// another (different thresholds or shard routing would silently diverge).
+pub(crate) fn config_fingerprint(config: &IngestConfig, n_templates: usize) -> u64 {
+    let mut acc = FNV_OFFSET;
+    acc = fnv1a64_u64(acc, config.window as u64);
+    acc = fnv1a64_u64(acc, config.bin_minutes as u64);
+    acc = fnv1a64_u64(acc, config.lateness_horizon as u64);
+    acc = fnv1a64_u64(acc, config.max_future_jump as u64);
+    acc = fnv1a64_u64(acc, config.dominance_phi.to_bits());
+    acc = fnv1a64_u64(acc, config.motif_threshold.to_bits());
+    acc = fnv1a64_u64(acc, n_templates as u64);
+    acc = fnv1a64_u64(acc, config.shards.max(1) as u64);
+    acc
+}
+
+fn encode_counts(buf: &mut Vec<u8>, c: &ShardCounts) {
+    for v in [
+        c.ingested,
+        c.baselines,
+        c.reset_spanning_gaps,
+        c.counter_resets,
+        c.dropped_late,
+        c.dropped_duplicate,
+        c.dropped_future_jump,
+        c.windows_sealed,
+        c.windows_matched,
+        c.windows_novel,
+        c.windows_insufficient,
+        c.partial_windows,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn decode_counts(cur: &mut Cursor) -> io::Result<ShardCounts> {
+    Ok(ShardCounts {
+        ingested: cur.u64()?,
+        baselines: cur.u64()?,
+        reset_spanning_gaps: cur.u64()?,
+        counter_resets: cur.u64()?,
+        dropped_late: cur.u64()?,
+        dropped_duplicate: cur.u64()?,
+        dropped_future_jump: cur.u64()?,
+        windows_sealed: cur.u64()?,
+        windows_matched: cur.u64()?,
+        windows_novel: cur.u64()?,
+        windows_insufficient: cur.u64()?,
+        partial_windows: cur.u64()?,
+    })
+}
+
+fn encode_baseline(buf: &mut Vec<u8>, b: Option<(Minute, u64, u64)>) {
+    match b {
+        None => buf.push(0),
+        Some((at, cin, cout)) => {
+            buf.push(1);
+            put_u32(buf, at.0);
+            put_u64(buf, cin);
+            put_u64(buf, cout);
+        }
+    }
+}
+
+fn decode_baseline(cur: &mut Cursor) -> io::Result<Option<(Minute, u64, u64)>> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some((Minute(cur.u32()?), cur.u64()?, cur.u64()?))),
+        _ => Err(corrupt("bad baseline tag")),
+    }
+}
+
+fn encode_lane(buf: &mut Vec<u8>, lane: &GatewayLane) {
+    put_u64(buf, lane.gateway);
+    put_u64(buf, lane.reports);
+    put_u64(buf, lane.sealed);
+    put_u64(buf, lane.matched);
+    put_u64(buf, lane.novel);
+    put_u64(buf, lane.insufficient);
+    put_u32(buf, lane.watermark);
+    put_u32(buf, lane.max_seen);
+    put_u64(buf, lane.support.len() as u64);
+    for &s in &lane.support {
+        put_u64(buf, s);
+    }
+    let (current_start, bins, seen) = lane.accumulator.raw_parts();
+    put_u32(buf, current_start);
+    put_u64(buf, bins.len() as u64);
+    for &b in bins {
+        put_f64(buf, b);
+    }
+    for &s in seen {
+        buf.push(s as u8);
+    }
+    put_u64(buf, lane.pending.len() as u64);
+    for pm in &lane.pending {
+        put_u32(buf, pm.minute);
+        put_u64(buf, pm.contributions.len() as u64);
+        for &(device, bytes) in &pm.contributions {
+            put_u32(buf, device);
+            put_f64(buf, bytes);
+        }
+    }
+    let mut device_ids: Vec<u32> = lane.devices.keys().copied().collect();
+    device_ids.sort_unstable();
+    put_u64(buf, device_ids.len() as u64);
+    for id in device_ids {
+        let d = &lane.devices[&id];
+        put_u32(buf, id);
+        encode_baseline(buf, d.last);
+        encode_baseline(buf, d.suspect);
+        let (n, parts) = d.dominance.raw_parts();
+        put_u64(buf, n);
+        for p in parts {
+            put_f64(buf, p);
+        }
+    }
+}
+
+fn decode_lane(
+    cur: &mut Cursor,
+    config: &IngestConfig,
+    n_templates: usize,
+) -> io::Result<GatewayLane> {
+    let gateway = cur.u64()?;
+    let mut lane = GatewayLane::new(gateway, config, n_templates);
+    lane.reports = cur.u64()?;
+    lane.sealed = cur.u64()?;
+    lane.matched = cur.u64()?;
+    lane.novel = cur.u64()?;
+    lane.insufficient = cur.u64()?;
+    lane.watermark = cur.u32()?;
+    lane.max_seen = cur.u32()?;
+    let n_support = cur.len(8)?;
+    if n_support != n_templates {
+        return Err(corrupt("support width mismatch"));
+    }
+    for s in lane.support.iter_mut() {
+        *s = cur.u64()?;
+    }
+    let current_start = cur.u32()?;
+    let n_bins = cur.len(8)?;
+    let mut bins = Vec::with_capacity(n_bins);
+    for _ in 0..n_bins {
+        bins.push(cur.f64()?);
+    }
+    let mut seen = Vec::with_capacity(n_bins);
+    for _ in 0..n_bins {
+        seen.push(match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("bad seen flag")),
+        });
+    }
+    // Geometry is validated by from_raw_parts against (window, bin_minutes);
+    // reject mismatches as corruption rather than panicking.
+    if n_bins != lane.accumulator.raw_parts().1.len() {
+        return Err(corrupt("window geometry mismatch"));
+    }
+    lane.accumulator = WindowAccumulator::from_raw_parts(
+        config.window,
+        config.bin_minutes,
+        current_start,
+        bins,
+        seen,
+    );
+    let n_pending = cur.len(12)?;
+    for _ in 0..n_pending {
+        let minute = cur.u32()?;
+        let n_contrib = cur.len(12)?;
+        let mut contributions = Vec::with_capacity(n_contrib);
+        for _ in 0..n_contrib {
+            contributions.push((cur.u32()?, cur.f64()?));
+        }
+        lane.pending.push_back(PendingMinute {
+            minute,
+            contributions,
+        });
+    }
+    let n_devices = cur.len(4)?;
+    for _ in 0..n_devices {
+        let id = cur.u32()?;
+        let last = decode_baseline(cur)?;
+        let suspect = decode_baseline(cur)?;
+        let n = cur.u64()?;
+        let mut parts = [0.0f64; 5];
+        for p in parts.iter_mut() {
+            *p = cur.f64()?;
+        }
+        lane.devices.insert(
+            id,
+            super::DeviceState {
+                last,
+                suspect,
+                dominance: OnlinePearson::from_raw_parts(n, parts),
+            },
+        );
+    }
+    Ok(lane)
+}
+
+/// Canonical byte encoding of a full shard state (lanes sorted by gateway,
+/// devices by id, floats as IEEE-754 bits). Two states are bit-identical
+/// iff their encodings are equal — the comparison primitive of every
+/// recovery test.
+pub(crate) fn encode_state(state: &ShardState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, state.last_seq);
+    put_u64(&mut buf, state.processed);
+    encode_counts(&mut buf, &state.counts);
+    let mut gateways: Vec<u64> = state.lanes.keys().copied().collect();
+    gateways.sort_unstable();
+    put_u64(&mut buf, gateways.len() as u64);
+    for gw in gateways {
+        encode_lane(&mut buf, &state.lanes[&gw]);
+    }
+    buf
+}
+
+fn decode_state(bytes: &[u8], config: &IngestConfig, n_templates: usize) -> io::Result<ShardState> {
+    let mut cur = Cursor::new(bytes);
+    let last_seq = cur.u64()?;
+    let processed = cur.u64()?;
+    let counts = decode_counts(&mut cur)?;
+    let n_lanes = cur.len(64)?;
+    let mut lanes = HashMap::with_capacity(n_lanes);
+    for _ in 0..n_lanes {
+        let lane = decode_lane(&mut cur, config, n_templates)?;
+        lanes.insert(lane.gateway, lane);
+    }
+    cur.done()?;
+    Ok(ShardState {
+        lanes,
+        counts,
+        last_seq,
+        processed,
+    })
+}
+
+/// FNV-1a digest of the canonical state encoding. Cheap to combine across
+/// shards and stable across processes (no address-dependent iteration
+/// order leaks into it).
+pub(crate) fn state_digest(state: &ShardState) -> u64 {
+    fnv1a64_bytes(FNV_OFFSET, &encode_state(state))
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+const WAL_MAGIC: &[u8; 8] = b"WTTSWAL1";
+const SNAP_MAGIC: &[u8; 8] = b"WTTSSNAP";
+const SNAP_VERSION: u32 = 1;
+/// WAL header: magic + config fingerprint.
+const WAL_HEADER_LEN: u64 = 16;
+/// Fixed payload width of a WAL record (seq, gateway, device, at, cum_in,
+/// cum_out); the length prefix exists for forward evolution.
+const WAL_PAYLOAD_LEN: usize = 40;
+/// Flush the append buffer once it exceeds this many bytes (and always
+/// before a snapshot and at stream end).
+const WAL_FLUSH_BYTES: usize = 64 * 1024;
+
+fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("wal-{shard}.log"))
+}
+
+fn snap_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("snap-{shard}.bin"))
+}
+
+fn encode_wal_payload(seq: u64, r: &IngestReport) -> [u8; WAL_PAYLOAD_LEN] {
+    let mut p = [0u8; WAL_PAYLOAD_LEN];
+    p[0..8].copy_from_slice(&seq.to_le_bytes());
+    p[8..16].copy_from_slice(&r.gateway.to_le_bytes());
+    p[16..20].copy_from_slice(&r.device.to_le_bytes());
+    p[20..24].copy_from_slice(&r.at.0.to_le_bytes());
+    p[24..32].copy_from_slice(&r.cum_in.to_le_bytes());
+    p[32..40].copy_from_slice(&r.cum_out.to_le_bytes());
+    p
+}
+
+fn decode_wal_payload(p: &[u8]) -> io::Result<(u64, IngestReport)> {
+    let mut cur = Cursor::new(p);
+    let seq = cur.u64()?;
+    let report = IngestReport {
+        gateway: cur.u64()?,
+        device: cur.u32()?,
+        at: Minute(cur.u32()?),
+        cum_in: cur.u64()?,
+        cum_out: cur.u64()?,
+    };
+    cur.done()?;
+    Ok((seq, report))
+}
+
+/// Result of scanning one shard's WAL.
+struct WalScan {
+    /// Decoded records in append order.
+    records: Vec<(u64, IngestReport)>,
+    /// File length of the valid checksummed prefix (header included).
+    valid_len: u64,
+    /// 1 if a torn/corrupt tail was found (and everything after the valid
+    /// prefix discarded), else 0.
+    torn: u64,
+}
+
+/// Reads a WAL file, stopping at the first torn or corrupt record. A bad
+/// checksum anywhere truncates the view at the last valid record — a torn
+/// tail must never be half-applied.
+fn scan_wal(path: &Path, fingerprint: u64) -> io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < WAL_HEADER_LEN as usize || &bytes[0..8] != WAL_MAGIC {
+        return Err(corrupt("bad WAL header"));
+    }
+    let fp = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if fp != fingerprint {
+        return Err(corrupt("WAL written under a different configuration"));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut torn = 0u64;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            torn = 1;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len != WAL_PAYLOAD_LEN || bytes.len() - pos - 8 < len {
+            torn = 1;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            torn = 1;
+            break;
+        }
+        records.push(decode_wal_payload(payload)?);
+        pos += 8 + len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos as u64,
+        torn,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard durability hooks (owned by the shard worker)
+// ---------------------------------------------------------------------------
+
+/// Durable-run configuration.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Directory holding the per-shard WAL and snapshot files.
+    pub dir: PathBuf,
+    /// Snapshot cadence: write a shard snapshot after this many consumed
+    /// reports since the last one (checked at batch boundaries).
+    pub snapshot_every_reports: u64,
+    /// `fsync` WAL flushes and snapshot files. Off by default: crash
+    /// consistency against *process* death never needs it, and the CI
+    /// smoke runs both ways.
+    pub fsync: bool,
+}
+
+impl DurableConfig {
+    /// A configuration with default cadence (64k reports) and no fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            dir: dir.into(),
+            snapshot_every_reports: 64 * 1024,
+            fsync: false,
+        }
+    }
+}
+
+/// The durable side of one shard worker: its open WAL writer and snapshot
+/// cadence. Created by [`DurablePipeline`] and moved into the worker
+/// thread; every method is called from that one thread.
+pub(crate) struct ShardDurability {
+    shard: usize,
+    wal: File,
+    /// Bytes durably written to the WAL file (valid prefix length).
+    wal_len: u64,
+    /// Appended-but-unflushed record bytes; a crash drops these.
+    buf: Vec<u8>,
+    snap: PathBuf,
+    snap_tmp: PathBuf,
+    fingerprint: u64,
+    snapshot_every: u64,
+    last_snapshot_processed: u64,
+    fsync: bool,
+}
+
+impl ShardDurability {
+    /// Appends one consumed report to the WAL (buffered; flushed on
+    /// threshold, before snapshots, and at stream end).
+    pub(crate) fn append(&mut self, seq: u64, report: &IngestReport) -> io::Result<()> {
+        let payload = encode_wal_payload(seq, report);
+        self.buf
+            .extend_from_slice(&(WAL_PAYLOAD_LEN as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        if self.buf.len() >= WAL_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the append buffer to the file (+ `fsync` when configured).
+    pub(crate) fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.wal.write_all(&self.buf)?;
+            self.wal_len += self.buf.len() as u64;
+            self.buf.clear();
+            if self.fsync {
+                self.wal.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulated process death: unflushed bytes are gone. (Used by the
+    /// in-process kill switch; a real SIGKILL gets this for free.)
+    pub(crate) fn crash(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Whether the snapshot cadence has elapsed.
+    pub(crate) fn snapshot_due(&self, processed: u64) -> bool {
+        processed - self.last_snapshot_processed >= self.snapshot_every
+    }
+
+    /// Flushes the WAL, then writes the snapshot atomically (tmp+rename).
+    /// Ordering matters: the snapshot claims WAL coverage, so those bytes
+    /// must hit the file first.
+    pub(crate) fn write_snapshot(&mut self, state: &ShardState) -> io::Result<()> {
+        self.flush()?;
+        let body = encode_state(state);
+        let mut buf = Vec::with_capacity(body.len() + 64);
+        buf.extend_from_slice(SNAP_MAGIC);
+        put_u32(&mut buf, SNAP_VERSION);
+        put_u32(&mut buf, self.shard as u32);
+        put_u64(&mut buf, self.fingerprint);
+        put_u64(&mut buf, self.wal_len);
+        put_u64(&mut buf, body.len() as u64);
+        buf.extend_from_slice(&body);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        {
+            let mut tmp = File::create(&self.snap_tmp)?;
+            tmp.write_all(&buf)?;
+            if self.fsync {
+                tmp.sync_data()?;
+            }
+        }
+        std::fs::rename(&self.snap_tmp, &self.snap)?;
+        self.last_snapshot_processed = state.processed;
+        Ok(())
+    }
+}
+
+/// Decoded snapshot file: WAL coverage + state.
+struct LoadedSnapshot {
+    wal_bytes: u64,
+    state: ShardState,
+}
+
+fn load_snapshot(
+    path: &Path,
+    shard: usize,
+    fingerprint: u64,
+    config: &IngestConfig,
+    n_templates: usize,
+) -> io::Result<Option<LoadedSnapshot>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 4 {
+        return Err(corrupt("snapshot too short"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(corrupt("snapshot checksum mismatch"));
+    }
+    let mut cur = Cursor::new(body);
+    if cur.take(8)? != SNAP_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    if cur.u32()? != SNAP_VERSION {
+        return Err(corrupt("unsupported snapshot version"));
+    }
+    if cur.u32()? != shard as u32 {
+        return Err(corrupt("snapshot shard mismatch"));
+    }
+    if cur.u64()? != fingerprint {
+        return Err(corrupt("snapshot written under a different configuration"));
+    }
+    let wal_bytes = cur.u64()?;
+    let state_len = cur.len(1)?;
+    let state = decode_state(cur.take(state_len)?, config, n_templates)?;
+    cur.done()?;
+    Ok(Some(LoadedSnapshot { wal_bytes, state }))
+}
+
+// ---------------------------------------------------------------------------
+// Durable pipeline
+// ---------------------------------------------------------------------------
+
+/// Crash injection for durable runs.
+#[derive(Debug, Clone, Copy)]
+pub struct KillPoint {
+    /// Fire after this many reports have been offered by the run.
+    pub after_offered: u64,
+    /// How to die.
+    pub mode: KillMode,
+}
+
+impl KillPoint {
+    /// An in-process abort after `after_offered` offered reports.
+    pub fn after(after_offered: u64) -> KillPoint {
+        KillPoint {
+            after_offered,
+            mode: KillMode::Abort,
+        }
+    }
+}
+
+/// How a [`KillPoint`] kills the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Cooperative in-process abort: workers stop without finishing and
+    /// unflushed WAL bytes are discarded — a faithful crash simulation
+    /// that leaves the process (and the test harness) alive.
+    Abort,
+    /// `std::process::abort()` — the process dies for real, no unwinding,
+    /// no flushing. For the crash-recovery CI smoke.
+    SigKill,
+}
+
+/// How a durable run ended.
+#[derive(Debug)]
+pub enum DurableRun {
+    /// The stream was fully consumed and every shard finished.
+    Completed {
+        /// The merged fleet summary (same type as the in-memory pipeline;
+        /// boxed so the enum stays small next to `Killed`).
+        summary: Box<IngestSummary>,
+        /// Combined pre-finish state digest across shards — equal for an
+        /// uninterrupted run and any crash/recover/re-feed of the same
+        /// stream.
+        state_digest: u64,
+    },
+    /// The kill switch fired; the on-disk WAL/snapshots hold the durable
+    /// prefix and [`DurablePipeline::recover`] picks it up.
+    Killed,
+}
+
+impl DurableRun {
+    /// The summary of a completed run, if it completed.
+    pub fn summary(&self) -> Option<&IngestSummary> {
+        match self {
+            DurableRun::Completed { summary, .. } => Some(summary),
+            DurableRun::Killed => None,
+        }
+    }
+}
+
+/// A [`IngestPipeline`] with per-shard WAL + snapshot durability. Create a
+/// fresh one with [`DurablePipeline::create`], or load the durable state
+/// of a crashed run with [`DurablePipeline::recover`]; then feed the
+/// stream with [`DurablePipeline::run`]. Each instance runs once.
+pub struct DurablePipeline {
+    pipeline: IngestPipeline,
+    durable: DurableConfig,
+    fingerprint: u64,
+    /// Recovered/fresh shard states and their open durability hooks;
+    /// consumed by `run`.
+    armed: Option<(Vec<ShardState>, Vec<ShardDurability>)>,
+}
+
+impl DurablePipeline {
+    /// Starts a fresh durable pipeline: truncates any existing WAL files
+    /// in `durable.dir` and removes old snapshots.
+    pub fn create(
+        config: IngestConfig,
+        templates: Vec<MotifTemplate>,
+        durable: DurableConfig,
+    ) -> io::Result<DurablePipeline> {
+        std::fs::create_dir_all(&durable.dir)?;
+        let pipeline = IngestPipeline::new(config, templates);
+        let shards = pipeline.config().shards.max(1);
+        let fingerprint = config_fingerprint(pipeline.config(), pipeline.templates.len());
+        let mut states = Vec::with_capacity(shards);
+        let mut hooks = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let snap = snap_path(&durable.dir, shard);
+            match std::fs::remove_file(&snap) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            let mut wal = File::create(wal_path(&durable.dir, shard))?;
+            wal.write_all(WAL_MAGIC)?;
+            wal.write_all(&fingerprint.to_le_bytes())?;
+            if durable.fsync {
+                wal.sync_data()?;
+            }
+            states.push(ShardState::new());
+            hooks.push(ShardDurability {
+                shard,
+                wal,
+                wal_len: WAL_HEADER_LEN,
+                buf: Vec::new(),
+                snap_tmp: snap.with_extension("tmp"),
+                snap,
+                fingerprint,
+                snapshot_every: durable.snapshot_every_reports.max(1),
+                last_snapshot_processed: 0,
+                fsync: durable.fsync,
+            });
+        }
+        Ok(DurablePipeline {
+            pipeline,
+            durable,
+            fingerprint,
+            armed: Some((states, hooks)),
+        })
+    }
+
+    /// Recovers the durable state of a previous run from `durable.dir`:
+    /// per shard, truncate the WAL's torn tail, load the snapshot (or
+    /// start empty — including when the snapshot claims WAL coverage the
+    /// file no longer has), replay the WAL tail through the live consume
+    /// path, and restore the metrics books. The resulting instance is
+    /// ready to [`DurablePipeline::run`] the stream again.
+    pub fn recover(
+        config: IngestConfig,
+        templates: Vec<MotifTemplate>,
+        durable: DurableConfig,
+    ) -> io::Result<DurablePipeline> {
+        let pipeline = IngestPipeline::new(config, templates);
+        let shards = pipeline.config().shards.max(1);
+        let fingerprint = config_fingerprint(pipeline.config(), pipeline.templates.len());
+        let metrics = &pipeline.metrics;
+        let mut states = Vec::with_capacity(shards);
+        let mut hooks = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let path = wal_path(&durable.dir, shard);
+            let scan = scan_wal(&path, fingerprint)?;
+            metrics
+                .wal_torn_records
+                .fetch_add(scan.torn, Ordering::Relaxed);
+
+            let snap = snap_path(&durable.dir, shard);
+            let loaded = match load_snapshot(
+                &snap,
+                shard,
+                fingerprint,
+                pipeline.config(),
+                pipeline.templates.len(),
+            )? {
+                // A snapshot claiming more WAL than survived (torn below
+                // its coverage) cannot be trusted to align with the log;
+                // fall back to a full replay from empty.
+                Some(s) if s.wal_bytes > scan.valid_len => None,
+                other => other,
+            };
+            let (mut state, covered_bytes) = match loaded {
+                Some(s) => (s.state, s.wal_bytes),
+                None => (ShardState::new(), WAL_HEADER_LEN),
+            };
+
+            // Replay the WAL tail: records past the snapshot's coverage,
+            // through the exact consume path live ingest uses.
+            {
+                let _span = metrics.replay.enter();
+                let mut offset = WAL_HEADER_LEN;
+                for (seq, report) in &scan.records {
+                    let start = offset;
+                    offset += 8 + WAL_PAYLOAD_LEN as u64;
+                    if start < covered_bytes {
+                        debug_assert!(*seq <= state.last_seq);
+                        continue;
+                    }
+                    state.consume(*seq, report, pipeline.config(), &pipeline.templates);
+                }
+            }
+
+            // Restore the books: everything in the WAL was consumed, and
+            // everything consumed was offered.
+            metrics
+                .offered
+                .fetch_add(state.processed, Ordering::Relaxed);
+            metrics
+                .wal_records
+                .fetch_add(state.processed, Ordering::Relaxed);
+            metrics.apply(&state.counts);
+            metrics.shards[shard]
+                .processed
+                .store(state.processed, Ordering::Relaxed);
+
+            // Truncate the torn tail so appends resume on the valid prefix.
+            let wal = OpenOptions::new().read(true).write(true).open(&path)?;
+            wal.set_len(scan.valid_len)?;
+            let mut wal = wal;
+            wal.seek(SeekFrom::End(0))?;
+
+            let last_snapshot_processed = state.processed;
+            states.push(state);
+            hooks.push(ShardDurability {
+                shard,
+                wal,
+                wal_len: scan.valid_len,
+                buf: Vec::new(),
+                snap_tmp: snap.with_extension("tmp"),
+                snap,
+                fingerprint,
+                snapshot_every: durable.snapshot_every_reports.max(1),
+                last_snapshot_processed,
+                fsync: durable.fsync,
+            });
+        }
+        metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+        Ok(DurablePipeline {
+            pipeline,
+            durable,
+            fingerprint,
+            armed: Some((states, hooks)),
+        })
+    }
+
+    /// The live metrics registry (restored books after a recovery).
+    pub fn metrics(&self) -> Arc<IngestMetrics> {
+        self.pipeline.metrics()
+    }
+
+    /// The underlying pipeline configuration.
+    pub fn config(&self) -> &IngestConfig {
+        self.pipeline.config()
+    }
+
+    /// Combined digest of the current (recovered) shard states — equals
+    /// the digest of a fresh [`ShardState::consume`] fold over each
+    /// shard's durably-logged records.
+    pub fn state_digest(&self) -> u64 {
+        let (states, _) = self
+            .armed
+            .as_ref()
+            .expect("durable pipeline already consumed by run()");
+        states
+            .iter()
+            .fold(FNV_OFFSET, |acc, s| fnv1a64_u64(acc, state_digest(s)))
+    }
+
+    /// The earliest global sequence number NOT yet durable in every shard:
+    /// feeding the stream suffix starting here (via
+    /// [`DurablePipeline::run_from`]) loses nothing. Re-feeding from the
+    /// beginning is always correct too — already-durable reports are
+    /// skipped per shard.
+    pub fn resume_seq(&self) -> u64 {
+        let (states, _) = self
+            .armed
+            .as_ref()
+            .expect("durable pipeline already consumed by run()");
+        states.iter().map(|s| s.last_seq).min().unwrap_or(0) + 1
+    }
+
+    /// Runs the full stream (global sequence numbers assigned from 1),
+    /// skipping reports each shard already holds durably. `kill` arms the
+    /// crash switch.
+    pub fn run<I>(&mut self, reports: I, kill: Option<KillPoint>) -> io::Result<DurableRun>
+    where
+        I: IntoIterator<Item = IngestReport>,
+    {
+        self.run_from(reports, 1, kill)
+    }
+
+    /// Like [`DurablePipeline::run`], but `reports` is the stream suffix
+    /// whose first element carries global sequence number `first_seq`
+    /// (obtain a safe value from [`DurablePipeline::resume_seq`]).
+    pub fn run_from<I>(
+        &mut self,
+        reports: I,
+        first_seq: u64,
+        kill: Option<KillPoint>,
+    ) -> io::Result<DurableRun>
+    where
+        I: IntoIterator<Item = IngestReport>,
+    {
+        let (states, hooks) = self
+            .armed
+            .take()
+            .expect("a durable pipeline instance runs once; recover() a new one");
+        let cutoffs = states.iter().map(|s| s.last_seq).collect();
+        let durability = hooks.into_iter().map(Some).collect();
+        let kill = kill.map(|k| KillSwitch {
+            after_offered: k.after_offered,
+            hard: k.mode == KillMode::SigKill,
+        });
+        match self
+            .pipeline
+            .run_inner(reports, first_seq, cutoffs, states, durability, kill)?
+        {
+            RunEnd::Completed(summary, digest) => Ok(DurableRun::Completed {
+                summary,
+                state_digest: digest.expect("durable run always yields a digest"),
+            }),
+            RunEnd::Killed => Ok(DurableRun::Killed),
+        }
+    }
+
+    /// The durable directory this pipeline reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.durable.dir
+    }
+
+    /// The configuration fingerprint stamped on WAL and snapshot files.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtts_timeseries::WindowKind;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wtts-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn report(gateway: u64, device: u32, at: u32, cum: u64) -> IngestReport {
+        IngestReport {
+            gateway,
+            device,
+            at: Minute(at),
+            cum_in: cum,
+            cum_out: cum / 2,
+        }
+    }
+
+    fn config(shards: usize) -> IngestConfig {
+        IngestConfig {
+            shards,
+            batch_reports: 16,
+            queue_batches: 2,
+            window: WindowKind::Daily,
+            bin_minutes: 180,
+            lateness_horizon: 3,
+            ..IngestConfig::default()
+        }
+    }
+
+    /// A messy but deterministic stream: several gateways/devices, with
+    /// duplicates, late arrivals and an uncorroborated future jump mixed
+    /// in so recovery has non-trivial drop state to reproduce.
+    fn stream() -> Vec<IngestReport> {
+        let mut out = Vec::new();
+        for m in 0..2_000u32 {
+            for gw in 0..5u64 {
+                for dev in 0..2u32 {
+                    if (m + gw as u32 * 3 + dev * 7).is_multiple_of(13) {
+                        continue; // loss
+                    }
+                    let cum = (m as u64 + 1) * (50 + gw * 11 + dev as u64 * 5);
+                    out.push(report(gw, dev, m, cum));
+                    if (m + gw as u32).is_multiple_of(97) {
+                        out.push(report(gw, dev, m, cum)); // duplicate
+                    }
+                }
+            }
+            if m == 700 {
+                out.push(report(1, 0, 90_000, 1)); // wild future jump
+            }
+            if m == 800 {
+                out.push(report(2, 1, 100, 1)); // very late straggler
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_payload_roundtrip() {
+        let r = report(42, 7, 1234, 99_999);
+        let p = encode_wal_payload(567, &r);
+        let (seq, back) = decode_wal_payload(&p).unwrap();
+        assert_eq!(seq, 567);
+        assert_eq!(back, r);
+    }
+
+    /// Snapshot encode/decode is the identity on states reached through
+    /// real ingest (lanes with pending minutes, suspects, dominance data).
+    #[test]
+    fn state_encoding_roundtrip() {
+        let cfg = config(1);
+        let mut state = ShardState::new();
+        for (i, r) in stream().into_iter().enumerate() {
+            state.consume(i as u64 + 1, &r, &cfg, &[]);
+        }
+        let bytes = encode_state(&state);
+        let back = decode_state(&bytes, &cfg, 0).unwrap();
+        assert_eq!(encode_state(&back), bytes);
+        assert_eq!(state_digest(&back), state_digest(&state));
+        assert_eq!(back.counts, state.counts);
+        assert_eq!(back.last_seq, state.last_seq);
+    }
+
+    /// Recovery with snapshots equals a pure fold over the logged records:
+    /// snapshots are an optimization, not a second source of truth.
+    #[test]
+    fn recovered_state_equals_wal_fold_at_many_kill_points() {
+        let stream = stream();
+        for kill_after in [1u64, 17, 900, 2_500, 7_000, stream.len() as u64 / 2] {
+            let dir = tmp_dir(&format!("fold-{kill_after}"));
+            let cfg = config(2);
+            let dcfg = DurableConfig {
+                dir: dir.clone(),
+                snapshot_every_reports: 300,
+                fsync: false,
+            };
+            let mut p = DurablePipeline::create(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+            let end = p
+                .run(stream.iter().copied(), Some(KillPoint::after(kill_after)))
+                .unwrap();
+            assert!(matches!(end, DurableRun::Killed));
+
+            let recovered =
+                DurablePipeline::recover(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+            // Reference: fold every logged record from an empty state.
+            let fingerprint = recovered.fingerprint();
+            let mut reference = FNV_OFFSET;
+            for shard in 0..2 {
+                let scan = scan_wal(&wal_path(&dir, shard), fingerprint).unwrap();
+                assert_eq!(scan.torn, 0, "clean abort leaves no torn tail");
+                let mut state = ShardState::new();
+                for (seq, r) in &scan.records {
+                    state.consume(*seq, r, &cfg, &[]);
+                }
+                reference = fnv1a64_u64(reference, state_digest(&state));
+            }
+            assert_eq!(
+                recovered.state_digest(),
+                reference,
+                "kill_after={kill_after}"
+            );
+
+            let m = recovered.metrics().snapshot();
+            assert!(m.fully_accounted(), "recovered books must balance");
+            assert!(m.durably_accounted());
+            assert_eq!(m.recoveries, 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// A WAL truncated mid-record recovers to the last valid checksummed
+    /// record and counts the tear.
+    #[test]
+    fn torn_wal_tail_is_truncated_and_counted() {
+        let dir = tmp_dir("torn");
+        let cfg = config(1);
+        let dcfg = DurableConfig {
+            dir: dir.clone(),
+            snapshot_every_reports: u64::MAX,
+            fsync: false,
+        };
+        let stream: Vec<IngestReport> = (0..100u32)
+            .map(|m| report(9, 0, m, (m as u64 + 1) * 10))
+            .collect();
+        let mut p = DurablePipeline::create(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        match p.run(stream.iter().copied(), None).unwrap() {
+            DurableRun::Completed { .. } => {}
+            DurableRun::Killed => panic!("no kill point was armed"),
+        }
+
+        // Tear the file mid-record: keep the header, 40 full records, and
+        // 13 bytes of the 41st.
+        let path = wal_path(&dir, 0);
+        let full = std::fs::metadata(&path).unwrap().len();
+        let record = 8 + WAL_PAYLOAD_LEN as u64;
+        assert_eq!(full, WAL_HEADER_LEN + 100 * record);
+        let torn_len = WAL_HEADER_LEN + 40 * record + 13;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn_len)
+            .unwrap();
+
+        let recovered = DurablePipeline::recover(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        let m = recovered.metrics().snapshot();
+        assert_eq!(m.wal_torn_records, 1);
+        assert_eq!(m.offered, 40, "only the valid prefix survives");
+        assert_eq!(m.wal_records, 40);
+        assert!(m.fully_accounted());
+        // The file was truncated to the valid prefix.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            WAL_HEADER_LEN + 40 * record
+        );
+
+        // Corrupting a record *body* (checksum mismatch) cuts the view at
+        // the same place a physical tear would.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupted byte inside a record fails its checksum and truncates
+    /// the view there — a bad record never half-applies.
+    #[test]
+    fn checksum_mismatch_truncates_at_last_valid_record() {
+        let dir = tmp_dir("crc");
+        let cfg = config(1);
+        let dcfg = DurableConfig {
+            dir: dir.clone(),
+            snapshot_every_reports: u64::MAX,
+            fsync: false,
+        };
+        let stream: Vec<IngestReport> = (0..50u32)
+            .map(|m| report(3, 0, m, (m as u64 + 1) * 10))
+            .collect();
+        let mut p = DurablePipeline::create(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        p.run(stream.iter().copied(), None).unwrap();
+
+        let path = wal_path(&dir, 0);
+        let record = 8 + WAL_PAYLOAD_LEN as u64;
+        // Flip one payload byte of record 20 (0-based).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = (WAL_HEADER_LEN + 20 * record + 8 + 5) as usize;
+        bytes[victim] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let recovered = DurablePipeline::recover(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        let m = recovered.metrics().snapshot();
+        assert_eq!(m.offered, 20);
+        assert_eq!(m.wal_torn_records, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A snapshot claiming WAL coverage the (torn) log no longer has is
+    /// discarded and recovery falls back to a full replay.
+    #[test]
+    fn snapshot_beyond_torn_wal_is_discarded() {
+        let dir = tmp_dir("overclaim");
+        let cfg = config(1);
+        let dcfg = DurableConfig {
+            dir: dir.clone(),
+            snapshot_every_reports: 30,
+            fsync: false,
+        };
+        let stream: Vec<IngestReport> = (0..100u32)
+            .map(|m| report(4, 0, m, (m as u64 + 1) * 10))
+            .collect();
+        let mut p = DurablePipeline::create(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        p.run(stream.iter().copied(), None).unwrap();
+
+        // Truncate the WAL below the last snapshot's coverage.
+        let path = wal_path(&dir, 0);
+        let record = 8 + WAL_PAYLOAD_LEN as u64;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(WAL_HEADER_LEN + 10 * record)
+            .unwrap();
+
+        let recovered = DurablePipeline::recover(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        let m = recovered.metrics().snapshot();
+        assert_eq!(m.offered, 10, "full replay of the surviving prefix");
+        assert!(m.fully_accounted());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Config fingerprint mismatches are refused loudly instead of
+    /// replaying a log under rules it was not written for.
+    #[test]
+    fn mismatched_configuration_is_refused() {
+        let dir = tmp_dir("fingerprint");
+        let cfg = config(1);
+        let dcfg = DurableConfig::new(dir.clone());
+        let mut p = DurablePipeline::create(cfg.clone(), Vec::new(), dcfg.clone()).unwrap();
+        p.run((0..10u32).map(|m| report(1, 0, m, m as u64 + 1)), None)
+            .unwrap();
+        let other = IngestConfig {
+            motif_threshold: 0.9,
+            ..cfg
+        };
+        let err = match DurablePipeline::recover(other, Vec::new(), dcfg) {
+            Ok(_) => panic!("mismatched config must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,11 +41,21 @@
 //! **Observability.** All counters live in an atomic [`IngestMetrics`]
 //! registry shared between producer, shards and any monitoring thread;
 //! [`IngestMetrics::snapshot`] is a handful of relaxed loads and can be
-//! called at any rate while ingest runs.
+//! called at any rate while ingest runs. Shard workers classify outcomes
+//! into a plain per-shard [`ShardCounts`] ledger on the hot path and fold
+//! the deltas into the atomic registry once per batch, so the live view
+//! lags a batch at most and the ledger itself is what snapshots persist.
+//!
+//! **Durability.** The [`durable`] submodule adds an append-only,
+//! checksummed write-ahead log of consumed reports per shard, periodic
+//! snapshots of the full shard state, and a deterministic `recover()` path
+//! that replays the WAL tail — see its docs for the recovery invariants.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+pub mod durable;
 
 use crate::dominance::{rank_dominants, DominantDevice, DOMINANCE_PHI};
 use crate::obs::{Stage, StageSnapshot};
@@ -157,6 +167,85 @@ struct ShardMetrics {
     /// Batch-processing stage: entered/exited/in-flight batches plus a
     /// log-bucketed latency histogram (one span per popped batch).
     batch_stage: Stage,
+    /// WAL append stage (durable runs): one span per appended record.
+    wal_append: Stage,
+    /// Snapshot-write stage (durable runs): one span per snapshot file.
+    snapshot_write: Stage,
+}
+
+/// The plain (non-atomic) per-shard outcome ledger.
+///
+/// Shard workers classify every report into this struct on the hot path —
+/// plain `u64` adds, no atomics — and fold the delta into the shared
+/// [`IngestMetrics`] once per batch. Because the ledger is an ordinary
+/// value owned by the shard, it serializes into durable snapshots and
+/// restores exactly, which is what lets a recovered run's metrics books
+/// match an uninterrupted run's bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounts {
+    /// Reports accepted (including baselines and reset-spanning gaps).
+    pub ingested: u64,
+    /// Accepted reports that only (re-)established a device baseline.
+    pub baselines: u64,
+    /// Accepted reports whose delta was voided by a reset-spanning gap.
+    pub reset_spanning_gaps: u64,
+    /// Adjacent-minute counter resets decoded.
+    pub counter_resets: u64,
+    /// Reports dropped as late.
+    pub dropped_late: u64,
+    /// Reports dropped as duplicates.
+    pub dropped_duplicate: u64,
+    /// Reports dropped as uncorroborated future jumps.
+    pub dropped_future_jump: u64,
+    /// Complete calendar windows sealed.
+    pub windows_sealed: u64,
+    /// Sealed windows that matched a motif template.
+    pub windows_matched: u64,
+    /// Sealed windows matching no template.
+    pub windows_novel: u64,
+    /// Sealed windows with too few observations to judge.
+    pub windows_insufficient: u64,
+    /// Trailing partial windows flushed at end of stream.
+    pub partial_windows: u64,
+}
+
+impl ShardCounts {
+    fn count(&mut self, outcome: IngestOutcome) {
+        match outcome {
+            IngestOutcome::Ingested => self.ingested += 1,
+            IngestOutcome::Baseline => {
+                self.baselines += 1;
+                self.ingested += 1;
+            }
+            IngestOutcome::ResetSpanningGap => {
+                self.reset_spanning_gaps += 1;
+                self.ingested += 1;
+            }
+            IngestOutcome::Dropped(DropReason::Late) => self.dropped_late += 1,
+            IngestOutcome::Dropped(DropReason::Duplicate) => self.dropped_duplicate += 1,
+            IngestOutcome::Dropped(DropReason::FutureJump) => self.dropped_future_jump += 1,
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (the per-batch delta folded
+    /// into the atomic registry). `earlier` must be a previous value of the
+    /// same ledger, so every field of `self` is `>=` its counterpart.
+    fn minus(&self, earlier: &ShardCounts) -> ShardCounts {
+        ShardCounts {
+            ingested: self.ingested - earlier.ingested,
+            baselines: self.baselines - earlier.baselines,
+            reset_spanning_gaps: self.reset_spanning_gaps - earlier.reset_spanning_gaps,
+            counter_resets: self.counter_resets - earlier.counter_resets,
+            dropped_late: self.dropped_late - earlier.dropped_late,
+            dropped_duplicate: self.dropped_duplicate - earlier.dropped_duplicate,
+            dropped_future_jump: self.dropped_future_jump - earlier.dropped_future_jump,
+            windows_sealed: self.windows_sealed - earlier.windows_sealed,
+            windows_matched: self.windows_matched - earlier.windows_matched,
+            windows_novel: self.windows_novel - earlier.windows_novel,
+            windows_insufficient: self.windows_insufficient - earlier.windows_insufficient,
+            partial_windows: self.partial_windows - earlier.partial_windows,
+        }
+    }
 }
 
 /// Atomic metrics registry shared by the producer, every shard worker and
@@ -172,11 +261,19 @@ pub struct IngestMetrics {
     dropped_late: AtomicU64,
     dropped_duplicate: AtomicU64,
     dropped_future_jump: AtomicU64,
+    dropped_queue_closed: AtomicU64,
     windows_sealed: AtomicU64,
     windows_matched: AtomicU64,
     windows_novel: AtomicU64,
     windows_insufficient: AtomicU64,
     partial_windows: AtomicU64,
+    wal_records: AtomicU64,
+    wal_torn_records: AtomicU64,
+    wal_replayed: AtomicU64,
+    snapshots_written: AtomicU64,
+    recoveries: AtomicU64,
+    /// WAL-tail replay stage (one span per shard recovered).
+    replay: Stage,
     shards: Vec<ShardMetrics>,
 }
 
@@ -191,36 +288,41 @@ impl IngestMetrics {
             dropped_late: AtomicU64::new(0),
             dropped_duplicate: AtomicU64::new(0),
             dropped_future_jump: AtomicU64::new(0),
+            dropped_queue_closed: AtomicU64::new(0),
             windows_sealed: AtomicU64::new(0),
             windows_matched: AtomicU64::new(0),
             windows_novel: AtomicU64::new(0),
             windows_insufficient: AtomicU64::new(0),
             partial_windows: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            wal_torn_records: AtomicU64::new(0),
+            wal_replayed: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            replay: Stage::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
         }
     }
 
-    fn count(&self, outcome: IngestOutcome) {
-        match outcome {
-            IngestOutcome::Ingested => self.ingested.fetch_add(1, Ordering::Relaxed),
-            IngestOutcome::Baseline => {
-                self.baselines.fetch_add(1, Ordering::Relaxed);
-                self.ingested.fetch_add(1, Ordering::Relaxed)
-            }
-            IngestOutcome::ResetSpanningGap => {
-                self.reset_spanning_gaps.fetch_add(1, Ordering::Relaxed);
-                self.ingested.fetch_add(1, Ordering::Relaxed)
-            }
-            IngestOutcome::Dropped(DropReason::Late) => {
-                self.dropped_late.fetch_add(1, Ordering::Relaxed)
-            }
-            IngestOutcome::Dropped(DropReason::Duplicate) => {
-                self.dropped_duplicate.fetch_add(1, Ordering::Relaxed)
-            }
-            IngestOutcome::Dropped(DropReason::FutureJump) => {
-                self.dropped_future_jump.fetch_add(1, Ordering::Relaxed)
+    /// Folds a per-shard ledger delta into the atomic registry.
+    fn apply(&self, d: &ShardCounts) {
+        let add = |a: &AtomicU64, v: u64| {
+            if v > 0 {
+                a.fetch_add(v, Ordering::Relaxed);
             }
         };
+        add(&self.ingested, d.ingested);
+        add(&self.baselines, d.baselines);
+        add(&self.reset_spanning_gaps, d.reset_spanning_gaps);
+        add(&self.counter_resets, d.counter_resets);
+        add(&self.dropped_late, d.dropped_late);
+        add(&self.dropped_duplicate, d.dropped_duplicate);
+        add(&self.dropped_future_jump, d.dropped_future_jump);
+        add(&self.windows_sealed, d.windows_sealed);
+        add(&self.windows_matched, d.windows_matched);
+        add(&self.windows_novel, d.windows_novel);
+        add(&self.windows_insufficient, d.windows_insufficient);
+        add(&self.partial_windows, d.partial_windows);
     }
 
     /// A consistent-enough point-in-time copy of every counter (relaxed
@@ -236,11 +338,18 @@ impl IngestMetrics {
             dropped_late: load(&self.dropped_late),
             dropped_duplicate: load(&self.dropped_duplicate),
             dropped_future_jump: load(&self.dropped_future_jump),
+            dropped_queue_closed: load(&self.dropped_queue_closed),
             windows_sealed: load(&self.windows_sealed),
             windows_matched: load(&self.windows_matched),
             windows_novel: load(&self.windows_novel),
             windows_insufficient: load(&self.windows_insufficient),
             partial_windows: load(&self.partial_windows),
+            wal_records: load(&self.wal_records),
+            wal_torn_records: load(&self.wal_torn_records),
+            wal_replayed: load(&self.wal_replayed),
+            snapshots_written: load(&self.snapshots_written),
+            recoveries: load(&self.recoveries),
+            replay: self.replay.snapshot(),
             per_shard: self
                 .shards
                 .iter()
@@ -249,6 +358,8 @@ impl IngestMetrics {
                     queue_peak: s.queue_peak.load(Ordering::Relaxed),
                     processed: s.processed.load(Ordering::Relaxed),
                     batch_stage: s.batch_stage.snapshot(),
+                    wal_append: s.wal_append.snapshot(),
+                    snapshot_write: s.snapshot_write.snapshot(),
                 })
                 .collect(),
         }
@@ -268,6 +379,10 @@ pub struct ShardSnapshot {
     /// `batch_stage.entered == batch_stage.exited` and nothing is in flight
     /// ([`StageSnapshot::quiescent`]).
     pub batch_stage: StageSnapshot,
+    /// WAL append stage (all zeros for non-durable runs).
+    pub wal_append: StageSnapshot,
+    /// Snapshot-write stage (all zeros for non-durable runs).
+    pub snapshot_write: StageSnapshot,
 }
 
 /// Point-in-time copy of the ingest counters.
@@ -289,6 +404,10 @@ pub struct MetricsSnapshot {
     pub dropped_duplicate: u64,
     /// Reports dropped as uncorroborated future jumps.
     pub dropped_future_jump: u64,
+    /// Reports rejected because the shard queue was already closed (a
+    /// producer racing shutdown — the typed outcome that replaced a silent
+    /// enqueue-past-close bug; no worker will ever pop them).
+    pub dropped_queue_closed: u64,
     /// Complete calendar windows sealed across all gateways.
     pub windows_sealed: u64,
     /// Sealed windows that matched a motif template.
@@ -299,6 +418,19 @@ pub struct MetricsSnapshot {
     pub windows_insufficient: u64,
     /// Trailing partial windows flushed at end of stream.
     pub partial_windows: u64,
+    /// Reports appended to the write-ahead log (durable runs only).
+    pub wal_records: u64,
+    /// Torn trailing WAL records discarded during recovery.
+    pub wal_torn_records: u64,
+    /// Reports skipped on a resumed feed because the WAL already held them
+    /// (they were replayed from disk instead of re-offered).
+    pub wal_replayed: u64,
+    /// Durable snapshots written.
+    pub snapshots_written: u64,
+    /// Recoveries performed (snapshot load + WAL tail replay).
+    pub recoveries: u64,
+    /// Replay stage counters (one span per shard recovered).
+    pub replay: StageSnapshot,
     /// Per-shard queue/throughput gauges.
     pub per_shard: Vec<ShardSnapshot>,
 }
@@ -306,7 +438,10 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Total dropped reports across all reasons.
     pub fn dropped(&self) -> u64 {
-        self.dropped_late + self.dropped_duplicate + self.dropped_future_jump
+        self.dropped_late
+            + self.dropped_duplicate
+            + self.dropped_future_jump
+            + self.dropped_queue_closed
     }
 
     /// The conservation law of the pipeline: every offered report is either
@@ -315,6 +450,42 @@ impl MetricsSnapshot {
     /// classified.)
     pub fn fully_accounted(&self) -> bool {
         self.ingested + self.dropped() == self.offered
+    }
+
+    /// The durability conservation law: at quiescence of a durable run,
+    /// every offered report was logged to the WAL before it was consumed.
+    pub fn durably_accounted(&self) -> bool {
+        self.wal_records == self.offered
+    }
+
+    /// The deterministic projection of the snapshot: every field that is a
+    /// pure function of the report stream, with the timing-dependent parts
+    /// (latency histograms, queue gauges) and the durability bookkeeping
+    /// that legitimately differs across a crash (snapshot/recovery counts)
+    /// zeroed out. A recovered run and an uninterrupted run over the same
+    /// stream must agree *exactly* on this projection — the headline
+    /// invariant of [`durable`].
+    pub fn replay_invariant_core(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            wal_torn_records: 0,
+            wal_replayed: 0,
+            snapshots_written: 0,
+            recoveries: 0,
+            replay: StageSnapshot::default(),
+            per_shard: self
+                .per_shard
+                .iter()
+                .map(|s| ShardSnapshot {
+                    queue_depth: 0,
+                    queue_peak: 0,
+                    processed: s.processed,
+                    batch_stage: StageSnapshot::default(),
+                    wal_append: StageSnapshot::default(),
+                    snapshot_write: StageSnapshot::default(),
+                })
+                .collect(),
+            ..self.clone()
+        }
     }
 
     /// The snapshot as a JSON object — what `fleet_ingest --metrics-json`
@@ -327,22 +498,26 @@ impl MetricsSnapshot {
                 format!(
                     "{{\"queue_depth\":{},\"queue_peak\":{},\"processed\":{},\
                      \"batches_entered\":{},\"batches_exited\":{},\"batches_in_flight\":{},\
-                     \"batch_latency_ns\":{}}}",
+                     \"batch_latency_ns\":{},\"wal_append\":{},\"snapshot_write\":{}}}",
                     s.queue_depth,
                     s.queue_peak,
                     s.processed,
                     s.batch_stage.entered,
                     s.batch_stage.exited,
                     s.batch_stage.in_flight,
-                    s.batch_stage.latency_ns.to_json()
+                    s.batch_stage.latency_ns.to_json(),
+                    s.wal_append.to_json(),
+                    s.snapshot_write.to_json()
                 )
             })
             .collect();
         format!(
             "{{\"offered\":{},\"ingested\":{},\"baselines\":{},\"reset_spanning_gaps\":{},\
              \"counter_resets\":{},\"dropped_late\":{},\"dropped_duplicate\":{},\
-             \"dropped_future_jump\":{},\"windows_sealed\":{},\"windows_matched\":{},\
-             \"windows_novel\":{},\"windows_insufficient\":{},\"partial_windows\":{},\
+             \"dropped_future_jump\":{},\"dropped_queue_closed\":{},\"windows_sealed\":{},\
+             \"windows_matched\":{},\"windows_novel\":{},\"windows_insufficient\":{},\
+             \"partial_windows\":{},\"wal_records\":{},\"wal_torn_records\":{},\
+             \"wal_replayed\":{},\"snapshots_written\":{},\"recoveries\":{},\"replay\":{},\
              \"fully_accounted\":{},\"per_shard\":[{}]}}",
             self.offered,
             self.ingested,
@@ -352,11 +527,18 @@ impl MetricsSnapshot {
             self.dropped_late,
             self.dropped_duplicate,
             self.dropped_future_jump,
+            self.dropped_queue_closed,
             self.windows_sealed,
             self.windows_matched,
             self.windows_novel,
             self.windows_insufficient,
             self.partial_windows,
+            self.wal_records,
+            self.wal_torn_records,
+            self.wal_replayed,
+            self.snapshots_written,
+            self.recoveries,
+            self.replay.to_json(),
             self.fully_accounted(),
             shards.join(",")
         )
@@ -370,6 +552,16 @@ impl MetricsSnapshot {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Outcome of offering an item to a [`BoundedQueue`].
+#[derive(Debug, PartialEq, Eq)]
+enum Push<T> {
+    /// Enqueued; the queue held this many items after the push.
+    Pushed(usize),
+    /// The queue was closed: nothing was enqueued and the item is handed
+    /// back so the caller can account for it.
+    Closed(T),
 }
 
 /// A bounded blocking queue of batches: `push` blocks while full (producer
@@ -396,17 +588,30 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Blocks until there is room, then enqueues; returns the depth after
-    /// the push so the caller can maintain gauges without re-locking.
-    fn push(&self, item: T) -> usize {
+    /// the push so the caller can maintain gauges without re-locking, or
+    /// [`Push::Closed`] with the item handed back if the queue closed.
+    ///
+    /// An earlier version waited with `while full && !closed` and then
+    /// pushed *unconditionally* — so a `close()` racing a blocked producer
+    /// woke it up and let it enqueue past capacity into a queue whose
+    /// worker may already have drained and exited, silently losing the
+    /// batch from the accounting. Closed is now a terminal verdict checked
+    /// after every wakeup, before touching the buffer.
+    fn push(&self, item: T) -> Push<T> {
         let mut state = self.state.lock().expect("ingest queue poisoned");
-        while state.items.len() >= self.capacity && !state.closed {
+        loop {
+            if state.closed {
+                return Push::Closed(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                drop(state);
+                self.not_empty.notify_one();
+                return Push::Pushed(depth);
+            }
             state = self.not_full.wait(state).expect("ingest queue poisoned");
         }
-        state.items.push_back(item);
-        let depth = state.items.len();
-        drop(state);
-        self.not_empty.notify_one();
-        depth
     }
 
     /// Blocks until an item is available; `None` once closed and drained.
@@ -584,7 +789,7 @@ struct PendingMinute {
 }
 
 /// All streaming state of one gateway, owned exclusively by one shard.
-struct GatewayLane {
+pub(crate) struct GatewayLane {
     gateway: u64,
     devices: HashMap<u32, DeviceState>,
     /// Sparse, minute-sorted ring of not-yet-finalized minutes.
@@ -629,44 +834,44 @@ impl GatewayLane {
         r: &IngestReport,
         config: &IngestConfig,
         templates: &[MotifTemplate],
-        metrics: &IngestMetrics,
+        counts: &mut ShardCounts,
     ) {
         self.reports += 1;
         let device = self.devices.entry(r.device).or_default();
         let step = device.decode(r, config.max_future_jump);
         if let Some(outcome) = step.resolved_suspect {
-            metrics.count(outcome);
+            counts.count(outcome);
         }
         let decoded = match step.decoded {
             Ok(d) => d,
             Err(reason) => {
-                metrics.count(IngestOutcome::Dropped(reason));
+                counts.count(IngestOutcome::Dropped(reason));
                 return;
             }
         };
         match decoded {
             Decoded::Held => {} // counted when resolved
             Decoded::Baseline => {
-                self.advance_clock(r.at.0, config, templates, metrics);
-                metrics.count(IngestOutcome::Baseline);
+                self.advance_clock(r.at.0, config, templates, counts);
+                counts.count(IngestOutcome::Baseline);
             }
             Decoded::ResetSpanningGap => {
-                self.advance_clock(r.at.0, config, templates, metrics);
-                metrics.count(IngestOutcome::ResetSpanningGap);
+                self.advance_clock(r.at.0, config, templates, counts);
+                counts.count(IngestOutcome::ResetSpanningGap);
             }
             Decoded::Delta { bytes, reset } => {
                 if reset {
-                    metrics.counter_resets.fetch_add(1, Ordering::Relaxed);
+                    counts.counter_resets += 1;
                 }
                 if r.at.0 < self.watermark {
                     // The minute was already finalized: a cross-device
                     // straggler beyond the lateness horizon.
-                    metrics.count(IngestOutcome::Dropped(DropReason::Late));
+                    counts.count(IngestOutcome::Dropped(DropReason::Late));
                     return;
                 }
                 self.add_contribution(r.at.0, r.device, bytes);
-                self.advance_clock(r.at.0, config, templates, metrics);
-                metrics.count(IngestOutcome::Ingested);
+                self.advance_clock(r.at.0, config, templates, counts);
+                counts.count(IngestOutcome::Ingested);
             }
         }
     }
@@ -702,7 +907,7 @@ impl GatewayLane {
         minute: u32,
         config: &IngestConfig,
         templates: &[MotifTemplate],
-        metrics: &IngestMetrics,
+        counts: &mut ShardCounts,
     ) {
         self.max_seen = self.max_seen.max(minute);
         while self
@@ -711,7 +916,7 @@ impl GatewayLane {
             .is_some_and(|p| p.minute + config.lateness_horizon <= self.max_seen)
         {
             let pm = self.pending.pop_front().expect("front just checked");
-            self.finalize_minute(pm, config, templates, metrics);
+            self.finalize_minute(pm, config, templates, counts);
         }
     }
 
@@ -723,7 +928,7 @@ impl GatewayLane {
         pm: PendingMinute,
         config: &IngestConfig,
         templates: &[MotifTemplate],
-        metrics: &IngestMetrics,
+        counts: &mut ShardCounts,
     ) {
         self.watermark = pm.minute + 1;
         let total: f64 = pm.contributions.iter().map(|&(_, b)| b).sum();
@@ -738,7 +943,7 @@ impl GatewayLane {
             }
         };
         for window in &completed {
-            self.observe_window(&window.values, false, config, templates, metrics);
+            self.observe_window(&window.values, false, config, templates, counts);
         }
         for (device, bytes) in pm.contributions {
             if let Some(state) = self.devices.get_mut(&device) {
@@ -753,27 +958,27 @@ impl GatewayLane {
         partial: bool,
         config: &IngestConfig,
         templates: &[MotifTemplate],
-        metrics: &IngestMetrics,
+        counts: &mut ShardCounts,
     ) {
         if partial {
-            metrics.partial_windows.fetch_add(1, Ordering::Relaxed);
+            counts.partial_windows += 1;
         } else {
             self.sealed += 1;
-            metrics.windows_sealed.fetch_add(1, Ordering::Relaxed);
+            counts.windows_sealed += 1;
         }
         match best_match(templates, config.motif_threshold, values) {
             MatchOutcome::Matched { index, .. } => {
                 self.support[index] += 1;
                 self.matched += 1;
-                metrics.windows_matched.fetch_add(1, Ordering::Relaxed);
+                counts.windows_matched += 1;
             }
             MatchOutcome::Novel => {
                 self.novel += 1;
-                metrics.windows_novel.fetch_add(1, Ordering::Relaxed);
+                counts.windows_novel += 1;
             }
             MatchOutcome::Insufficient => {
                 self.insufficient += 1;
-                metrics.windows_insufficient.fetch_add(1, Ordering::Relaxed);
+                counts.windows_insufficient += 1;
             }
         }
     }
@@ -784,20 +989,20 @@ impl GatewayLane {
         mut self,
         config: &IngestConfig,
         templates: &[MotifTemplate],
-        metrics: &IngestMetrics,
+        counts: &mut ShardCounts,
     ) -> GatewaySummary {
         while let Some(pm) = self.pending.pop_front() {
-            self.finalize_minute(pm, config, templates, metrics);
+            self.finalize_minute(pm, config, templates, counts);
         }
         // Suspects never corroborated by end of stream were corrupt.
         for state in self.devices.values_mut() {
             if state.suspect.take().is_some() {
-                metrics.count(IngestOutcome::Dropped(DropReason::FutureJump));
+                counts.count(IngestOutcome::Dropped(DropReason::FutureJump));
             }
         }
         let partial = self.accumulator.flush();
         if partial.values.iter().any(|v| v.is_finite()) {
-            self.observe_window(&partial.values.clone(), true, config, templates, metrics);
+            self.observe_window(&partial.values.clone(), true, config, templates, counts);
         }
         let hits: Vec<(usize, f64)> = self
             .devices
@@ -819,6 +1024,97 @@ impl GatewayLane {
             dominants: rank_dominants(hits),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shard state
+// ---------------------------------------------------------------------------
+
+/// All mutable state of one shard worker: the gateway lanes, the outcome
+/// ledger, and the durable frontier. This is exactly what a durable
+/// snapshot captures and what WAL replay rebuilds — the worker loop owns
+/// one and nothing else mutates between reports.
+pub(crate) struct ShardState {
+    pub(crate) lanes: HashMap<u64, GatewayLane>,
+    pub(crate) counts: ShardCounts,
+    /// Global sequence number of the last report this shard consumed.
+    pub(crate) last_seq: u64,
+    /// Reports this shard has consumed (== its WAL record count when
+    /// running durably: every consumed report is logged first).
+    pub(crate) processed: u64,
+}
+
+impl ShardState {
+    pub(crate) fn new() -> ShardState {
+        ShardState {
+            lanes: HashMap::new(),
+            counts: ShardCounts::default(),
+            last_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Consumes one report: the single state transition of a shard. Live
+    /// ingest and WAL replay both go through here, which is what makes
+    /// recovery bit-identical — there is no second decode path to diverge.
+    pub(crate) fn consume(
+        &mut self,
+        seq: u64,
+        report: &IngestReport,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+    ) {
+        debug_assert!(seq > self.last_seq, "per-shard seqs strictly increase");
+        self.last_seq = seq;
+        self.processed += 1;
+        let lane = self
+            .lanes
+            .entry(report.gateway)
+            .or_insert_with(|| GatewayLane::new(report.gateway, config, templates.len()));
+        lane.ingest(report, config, templates, &mut self.counts);
+    }
+
+    /// End of stream: finishes every lane, folding the final outcomes into
+    /// the ledger.
+    fn finish(
+        self,
+        config: &IngestConfig,
+        templates: &[MotifTemplate],
+    ) -> (Vec<GatewaySummary>, ShardCounts) {
+        let mut counts = self.counts;
+        let summaries = self
+            .lanes
+            .into_values()
+            .map(|lane| lane.finish(config, templates, &mut counts))
+            .collect();
+        (summaries, counts)
+    }
+}
+
+/// How a shard worker ended.
+enum WorkerEnd {
+    /// Queue drained, lanes finished; per-shard state digest when durable.
+    Finished(Vec<GatewaySummary>, Option<u64>),
+    /// The kill switch fired: the worker aborted without finishing, exactly
+    /// like a crashed process (unflushed WAL bytes are discarded).
+    Killed,
+}
+
+/// How a pipeline run ended (crate-internal; the public surfaces are
+/// [`IngestPipeline::run`] and [`durable::DurableRun`]).
+pub(crate) enum RunEnd {
+    /// Boxed: an [`IngestSummary`] dwarfs the `Killed` variant.
+    Completed(Box<IngestSummary>, Option<u64>),
+    Killed,
+}
+
+/// Crash injection for the durable pipeline (see [`durable::KillPoint`]).
+pub(crate) struct KillSwitch {
+    /// Fire after this many reports have been offered by this run.
+    pub(crate) after_offered: u64,
+    /// `true`: `std::process::abort()` (a real SIGKILL-equivalent, for the
+    /// CI smoke). `false`: cooperative in-process abort via a shared flag.
+    pub(crate) hard: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -923,25 +1219,69 @@ impl IngestPipeline {
         I: IntoIterator<Item = IngestReport>,
     {
         let shards = self.config.shards.max(1);
-        let queues: Vec<BoundedQueue<Vec<IngestReport>>> = (0..shards)
+        let states = (0..shards).map(|_| ShardState::new()).collect();
+        let durability = (0..shards).map(|_| None).collect();
+        match self.run_inner(reports, 1, vec![0; shards], states, durability, None) {
+            Ok(RunEnd::Completed(summary, _)) => *summary,
+            Ok(RunEnd::Killed) => unreachable!("no kill switch was armed"),
+            Err(e) => unreachable!("non-durable ingest performs no I/O: {e}"),
+        }
+    }
+
+    /// The engine behind both [`IngestPipeline::run`] and the durable
+    /// pipeline: assigns global sequence numbers starting at `first_seq`,
+    /// skips reports already durable in their shard (`seq <= cutoffs[shard]`,
+    /// counted [`MetricsSnapshot::wal_replayed`]), feeds the rest through
+    /// the bounded queues, and lets each worker drive its [`ShardState`] —
+    /// appending to the WAL and writing snapshots when a durability hook is
+    /// installed, aborting without finishing when the kill switch fires.
+    pub(crate) fn run_inner<I>(
+        &self,
+        reports: I,
+        first_seq: u64,
+        cutoffs: Vec<u64>,
+        states: Vec<ShardState>,
+        durability: Vec<Option<durable::ShardDurability>>,
+        kill: Option<KillSwitch>,
+    ) -> std::io::Result<RunEnd>
+    where
+        I: IntoIterator<Item = IngestReport>,
+    {
+        let shards = self.config.shards.max(1);
+        assert_eq!(cutoffs.len(), shards);
+        assert_eq!(states.len(), shards);
+        assert_eq!(durability.len(), shards);
+        let queues: Vec<BoundedQueue<Vec<(u64, IngestReport)>>> = (0..shards)
             .map(|_| BoundedQueue::new(self.config.queue_batches))
             .collect();
+        let killed = AtomicBool::new(false);
 
-        let mut gateways = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|shard| {
+        let ends: Vec<std::io::Result<WorkerEnd>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = states
+                .into_iter()
+                .zip(durability)
+                .enumerate()
+                .map(|(shard, (state, dur))| {
                     let queue = &queues[shard];
-                    scope.spawn(move || self.worker(shard, queue))
+                    let killed = &killed;
+                    scope.spawn(move || self.worker(shard, queue, state, dur, killed))
                 })
                 .collect();
 
-            let mut batches: Vec<Vec<IngestReport>> = (0..shards)
+            let mut batches: Vec<Vec<(u64, IngestReport)>> = (0..shards)
                 .map(|_| Vec::with_capacity(self.config.batch_reports))
                 .collect();
-            for report in reports {
-                self.metrics.offered.fetch_add(1, Ordering::Relaxed);
+            let mut offered_now = 0u64;
+            for (report, this_seq) in reports.into_iter().zip(first_seq..) {
                 let shard = self.shard_of(report.gateway);
-                batches[shard].push(report);
+                if this_seq <= cutoffs[shard] {
+                    // Already durable in this shard's WAL: it was replayed
+                    // from disk during recovery, not re-offered.
+                    self.metrics.wal_replayed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                self.metrics.offered.fetch_add(1, Ordering::Relaxed);
+                batches[shard].push((this_seq, report));
                 if batches[shard].len() >= self.config.batch_reports {
                     let batch = std::mem::replace(
                         &mut batches[shard],
@@ -949,21 +1289,53 @@ impl IngestPipeline {
                     );
                     self.offer_batch(shard, &queues[shard], batch);
                 }
-            }
-            for (shard, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    self.offer_batch(shard, &queues[shard], batch);
+                offered_now += 1;
+                if let Some(k) = &kill {
+                    if offered_now >= k.after_offered {
+                        if k.hard {
+                            // A genuine unclean death for the crash smoke:
+                            // no unwinding, no buffer flushing, no exit
+                            // handlers — the closest in-process stand-in
+                            // for `kill -9`.
+                            std::process::abort();
+                        }
+                        killed.store(true, Ordering::Relaxed);
+                        break;
+                    }
                 }
-                queues[shard].close();
+            }
+            if !killed.load(Ordering::Relaxed) {
+                for (shard, batch) in batches.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        self.offer_batch(shard, &queues[shard], batch);
+                    }
+                }
+            }
+            for queue in &queues {
+                queue.close();
             }
 
-            let mut gateways = Vec::new();
-            for handle in handles {
-                gateways.extend(handle.join().expect("ingest shard worker panicked"));
-            }
-            gateways
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ingest shard worker panicked"))
+                .collect()
         });
 
+        let mut gateways = Vec::new();
+        let mut digests = Vec::new();
+        let mut any_killed = false;
+        for end in ends {
+            match end? {
+                WorkerEnd::Finished(summaries, digest) => {
+                    gateways.extend(summaries);
+                    digests.push(digest);
+                }
+                WorkerEnd::Killed => any_killed = true,
+            }
+        }
+        if any_killed {
+            return Ok(RunEnd::Killed);
+        }
         gateways.sort_by_key(|g| g.gateway);
         let mut support = vec![0u64; self.templates.len()];
         for g in &gateways {
@@ -971,39 +1343,95 @@ impl IngestPipeline {
                 *s += c;
             }
         }
-        IngestSummary {
-            gateways,
-            support,
-            metrics: self.metrics.snapshot(),
-        }
+        // Combine per-shard state digests (shard order) when all are durable.
+        let digest = digests
+            .iter()
+            .copied()
+            .try_fold(durable::FNV_OFFSET, |acc, d| {
+                d.map(|d| durable::fnv1a64_u64(acc, d))
+            });
+        Ok(RunEnd::Completed(
+            Box::new(IngestSummary {
+                gateways,
+                support,
+                metrics: self.metrics.snapshot(),
+            }),
+            digest,
+        ))
     }
 
     fn offer_batch(
         &self,
         shard: usize,
-        queue: &BoundedQueue<Vec<IngestReport>>,
-        batch: Vec<IngestReport>,
+        queue: &BoundedQueue<Vec<(u64, IngestReport)>>,
+        batch: Vec<(u64, IngestReport)>,
     ) {
-        let depth = queue.push(batch);
-        let gauges = &self.metrics.shards[shard];
-        gauges.queue_depth.store(depth, Ordering::Relaxed);
-        gauges.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        match queue.push(batch) {
+            Push::Pushed(depth) => {
+                let gauges = &self.metrics.shards[shard];
+                gauges.queue_depth.store(depth, Ordering::Relaxed);
+                gauges.queue_peak.fetch_max(depth, Ordering::Relaxed);
+            }
+            Push::Closed(batch) => {
+                // The shard already shut down: nothing will pop this batch.
+                // The reports were offered, so account for every one of
+                // them — the conservation law must close even on shutdown
+                // races.
+                self.metrics
+                    .dropped_queue_closed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+        }
     }
 
-    fn worker(&self, shard: usize, queue: &BoundedQueue<Vec<IngestReport>>) -> Vec<GatewaySummary> {
+    fn worker(
+        &self,
+        shard: usize,
+        queue: &BoundedQueue<Vec<(u64, IngestReport)>>,
+        mut state: ShardState,
+        mut durability: Option<durable::ShardDurability>,
+        killed: &AtomicBool,
+    ) -> std::io::Result<WorkerEnd> {
         let gauges = &self.metrics.shards[shard];
-        let mut lanes: HashMap<u64, GatewayLane> = HashMap::new();
+        // Seed the throughput gauge with the recovered count so a resumed
+        // run's books start where the crashed run's left off.
+        gauges.processed.store(state.processed, Ordering::Relaxed);
         while let Some((batch, depth)) = queue.pop() {
+            if killed.load(Ordering::Relaxed) {
+                // Crash simulation: die between batches, losing the popped
+                // batch and any unflushed WAL bytes, exactly as SIGKILL
+                // would.
+                if let Some(d) = durability.as_mut() {
+                    d.crash();
+                }
+                return Ok(WorkerEnd::Killed);
+            }
             let _span = gauges.batch_stage.enter();
             gauges.queue_depth.store(depth, Ordering::Relaxed);
             gauges
                 .processed
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
-            for report in &batch {
-                let lane = lanes.entry(report.gateway).or_insert_with(|| {
-                    GatewayLane::new(report.gateway, &self.config, self.templates.len())
-                });
-                lane.ingest(report, &self.config, &self.templates, &self.metrics);
+            let before = state.counts;
+            for (seq, report) in &batch {
+                if let Some(d) = durability.as_mut() {
+                    // Write-ahead: the report is logged before any state
+                    // transition, so recovery can always replay exactly
+                    // what was consumed.
+                    let _wal_span = gauges.wal_append.enter();
+                    d.append(*seq, report)?;
+                    self.metrics.wal_records.fetch_add(1, Ordering::Relaxed);
+                }
+                state.consume(*seq, report, &self.config, &self.templates);
+            }
+            self.metrics.apply(&state.counts.minus(&before));
+            if let Some(d) = durability.as_mut() {
+                if d.snapshot_due(state.processed) {
+                    let _snap_span = gauges.snapshot_write.enter();
+                    d.write_snapshot(&state)?;
+                    self.metrics
+                        .snapshots_written
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         // The queue is closed and drained; settle the depth gauge at 0.
@@ -1012,10 +1440,26 @@ impl IngestPipeline {
         // reading at quiescence. This store happens-after every producer
         // store via the queue mutex, so the final gauge is deterministic.)
         gauges.queue_depth.store(0, Ordering::Relaxed);
-        lanes
-            .into_values()
-            .map(|lane| lane.finish(&self.config, &self.templates, &self.metrics))
-            .collect()
+        if killed.load(Ordering::Relaxed) {
+            if let Some(d) = durability.as_mut() {
+                d.crash();
+            }
+            return Ok(WorkerEnd::Killed);
+        }
+        let digest = match durability.as_mut() {
+            Some(d) => {
+                // Everything consumed is on disk before the run completes,
+                // and the pre-finish state digest is what recovery must
+                // reproduce.
+                d.flush()?;
+                Some(durable::state_digest(&state))
+            }
+            None => None,
+        };
+        let before = state.counts;
+        let (summaries, final_counts) = state.finish(&self.config, &self.templates);
+        self.metrics.apply(&final_counts.minus(&before));
+        Ok(WorkerEnd::Finished(summaries, digest))
     }
 }
 
@@ -1267,6 +1711,60 @@ mod tests {
         let after = metrics.snapshot();
         assert_eq!(after, summary.metrics);
         assert_eq!(after.offered, 1000);
+    }
+
+    /// Regression: push on a closed queue must refuse the item, not
+    /// enqueue it. The old wait loop (`while full && !closed`) exited on
+    /// close and pushed unconditionally — past capacity, into a queue
+    /// whose worker may already have drained and gone.
+    #[test]
+    fn push_after_close_is_rejected() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(q.push(1), Push::Pushed(1));
+        q.close();
+        assert_eq!(q.push(2), Push::Closed(2));
+        // The item enqueued before the close still drains.
+        assert!(matches!(q.pop(), Some((1, 0))));
+        assert!(q.pop().is_none());
+    }
+
+    /// The racy variant of the bug: a producer *blocked on a full queue*
+    /// when `close()` arrives must wake to a `Closed` verdict, not push.
+    #[test]
+    fn close_racing_blocked_push_rejects_item() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.push(1), Push::Pushed(1));
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| q.push(2));
+            // Give the producer time to block on the full queue before
+            // closing; the assertion holds regardless of who wins.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            assert_eq!(blocked.join().unwrap(), Push::Closed(2));
+        });
+        assert!(matches!(q.pop(), Some((1, 0))));
+        assert!(q.pop().is_none());
+        // Depth never exceeded capacity: the rejected item was handed back.
+    }
+
+    /// Reports offered into an already-closed shard queue are dropped for
+    /// a counted reason; the conservation law closes even on a shutdown
+    /// race.
+    #[test]
+    fn offered_reports_racing_shutdown_are_counted_dropped() {
+        let pipeline = IngestPipeline::new(test_config(1), Vec::new());
+        let queue: BoundedQueue<Vec<(u64, IngestReport)>> = BoundedQueue::new(1);
+        queue.close();
+        pipeline.metrics.offered.fetch_add(2, Ordering::Relaxed);
+        pipeline.offer_batch(
+            0,
+            &queue,
+            vec![(1, report(0, 0, 0, 10)), (2, report(0, 0, 1, 20))],
+        );
+        let m = pipeline.metrics.snapshot();
+        assert_eq!(m.dropped_queue_closed, 2);
+        assert_eq!(m.dropped(), 2);
+        assert!(m.fully_accounted());
     }
 
     #[test]

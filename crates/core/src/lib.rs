@@ -42,7 +42,9 @@
 //! and [`ingest`] (the sharded fleet ingest pipeline that turns raw
 //! cumulative counter reports into sealed windows, motif support counts and
 //! dominance rankings, with typed degradation and atomic metrics instead of
-//! panics).
+//! panics — plus [`ingest::durable`], its write-ahead log / snapshot /
+//! deterministic-recovery layer for surviving process crashes with
+//! bit-identical results).
 
 pub mod aggregation;
 pub mod anomaly;
@@ -77,9 +79,10 @@ pub use engine::{
     sketch_series_observed, CondensedMatrix, CorMatrixConfig, PruneConfig, PruneStats,
     SparseCorMatrix,
 };
+pub use ingest::durable::{DurableConfig, DurablePipeline, DurableRun, KillMode, KillPoint};
 pub use ingest::{
     DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
-    IngestReport, IngestSummary, MetricsSnapshot, ShardSnapshot,
+    IngestReport, IngestSummary, MetricsSnapshot, ShardCounts, ShardSnapshot,
 };
 pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use motif::{

@@ -109,6 +109,20 @@ impl LogHistogram {
     }
 }
 
+/// Formats an `f64` as a JSON number, or `null` when it is not finite.
+///
+/// Hand-rolled JSON emitters must never print `NaN`/`inf` — `{"mean":NaN}`
+/// is not JSON and breaks every strict parser downstream (the CI smoke
+/// parses these reports with `parse_constant` set to raise). Every float
+/// that reaches a JSON report goes through this guard.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Inclusive upper bound of histogram bucket `k` (0, 1, 3, 7, …).
 fn bucket_upper(k: usize) -> u64 {
     if k == 0 {
@@ -121,7 +135,7 @@ fn bucket_upper(k: usize) -> u64 {
 }
 
 /// Point-in-time copy of a [`LogHistogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Count per bucket; index = sample bit length (see [`LogHistogram`]).
     pub counts: Vec<u64>,
@@ -152,7 +166,21 @@ impl HistogramSnapshot {
         bucket_upper(BUCKETS - 1)
     }
 
-    /// JSON fragment: totals, conservative p50/p99 and the non-empty
+    /// Mean of the bucket upper bounds weighted by count — a coarse,
+    /// conservative central estimate. `NaN` for an empty histogram (the
+    /// JSON report renders it as `null` via [`json_f64`]).
+    pub fn mean_upper(&self) -> f64 {
+        let total = self.total();
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| bucket_upper(k) as f64 * c as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// JSON fragment: totals, conservative p50/p99/mean and the non-empty
     /// buckets as `[upper_bound, count]` pairs.
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
@@ -163,10 +191,11 @@ impl HistogramSnapshot {
             .map(|(k, &c)| format!("[{},{}]", bucket_upper(k), c))
             .collect();
         format!(
-            "{{\"count\":{},\"p50_le\":{},\"p99_le\":{},\"buckets\":[{}]}}",
+            "{{\"count\":{},\"p50_le\":{},\"p99_le\":{},\"mean_le\":{},\"buckets\":[{}]}}",
             self.total(),
             self.quantile_upper(0.5),
             self.quantile_upper(0.99),
+            json_f64(self.mean_upper()),
             buckets.join(",")
         )
     }
@@ -233,7 +262,7 @@ impl Drop for Span<'_> {
 }
 
 /// Point-in-time copy of one [`Stage`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageSnapshot {
     /// Work items that entered the stage.
     pub entered: u64,
@@ -259,7 +288,8 @@ impl StageSnapshot {
         self.in_flight == 0 && self.entered == self.exited
     }
 
-    fn to_json(&self) -> String {
+    /// The stage as a JSON object.
+    pub fn to_json(&self) -> String {
         format!(
             "{{\"entered\":{},\"exited\":{},\"in_flight\":{},\"latency_ns\":{}}}",
             self.entered,
@@ -539,6 +569,25 @@ mod tests {
         assert!(json.contains("\"near_phi\":1"));
         assert!(json.contains("\"conserved\":true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        // An empty histogram has no mean; the report must say null, never
+        // a bare NaN token (which is not JSON).
+        let empty = HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+        };
+        assert!(empty.mean_upper().is_nan());
+        assert!(empty.to_json().contains("\"mean_le\":null"));
+        let h = LogHistogram::new();
+        h.record(3);
+        assert_eq!(h.snapshot().mean_upper(), 3.0);
+        assert!(h.snapshot().to_json().contains("\"mean_le\":3"));
     }
 
     #[test]

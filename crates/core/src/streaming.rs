@@ -72,6 +72,27 @@ impl OnlinePearson {
         Some((self.cov / (self.m2_x.sqrt() * self.m2_y.sqrt())).clamp(-1.0, 1.0))
     }
 
+    /// The raw accumulator state `(n, mean_x, mean_y, m2_x, m2_y, cov)`,
+    /// for bit-exact serialization by the durable ingest layer.
+    pub(crate) fn raw_parts(&self) -> (u64, [f64; 5]) {
+        (
+            self.n,
+            [self.mean_x, self.mean_y, self.m2_x, self.m2_y, self.cov],
+        )
+    }
+
+    /// Rebuilds an accumulator from [`OnlinePearson::raw_parts`] output.
+    pub(crate) fn from_raw_parts(n: u64, parts: [f64; 5]) -> OnlinePearson {
+        OnlinePearson {
+            n,
+            mean_x: parts[0],
+            mean_y: parts[1],
+            m2_x: parts[2],
+            m2_y: parts[3],
+            cov: parts[4],
+        }
+    }
+
     /// Merges another accumulator (parallel aggregation, Chan's method).
     pub fn merge(&mut self, other: &OnlinePearson) {
         if other.n == 0 {
@@ -224,6 +245,29 @@ impl WindowAccumulator {
     /// Start of the window currently being accumulated.
     pub fn current_window_start(&self) -> Minute {
         Minute(self.current_start)
+    }
+
+    /// The raw accumulation state `(current_start, bins, seen)`, for
+    /// bit-exact serialization by the durable ingest layer.
+    pub(crate) fn raw_parts(&self) -> (u32, &[f64], &[bool]) {
+        (self.current_start, &self.bins, &self.seen)
+    }
+
+    /// Rebuilds an accumulator from [`WindowAccumulator::raw_parts`] output.
+    /// `bins`/`seen` lengths must match the `(kind, bin_minutes)` geometry.
+    pub(crate) fn from_raw_parts(
+        kind: WindowKind,
+        bin_minutes: u32,
+        current_start: u32,
+        bins: Vec<f64>,
+        seen: Vec<bool>,
+    ) -> WindowAccumulator {
+        let mut acc = WindowAccumulator::new(kind, bin_minutes);
+        assert_eq!(acc.bins.len(), bins.len(), "snapshot bin-count mismatch");
+        acc.current_start = current_start;
+        acc.bins = bins;
+        acc.seen = seen;
+        acc
     }
 
     fn window_snapshot(&self) -> CompletedWindow {

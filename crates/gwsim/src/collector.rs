@@ -223,8 +223,9 @@ pub fn delivery_stats(reports: &[TaggedReport]) -> DeliveryStats {
 /// Server-side reassembly: deduplicates and decodes a report stream into
 /// the per-minute incoming/outgoing series the analyses consume.
 ///
-/// Duplicates overwrite in place and counter decreases are treated as
-/// re-association resets — both behaviors come from [`CounterTrace`].
+/// Duplicates keep the first delivery and counter decreases are treated as
+/// re-association resets — both behaviors come from [`CounterTrace`] and
+/// match the streaming ingest decoder's classification of the same stream.
 /// Out-of-order arrivals (a reordering channel) are dropped rather than
 /// fatal: a delayed cumulative report carries no information its successor
 /// didn't already deliver. Returns the decoded series and the number of

@@ -1,0 +1,78 @@
+//! Deterministic crash schedules for durability testing.
+//!
+//! A recovery path is only as trustworthy as the crash points it has been
+//! exercised at. This module generates seeded, reproducible kill points
+//! over a report stream of known length, so a crash-recovery test can die
+//! at "interesting" places — immediately, mid-stream, a report before the
+//! end — and replay the exact same schedule when a failure needs
+//! debugging. Pure splitmix64 hashing, same idiom as [`crate::synth`]: no
+//! RNG state, identical output on every machine.
+
+/// splitmix64: the standard 64-bit finalizer-style mixer (see
+/// [`crate::synth`] for the rationale).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `n` distinct kill points over a stream of `stream_len` reports, sorted
+/// ascending, each in `[1, stream_len]` ("die after offering this many
+/// reports"). The first and last points are biased toward the edges — the
+/// empty-WAL and almost-done crashes are where recovery bugs hide — and
+/// the rest spread uniformly. Deterministic in `(seed, stream_len, n)`.
+///
+/// Returns fewer than `n` points when `stream_len` is too short to keep
+/// them distinct; an empty vec when `stream_len == 0`.
+pub fn kill_points(seed: u64, stream_len: u64, n: usize) -> Vec<u64> {
+    if stream_len == 0 || n == 0 {
+        return Vec::new();
+    }
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        let h = splitmix64(seed ^ 0xC4A5_11ED ^ (i as u64).wrapping_mul(0x100_0000_01B3));
+        let p = match i {
+            // An early crash: almost nothing durable yet.
+            0 => 1 + h % stream_len.div_ceil(20).max(1),
+            // A late crash: almost everything durable.
+            1 if stream_len > 1 => stream_len - h % stream_len.div_ceil(20).max(1),
+            // The rest spread over the whole stream.
+            _ => 1 + h % stream_len,
+        };
+        points.push(p.clamp(1, stream_len));
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = kill_points(7, 10_000, 5);
+        let b = kill_points(7, 10_000, 5);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&p| (1..=10_000).contains(&p)));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert_ne!(a, kill_points(8, 10_000, 5), "seed matters");
+    }
+
+    #[test]
+    fn edges_are_covered() {
+        let pts = kill_points(42, 100_000, 6);
+        assert!(pts.first().unwrap() <= &5_000, "an early kill point");
+        assert!(pts.last().unwrap() >= &95_000, "a late kill point");
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(kill_points(1, 0, 4).is_empty());
+        assert_eq!(kill_points(1, 1, 3), vec![1]);
+        assert!(kill_points(1, 2, 8).len() <= 2);
+    }
+}

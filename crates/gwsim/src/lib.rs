@@ -29,6 +29,7 @@ pub mod apps;
 pub mod archetype;
 pub mod collector;
 pub mod config;
+pub mod crash;
 pub mod device;
 pub mod export;
 pub mod fleet;
@@ -44,6 +45,7 @@ pub use collector::{
     Report, TaggedReport,
 };
 pub use config::FleetConfig;
+pub use crash::kill_points;
 pub use device::{DeviceRole, DeviceSpec};
 pub use export::{write_counter_csv, write_inventory_csv, write_traffic_csv};
 pub use fleet::Fleet;

@@ -45,6 +45,24 @@ impl std::fmt::Display for OutOfOrderReport {
 
 impl std::error::Error for OutOfOrderReport {}
 
+/// Typed outcome of appending one report to a [`CounterTrace`].
+///
+/// Batch decoding and the streaming fleet-ingest decoder must classify the
+/// *same* report sequence identically, or a WAL replay through one path
+/// diverges from live ingest through the other. `CounterTrace` used to
+/// silently overwrite on a duplicate timestamp (last delivery wins) while
+/// the ingest decoder drops the retry (first delivery wins); both now share
+/// this typed outcome with first-delivery-wins semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterPush {
+    /// The report extended the trace.
+    Appended,
+    /// A re-delivery of an already-stored minute; the first delivery wins
+    /// and the retry is ignored (the same rule as the ingest pipeline's
+    /// `Dropped(Duplicate)` outcome).
+    Duplicate,
+}
+
 /// How the delta between two consecutive counter reports decodes.
 ///
 /// This is the single classification shared by batch decoding
@@ -83,9 +101,9 @@ pub fn counter_delta(prev: CounterReport, cur: CounterReport) -> CounterDelta {
 
 /// A stream of cumulative-counter reports for a single device and direction.
 ///
-/// Reports must be appended in non-decreasing time order; duplicate
-/// timestamps keep the last value, matching how a collection server
-/// overwrites re-sent reports.
+/// Reports must be appended in non-decreasing time order; a duplicate
+/// timestamp keeps the *first* delivery ([`CounterPush::Duplicate`]), the
+/// same rule the streaming ingest decoder applies to retried reports.
 #[derive(Debug, Clone, Default)]
 pub struct CounterTrace {
     reports: Vec<CounterReport>,
@@ -97,37 +115,44 @@ impl CounterTrace {
         CounterTrace::default()
     }
 
-    /// Appends a report.
+    /// Appends a report, returning the same typed outcome as
+    /// [`CounterTrace::try_push`].
     ///
     /// # Panics
     /// Panics if `at` precedes the previous report's timestamp. Streaming
     /// consumers that must survive disordered input should use
     /// [`CounterTrace::try_push`] instead.
-    pub fn push(&mut self, at: Minute, cumulative_bytes: u64) {
-        if let Err(e) = self.try_push(at, cumulative_bytes) {
-            panic!("reports must be time-ordered: {e}");
+    pub fn push(&mut self, at: Minute, cumulative_bytes: u64) -> CounterPush {
+        match self.try_push(at, cumulative_bytes) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("reports must be time-ordered: {e}"),
         }
     }
 
     /// Appends a report, returning `Err` instead of panicking when `at`
     /// precedes the previous report's timestamp (the trace is unchanged in
-    /// that case). A duplicate timestamp overwrites the stored value, like a
-    /// collection server overwriting a re-sent report.
-    pub fn try_push(&mut self, at: Minute, cumulative_bytes: u64) -> Result<(), OutOfOrderReport> {
-        if let Some(last) = self.reports.last_mut() {
+    /// that case). A duplicate timestamp keeps the first delivery and
+    /// reports [`CounterPush::Duplicate`] — the classification is shared
+    /// with [`CounterTrace::push`], so both entry points decode an
+    /// identical report sequence identically.
+    pub fn try_push(
+        &mut self,
+        at: Minute,
+        cumulative_bytes: u64,
+    ) -> Result<CounterPush, OutOfOrderReport> {
+        if let Some(last) = self.reports.last() {
             if at < last.at {
                 return Err(OutOfOrderReport { at, last: last.at });
             }
             if at == last.at {
-                last.cumulative_bytes = cumulative_bytes;
-                return Ok(());
+                return Ok(CounterPush::Duplicate);
             }
         }
         self.reports.push(CounterReport {
             at,
             cumulative_bytes,
         });
-        Ok(())
+        Ok(CounterPush::Appended)
     }
 
     /// Number of stored reports.
@@ -316,14 +341,36 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_timestamp_keeps_last() {
+    fn duplicate_timestamp_keeps_first_delivery() {
+        // Regression: duplicates used to overwrite (last delivery wins)
+        // while the streaming ingest decoder drops retries (first wins), so
+        // replaying the same report sequence through the two paths could
+        // diverge. Both now keep the first delivery.
         let mut trace = CounterTrace::new();
-        trace.push(Minute(0), 10);
-        trace.push(Minute(1), 20);
-        trace.push(Minute(1), 30);
+        assert_eq!(trace.push(Minute(0), 10), CounterPush::Appended);
+        assert_eq!(trace.push(Minute(1), 20), CounterPush::Appended);
+        assert_eq!(trace.push(Minute(1), 30), CounterPush::Duplicate);
         assert_eq!(trace.len(), 2);
         let s = trace.to_per_minute(Minute(0), 2);
-        assert_eq!(s.values()[1], 20.0);
+        assert_eq!(s.values()[1], 10.0, "first delivery wins");
+    }
+
+    #[test]
+    fn push_and_try_push_classify_identically() {
+        let stream = [
+            (Minute(0), 100u64),
+            (Minute(1), 150),
+            (Minute(1), 175), // retried report with a differing payload
+            (Minute(3), 400),
+        ];
+        let mut a = CounterTrace::new();
+        let mut b = CounterTrace::new();
+        for &(at, cum) in &stream {
+            let via_push = a.push(at, cum);
+            let via_try = b.try_push(at, cum).unwrap();
+            assert_eq!(via_push, via_try);
+        }
+        assert_eq!(a.reports(), b.reports());
     }
 
     #[test]

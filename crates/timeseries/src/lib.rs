@@ -28,7 +28,9 @@ pub mod time;
 pub mod windows;
 
 pub use binning::{aggregate, Granularity};
-pub use counter::{counter_delta, CounterDelta, CounterReport, CounterTrace, OutOfOrderReport};
+pub use counter::{
+    counter_delta, CounterDelta, CounterPush, CounterReport, CounterTrace, OutOfOrderReport,
+};
 pub use pyramid::{GranularityPyramid, PyramidLevel};
 pub use series::TimeSeries;
 pub use time::{Minute, Weekday, MINUTES_PER_DAY, MINUTES_PER_WEEK};

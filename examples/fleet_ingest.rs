@@ -11,17 +11,30 @@
 //! ```text
 //! cargo run --release --example fleet_ingest
 //! cargo run --release --example fleet_ingest -- --metrics-json metrics.json
+//! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --kill-after 30000
+//! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --recover
 //! ```
 //!
 //! With `--metrics-json [PATH]` the final [`MetricsSnapshot`] — counters,
 //! per-shard queue gauges and batch-stage latency histograms, plus the
 //! conservation verdict — is emitted as JSON to `PATH` (or stdout when no
 //! path is given).
+//!
+//! With `--wal-dir DIR` the ingest runs through the durable
+//! [`DurablePipeline`]: every consumed report is logged to a per-shard
+//! write-ahead log in `DIR` and decoder state is snapshotted periodically.
+//! `--kill-after N` aborts the process (no unwinding, no flushing — a real
+//! crash) after `N` reports have been offered; a later invocation with
+//! `--recover` loads the durable prefix, replays the WAL tail, re-feeds
+//! the stream and finishes with bit-identical results. `--fsync` makes
+//! WAL flushes and snapshots durable against OS crashes too;
+//! `--snapshot-every N` overrides the snapshot cadence.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use wtts::core::ingest::{IngestConfig, IngestPipeline, IngestReport};
 use wtts::core::motif::{discover_motifs, MotifConfig};
+use wtts::core::{DurableConfig, DurablePipeline, DurableRun, KillMode, KillPoint};
 use wtts::gwsim::{gateway_reports, ChannelConfig, Fleet, FleetConfig, TaggedReport};
 use wtts::timeseries::{aggregate, daily_windows, Granularity};
 
@@ -35,16 +48,46 @@ fn envelope(t: &TaggedReport) -> IngestReport {
     }
 }
 
-/// Parses `--metrics-json [PATH]`: `None` = flag absent, `Some(None)` =
-/// emit to stdout, `Some(Some(path))` = write to `path`.
-fn parse_metrics_json_arg() -> Option<Option<String>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let at = args.iter().position(|a| a == "--metrics-json")?;
-    Some(args.get(at + 1).filter(|a| !a.starts_with("--")).cloned())
+#[derive(Default)]
+struct Args {
+    /// `--metrics-json [PATH]`: `None` = flag absent, `Some(None)` = emit
+    /// to stdout, `Some(Some(path))` = write to `path`.
+    metrics_json: Option<Option<String>>,
+    wal_dir: Option<String>,
+    recover: bool,
+    kill_after: Option<u64>,
+    fsync: bool,
+    snapshot_every: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| -> Option<String> {
+        let at = argv.iter().position(|a| a == flag)?;
+        argv.get(at + 1).filter(|a| !a.starts_with("--")).cloned()
+    };
+    let numeric = |flag: &str| -> Option<u64> {
+        value_of(flag).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got {v:?}"))
+        })
+    };
+    Args {
+        metrics_json: argv
+            .iter()
+            .position(|a| a == "--metrics-json")
+            .map(|_| value_of("--metrics-json")),
+        wal_dir: value_of("--wal-dir"),
+        recover: argv.iter().any(|a| a == "--recover"),
+        kill_after: numeric("--kill-after"),
+        fsync: argv.iter().any(|a| a == "--fsync"),
+        snapshot_every: numeric("--snapshot-every"),
+    }
 }
 
 fn main() {
-    let metrics_json = parse_metrics_json_arg();
+    let args = parse_args();
+    let metrics_json = args.metrics_json.clone();
     // ---- Batch phase: learn daily motif templates from a training fleet. --
     let training = Fleet::new(FleetConfig {
         n_gateways: 24,
@@ -94,14 +137,56 @@ fn main() {
         reports.len()
     );
 
-    let pipeline = IngestPipeline::new(
-        IngestConfig {
-            shards: 4,
-            ..IngestConfig::default()
-        },
-        templates,
-    );
-    let summary = pipeline.run(reports);
+    let config = IngestConfig {
+        shards: 4,
+        ..IngestConfig::default()
+    };
+    let summary = match &args.wal_dir {
+        None => IngestPipeline::new(config, templates).run(reports),
+        Some(dir) => {
+            let mut durable = DurableConfig::new(dir);
+            durable.fsync = args.fsync;
+            if let Some(every) = args.snapshot_every {
+                durable.snapshot_every_reports = every;
+            }
+            let mut pipeline = if args.recover {
+                let p = DurablePipeline::recover(config, templates, durable)
+                    .expect("recover durable pipeline");
+                let m = p.metrics().snapshot();
+                println!(
+                    "recovered durable state from {dir}: {} reports replayed from the WAL \
+                     ({} torn record{} truncated), resuming at seq {}",
+                    m.wal_records,
+                    m.wal_torn_records,
+                    if m.wal_torn_records == 1 { "" } else { "s" },
+                    p.resume_seq()
+                );
+                p
+            } else {
+                DurablePipeline::create(config, templates, durable)
+                    .expect("create durable pipeline")
+            };
+            let kill = args.kill_after.map(|after_offered| KillPoint {
+                after_offered,
+                mode: KillMode::SigKill,
+            });
+            match pipeline.run(reports, kill).expect("durable ingest run") {
+                DurableRun::Completed {
+                    summary,
+                    state_digest,
+                } => {
+                    println!("state digest: {state_digest:016x}");
+                    assert!(
+                        summary.metrics.durably_accounted(),
+                        "every offered report must be in the WAL"
+                    );
+                    *summary
+                }
+                // `KillMode::SigKill` aborts the process inside `run`.
+                DurableRun::Killed => unreachable!("SigKill does not return"),
+            }
+        }
+    };
 
     // ---- Results: metrics first, then per-gateway highlights. ------------
     let m = &summary.metrics;

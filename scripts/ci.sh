@@ -29,8 +29,11 @@ cargo bench -p wtts-bench --bench granularity_sweep -- --smoke --metrics-json "$
 python3 - "$sweep_metrics_json" <<'PY'
 import json, sys
 
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
 with open(sys.argv[1]) as fh:
-    m = json.load(fh)
+    m = json.load(fh, parse_constant=reject_nonfinite)
 
 assert m["conserved"] is True, "stage books must balance"
 assert m["quiescent"] is True, "no span may be left open"
@@ -61,8 +64,11 @@ cargo bench -p wtts-bench --bench pruned_pairwise -- --smoke --metrics-json "$pr
 python3 - "$prune_metrics_json" <<'PY'
 import json, sys
 
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
 with open(sys.argv[1]) as fh:
-    m = json.load(fh)
+    m = json.load(fh, parse_constant=reject_nonfinite)
 
 assert m["conserved"] is True, "stage books must balance"
 assert m["quiescent"] is True, "no span may be left open"
@@ -96,14 +102,18 @@ cargo run --release --example fleet_ingest -- --metrics-json "$metrics_json" >/d
 python3 - "$metrics_json" <<'PY'
 import json, sys
 
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
 with open(sys.argv[1]) as fh:
-    m = json.load(fh)
+    m = json.load(fh, parse_constant=reject_nonfinite)
 
 accounted = (
     m["ingested"]
     + m["dropped_late"]
     + m["dropped_duplicate"]
     + m["dropped_future_jump"]
+    + m["dropped_queue_closed"]
 )
 assert accounted == m["offered"], (accounted, m["offered"])
 assert m["fully_accounted"] is True
@@ -114,6 +124,75 @@ for shard in m["per_shard"]:
     assert entered == exited + in_flight, shard
     assert in_flight == 0, shard
 print("metrics JSON ok: conservation holds across", len(m["per_shard"]), "shards")
+PY
+
+echo "== crash-recovery smoke =="
+wal_dir="$(mktemp -d /tmp/wtts_ci_wal.XXXXXX)"
+clean_wal_dir="$(mktemp -d /tmp/wtts_ci_wal_clean.XXXXXX)"
+recovered_json="$(mktemp /tmp/wtts_ci_recovered.XXXXXX.json)"
+clean_json="$(mktemp /tmp/wtts_ci_clean.XXXXXX.json)"
+recovered_out="$(mktemp /tmp/wtts_ci_recovered_out.XXXXXX.txt)"
+clean_out="$(mktemp /tmp/wtts_ci_clean_out.XXXXXX.txt)"
+trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json" \
+    "$recovered_json" "$clean_json" "$recovered_out" "$clean_out"; \
+    rm -rf "$wal_dir" "$clean_wal_dir"' EXIT
+
+# Kill the ingest dead (process abort, no unwinding) mid-stream...
+set +e
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$wal_dir" --snapshot-every 8000 --fsync --kill-after 30000 \
+    >/dev/null 2>&1
+kill_status=$?
+set -e
+if [ "$kill_status" -eq 0 ]; then
+    echo "--kill-after should have aborted the process" >&2
+    exit 1
+fi
+
+# ...recover from the WAL and finish, and run once uninterrupted.
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$wal_dir" --snapshot-every 8000 --recover \
+    --metrics-json "$recovered_json" >"$recovered_out"
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$clean_wal_dir" --metrics-json "$clean_json" >"$clean_out"
+
+recovered_digest="$(grep '^state digest:' "$recovered_out")"
+clean_digest="$(grep '^state digest:' "$clean_out")"
+if [ "$recovered_digest" != "$clean_digest" ]; then
+    echo "state digests diverged: '$recovered_digest' vs '$clean_digest'" >&2
+    exit 1
+fi
+
+python3 - "$recovered_json" "$clean_json" <<'PY'
+import json, sys
+
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh, parse_constant=reject_nonfinite)
+
+recovered, clean = load(sys.argv[1]), load(sys.argv[2])
+
+# Every replay-invariant book must match the uninterrupted run exactly;
+# only the durability bookkeeping (replays, recoveries, snapshots, stage
+# timings) may differ.
+invariant = [
+    "offered", "ingested", "baselines", "reset_spanning_gaps",
+    "counter_resets", "dropped_late", "dropped_duplicate",
+    "dropped_future_jump", "dropped_queue_closed", "windows_sealed",
+    "windows_matched", "windows_novel", "windows_insufficient",
+    "partial_windows", "wal_records", "fully_accounted",
+]
+for key in invariant:
+    assert recovered[key] == clean[key], (key, recovered[key], clean[key])
+assert recovered["wal_records"] == recovered["offered"], "WAL must cover the stream"
+assert recovered["recoveries"] == 1, recovered["recoveries"]
+assert recovered["wal_replayed"] > 0, "recovery replayed nothing"
+assert clean["recoveries"] == 0 and clean["wal_replayed"] == 0
+print("crash recovery ok:", recovered["wal_replayed"], "reports replayed,",
+      recovered["offered"], "offered, books identical to the uninterrupted run")
 PY
 
 echo "CI checks passed."
