@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wtts_bench::experiments::{
-    aggregation, applications, background, dominance, measures, motifs, robustness, sax, standard,
+    aggregation, applications, background, dominance, lagsearch, measures, motifs, robustness, sax,
+    standard,
 };
 use wtts_gwsim::{Fleet, FleetConfig};
 
@@ -28,6 +29,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "Zipf fits and in/out correlation (Section 4.1)",
     ),
     ("fig2", "autocorrelation and cross-correlation of gateways"),
+    (
+        "lag-search",
+        "multi-scale lead/lag discovery across gateway pairs (Sec 4.2)",
+    ),
     (
         "sec4-stat",
         "classical stationarity tests and device-count correlation",
@@ -224,6 +229,7 @@ fn main() {
             "fig1" => standard::fig1(&fleet, out),
             "sec4-dist" => standard::sec4_dist(&fleet, out),
             "fig2" => standard::fig2(&fleet, out),
+            "lag-search" => lagsearch::lag_search_experiment(&fleet, out),
             "sec4-stat" => standard::sec4_stat(&fleet, out),
             "fig3" => standard::fig3(&fleet, out),
             "fig4" => background::fig4(&fleet, out),

@@ -4,6 +4,7 @@ pub mod aggregation;
 pub mod applications;
 pub mod background;
 pub mod dominance;
+pub mod lagsearch;
 pub mod measures;
 pub mod motifs;
 pub mod robustness;

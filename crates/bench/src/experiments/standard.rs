@@ -7,7 +7,8 @@ use wtts_core::clustering::cluster_correlated;
 use wtts_gwsim::Fleet;
 use wtts_stats::zipf::fit_zipf;
 use wtts_stats::{
-    acf, adf_test, ccf, kpss_test, ks_two_sample, pearson, significance_bound, BoxplotStats, Kde,
+    acf, adf_test, ccf, effective_sample_size, kpss_test, ks_two_sample, pearson,
+    significance_bound, significance_bound_effective, BoxplotStats, Kde,
 };
 use wtts_timeseries::{aggregate, Granularity};
 
@@ -149,20 +150,20 @@ pub fn sec4_dist(fleet: &Fleet, out: Option<&Path>) {
 pub fn fig2(fleet: &Fleet, out: Option<&Path>) {
     let ids = most_observed_gateways(fleet, 6);
     // Pick the gateway with the strongest lag-24h (daily) autocorrelation.
-    let acfs: Vec<(usize, Vec<f64>)> = ids
+    let acfs: Vec<(usize, Vec<f64>, Vec<f64>)> = ids
         .iter()
-        .map(|&id| {
+        .filter_map(|&id| {
             let gw = fleet.gateway(id);
             let hourly = aggregate(
                 &first_weeks(&gw.aggregate_total(), 2),
                 Granularity::hours(1),
                 0,
             );
-            (id, acf(hourly.values(), 48))
+            let a = acf(hourly.values(), 48).ok()?;
+            (a.len() > 24 && a[24].is_finite()).then(|| (id, a, hourly.values().to_vec()))
         })
-        .filter(|(_, a)| a.len() > 24)
         .collect();
-    let (best_id, best_acf) = acfs
+    let (best_id, best_acf, best_hourly) = acfs
         .iter()
         .max_by(|a, b| {
             a.1[24]
@@ -172,12 +173,14 @@ pub fn fig2(fleet: &Fleet, out: Option<&Path>) {
         })
         .cloned()
         .expect("at least one gateway with an ACF");
-    let n = fleet
-        .gateway(best_id)
-        .aggregate_total()
-        .observed_count()
-        .min(2 * 7 * 24);
-    let bound = significance_bound(n);
+    // The white-noise band is set by how many hourly bins were actually
+    // observed, not by the nominal two-week span.
+    let bound = significance_bound_effective(&best_hourly);
+    println!(
+        "most autocorrelated gateway = #{best_id}: {} of {} hourly bins observed, band ±{bound:.3}",
+        effective_sample_size(&best_hourly),
+        best_hourly.len(),
+    );
     let mut t = Table::new(
         "Fig 2 - ACF of the most autocorrelated gateway (hourly)",
         &["lag_h", "acf", "significant"],
@@ -200,15 +203,30 @@ pub fn fig2(fleet: &Fleet, out: Option<&Path>) {
         Granularity::hours(1),
         0,
     );
-    let c = ccf(a.values(), b.values(), 24);
+    let c = match ccf(a.values(), b.values(), 24) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("no CCF between the two densest gateways: {e}");
+            return;
+        }
+    };
+    // Effective sample size of a cross-correlogram: the sparser side's
+    // observed bin count.
+    let ccf_bound = significance_bound(
+        effective_sample_size(a.values()).min(effective_sample_size(b.values())),
+    );
     let mut t = Table::new(
         "Fig 2 - CCF of the two densest gateways (hourly)",
-        &["lag_h", "ccf"],
+        &["lag_h", "ccf", "significant"],
     );
     for (i, v) in c.iter().enumerate() {
         let lag = i as i64 - 24;
         if lag % 4 == 0 {
-            t.row(&[lag.to_string(), fmt(*v, 3)]);
+            t.row(&[
+                lag.to_string(),
+                fmt(*v, 3),
+                (v.abs() > ccf_bound).to_string(),
+            ]);
         }
     }
     t.emit(out);

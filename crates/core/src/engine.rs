@@ -240,11 +240,16 @@ pub fn profile_series_observed<S: AsRef<[f64]>>(
 ) -> Vec<CorProfile> {
     series
         .iter()
-        .map(|s| {
-            let _span = obs.map(|o| o.profile_build.enter());
-            CorProfile::new(s.as_ref())
-        })
+        .map(|s| profile_one(s.as_ref(), obs))
         .collect()
+}
+
+/// Profiles a single series under a [`PipelineObs::profile_build`] span —
+/// the per-item building block of [`profile_series_observed`], shared with
+/// the lag-search preparation phase ([`crate::lagsearch`]).
+pub(crate) fn profile_one(series: &[f64], obs: Option<&PipelineObs>) -> CorProfile {
+    let _span = obs.map(|o| o.profile_build.enter());
+    CorProfile::new(series)
 }
 
 /// Configuration for the sketch-pruned matrix build: the similarity
@@ -402,11 +407,20 @@ pub fn sketch_series_observed(
 ) -> Vec<CorSketch> {
     profiles
         .iter()
-        .map(|p| {
-            let _span = obs.map(|o| o.sketch_build.enter());
-            CorSketch::from_profile(p, config)
-        })
+        .map(|p| sketch_one(p, config, obs))
         .collect()
+}
+
+/// Sketches a single profile under a [`PipelineObs::sketch_build`] span —
+/// the per-item building block of [`sketch_series_observed`], shared with
+/// the lag-search preparation phase ([`crate::lagsearch`]).
+pub(crate) fn sketch_one(
+    profile: &CorProfile,
+    config: &SketchConfig,
+    obs: Option<&PipelineObs>,
+) -> CorSketch {
+    let _span = obs.map(|o| o.sketch_build.enter());
+    CorSketch::from_profile(profile, config)
 }
 
 /// Sketch-pruned pairwise similarity: evaluates only the pairs whose

@@ -29,7 +29,11 @@
 //! below-threshold pairs without exact work),
 //! [`sweep`] (the granularity-pyramid sweep engine that evaluates
 //! Definition 3's whole candidate grid from exact prefix sums, bit-identical
-//! to the per-call path) and [`obs`] (lock-free pipeline observability:
+//! to the per-call path), [`lagsearch`] (the multi-scale lead/lag discovery
+//! engine: every gateway pair's cross-correlogram at every candidate scale,
+//! folded from cached pyramid levels and pruned by sketch and segmented
+//! energy bounds, bit-identical to dense per-cell CCF) and [`obs`]
+//! (lock-free pipeline observability:
 //! per-stage counters, log-bucketed histograms, span timers and a
 //! conservation-checked snapshot, zero-cost when disabled).
 //!
@@ -53,6 +57,7 @@ pub mod clustering;
 pub mod dominance;
 pub mod engine;
 pub mod ingest;
+pub mod lagsearch;
 pub mod maintenance;
 pub mod motif;
 pub mod obs;
@@ -83,6 +88,9 @@ pub use ingest::durable::{DurableConfig, DurablePipeline, DurableRun, KillMode, 
 pub use ingest::{
     DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
     IngestReport, IngestSummary, MetricsSnapshot, ShardCounts, ShardSnapshot,
+};
+pub use lagsearch::{
+    lag_search, LagCell, LagPruneStats, LagSearchConfig, LagSearchResult, LeadLag, PairScaleCcf,
 };
 pub use maintenance::{MaintenanceWindow, WeeklyProfile};
 pub use motif::{

@@ -341,6 +341,13 @@ pub struct PipelineObs {
     /// Per-series pruning-sketch construction
     /// ([`crate::engine::sketch_series`]).
     pub sketch_build: Stage,
+    /// One `(series, scale)` lag-search preparation: the correlation kernel
+    /// side, pruning sketch and energy/missingness prefixes built on top of
+    /// the re-binned series ([`crate::lagsearch`]).
+    pub lag_prepare: Stage,
+    /// One `(pair, scale)` lag-search scan: the prune cascade plus the
+    /// exact cells across the whole lag range.
+    pub lag_pair_scan: Stage,
     /// Pairs whose similarity was compared against a motif threshold.
     pub pairs_evaluated: Counter,
     /// Pairs accepted as motif candidates (`cor ≥ φ`).
@@ -382,6 +389,19 @@ pub struct PipelineObs {
     /// Exactly-evaluated pairs that were ineligible for pruning because
     /// their finite masks differ (a subset of `prune_pairs_evaluated`).
     pub prune_mask_fallthrough: Counter,
+    /// Lag-search `(pair, scale, lag)` cells considered — the conservation
+    /// total: the three prune tiers plus exact evaluations sum to this.
+    pub lag_cells_total: Counter,
+    /// Lag cells dismissed wholesale because a side is degenerate at that
+    /// scale (no observations or zero variance).
+    pub lag_cells_pruned_degenerate: Counter,
+    /// Lag-0 cells dismissed by the [`wtts_stats::prune_pair`] coefficient
+    /// upper bounds on a shared finite mask.
+    pub lag_cells_pruned_sketch: Counter,
+    /// Lag cells dismissed by the segmented Cauchy–Schwarz energy bound.
+    pub lag_cells_pruned_energy: Counter,
+    /// Lag cells that fell through pruning and were evaluated exactly.
+    pub lag_cells_evaluated: Counter,
     /// Pairwise similarities observed by stationarity sweeps, in
     /// thousandths (see [`sim_millis`]).
     pub stationarity_sim_millis: LogHistogram,
@@ -406,6 +426,8 @@ impl PipelineObs {
                 ("rebin", self.rebin.snapshot()),
                 ("window_score", self.window_score.snapshot()),
                 ("sketch_build", self.sketch_build.snapshot()),
+                ("lag_prepare", self.lag_prepare.snapshot()),
+                ("lag_pair_scan", self.lag_pair_scan.snapshot()),
             ],
             counters: vec![
                 ("pairs_evaluated", self.pairs_evaluated.get()),
@@ -429,6 +451,20 @@ impl PipelineObs {
                 ("pairs_pruned_moment", self.pairs_pruned_moment.get()),
                 ("prune_pairs_evaluated", self.prune_pairs_evaluated.get()),
                 ("prune_mask_fallthrough", self.prune_mask_fallthrough.get()),
+                ("lag_cells_total", self.lag_cells_total.get()),
+                (
+                    "lag_cells_pruned_degenerate",
+                    self.lag_cells_pruned_degenerate.get(),
+                ),
+                (
+                    "lag_cells_pruned_sketch",
+                    self.lag_cells_pruned_sketch.get(),
+                ),
+                (
+                    "lag_cells_pruned_energy",
+                    self.lag_cells_pruned_energy.get(),
+                ),
+                ("lag_cells_evaluated", self.lag_cells_evaluated.get()),
             ],
             stationarity_sim_millis: self.stationarity_sim_millis.snapshot(),
         }

@@ -74,8 +74,9 @@ impl SweepConfig {
 
 /// One series' sweep state: the original series plus, when the values are
 /// exactly representable, its prefix-sum pyramid and the coarse levels
-/// planned for the candidate grid.
-struct SweepSource<'a> {
+/// planned for the candidate grid. Shared with the multi-scale lag search
+/// ([`crate::lagsearch`]), which re-bins the same way before folding lags.
+pub(crate) struct SweepSource<'a> {
     series: &'a TimeSeries,
     pyramid: Option<GranularityPyramid>,
     levels: Vec<PyramidLevel>,
@@ -85,7 +86,7 @@ impl<'a> SweepSource<'a> {
     /// Builds the pyramid (and its planned levels) for a sweep over
     /// `candidates`; falls back to pyramid-less direct summation when the
     /// series is not integer-exact.
-    fn build(
+    pub(crate) fn build(
         series: &'a TimeSeries,
         candidates: &[(Granularity, u32)],
         obs: Option<&PipelineObs>,
@@ -118,7 +119,12 @@ impl<'a> SweepSource<'a> {
 
     /// Re-bins the series at one candidate, via the cheapest exact path:
     /// a matching coarse level, the pyramid base, or direct [`aggregate`].
-    fn rebin(&self, g: Granularity, offset_minutes: u32, obs: Option<&PipelineObs>) -> TimeSeries {
+    pub(crate) fn rebin(
+        &self,
+        g: Granularity,
+        offset_minutes: u32,
+        obs: Option<&PipelineObs>,
+    ) -> TimeSeries {
         let _span = obs.map(|o| o.rebin.enter());
         match &self.pyramid {
             Some(p) => {
@@ -455,8 +461,14 @@ pub fn daily_cell(
 /// Runs `compute` over every `(row, col)` cell of a grid, fanning the flat
 /// task list across work-stealing workers. Each worker owns one
 /// [`CorScratch`]; each cell writes its own slot, so results are
-/// deterministic in the thread count.
-fn run_grid<C, F>(n_rows: usize, n_cols: usize, threads: usize, compute: F) -> Vec<Vec<C>>
+/// deterministic in the thread count. Also drives the lag-search grids
+/// ([`crate::lagsearch`]).
+pub(crate) fn run_grid<C, F>(
+    n_rows: usize,
+    n_cols: usize,
+    threads: usize,
+    compute: F,
+) -> Vec<Vec<C>>
 where
     C: Send,
     F: Fn(usize, usize, &mut CorScratch) -> C + Sync,

@@ -3,83 +3,305 @@
 //! Section 4.2 of the paper evaluates the predictive power of gateway
 //! traffic via the ACF of individual gateways and lagged cross-correlations
 //! between gateway pairs (Figure 2).
+//!
+//! # Missing data
+//!
+//! Both estimators are **pairwise-complete**: at lag `k` only positions
+//! where *both* samples of a pair are finite enter the numerator, and the
+//! numerator is scaled by the number of such observed pairs rather than by
+//! the nominal series length. A gap therefore removes its pairs from the
+//! estimate instead of injecting zero deviations — the historical behavior,
+//! which kept every missing position in the denominator while zeroing its
+//! numerator contribution, shrank every coefficient toward zero as gaps
+//! grew. The biased-estimator taper `(n − k) / n` of R's `acf`/`ccf` is
+//! retained so the fully-observed case reproduces the classic estimator
+//! **bit for bit** (the complete path runs the exact legacy summations).
+//! Under heavy, adversarially placed gaps a pairwise-complete coefficient
+//! can slightly exceed 1 in magnitude; lags with no observed pair at all
+//! come back as `NaN`.
+//!
+//! Degenerate inputs are typed ([`CorrelogramError`]) so callers can tell
+//! "no data" from "no variance" — previously both came back as an empty
+//! vector.
 
+use crate::corprofile::CorProfile;
 use crate::descriptive::mean;
+
+/// Why an ACF/CCF estimate could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelogramError {
+    /// The input is empty or every sample is missing: no mean exists.
+    NoObservations,
+    /// Every observed sample is equal: zero variance, correlations are
+    /// undefined.
+    ZeroVariance,
+}
+
+impl std::fmt::Display for CorrelogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorrelogramError::NoObservations => write!(f, "no finite observations"),
+            CorrelogramError::ZeroVariance => write!(f, "zero variance"),
+        }
+    }
+}
+
+/// When both series fail, report the more fundamental failure: a series
+/// with no observations at all outranks one that is merely constant.
+fn combine(a: CorrelogramError, b: CorrelogramError) -> CorrelogramError {
+    if a == CorrelogramError::NoObservations || b == CorrelogramError::NoObservations {
+        CorrelogramError::NoObservations
+    } else {
+        CorrelogramError::ZeroVariance
+    }
+}
+
+/// One series' prepared state for cross-correlation: the zero-filled
+/// deviation vector, the finite-position mask and the observed moments.
+///
+/// Preparing a side once and evaluating many [`ccf_cell`] lags against it is
+/// exactly what [`ccf`] does internally, so engines that cache a `CcfSide`
+/// per series (the multi-scale lag search) produce **bit-identical** values
+/// to a fresh `ccf` call on the same slices.
+#[derive(Debug, Clone)]
+pub struct CcfSide {
+    /// Full series length, including missing positions.
+    n: usize,
+    /// Number of finite observations.
+    n_obs: usize,
+    /// Mean over the finite observations.
+    mean: f64,
+    /// Centered second moment Σ(x − mean)² over the finite observations.
+    sxx: f64,
+    /// Observed standard deviation `sqrt(sxx / n_obs)` (the biased one, to
+    /// match the estimator's normalization).
+    sd: f64,
+    /// `x − mean` at finite positions, `0.0` at missing ones.
+    dev: Vec<f64>,
+    /// Finite-position mask; empty when the series is complete.
+    finite: Vec<bool>,
+}
+
+impl CcfSide {
+    /// Prepares a series: mean, deviations, mask and moments.
+    pub fn new(x: &[f64]) -> Result<CcfSide, CorrelogramError> {
+        let m = mean(x);
+        if !m.is_finite() {
+            return Err(CorrelogramError::NoObservations);
+        }
+        CcfSide::from_mean(x, m)
+    }
+
+    /// Prepares a series reusing the moments a [`CorProfile`] already
+    /// cached. The profile accumulates its mean and `sxx` over the finite
+    /// values in series order — the same order [`CcfSide::new`] uses — so
+    /// this constructor is bit-identical to it while skipping one pass.
+    ///
+    /// # Panics
+    /// Panics if the profile was built from a different-length series.
+    pub fn from_profile(x: &[f64], profile: &CorProfile) -> Result<CcfSide, CorrelogramError> {
+        assert_eq!(profile.len(), x.len(), "profile belongs to another series");
+        if profile.n_finite() == 0 {
+            return Err(CorrelogramError::NoObservations);
+        }
+        CcfSide::from_mean(x, profile.mean())
+    }
+
+    fn from_mean(x: &[f64], m: f64) -> Result<CcfSide, CorrelogramError> {
+        let n = x.len();
+        let mut dev = Vec::with_capacity(n);
+        let mut finite = Vec::with_capacity(n);
+        let mut sxx = 0.0;
+        let mut n_obs = 0usize;
+        for &v in x {
+            if v.is_finite() {
+                let d = v - m;
+                dev.push(d);
+                finite.push(true);
+                sxx += d * d;
+                n_obs += 1;
+            } else {
+                dev.push(0.0);
+                finite.push(false);
+            }
+        }
+        if sxx == 0.0 {
+            return Err(CorrelogramError::ZeroVariance);
+        }
+        if n_obs == n {
+            finite = Vec::new();
+        }
+        Ok(CcfSide {
+            n,
+            n_obs,
+            mean: m,
+            sxx,
+            sd: (sxx / n_obs as f64).sqrt(),
+            dev,
+            finite,
+        })
+    }
+
+    /// Full series length, including missing positions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of finite observations.
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Mean over the finite observations.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Centered second moment over the finite observations.
+    pub fn sxx(&self) -> f64 {
+        self.sxx
+    }
+
+    /// Observed standard deviation `sqrt(sxx / n_obs)` — the gap path's
+    /// normalizer (lag-search bounds divide by it too).
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Whether every position holds a finite value.
+    pub fn is_complete(&self) -> bool {
+        self.finite.is_empty()
+    }
+
+    /// The deviation vector: `x − mean` at finite positions, `0.0` at
+    /// missing ones.
+    pub fn dev(&self) -> &[f64] {
+        &self.dev
+    }
+
+    /// Whether position `t` holds a finite value.
+    #[inline]
+    pub fn is_finite_at(&self, t: usize) -> bool {
+        self.finite.is_empty() || self.finite[t]
+    }
+}
+
+/// One cross-correlation cell: the pairwise-complete estimate of
+/// `corr(x_{t+lag}, y_t)` (positive lags mean `x` leads `y`), plus the
+/// number of observed pairs it rests on.
+///
+/// For two complete sides this is the classic biased estimator
+/// `Σ dx[t+k] dy[t] / sqrt(sx · sy)`, evaluated in the legacy summation
+/// order; with gaps the observed-pair mean cross-product is normalized by
+/// the observed standard deviations and the `(n − |lag|) / n` taper. A lag
+/// with no observed pair yields `NaN` with a count of 0.
+///
+/// # Panics
+/// Panics if the sides have different lengths or `|lag|` is not smaller
+/// than that length.
+pub fn ccf_cell_counted(a: &CcfSide, b: &CcfSide, lag: i64) -> (f64, usize) {
+    assert_eq!(a.n, b.n, "ccf requires equal-length series");
+    let n = a.n;
+    let k = lag.unsigned_abs() as usize;
+    assert!(k < n, "lag must be smaller than the series length");
+    if a.is_complete() && b.is_complete() {
+        let num: f64 = if lag >= 0 {
+            (0..n - k).map(|t| a.dev[t + k] * b.dev[t]).sum()
+        } else {
+            (0..n - k).map(|t| a.dev[t] * b.dev[t + k]).sum()
+        };
+        return (num / (a.sxx * b.sxx).sqrt(), n - k);
+    }
+    let mut num = 0.0;
+    let mut m = 0usize;
+    for t in 0..n - k {
+        let (xi, yi) = if lag >= 0 { (t + k, t) } else { (t, t + k) };
+        if a.is_finite_at(xi) && b.is_finite_at(yi) {
+            num += a.dev[xi] * b.dev[yi];
+            m += 1;
+        }
+    }
+    if m == 0 {
+        return (f64::NAN, 0);
+    }
+    let taper = (n - k) as f64 / n as f64;
+    ((num / m as f64) * taper / (a.sd * b.sd), m)
+}
+
+/// [`ccf_cell_counted`] without the pair count.
+pub fn ccf_cell(a: &CcfSide, b: &CcfSide, lag: i64) -> f64 {
+    ccf_cell_counted(a, b, lag).0
+}
 
 /// Sample autocorrelation of `x` at lags `0..=max_lag`.
 ///
-/// Uses the standard biased estimator
+/// Uses the biased estimator
 /// `r_k = Σ_t (x_t − x̄)(x_{t+k} − x̄) / Σ_t (x_t − x̄)²`
-/// (the same normalization as R's `acf`), which guarantees `|r_k| ≤ 1` and a
-/// positive semi-definite sequence. Missing values contribute zero deviation
-/// — the mean is taken over observed samples only.
+/// (the same normalization as R's `acf`) for fully-observed series, which
+/// guarantees `|r_k| ≤ 1` and a positive semi-definite sequence. Gaps are
+/// handled pairwise-complete (see the module docs): per lag, only pairs
+/// with both samples observed contribute, scaled back to the biased
+/// estimator's `(n − k) / n` taper.
 ///
-/// Returns an empty vector for a series with no variance.
-pub fn acf(x: &[f64], max_lag: usize) -> Vec<f64> {
-    let m = mean(x);
-    if !m.is_finite() {
-        return Vec::new();
+/// Errors are typed: [`CorrelogramError::NoObservations`] for an empty or
+/// all-missing series, [`CorrelogramError::ZeroVariance`] for a constant
+/// one.
+pub fn acf(x: &[f64], max_lag: usize) -> Result<Vec<f64>, CorrelogramError> {
+    let side = CcfSide::new(x)?;
+    let n = side.n;
+    let lags = 0..=max_lag.min(n.saturating_sub(1));
+    if side.is_complete() {
+        return Ok(lags
+            .map(|k| {
+                let num: f64 = (0..n - k).map(|t| side.dev[t] * side.dev[t + k]).sum();
+                num / side.sxx
+            })
+            .collect());
     }
-    let dev: Vec<f64> = x
-        .iter()
-        .map(|&v| if v.is_finite() { v - m } else { 0.0 })
-        .collect();
-    let denom: f64 = dev.iter().map(|d| d * d).sum();
-    if denom == 0.0 {
-        return Vec::new();
-    }
-    let n = x.len();
-    (0..=max_lag.min(n.saturating_sub(1)))
+    let var = side.sxx / side.n_obs as f64;
+    Ok(lags
         .map(|k| {
-            let num: f64 = (0..n - k).map(|t| dev[t] * dev[t + k]).sum();
-            num / denom
+            let mut num = 0.0;
+            let mut m = 0usize;
+            for t in 0..n - k {
+                if side.is_finite_at(t) && side.is_finite_at(t + k) {
+                    num += side.dev[t] * side.dev[t + k];
+                    m += 1;
+                }
+            }
+            if m == 0 {
+                return f64::NAN;
+            }
+            (num / m as f64) * ((n - k) as f64 / n as f64) / var
         })
-        .collect()
+        .collect())
 }
 
 /// Sample cross-correlation of `x` and `y` at lags `-max_lag..=max_lag`.
 ///
-/// `ccf[k + max_lag]` estimates `corr(x_{t+k}, y_t)`: positive lags mean `x`
-/// leads `y`. Normalized by the geometric mean of the two series' total
-/// sums of squares, matching R's `ccf`.
+/// `ccf[k + max_lag]` estimates `corr(x_{t+k}, y_t)`: positive lags mean
+/// `x` leads `y`. Fully-observed series are normalized by the geometric
+/// mean of the two series' total sums of squares, matching R's `ccf`; gaps
+/// are handled pairwise-complete per lag (see [`ccf_cell_counted`]).
+///
+/// Errors are typed and consistent with [`acf`]: when either series has no
+/// finite sample the result is [`CorrelogramError::NoObservations`]
+/// (whichever else holds), otherwise a constant series yields
+/// [`CorrelogramError::ZeroVariance`].
 ///
 /// # Panics
 /// Panics if the series lengths differ.
-pub fn ccf(x: &[f64], y: &[f64], max_lag: usize) -> Vec<f64> {
+pub fn ccf(x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, CorrelogramError> {
     assert_eq!(x.len(), y.len(), "ccf requires equal-length series");
-    let mx = mean(x);
-    let my = mean(y);
-    if !mx.is_finite() || !my.is_finite() {
-        return Vec::new();
-    }
-    let dx: Vec<f64> = x
-        .iter()
-        .map(|&v| if v.is_finite() { v - mx } else { 0.0 })
-        .collect();
-    let dy: Vec<f64> = y
-        .iter()
-        .map(|&v| if v.is_finite() { v - my } else { 0.0 })
-        .collect();
-    let sx: f64 = dx.iter().map(|d| d * d).sum();
-    let sy: f64 = dy.iter().map(|d| d * d).sum();
-    let denom = (sx * sy).sqrt();
-    if denom == 0.0 {
-        return Vec::new();
-    }
-    let n = x.len();
-    let max_lag = max_lag.min(n.saturating_sub(1));
-    let mut out = Vec::with_capacity(2 * max_lag + 1);
-    for lag in -(max_lag as i64)..=(max_lag as i64) {
-        let num: f64 = if lag >= 0 {
-            let k = lag as usize;
-            (0..n - k).map(|t| dx[t + k] * dy[t]).sum()
-        } else {
-            let k = (-lag) as usize;
-            (0..n - k).map(|t| dx[t] * dy[t + k]).sum()
-        };
-        out.push(num / denom);
-    }
-    out
+    let (a, b) = match (CcfSide::new(x), CcfSide::new(y)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(ea), Err(eb)) => return Err(combine(ea, eb)),
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => return Err(e),
+    };
+    let max_lag = max_lag.min(a.n.saturating_sub(1)) as i64;
+    Ok((-max_lag..=max_lag)
+        .map(|lag| ccf_cell(&a, &b, lag))
+        .collect())
 }
 
 /// The ±bound outside which a sample (cross-)correlation at any nonzero lag
@@ -92,6 +314,20 @@ pub fn significance_bound(n: usize) -> f64 {
     }
 }
 
+/// Number of finite samples in `x` — the effective sample size a gappy
+/// series actually contributes to a correlogram.
+pub fn effective_sample_size(x: &[f64]) -> usize {
+    x.iter().filter(|v| v.is_finite()).count()
+}
+
+/// Gap-aware [`significance_bound`]: `1.96 / √n_observed`. The raw-length
+/// bound overstates significance for sparse series — a week-long series
+/// with a day of observations has the white-noise band of one day, not one
+/// week.
+pub fn significance_bound_effective(x: &[f64]) -> f64 {
+    significance_bound(effective_sample_size(x))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,15 +335,30 @@ mod tests {
     #[test]
     fn acf_lag_zero_is_one() {
         let x: Vec<f64> = (0..50).map(|i| ((i * 13) % 7) as f64).collect();
-        let r = acf(&x, 10);
+        let r = acf(&x, 10).unwrap();
         assert!((r[0] - 1.0).abs() < 1e-12);
         assert!(r.iter().all(|v| v.abs() <= 1.0 + 1e-12));
     }
 
     #[test]
+    fn acf_lag_zero_is_one_with_gaps() {
+        let x: Vec<f64> = (0..60)
+            .map(|i| {
+                if i % 7 == 3 {
+                    f64::NAN
+                } else {
+                    ((i * 13) % 11) as f64
+                }
+            })
+            .collect();
+        let r = acf(&x, 5).unwrap();
+        assert_eq!(r[0], 1.0, "pairwise-complete lag 0 is exactly 1");
+    }
+
+    #[test]
     fn acf_of_periodic_signal_peaks_at_period() {
         let x: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
-        let r = acf(&x, 20);
+        let r = acf(&x, 20).unwrap();
         assert!(r[10] > 0.8, "ACF at the period must be high: {}", r[10]);
         assert!(r[10] > r[5], "period lag beats off-period lag");
         assert!((r[20] - r[10]).abs() < 0.1, "period multiples similar");
@@ -118,22 +369,79 @@ mod tests {
         let x: Vec<f64> = (0..100)
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
             .collect();
-        let r = acf(&x, 2);
+        let r = acf(&x, 2).unwrap();
         assert!(r[1] < -0.9);
         assert!(r[2] > 0.9);
     }
 
     #[test]
-    fn acf_constant_series_empty() {
-        assert!(acf(&[3.0; 10], 5).is_empty());
-        assert!(acf(&[], 5).is_empty());
+    fn degenerate_inputs_are_typed() {
+        assert_eq!(acf(&[3.0; 10], 5), Err(CorrelogramError::ZeroVariance));
+        assert_eq!(acf(&[], 5), Err(CorrelogramError::NoObservations));
+        assert_eq!(
+            acf(&[f64::NAN; 4], 2),
+            Err(CorrelogramError::NoObservations)
+        );
+        let live: Vec<f64> = (0..10).map(|i| (i % 3) as f64).collect();
+        assert_eq!(
+            ccf(&live, &[2.0; 10], 3),
+            Err(CorrelogramError::ZeroVariance)
+        );
+        assert_eq!(
+            ccf(&[2.0; 10], &live, 3),
+            Err(CorrelogramError::ZeroVariance)
+        );
+        assert_eq!(
+            ccf(&[f64::NAN; 10], &[2.0; 10], 3),
+            Err(CorrelogramError::NoObservations),
+            "missing everything outranks missing variance"
+        );
+        assert_eq!(ccf(&[], &[], 3), Err(CorrelogramError::NoObservations));
     }
 
     #[test]
     fn acf_truncates_lag_to_series_length() {
         let x = [1.0, 2.0, 3.0];
-        let r = acf(&x, 10);
+        let r = acf(&x, 10).unwrap();
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn gap_bias_is_removed() {
+        // A clean periodic signal, then the same signal with a quarter of
+        // its samples knocked out. The zeroed-deviation estimator shrank
+        // r_period toward zero; pairwise-complete keeps it high.
+        let clean: Vec<f64> = (0..240).map(|i| (i % 12) as f64).collect();
+        let gappy: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 4 == 1 { f64::NAN } else { v })
+            .collect();
+        let r_clean = acf(&clean, 12).unwrap()[12];
+        let r_gappy = acf(&gappy, 12).unwrap()[12];
+        assert!(
+            (r_clean - r_gappy).abs() < 0.05,
+            "gaps must not dilute the estimate: clean {r_clean} vs gappy {r_gappy}"
+        );
+    }
+
+    #[test]
+    fn acf_lag_with_no_pairs_is_nan() {
+        // Observations only at even positions: odd lags pair an observed
+        // sample with a missing one every time.
+        let x: Vec<f64> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ((i * 7) % 13) as f64
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        let r = acf(&x, 4).unwrap();
+        assert!(r[1].is_nan());
+        assert!(r[3].is_nan());
+        assert!(r[2].is_finite() && r[4].is_finite());
     }
 
     #[test]
@@ -144,7 +452,7 @@ mod tests {
         let x: Vec<f64> = base[3..].to_vec();
         let y: Vec<f64> = base[..n].to_vec();
         let max_lag = 5;
-        let c = ccf(&x, &y, max_lag);
+        let c = ccf(&x, &y, max_lag).unwrap();
         let peak_idx = c
             .iter()
             .enumerate()
@@ -154,7 +462,7 @@ mod tests {
         assert_eq!(peak_idx as i64 - max_lag as i64, -3);
         // x_{t} = base_{t+3} = y_{t+3}: corr(x_{t+k}, y_t) peaks when
         // t + 3 = t + k... i.e. x lags y by -3. Verify the symmetric case too.
-        let c2 = ccf(&y, &x, max_lag);
+        let c2 = ccf(&y, &x, max_lag).unwrap();
         let peak2 = c2
             .iter()
             .enumerate()
@@ -165,10 +473,58 @@ mod tests {
     }
 
     #[test]
+    fn ccf_detects_lagged_copy_through_gaps() {
+        let n = 160;
+        let base: Vec<f64> = (0..n + 4).map(|i| ((i * 29) % 23) as f64).collect();
+        let x: Vec<f64> = base[4..]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 5 == 2 { f64::NAN } else { v })
+            .collect();
+        let y: Vec<f64> = base[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 7 == 1 { f64::NAN } else { v })
+            .collect();
+        let c = ccf(&x, &y, 6).unwrap();
+        let peak_idx = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_idx as i64 - 6, -4, "gaps must not move the peak");
+        assert!(c[2] > 0.95, "the peak stays near 1: {}", c[2]);
+    }
+
+    #[test]
     fn ccf_identical_series_peaks_at_zero() {
         let x: Vec<f64> = (0..60).map(|i| ((i * 7) % 11) as f64).collect();
-        let c = ccf(&x, &x, 4);
+        let c = ccf(&x, &x, 4).unwrap();
         assert!((c[4] - 1.0).abs() < 1e-12, "lag 0 of self-CCF is 1");
+    }
+
+    #[test]
+    fn ccf_cell_matches_dense_ccf() {
+        let x: Vec<f64> = (0..80)
+            .map(|i| {
+                if i % 9 == 4 {
+                    f64::NAN
+                } else {
+                    ((i * 31) % 19) as f64
+                }
+            })
+            .collect();
+        let y: Vec<f64> = (0..80).map(|i| ((i * 17) % 13) as f64).collect();
+        let dense = ccf(&x, &y, 7).unwrap();
+        let a = CcfSide::new(&x).unwrap();
+        let b = CcfSide::new(&y).unwrap();
+        for (i, &v) in dense.iter().enumerate() {
+            let lag = i as i64 - 7;
+            let (cell, m) = ccf_cell_counted(&a, &b, lag);
+            assert_eq!(v.to_bits(), cell.to_bits(), "lag {lag}");
+            assert!(m > 0 && m <= 80 - lag.unsigned_abs() as usize);
+        }
     }
 
     #[test]
@@ -176,6 +532,21 @@ mod tests {
         assert!(significance_bound(100) < significance_bound(10));
         assert!((significance_bound(100) - 0.196).abs() < 1e-12);
         assert!(significance_bound(0).is_infinite());
+    }
+
+    #[test]
+    fn effective_bound_counts_observations_only() {
+        let mut x = vec![1.0; 100];
+        for v in x.iter_mut().skip(25) {
+            *v = f64::NAN;
+        }
+        assert_eq!(effective_sample_size(&x), 25);
+        assert_eq!(
+            significance_bound_effective(&x).to_bits(),
+            significance_bound(25).to_bits()
+        );
+        assert!(significance_bound_effective(&x) > significance_bound(x.len()));
+        assert!(significance_bound_effective(&[]).is_infinite());
     }
 
     #[test]

@@ -78,9 +78,14 @@ pub fn fit_ar(x: &[f64], p: usize) -> Option<ArModel> {
     if n < p + 2 {
         return None;
     }
-    let r = acf(&observed, p);
+    // Constant series (typed as zero variance): no autocovariance
+    // structure. `observed` is fully finite, so the lag count is the only
+    // other way the recursion can come up short.
+    let Ok(r) = acf(&observed, p) else {
+        return None;
+    };
     if r.len() <= p {
-        return None; // Constant series: no autocovariance structure.
+        return None;
     }
     let series_variance = variance(&observed);
     if !series_variance.is_finite() || series_variance <= 0.0 {

@@ -18,7 +18,9 @@
 //!   without exact work (zero false dismissals).
 //! * [`ks`] — the two-sample Kolmogorov–Smirnov test (Definition 2's
 //!   distribution check).
-//! * [`mod@acf`] — autocorrelation and cross-correlation functions (Figure 2).
+//! * [`mod@acf`] — autocorrelation and cross-correlation functions
+//!   (Figure 2), pairwise-complete under gaps with typed degenerate cases
+//!   and a reusable per-series kernel ([`CcfSide`]) for lag-search engines.
 //! * [`stationarity`] — KPSS and Augmented Dickey–Fuller tests (Section 4.2).
 //! * [`ols`] — the small dense least-squares solver behind ADF.
 //! * [`kde`] — Gaussian kernel density estimation (Figure 1a).
@@ -47,7 +49,10 @@ pub mod spectrum;
 pub mod stationarity;
 pub mod zipf;
 
-pub use acf::{acf, ccf, significance_bound};
+pub use acf::{
+    acf, ccf, ccf_cell, ccf_cell_counted, effective_sample_size, significance_bound,
+    significance_bound_effective, CcfSide, CorrelogramError,
+};
 pub use ar::{fit_ar, fit_ar_aic, forecast_rmse, ArModel, ForecastComparison};
 pub use corprofile::{
     cor_tests_profiled, kendall_profiled, pearson_profiled, spearman_profiled, CorProfile,

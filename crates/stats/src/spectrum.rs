@@ -150,7 +150,11 @@ pub fn ljung_box(x: &[f64], lags: usize) -> Option<LjungBox> {
     if n <= lags + 1 {
         return None;
     }
-    let r = crate::acf::acf(&observed, lags);
+    // `observed` is fully finite, so the typed error can only be zero
+    // variance — a constant series is trivially white.
+    let Ok(r) = crate::acf::acf(&observed, lags) else {
+        return None;
+    };
     if r.len() <= lags {
         return None;
     }

@@ -1,0 +1,284 @@
+//! Property-based tests for the gap-aware correlogram estimators.
+//!
+//! The implementation in `acf.rs` shares one prepared-side kernel between
+//! [`acf`], [`ccf`] and the multi-scale lag search. These properties pin it
+//! against a *direct transcription of the estimator definitions* — per lag,
+//! walk the series, keep only pairwise-complete positions, apply the
+//! documented normalization — with **zero tolerance**: every comparison is
+//! on raw bits. Any reordering of the arithmetic, however harmless it
+//! looks, fails here.
+
+use proptest::prelude::*;
+use wtts_stats::{
+    acf, ccf, ccf_cell_counted, effective_sample_size, mean, significance_bound,
+    significance_bound_effective, CcfSide, CorrelogramError,
+};
+
+/// A finite series with 0–4 NaN runs punched into it — the shape real
+/// gateway outages take (contiguous reporting gaps, not salted singletons).
+/// Run starts are sampled over a fixed span and folded into the series
+/// length, so short and long series see the same gap pressure.
+fn gappy(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    let values = prop::collection::vec(-1e3f64..1e3, len);
+    let runs = prop::collection::vec((0usize..1 << 16, 1usize..10), 0..5);
+    (values, runs).prop_map(|(mut v, runs)| {
+        let n = v.len();
+        for (start, len) in runs {
+            let start = start % n;
+            let end = (start + len).min(n);
+            for x in &mut v[start..end] {
+                *x = f64::NAN;
+            }
+        }
+        v
+    })
+}
+
+/// A fully-observed series.
+fn complete(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, len)
+}
+
+/// The estimator definition, transcribed: observed mean, zero-filled
+/// deviations, observed second moment.
+fn side_moments(x: &[f64]) -> Result<(Vec<f64>, f64, usize), CorrelogramError> {
+    let m = mean(x);
+    if !m.is_finite() {
+        return Err(CorrelogramError::NoObservations);
+    }
+    let dev: Vec<f64> = x
+        .iter()
+        .map(|&v| if v.is_finite() { v - m } else { 0.0 })
+        .collect();
+    let mut sxx = 0.0;
+    let mut n_obs = 0usize;
+    for &v in x {
+        if v.is_finite() {
+            sxx += (v - m) * (v - m);
+            n_obs += 1;
+        }
+    }
+    if sxx == 0.0 {
+        return Err(CorrelogramError::ZeroVariance);
+    }
+    Ok((dev, sxx, n_obs))
+}
+
+/// Pairwise-complete ACF straight from the definition: per lag `k`, sum the
+/// deviation products over positions where both samples are observed,
+/// rescale the observed-pair mean by the `(n − k)/n` taper, and normalize
+/// by the observed variance. Fully-observed series use the legacy
+/// `num / sxx` form verbatim.
+fn reference_acf(x: &[f64], max_lag: usize) -> Result<Vec<f64>, CorrelogramError> {
+    let (dev, sxx, n_obs) = side_moments(x)?;
+    let n = x.len();
+    let var = sxx / n_obs as f64;
+    Ok((0..=max_lag.min(n - 1))
+        .map(|k| {
+            if n_obs == n {
+                let mut num = 0.0;
+                for t in 0..n - k {
+                    num += dev[t] * dev[t + k];
+                }
+                return num / sxx;
+            }
+            let mut num = 0.0;
+            let mut m = 0usize;
+            for t in 0..n - k {
+                if x[t].is_finite() && x[t + k].is_finite() {
+                    num += dev[t] * dev[t + k];
+                    m += 1;
+                }
+            }
+            if m == 0 {
+                f64::NAN
+            } else {
+                (num / m as f64) * ((n - k) as f64 / n as f64) / var
+            }
+        })
+        .collect())
+}
+
+/// Pairwise-complete CCF straight from the definition (see
+/// [`reference_acf`]); `cell(k)` estimates `corr(x_{t+k}, y_t)`.
+fn reference_ccf(x: &[f64], y: &[f64], max_lag: usize) -> Result<Vec<f64>, CorrelogramError> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let (a, b) = match (side_moments(x), side_moments(y)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(ea), Err(eb)) => {
+            return Err(
+                if ea == CorrelogramError::NoObservations || eb == CorrelogramError::NoObservations
+                {
+                    CorrelogramError::NoObservations
+                } else {
+                    CorrelogramError::ZeroVariance
+                },
+            )
+        }
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => return Err(e),
+    };
+    let (dev_a, sxx_a, obs_a) = a;
+    let (dev_b, sxx_b, obs_b) = b;
+    let complete = obs_a == n && obs_b == n;
+    let sd_a = (sxx_a / obs_a as f64).sqrt();
+    let sd_b = (sxx_b / obs_b as f64).sqrt();
+    let max_lag = max_lag.min(n - 1) as i64;
+    Ok((-max_lag..=max_lag)
+        .map(|lag| {
+            let k = lag.unsigned_abs() as usize;
+            if complete {
+                let mut num = 0.0;
+                for t in 0..n - k {
+                    let (xi, yi) = if lag >= 0 { (t + k, t) } else { (t, t + k) };
+                    num += dev_a[xi] * dev_b[yi];
+                }
+                return num / (sxx_a * sxx_b).sqrt();
+            }
+            let mut num = 0.0;
+            let mut m = 0usize;
+            for t in 0..n - k {
+                let (xi, yi) = if lag >= 0 { (t + k, t) } else { (t, t + k) };
+                if x[xi].is_finite() && y[yi].is_finite() {
+                    num += dev_a[xi] * dev_b[yi];
+                    m += 1;
+                }
+            }
+            if m == 0 {
+                f64::NAN
+            } else {
+                (num / m as f64) * ((n - k) as f64 / n as f64) / (sd_a * sd_b)
+            }
+        })
+        .collect())
+}
+
+/// Bitwise equality that also equates NaN cells (same-position gaps).
+fn assert_bits(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan()),
+            "index {i}: got {g:?} want {w:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Gap-injected ACF is bit-identical to the transcribed
+    /// pairwise-complete definition — values *and* typed errors.
+    #[test]
+    fn acf_matches_pairwise_complete_reference(x in gappy(2..150), max_lag in 0usize..24) {
+        match (acf(&x, max_lag), reference_acf(&x, max_lag)) {
+            (Ok(got), Ok(want)) => assert_bits(&got, &want),
+            (Err(got), Err(want)) => prop_assert_eq!(got, want),
+            other => prop_assert!(false, "Ok/Err mismatch: {:?}", other),
+        }
+    }
+
+    /// Gap-injected CCF is bit-identical to the transcribed
+    /// pairwise-complete definition — values *and* typed errors.
+    #[test]
+    fn ccf_matches_pairwise_complete_reference(
+        x in gappy(2..120),
+        y in gappy(2..120),
+        max_lag in 0usize..24,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        match (ccf(x, y, max_lag), reference_ccf(x, y, max_lag)) {
+            (Ok(got), Ok(want)) => assert_bits(&got, &want),
+            (Err(got), Err(want)) => prop_assert_eq!(got, want),
+            other => prop_assert!(false, "Ok/Err mismatch: {:?}", other),
+        }
+    }
+
+    /// Regression pin: on fully-observed series the estimators reproduce
+    /// the classic biased formulas **bit for bit** — the gap handling is
+    /// provably invisible when there are no gaps.
+    #[test]
+    fn complete_series_reproduce_legacy_estimators(
+        x in complete(2..150),
+        y in complete(2..150),
+        max_lag in 0usize..24,
+    ) {
+        if let Ok(got) = acf(&x, max_lag) {
+            assert_bits(&got, &reference_acf(&x, max_lag).unwrap());
+            // A complete series has no NaN cells and |r_k| ≤ 1.
+            for &r in &got {
+                prop_assert!(r.is_finite() && r.abs() <= 1.0 + 1e-12);
+            }
+            prop_assert_eq!(got[0].to_bits(), 1.0f64.to_bits());
+        }
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        if let Ok(got) = ccf(x, y, max_lag) {
+            assert_bits(&got, &reference_ccf(x, y, max_lag).unwrap());
+        }
+    }
+
+    /// CCF is bitwise antisymmetric in its arguments:
+    /// `ccf(x, y)[L + k] == ccf(y, x)[L − k]` (every float op involved is
+    /// commutative, so this holds on bits, not just in exact arithmetic).
+    #[test]
+    fn ccf_argument_swap_mirrors_the_lag_axis(
+        x in gappy(2..100),
+        y in gappy(2..100),
+        max_lag in 0usize..16,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        if let (Ok(xy), Ok(yx)) = (ccf(x, y, max_lag), ccf(y, x, max_lag)) {
+            let mirrored: Vec<f64> = yx.iter().rev().copied().collect();
+            assert_bits(&xy, &mirrored);
+        }
+    }
+
+    /// [`ccf_cell_counted`] on cached sides is bit-identical to the dense
+    /// [`ccf`] sweep, and its pair counts obey the pairwise-complete
+    /// bookkeeping: `NaN ⇔ count 0`, count ≤ overlap, and the count at
+    /// lag 0 is the number of joint observations.
+    #[test]
+    fn cached_sides_match_dense_sweep_with_consistent_counts(
+        x in gappy(3..100),
+        y in gappy(3..100),
+        max_lag in 0usize..16,
+    ) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        if let (Ok(dense), Ok(a), Ok(b)) = (ccf(x, y, max_lag), CcfSide::new(x), CcfSide::new(y)) {
+            let l = max_lag.min(n - 1) as i64;
+            for (i, &want) in dense.iter().enumerate() {
+                let lag = i as i64 - l;
+                let (value, count) = ccf_cell_counted(&a, &b, lag);
+                prop_assert!(
+                    value.to_bits() == want.to_bits() || (value.is_nan() && want.is_nan())
+                );
+                prop_assert_eq!(value.is_nan(), count == 0, "NaN iff no observed pair");
+                prop_assert!(count <= n - lag.unsigned_abs() as usize);
+            }
+            let joint = (0..n).filter(|&t| x[t].is_finite() && y[t].is_finite()).count();
+            if joint > 0 {
+                let (_, m0) = ccf_cell_counted(&a, &b, 0);
+                prop_assert_eq!(m0, joint);
+            }
+        }
+    }
+
+    /// The effective significance band never claims more confidence than
+    /// the raw-length band, and collapses to it exactly when complete.
+    #[test]
+    fn effective_band_is_honest(x in gappy(1..150)) {
+        let eff = effective_sample_size(&x);
+        prop_assert!(eff <= x.len());
+        prop_assert!(significance_bound_effective(&x) >= significance_bound(x.len()));
+        if eff == x.len() {
+            prop_assert_eq!(
+                significance_bound_effective(&x).to_bits(),
+                significance_bound(x.len()).to_bits()
+            );
+        }
+    }
+}

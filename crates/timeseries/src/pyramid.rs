@@ -130,6 +130,29 @@ impl GranularityPyramid {
         }
     }
 
+    /// Number of bins [`GranularityPyramid::rebin`] would produce at the
+    /// given `(granularity, offset)` — the geometry alone, without
+    /// materializing the binned series. Lag-search callers use this to size
+    /// `(scale, lag)` grids and their cell-accounting totals up front.
+    ///
+    /// # Panics
+    /// Panics if `granularity` is not a multiple of the source step.
+    pub fn bin_count(&self, granularity: Granularity, offset_minutes: u32) -> usize {
+        let g = granularity.as_minutes();
+        assert!(
+            g.is_multiple_of(self.step),
+            "granularity {g}m must be a multiple of the input step {}m",
+            self.step
+        );
+        if self.is_empty() {
+            return 0;
+        }
+        match bin_layout(self.start.0, self.end().0, g, offset_minutes) {
+            BinLayout::Empty { .. } => 0,
+            BinLayout::Bins { n_bins, .. } => n_bins,
+        }
+    }
+
     /// Re-bins the source series, bit-identical to
     /// [`aggregate`](crate::binning::aggregate) at the same arguments.
     ///
@@ -397,6 +420,24 @@ mod tests {
             &level.rebin(Granularity::minutes(6)),
             "",
         );
+    }
+
+    #[test]
+    fn bin_count_matches_materialized_rebin() {
+        for (start, step, len) in [(0u32, 1u32, 253usize), (7, 3, 81), (0, 2, 0)] {
+            let s = fixture(start, step, len);
+            let p = GranularityPyramid::try_new(&s).unwrap();
+            for mult in [1u32, 2, 5, 60] {
+                let g = Granularity::minutes(step * mult);
+                for offset in [0u32, 1, 17, 1000] {
+                    assert_eq!(
+                        p.bin_count(g, offset),
+                        p.rebin(g, offset).len(),
+                        "start={start} step={step} len={len} g={g} offset={offset}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

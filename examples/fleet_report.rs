@@ -15,6 +15,7 @@
 //! given).
 
 use std::collections::HashMap;
+use wtts::core::lagsearch::{lag_search, LagSearchConfig};
 use wtts::core::motif::{discover_motifs_observed, MotifConfig};
 use wtts::core::obs::PipelineObs;
 use wtts::core::{strong_stationarity_observed, STATIONARITY_COR};
@@ -67,6 +68,33 @@ fn observed_analysis(fleet: &Fleet, obs: &PipelineObs) {
         }
     }
     println!("instrumented pass: {stationary}/{gateways} gateways strongly stationary (daily)");
+
+    // Multi-scale lead/lag discovery over the same gateway subset: the
+    // scale × lag grid runs through the pruned lag-search engine, so the
+    // snapshot also carries the cell-conservation counters ci.sh checks.
+    let series: Vec<_> = (0..gateways)
+        .map(|id| fleet.gateway(id).aggregate_total())
+        .collect();
+    let config = LagSearchConfig {
+        scales: vec![Granularity::hours(1), Granularity::hours(2)],
+        max_lag_bins: 12,
+        phi: 0.25,
+        ..LagSearchConfig::default()
+    };
+    let lags = lag_search(&series, &config, Some(obs));
+    let leads: usize = (0..lags.scales.len())
+        .map(|s| lags.top_leads(s, 3).len())
+        .sum();
+    assert!(lags.stats.conserved(), "lag-search cell conservation");
+    println!(
+        "instrumented pass: lag search over {} pairs x {} scales: {} cells, {} pruned, \
+         {leads} lead/lag relations >= {}",
+        lags.pairs.len(),
+        lags.scales.len(),
+        lags.stats.cells_total,
+        lags.stats.pruned(),
+        config.phi,
+    );
 }
 
 fn main() {

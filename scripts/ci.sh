@@ -22,7 +22,8 @@ cargo bench -p wtts-bench --bench ingest -- --smoke
 metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
 sweep_metrics_json="$(mktemp /tmp/wtts_ci_sweep_metrics.XXXXXX.json)"
 prune_metrics_json="$(mktemp /tmp/wtts_ci_prune_metrics.XXXXXX.json)"
-trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json"' EXIT
+lag_metrics_json="$(mktemp /tmp/wtts_ci_lag_metrics.XXXXXX.json)"
+trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json" "$lag_metrics_json"' EXIT
 
 echo "== granularity_sweep bench (smoke) =="
 cargo bench -p wtts-bench --bench granularity_sweep -- --smoke --metrics-json "$sweep_metrics_json"
@@ -96,6 +97,43 @@ assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
 print("recorded pruning baseline ok: speedup", b["speedup_single_thread"], "x at 10k gateways")
 PY
 
+echo "== lag_search bench (smoke) =="
+cargo bench -p wtts-bench --bench lag_search -- --smoke --metrics-json "$lag_metrics_json"
+python3 - "$lag_metrics_json" <<'PY'
+import json, sys
+
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
+with open(sys.argv[1]) as fh:
+    m = json.load(fh, parse_constant=reject_nonfinite)
+
+assert m["conserved"] is True, "stage books must balance"
+assert m["quiescent"] is True, "no span may be left open"
+c = m["counters"]
+pruned = (
+    c["lag_cells_pruned_degenerate"]
+    + c["lag_cells_pruned_sketch"]
+    + c["lag_cells_pruned_energy"]
+)
+assert pruned + c["lag_cells_evaluated"] == c["lag_cells_total"], c
+rate = pruned / c["lag_cells_total"]
+assert rate >= 0.30, f"prune rate {rate:.3f} below 0.30 at phi = 0.85"
+print(f"lag obs ok: {pruned} of {c['lag_cells_total']} cells pruned ({rate:.3f})")
+PY
+python3 - results/BENCH_lagged.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    b = json.load(fh)
+
+assert b["bench"] == "lag_search", b["bench"]
+assert b["bit_identical"] is True
+assert b["threads"] == 1
+assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
+print("recorded lag baseline ok: speedup", b["speedup_single_thread"], "x at 24 gateways")
+PY
+
 echo "== examples (smoke) =="
 cargo run --release --example quickstart >/dev/null
 cargo run --release --example fleet_ingest -- --metrics-json "$metrics_json" >/dev/null
@@ -134,8 +172,8 @@ clean_json="$(mktemp /tmp/wtts_ci_clean.XXXXXX.json)"
 recovered_out="$(mktemp /tmp/wtts_ci_recovered_out.XXXXXX.txt)"
 clean_out="$(mktemp /tmp/wtts_ci_clean_out.XXXXXX.txt)"
 trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json" \
-    "$recovered_json" "$clean_json" "$recovered_out" "$clean_out"; \
-    rm -rf "$wal_dir" "$clean_wal_dir"' EXIT
+    "$lag_metrics_json" "$recovered_json" "$clean_json" "$recovered_out" \
+    "$clean_out"; rm -rf "$wal_dir" "$clean_wal_dir"' EXIT
 
 # Kill the ingest dead (process abort, no unwinding) mid-stream...
 set +e
