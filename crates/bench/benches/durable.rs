@@ -1,0 +1,214 @@
+//! Durability-tax benchmark of the WAL-backed ingest pipeline: a simulated
+//! 40-gateway week pushed through the chaos channel and ingested via
+//! [`DurablePipeline`] at fsync on/off across three segment-rotation sizes.
+//!
+//! Besides the interactive Criterion output, a run refreshes the committed
+//! baseline at `results/BENCH_durable.json`: median wall time and
+//! reports/second per cell, plus the per-append latency distribution
+//! (p50/p99 upper bounds from the lock-free `wal_append` stage histogram).
+//! Appends are buffered and group-committed — the flush (and, with
+//! `--fsync`, the fsync) lands on one append in ~1366, so p50 reads the
+//! buffered-append cost and p99 the group-commit tail.
+//!
+//! `--smoke` runs a fast single-shard pass over a small fleet, asserts the
+//! durable conservation law and a clean (no-gap) verdict, and leaves the
+//! committed baseline alone (used by `scripts/ci.sh`).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wtts_core::ingest::{IngestConfig, IngestReport, MetricsSnapshot};
+use wtts_core::{wal_disk_usage, Durability, DurableConfig, DurablePipeline, DurableRun};
+use wtts_gwsim::{gateway_reports, ChannelConfig, Fleet, FleetConfig, TaggedReport};
+
+const FLEET_GATEWAYS: usize = 40;
+const SEGMENT_BYTES: [u64; 3] = [256 * 1024, 1024 * 1024, 8 * 1024 * 1024];
+
+fn envelope(t: &TaggedReport) -> IngestReport {
+    IngestReport {
+        gateway: t.gateway as u64,
+        device: t.device as u32,
+        at: t.report.at,
+        cum_in: t.report.cum_in,
+        cum_out: t.report.cum_out,
+    }
+}
+
+/// One simulated fleet week through a channel with everything wrong at
+/// once, so the WAL logs the same messy stream the pipeline degrades on.
+fn fleet_reports(n_gateways: usize) -> Vec<IngestReport> {
+    let channel = ChannelConfig {
+        loss: 0.02,
+        duplication: 0.01,
+        reorder: 0.01,
+    };
+    let fleet = Fleet::new(FleetConfig {
+        n_gateways,
+        weeks: 1,
+        ..FleetConfig::default()
+    });
+    let mut out = Vec::new();
+    for id in 0..n_gateways {
+        let gw = fleet.gateway(id);
+        let mut rng = SmallRng::seed_from_u64(0xD04A8 + id as u64);
+        out.extend(gateway_reports(&gw, channel, &mut rng).iter().map(envelope));
+    }
+    out
+}
+
+/// A fresh WAL directory per run, unique across iterations and processes.
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("wtts-bench-durable-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench WAL dir");
+    dir
+}
+
+/// One complete durable run in a fresh directory; returns the final metrics
+/// and the WAL footprint left on disk, then removes the directory.
+fn run(reports: &[IngestReport], fsync: bool, segment_bytes: u64) -> (MetricsSnapshot, u64) {
+    let dir = fresh_dir();
+    let config = IngestConfig {
+        shards: 1,
+        ..IngestConfig::default()
+    };
+    let mut durable = DurableConfig::new(&dir);
+    durable.fsync = fsync;
+    durable.segment_bytes = segment_bytes;
+    let mut pipeline =
+        DurablePipeline::create(config, Vec::new(), durable).expect("create durable pipeline");
+    let outcome = pipeline
+        .run(reports.iter().copied(), None)
+        .expect("durable ingest run");
+    let m = match outcome {
+        DurableRun::Completed {
+            summary,
+            durability,
+            ..
+        } => {
+            assert!(
+                matches!(durability, Durability::Durable),
+                "fault-free bench run must not report a durability gap"
+            );
+            summary.metrics
+        }
+        DurableRun::Killed => unreachable!("no kill point armed"),
+    };
+    assert!(
+        m.durably_accounted(),
+        "durable accounting violated: wal {} + gap {} + lost {} != offered {}",
+        m.wal_records,
+        m.wal_gap_records,
+        m.wal_lost_records,
+        m.offered
+    );
+    let disk = wal_disk_usage(&dir).expect("measure WAL disk usage");
+    std::fs::remove_dir_all(&dir).expect("remove bench WAL dir");
+    (m, disk)
+}
+
+fn bench_durable(c: &mut Criterion) {
+    let reports = fleet_reports(FLEET_GATEWAYS);
+    let mut group = c.benchmark_group("durable");
+    group.sample_size(10);
+    for fsync in [false, true] {
+        let label = if fsync { "fsync" } else { "buffered" };
+        group.bench_with_input(BenchmarkId::new(label, "1MiB"), &fsync, |b, &fsync| {
+            b.iter(|| run(black_box(&reports), fsync, 1024 * 1024))
+        });
+    }
+    group.finish();
+}
+
+/// Median wall time of `samples` runs, in milliseconds.
+fn median_ms<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Re-times every fsync × segment-size cell and writes the JSON baseline
+/// the repo commits under `results/`.
+fn write_baseline() {
+    let reports = fleet_reports(FLEET_GATEWAYS);
+    let offered = reports.len();
+    let mut entries = Vec::new();
+    for fsync in [false, true] {
+        for segment_bytes in SEGMENT_BYTES {
+            // One instrumented run for the latency distribution and WAL
+            // footprint, then timed repeats for the wall-clock median.
+            let (m, disk) = run(&reports, fsync, segment_bytes);
+            let wal = &m.per_shard[0].wal_append.latency_ns;
+            let t = median_ms(3, || {
+                black_box(run(black_box(&reports), fsync, segment_bytes));
+            });
+            let rps = offered as f64 / (t / 1e3);
+            // The group-commit flush lands on ~1 append in 1366, past the
+            // 99th percentile — p99.9 and max are what expose the fsync tax.
+            entries.push(format!(
+                "    {{\n      \"fsync\": {fsync},\n      \"segment_bytes\": {segment_bytes},\n      \"median_ms\": {t:.3},\n      \"reports_per_sec\": {rps:.0},\n      \"append_p50_ns_le\": {},\n      \"append_p99_ns_le\": {},\n      \"append_p999_ns_le\": {},\n      \"append_max_ns_le\": {},\n      \"appends\": {},\n      \"segments_created\": {},\n      \"segments_compacted\": {},\n      \"snapshots_written\": {},\n      \"wal_disk_bytes\": {disk}\n    }}",
+                wal.quantile_upper(0.5),
+                wal.quantile_upper(0.99),
+                wal.quantile_upper(0.999),
+                wal.quantile_upper(1.0),
+                wal.total(),
+                m.wal_segments_created,
+                m.wal_segments_compacted,
+                m.snapshots_written,
+            ));
+        }
+    }
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n\"bench\": \"durable\",\n\"gateways\": {FLEET_GATEWAYS},\n\"weeks\": 1,\n\"offered_reports\": {offered},\n\"available_parallelism\": {available},\n\"runs\": [\n{}\n]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_durable.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// CI smoke: a small fleet, buffered WAL at the default rotation size,
+/// durable conservation asserted, no baseline rewrite.
+fn smoke() {
+    let reports = fleet_reports(8);
+    let start = Instant::now();
+    let (m, disk) = run(&reports, false, 1024 * 1024);
+    let elapsed = start.elapsed();
+    println!(
+        "durable smoke: {} reports logged across {} segments ({} compacted), \
+         {} snapshots, {disk} WAL bytes left in {elapsed:.2?}",
+        m.wal_records, m.wal_segments_created, m.wal_segments_compacted, m.snapshots_written,
+    );
+    assert!(m.offered > 0);
+    assert_eq!(m.wal_records, m.offered);
+    assert!(m.wal_segments_created > 0);
+}
+
+criterion_group!(benches, bench_durable);
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    benches();
+    write_baseline();
+}

@@ -46,10 +46,15 @@
 //! the deltas into the atomic registry once per batch, so the live view
 //! lags a batch at most and the ledger itself is what snapshots persist.
 //!
-//! **Durability.** The [`durable`] submodule adds an append-only,
-//! checksummed write-ahead log of consumed reports per shard, periodic
-//! snapshots of the full shard state, and a deterministic `recover()` path
-//! that replays the WAL tail — see its docs for the recovery invariants.
+//! **Durability.** The [`durable`] submodule adds a rotated, checksummed,
+//! per-shard write-ahead log of consumed reports (length-bounded segments,
+//! compacted once a snapshot covers them), periodic snapshots of the full
+//! shard state, a single-writer lock, and a deterministic `recover()` path
+//! that stitches segments and replays the tail. I/O faults are retried
+//! under a bounded budget and then *degrade* the shard — the run keeps
+//! computing and every unlogged report becomes a typed, counted durability
+//! gap ([`MetricsSnapshot::durably_accounted`]) — see its docs for the
+//! recovery invariants.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -270,7 +275,16 @@ pub struct IngestMetrics {
     wal_records: AtomicU64,
     wal_torn_records: AtomicU64,
     wal_replayed: AtomicU64,
+    wal_io_retries: AtomicU64,
+    wal_io_gave_up: AtomicU64,
+    wal_gap_records: AtomicU64,
+    wal_lost_records: AtomicU64,
+    wal_segments_created: AtomicU64,
+    wal_segments_compacted: AtomicU64,
     snapshots_written: AtomicU64,
+    snapshots_discarded: AtomicU64,
+    snapshot_tmp_swept: AtomicU64,
+    lock_takeovers: AtomicU64,
     recoveries: AtomicU64,
     /// WAL-tail replay stage (one span per shard recovered).
     replay: Stage,
@@ -297,7 +311,16 @@ impl IngestMetrics {
             wal_records: AtomicU64::new(0),
             wal_torn_records: AtomicU64::new(0),
             wal_replayed: AtomicU64::new(0),
+            wal_io_retries: AtomicU64::new(0),
+            wal_io_gave_up: AtomicU64::new(0),
+            wal_gap_records: AtomicU64::new(0),
+            wal_lost_records: AtomicU64::new(0),
+            wal_segments_created: AtomicU64::new(0),
+            wal_segments_compacted: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
+            snapshots_discarded: AtomicU64::new(0),
+            snapshot_tmp_swept: AtomicU64::new(0),
+            lock_takeovers: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             replay: Stage::default(),
             shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
@@ -347,7 +370,16 @@ impl IngestMetrics {
             wal_records: load(&self.wal_records),
             wal_torn_records: load(&self.wal_torn_records),
             wal_replayed: load(&self.wal_replayed),
+            wal_io_retries: load(&self.wal_io_retries),
+            wal_io_gave_up: load(&self.wal_io_gave_up),
+            wal_gap_records: load(&self.wal_gap_records),
+            wal_lost_records: load(&self.wal_lost_records),
+            wal_segments_created: load(&self.wal_segments_created),
+            wal_segments_compacted: load(&self.wal_segments_compacted),
             snapshots_written: load(&self.snapshots_written),
+            snapshots_discarded: load(&self.snapshots_discarded),
+            snapshot_tmp_swept: load(&self.snapshot_tmp_swept),
+            lock_takeovers: load(&self.lock_takeovers),
             recoveries: load(&self.recoveries),
             replay: self.replay.snapshot(),
             per_shard: self
@@ -425,8 +457,30 @@ pub struct MetricsSnapshot {
     /// Reports skipped on a resumed feed because the WAL already held them
     /// (they were replayed from disk instead of re-offered).
     pub wal_replayed: u64,
+    /// WAL I/O operations retried after a transient failure.
+    pub wal_io_retries: u64,
+    /// WAL I/O operations abandoned after the retry budget (each entered
+    /// or confirmed the degraded mode of its shard).
+    pub wal_io_gave_up: u64,
+    /// Reports consumed while a shard ran degraded — computed but never
+    /// logged, a typed live durability gap.
+    pub wal_gap_records: u64,
+    /// Reports a recovery proved missing from the log (a hole between
+    /// segment headers, or records only a now-dead snapshot covered).
+    pub wal_lost_records: u64,
+    /// WAL segments opened (rotation included).
+    pub wal_segments_created: u64,
+    /// Snapshot-covered segments deleted by compaction (plus recovery's
+    /// removal of fully-covered segments).
+    pub wal_segments_compacted: u64,
     /// Durable snapshots written.
     pub snapshots_written: u64,
+    /// Snapshots discarded at recovery (checksum failure).
+    pub snapshots_discarded: u64,
+    /// Orphaned snapshot temp files swept at recovery.
+    pub snapshot_tmp_swept: u64,
+    /// Stale/corrupt single-writer locks fenced via takeover.
+    pub lock_takeovers: u64,
     /// Recoveries performed (snapshot load + WAL tail replay).
     pub recoveries: u64,
     /// Replay stage counters (one span per shard recovered).
@@ -445,17 +499,28 @@ impl MetricsSnapshot {
     }
 
     /// The conservation law of the pipeline: every offered report is either
-    /// ingested or dropped for a counted reason. (Only meaningful once the
-    /// pipeline is quiescent — mid-flight reports are offered but not yet
-    /// classified.)
+    /// ingested, dropped for a counted reason, or — on a recovered run —
+    /// a proven WAL hole ([`MetricsSnapshot::wal_lost_records`]: offered in
+    /// the original run, gone from the surviving log). (Only meaningful once
+    /// the pipeline is quiescent — mid-flight reports are offered but not
+    /// yet classified.)
     pub fn fully_accounted(&self) -> bool {
-        self.ingested + self.dropped() == self.offered
+        self.ingested + self.dropped() + self.wal_lost_records == self.offered
     }
 
     /// The durability conservation law: at quiescence of a durable run,
-    /// every offered report was logged to the WAL before it was consumed.
+    /// every offered report was logged to the WAL before it was consumed,
+    /// or is part of a typed, counted durability gap — degraded-mode
+    /// records the log could not take, or holes a recovery proved.
+    /// Zero-false-loss: nothing disappears without a counter naming it.
     pub fn durably_accounted(&self) -> bool {
-        self.wal_records == self.offered
+        self.wal_records + self.wal_gap_records + self.wal_lost_records == self.offered
+    }
+
+    /// Total typed durability gap: reports the pipeline consumed (or once
+    /// held) that the durable log provably does not. Zero on a healthy run.
+    pub fn durability_gap(&self) -> u64 {
+        self.wal_gap_records + self.wal_lost_records
     }
 
     /// The deterministic projection of the snapshot: every field that is a
@@ -469,7 +534,16 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             wal_torn_records: 0,
             wal_replayed: 0,
+            wal_io_retries: 0,
+            wal_io_gave_up: 0,
+            wal_gap_records: 0,
+            wal_lost_records: 0,
+            wal_segments_created: 0,
+            wal_segments_compacted: 0,
             snapshots_written: 0,
+            snapshots_discarded: 0,
+            snapshot_tmp_swept: 0,
+            lock_takeovers: 0,
             recoveries: 0,
             replay: StageSnapshot::default(),
             per_shard: self
@@ -517,8 +591,12 @@ impl MetricsSnapshot {
              \"dropped_future_jump\":{},\"dropped_queue_closed\":{},\"windows_sealed\":{},\
              \"windows_matched\":{},\"windows_novel\":{},\"windows_insufficient\":{},\
              \"partial_windows\":{},\"wal_records\":{},\"wal_torn_records\":{},\
-             \"wal_replayed\":{},\"snapshots_written\":{},\"recoveries\":{},\"replay\":{},\
-             \"fully_accounted\":{},\"per_shard\":[{}]}}",
+             \"wal_replayed\":{},\"wal_io_retries\":{},\"wal_io_gave_up\":{},\
+             \"wal_gap_records\":{},\"wal_lost_records\":{},\"wal_segments_created\":{},\
+             \"wal_segments_compacted\":{},\"snapshots_written\":{},\"snapshots_discarded\":{},\
+             \"snapshot_tmp_swept\":{},\"lock_takeovers\":{},\"recoveries\":{},\"replay\":{},\
+             \"fully_accounted\":{},\"durably_accounted\":{},\"durability_gap\":{},\
+             \"per_shard\":[{}]}}",
             self.offered,
             self.ingested,
             self.baselines,
@@ -536,10 +614,21 @@ impl MetricsSnapshot {
             self.wal_records,
             self.wal_torn_records,
             self.wal_replayed,
+            self.wal_io_retries,
+            self.wal_io_gave_up,
+            self.wal_gap_records,
+            self.wal_lost_records,
+            self.wal_segments_created,
+            self.wal_segments_compacted,
             self.snapshots_written,
+            self.snapshots_discarded,
+            self.snapshot_tmp_swept,
+            self.lock_takeovers,
             self.recoveries,
             self.replay.to_json(),
             self.fully_accounted(),
+            self.durably_accounted(),
+            self.durability_gap(),
             shards.join(",")
         )
     }
@@ -1416,10 +1505,11 @@ impl IngestPipeline {
                 if let Some(d) = durability.as_mut() {
                     // Write-ahead: the report is logged before any state
                     // transition, so recovery can always replay exactly
-                    // what was consumed.
+                    // what was consumed. Infallible: an exhausted retry
+                    // budget degrades the shard (a counted gap) instead of
+                    // killing the worker.
                     let _wal_span = gauges.wal_append.enter();
-                    d.append(*seq, report)?;
-                    self.metrics.wal_records.fetch_add(1, Ordering::Relaxed);
+                    d.append(*seq, report);
                 }
                 state.consume(*seq, report, &self.config, &self.templates);
             }
@@ -1427,10 +1517,7 @@ impl IngestPipeline {
             if let Some(d) = durability.as_mut() {
                 if d.snapshot_due(state.processed) {
                     let _snap_span = gauges.snapshot_write.enter();
-                    d.write_snapshot(&state)?;
-                    self.metrics
-                        .snapshots_written
-                        .fetch_add(1, Ordering::Relaxed);
+                    d.write_snapshot(&state);
                 }
             }
         }
@@ -1448,10 +1535,10 @@ impl IngestPipeline {
         }
         let digest = match durability.as_mut() {
             Some(d) => {
-                // Everything consumed is on disk before the run completes,
-                // and the pre-finish state digest is what recovery must
-                // reproduce.
-                d.flush()?;
+                // Everything consumed is on disk before the run completes
+                // (or counted in the durability gap), and the pre-finish
+                // state digest is what recovery must reproduce.
+                d.finish();
                 Some(durable::state_digest(&state))
             }
             None => None,

@@ -84,7 +84,11 @@ pub use engine::{
     sketch_series_observed, CondensedMatrix, CorMatrixConfig, PruneConfig, PruneStats,
     SparseCorMatrix,
 };
-pub use ingest::durable::{DurableConfig, DurablePipeline, DurableRun, KillMode, KillPoint};
+pub use ingest::durable::{
+    segment_files, snapshot_coverage, wal_disk_usage, Durability, DurableConfig, DurableError,
+    DurablePipeline, DurableRun, FaultKind, FaultSpec, FaultyFs, IoPolicy, KillMode, KillPoint,
+    LockError, StdFs, WalFs, LOCK_FILE,
+};
 pub use ingest::{
     DropReason, GatewaySummary, IngestConfig, IngestMetrics, IngestOutcome, IngestPipeline,
     IngestReport, IngestSummary, MetricsSnapshot, ShardCounts, ShardSnapshot,

@@ -15,11 +15,19 @@ use rand::SeedableRng;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wtts_core::ingest::{IngestConfig, IngestReport};
 use wtts_core::motif::{discover_motifs, MotifConfig};
 use wtts_core::streaming::MotifTemplate;
-use wtts_core::{DurableConfig, DurablePipeline, DurableRun, IngestSummary, KillPoint};
-use wtts_gwsim::{gateway_reports, kill_points, ChannelConfig, Fleet, FleetConfig, TaggedReport};
+use wtts_core::{
+    segment_files, snapshot_coverage, Durability, DurableConfig, DurableError, DurablePipeline,
+    DurableRun, FaultKind, FaultSpec, FaultyFs, IngestSummary, IoPolicy, KillPoint, LockError,
+    LOCK_FILE,
+};
+use wtts_gwsim::{
+    fault_schedule, gateway_reports, kill_points, ChannelConfig, FaultOp, Fleet, FleetConfig,
+    TaggedReport,
+};
 use wtts_timeseries::{aggregate, daily_windows, Granularity, Minute};
 
 fn envelope(t: &TaggedReport) -> IngestReport {
@@ -96,9 +104,20 @@ fn scratch(tag: &str) -> PathBuf {
 
 fn durable_cfg(dir: &std::path::Path, snapshot_every: u64) -> DurableConfig {
     DurableConfig {
-        dir: dir.to_path_buf(),
         snapshot_every_reports: snapshot_every,
-        fsync: false,
+        ..DurableConfig::new(dir.to_path_buf())
+    }
+}
+
+/// Maps the simulator's filesystem-agnostic fault kinds onto the durable
+/// layer's injector (the two crates stay decoupled on purpose).
+fn fault_kind(op: FaultOp) -> FaultKind {
+    match op {
+        FaultOp::WriteEio => FaultKind::WriteEio,
+        FaultOp::WriteShort => FaultKind::WriteShort,
+        FaultOp::WriteEnospc => FaultKind::WriteEnospc,
+        FaultOp::SyncLies => FaultKind::SyncLies,
+        FaultOp::RenameTorn => FaultKind::RenameTorn,
     }
 }
 
@@ -122,7 +141,11 @@ fn live_run(
         DurableRun::Completed {
             summary,
             state_digest,
-        } => (*summary, state_digest),
+            durability,
+        } => {
+            assert_eq!(durability, Durability::Durable, "clean run must not gap");
+            (*summary, state_digest)
+        }
         DurableRun::Killed => unreachable!("no kill switch armed"),
     }
 }
@@ -200,7 +223,11 @@ fn killed_mid_week_recovery_is_bit_identical() {
         DurableRun::Completed {
             summary,
             state_digest,
-        } => (summary, state_digest),
+            durability,
+        } => {
+            assert_eq!(durability, Durability::Durable);
+            (summary, state_digest)
+        }
         DurableRun::Killed => unreachable!("no kill switch armed"),
     };
 
@@ -251,6 +278,7 @@ fn suffix_resume_from_resume_seq_is_exact() {
         DurableRun::Completed {
             summary,
             state_digest,
+            ..
         } => {
             assert_eq!(state_digest, live_digest);
             assert_eq!(summary.gateways, live_summary.gateways);
@@ -283,11 +311,13 @@ fn torn_wal_tail_heals_and_finishes_identically() {
         .expect("killed run");
     assert!(matches!(run, DurableRun::Killed));
 
-    // Tear shard 0's WAL: a record header promising more bytes than exist.
-    let wal0 = dir.join("wal-0.log");
+    // Tear shard 0's WAL: a record header promising more bytes than exist,
+    // appended to the newest segment.
+    let segs = segment_files(&dir, 0).expect("list shard 0 segments");
+    let (_, wal0) = segs.last().expect("shard 0 has a segment");
     let mut f = std::fs::OpenOptions::new()
         .append(true)
-        .open(&wal0)
+        .open(wal0)
         .expect("open wal");
     f.write_all(&48u32.to_le_bytes()).expect("torn header");
     f.write_all(&[0xAB; 7]).expect("torn partial payload");
@@ -304,6 +334,7 @@ fn torn_wal_tail_heals_and_finishes_identically() {
         DurableRun::Completed {
             summary,
             state_digest,
+            ..
         } => {
             assert_eq!(state_digest, live_digest);
             assert_eq!(summary.gateways, live_summary.gateways);
@@ -367,14 +398,14 @@ proptest! {
         let (summary, digest) = match first {
             // The kill point can land beyond the stream; then the first
             // run simply completes and there is nothing to recover.
-            DurableRun::Completed { summary, state_digest } => (summary, state_digest),
+            DurableRun::Completed { summary, state_digest, .. } => (summary, state_digest),
             DurableRun::Killed => {
                 let mut p = DurablePipeline::recover(
                     config.clone(), Vec::new(), durable_cfg(&dir, snapshot_every),
                 ).expect("recover");
                 prop_assert_eq!(p.metrics().snapshot().recoveries, 1);
                 match p.run(reports.iter().copied(), None).expect("final run") {
-                    DurableRun::Completed { summary, state_digest } => (summary, state_digest),
+                    DurableRun::Completed { summary, state_digest, .. } => (summary, state_digest),
                     DurableRun::Killed => unreachable!("no kill switch armed"),
                 }
             }
@@ -390,5 +421,173 @@ proptest! {
         );
         prop_assert!(summary.metrics.fully_accounted());
         prop_assert!(summary.metrics.durably_accounted());
+    }
+}
+
+/// A stale lock (the aftermath of a real SIGKILL: the owner is dead but
+/// its lock file survives) refuses plain recovery with a typed error and
+/// recovers bit-identically under `takeover`.
+#[test]
+fn stale_lock_requires_takeover_and_recovers_exactly() {
+    let reports = fleet_reports(2);
+    let config = config(2);
+    let (live_summary, live_digest) = live_run(&reports, &config, &[], 2_000);
+
+    let dir = scratch("takeover");
+    let mut p = DurablePipeline::create(config.clone(), Vec::new(), durable_cfg(&dir, 2_000))
+        .expect("create");
+    let fingerprint = p.fingerprint();
+    let run = p
+        .run(
+            reports.iter().copied(),
+            Some(KillPoint::after(reports.len() as u64 / 2)),
+        )
+        .expect("killed run");
+    assert!(matches!(run, DurableRun::Killed));
+    drop(p);
+
+    // The cooperative kill released the lock (same PID); forge the stale
+    // lock a genuine SIGKILL would have left: a dead owner, our config.
+    std::fs::write(
+        dir.join(LOCK_FILE),
+        format!("pid={}\nfingerprint={fingerprint:016x}\n", u32::MAX - 1),
+    )
+    .expect("forge stale lock");
+
+    match DurablePipeline::recover(config.clone(), Vec::new(), durable_cfg(&dir, 2_000)) {
+        Err(DurableError::Lock(LockError::Stale { pid, .. })) => assert_eq!(pid, u32::MAX - 1),
+        Ok(_) => panic!("recovery under a stale lock must demand takeover"),
+        Err(e) => panic!("expected Stale, got {e:?}"),
+    }
+
+    let takeover_cfg = DurableConfig {
+        takeover: true,
+        ..durable_cfg(&dir, 2_000)
+    };
+    let mut p =
+        DurablePipeline::recover(config.clone(), Vec::new(), takeover_cfg).expect("takeover");
+    assert_eq!(p.metrics().snapshot().lock_takeovers, 1);
+    let run = p.run(reports.iter().copied(), None).expect("final run");
+    std::fs::remove_dir_all(&dir).ok();
+    match run {
+        DurableRun::Completed {
+            summary,
+            state_digest,
+            durability,
+        } => {
+            assert_eq!(durability, Durability::Durable);
+            assert_eq!(state_digest, live_digest, "takeover recovery diverged");
+            assert_eq!(summary.gateways, live_summary.gateways);
+        }
+        DurableRun::Killed => unreachable!("no kill switch armed"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole proof obligation: for any stream, any kill point and
+    /// any seeded fault schedule over rotating + compacting segments, the
+    /// finished run either reproduces the uninterrupted digest bit-for-bit
+    /// or reports a typed, counted durability gap — and the conservation
+    /// laws hold either way. Compaction never leaves a surviving sealed
+    /// segment fully covered by the live snapshot.
+    #[test]
+    fn faulted_recovery_matches_or_reports_typed_gap(
+        reports in prop::collection::vec(arb_report(), 1..200),
+        kill_frac in 0.0f64..1.2,
+        fault_seed in 0u64..(1 << 48),
+        n_faults in 0usize..10,
+    ) {
+        let config = prop_config();
+        let snapshot_every = 30;
+        let (live_summary, live_digest) =
+            live_run(&reports, &config, &[], snapshot_every);
+
+        let specs: Vec<FaultSpec> = fault_schedule(fault_seed, 300, n_faults)
+            .iter()
+            .map(|e| FaultSpec { op: e.op, kind: fault_kind(e.kind) })
+            .collect();
+        let dir = scratch("fault");
+        // Tiny segments force rotation + compaction under the storm; the
+        // shared FaultyFs op counter spans both legs.
+        let dcfg = DurableConfig {
+            snapshot_every_reports: snapshot_every,
+            segment_bytes: 600,
+            io: IoPolicy::no_backoff(2),
+            fs: Arc::new(FaultyFs::new(&specs)),
+            ..DurableConfig::new(dir.clone())
+        };
+        let mut p = DurablePipeline::create(config.clone(), Vec::new(), dcfg.clone())
+            .expect("create");
+        let kill_after = 1 + (kill_frac * reports.len() as f64) as u64;
+        let first = p
+            .run(reports.iter().copied(), Some(KillPoint::after(kill_after)))
+            .expect("first leg");
+        let (summary, digest, durability) = match first {
+            DurableRun::Completed { summary, state_digest, durability } => {
+                (summary, state_digest, durability)
+            }
+            DurableRun::Killed => {
+                drop(p);
+                let mut p = DurablePipeline::recover(config.clone(), Vec::new(), dcfg.clone())
+                    .expect("recover");
+                // Mid-stream state can hold unclassified in-flight
+                // reports (fully_accounted is a quiescence law), but the
+                // durability books must balance immediately.
+                let m = p.metrics().snapshot();
+                prop_assert!(m.durably_accounted(), "recovered gap must be typed");
+                match p.run(reports.iter().copied(), None).expect("final run") {
+                    DurableRun::Completed { summary, state_digest, durability } => {
+                        (summary, state_digest, durability)
+                    }
+                    DurableRun::Killed => unreachable!("no kill switch armed"),
+                }
+            }
+        };
+
+        // Zero false loss: bit-identical, or a typed gap with balanced books.
+        let m = &summary.metrics;
+        prop_assert!(m.fully_accounted());
+        prop_assert!(m.durably_accounted());
+        match durability {
+            Durability::Durable => {
+                prop_assert_eq!(m.durability_gap(), 0);
+                prop_assert_eq!(digest, live_digest, "no gap, so no divergence");
+                prop_assert_eq!(&summary.gateways, &live_summary.gateways);
+                prop_assert_eq!(&summary.support, &live_summary.support);
+            }
+            Durability::Degraded { gap } => {
+                prop_assert!(gap > 0, "degraded must name a non-zero gap");
+                prop_assert_eq!(m.durability_gap(), gap);
+            }
+        }
+
+        // Compaction invariant: every surviving sealed segment (all but
+        // the newest per shard) holds a record past the live snapshot's
+        // coverage. Record layout: u32 len + u32 crc + payload, seq first.
+        for shard in 0..config.shards {
+            let coverage = match snapshot_coverage(&dir, shard) {
+                Ok(Some(c)) => c,
+                _ => continue, // snapshot dead or absent: nothing covered
+            };
+            let segs = segment_files(&dir, shard).expect("list segments");
+            if segs.len() < 2 {
+                continue;
+            }
+            for (_, path) in &segs[..segs.len() - 1] {
+                let bytes = std::fs::read(path).expect("read segment");
+                let whole = (bytes.len().saturating_sub(36)) / 48;
+                prop_assert!(whole > 0, "sealed segments are never empty shells");
+                let off = 36 + (whole - 1) * 48 + 8;
+                let last_seq = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                prop_assert!(
+                    last_seq > coverage,
+                    "covered segment {} survived compaction (last {} <= {})",
+                    path.display(), last_seq, coverage
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,132 @@
+//! Deterministic I/O fault schedules for durability testing.
+//!
+//! The companion of [`crate::crash`]: where `kill_points` decides *when a
+//! process dies*, this module decides *which disk operations fail* —
+//! transient EIO, short writes, a full volume, an fsync that lies, a
+//! rename torn between unlink and link. The schedule is a pure function
+//! of `(seed, op_horizon, n)` (splitmix64, no RNG state), so a failing
+//! fault-injection run replays bit-for-bit from its seed.
+//!
+//! The fault *kinds* are deliberately a local enum rather than a
+//! dependency on the ingest crate: the simulator stays decoupled, and the
+//! durable layer maps [`FaultOp`] onto its own injector types at the call
+//! site.
+
+use crate::crash::splitmix64;
+
+/// The disk failure mode of one scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// The write fails with `EIO`, nothing written.
+    WriteEio,
+    /// The write lands short (partial buffer).
+    WriteShort,
+    /// The write fails with `ENOSPC`.
+    WriteEnospc,
+    /// `fsync` reports success without persisting.
+    SyncLies,
+    /// The rename unlinks the destination but fails before linking.
+    RenameTorn,
+}
+
+/// All fault kinds, in the order [`fault_schedule`] cycles through them.
+pub const FAULT_OPS: [FaultOp; 5] = [
+    FaultOp::WriteEio,
+    FaultOp::WriteShort,
+    FaultOp::WriteEnospc,
+    FaultOp::SyncLies,
+    FaultOp::RenameTorn,
+];
+
+/// One scheduled fault: fire `kind` on the `op`-th I/O operation (the
+/// injector's global write/sync/rename counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// 0-based index into the I/O operation sequence.
+    pub op: u64,
+    /// What goes wrong.
+    pub kind: FaultOp,
+}
+
+/// `n` faults over the first `op_horizon` I/O operations, sorted by op
+/// index, deduplicated, deterministic in `(seed, op_horizon, n)`. Op
+/// indices are biased toward the early sequence (where WAL headers and
+/// first snapshots live) the same way [`crate::crash::kill_points`]
+/// biases its edges; kinds cycle through [`FAULT_OPS`] shuffled by the
+/// seed so every schedule of 5+ faults exercises every failure mode.
+pub fn fault_schedule(seed: u64, op_horizon: u64, n: usize) -> Vec<FaultEvent> {
+    if op_horizon == 0 || n == 0 {
+        return Vec::new();
+    }
+    let mut events: Vec<FaultEvent> = Vec::with_capacity(n);
+    let rot = (splitmix64(seed ^ 0xFA17_5EED) % FAULT_OPS.len() as u64) as usize;
+    for i in 0..n {
+        let h = splitmix64(seed ^ 0xD15C_FA17 ^ (i as u64).wrapping_mul(0x100_0000_01B3));
+        let op = match i {
+            // The very first operations: header writes and the first
+            // flush — the places where a fault leaves the least behind.
+            0 => h % op_horizon.div_ceil(10).max(1),
+            _ => h % op_horizon,
+        };
+        let kind = FAULT_OPS[(rot + i) % FAULT_OPS.len()];
+        events.push(FaultEvent { op, kind });
+    }
+    events.sort_by_key(|e| e.op);
+    events.dedup_by_key(|e| e.op);
+    events
+}
+
+/// A contiguous `ENOSPC` storm over ops `[start, start + len)` — long
+/// enough a burst defeats any bounded retry budget deterministically,
+/// forcing the degraded path rather than hoping a seed happens to cluster.
+pub fn enospc_storm(start: u64, len: u64) -> Vec<FaultEvent> {
+    (start..start.saturating_add(len))
+        .map(|op| FaultEvent {
+            op,
+            kind: FaultOp::WriteEnospc,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sorted_and_in_range() {
+        let a = fault_schedule(9, 500, 8);
+        let b = fault_schedule(9, 500, 8);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|e| e.op < 500));
+        assert!(a.windows(2).all(|w| w[0].op < w[1].op));
+        assert_ne!(a, fault_schedule(10, 500, 8), "seed matters");
+    }
+
+    #[test]
+    fn all_kinds_covered_at_five_plus() {
+        let events = fault_schedule(3, 10_000, 12);
+        for kind in FAULT_OPS {
+            assert!(
+                events.iter().any(|e| e.kind == kind),
+                "{kind:?} missing from a 12-fault schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn storm_is_contiguous_enospc() {
+        let storm = enospc_storm(40, 6);
+        assert_eq!(storm.len(), 6);
+        assert!(storm.iter().all(|e| e.kind == FaultOp::WriteEnospc));
+        assert_eq!(storm.first().unwrap().op, 40);
+        assert_eq!(storm.last().unwrap().op, 45);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fault_schedule(1, 0, 4).is_empty());
+        assert!(fault_schedule(1, 100, 0).is_empty());
+        assert!(enospc_storm(7, 0).is_empty());
+    }
+}

@@ -32,6 +32,7 @@ pub mod config;
 pub mod crash;
 pub mod device;
 pub mod export;
+pub mod faults;
 pub mod fleet;
 pub mod gateway;
 pub mod rng;
@@ -48,6 +49,7 @@ pub use config::FleetConfig;
 pub use crash::kill_points;
 pub use device::{DeviceRole, DeviceSpec};
 pub use export::{write_counter_csv, write_inventory_csv, write_traffic_csv};
+pub use faults::{enospc_storm, fault_schedule, FaultEvent, FaultOp, FAULT_OPS};
 pub use fleet::Fleet;
 pub use gateway::{generate_gateway, AccessTech, Reliability, SimDevice, SimGateway};
 pub use synth::{synthetic_window, synthetic_windows, SynthConfig};

@@ -12,7 +12,8 @@
 //! cargo run --release --example fleet_ingest
 //! cargo run --release --example fleet_ingest -- --metrics-json metrics.json
 //! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --kill-after 30000
-//! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --recover
+//! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --recover --takeover
+//! cargo run --release --example fleet_ingest -- --wal-dir /tmp/wtts-wal --fault-seed 42
 //! ```
 //!
 //! With `--metrics-json [PATH]` the final [`MetricsSnapshot`] — counters,
@@ -21,21 +22,36 @@
 //! path is given).
 //!
 //! With `--wal-dir DIR` the ingest runs through the durable
-//! [`DurablePipeline`]: every consumed report is logged to a per-shard
-//! write-ahead log in `DIR` and decoder state is snapshotted periodically.
+//! [`DurablePipeline`]: every consumed report is logged to rotated,
+//! per-shard write-ahead segments in `DIR` and decoder state is
+//! snapshotted periodically (snapshot-covered segments are compacted).
 //! `--kill-after N` aborts the process (no unwinding, no flushing — a real
 //! crash) after `N` reports have been offered; a later invocation with
 //! `--recover` loads the durable prefix, replays the WAL tail, re-feeds
-//! the stream and finishes with bit-identical results. `--fsync` makes
-//! WAL flushes and snapshots durable against OS crashes too;
-//! `--snapshot-every N` overrides the snapshot cadence.
+//! the stream and finishes with bit-identical results. A crash leaves a
+//! stale single-writer lock behind; `--takeover` fences it (a live owner
+//! is always refused). `--fsync` makes WAL flushes and snapshots durable
+//! against OS crashes too; `--snapshot-every N` and `--segment-bytes N`
+//! override the snapshot cadence and segment rotation size.
+//!
+//! `--fault-seed S` injects a deterministic I/O fault schedule (EIO,
+//! short writes, ENOSPC, lying fsync, torn renames) of `--fault-ops N`
+//! faults (default 8) into the durable layer: the run retries transient
+//! faults and, past the retry budget, degrades to a typed, counted
+//! durability gap instead of crashing.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use wtts::core::ingest::{IngestConfig, IngestPipeline, IngestReport};
 use wtts::core::motif::{discover_motifs, MotifConfig};
-use wtts::core::{DurableConfig, DurablePipeline, DurableRun, KillMode, KillPoint};
-use wtts::gwsim::{gateway_reports, ChannelConfig, Fleet, FleetConfig, TaggedReport};
+use wtts::core::{
+    Durability, DurableConfig, DurablePipeline, DurableRun, FaultKind, FaultSpec, FaultyFs,
+    KillMode, KillPoint,
+};
+use wtts::gwsim::{
+    fault_schedule, gateway_reports, ChannelConfig, FaultOp, Fleet, FleetConfig, TaggedReport,
+};
 use wtts::timeseries::{aggregate, daily_windows, Granularity};
 
 fn envelope(t: &TaggedReport) -> IngestReport {
@@ -55,9 +71,13 @@ struct Args {
     metrics_json: Option<Option<String>>,
     wal_dir: Option<String>,
     recover: bool,
+    takeover: bool,
     kill_after: Option<u64>,
     fsync: bool,
     snapshot_every: Option<u64>,
+    segment_bytes: Option<u64>,
+    fault_seed: Option<u64>,
+    fault_ops: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -79,9 +99,24 @@ fn parse_args() -> Args {
             .map(|_| value_of("--metrics-json")),
         wal_dir: value_of("--wal-dir"),
         recover: argv.iter().any(|a| a == "--recover"),
+        takeover: argv.iter().any(|a| a == "--takeover"),
         kill_after: numeric("--kill-after"),
         fsync: argv.iter().any(|a| a == "--fsync"),
         snapshot_every: numeric("--snapshot-every"),
+        segment_bytes: numeric("--segment-bytes"),
+        fault_seed: numeric("--fault-seed"),
+        fault_ops: numeric("--fault-ops"),
+    }
+}
+
+/// The simulator's fault kinds mapped onto the durable layer's injector.
+fn fault_kind(op: FaultOp) -> FaultKind {
+    match op {
+        FaultOp::WriteEio => FaultKind::WriteEio,
+        FaultOp::WriteShort => FaultKind::WriteShort,
+        FaultOp::WriteEnospc => FaultKind::WriteEnospc,
+        FaultOp::SyncLies => FaultKind::SyncLies,
+        FaultOp::RenameTorn => FaultKind::RenameTorn,
     }
 }
 
@@ -146,8 +181,27 @@ fn main() {
         Some(dir) => {
             let mut durable = DurableConfig::new(dir);
             durable.fsync = args.fsync;
+            durable.takeover = args.takeover;
             if let Some(every) = args.snapshot_every {
                 durable.snapshot_every_reports = every;
+            }
+            if let Some(bytes) = args.segment_bytes {
+                durable.segment_bytes = bytes;
+            }
+            if let Some(seed) = args.fault_seed {
+                let n = args.fault_ops.unwrap_or(8) as usize;
+                let specs: Vec<FaultSpec> = fault_schedule(seed, 2_000, n)
+                    .iter()
+                    .map(|e| FaultSpec {
+                        op: e.op,
+                        kind: fault_kind(e.kind),
+                    })
+                    .collect();
+                println!(
+                    "injecting {} seeded I/O faults (seed {seed}) into the durable layer",
+                    specs.len()
+                );
+                durable.fs = Arc::new(FaultyFs::new(&specs));
             }
             let mut pipeline = if args.recover {
                 let p = DurablePipeline::recover(config, templates, durable)
@@ -174,11 +228,18 @@ fn main() {
                 DurableRun::Completed {
                     summary,
                     state_digest,
+                    durability,
                 } => {
                     println!("state digest: {state_digest:016x}");
+                    match durability {
+                        Durability::Durable => println!("durability: durable (no gap)"),
+                        Durability::Degraded { gap } => println!(
+                            "durability: DEGRADED — {gap} reports in a typed durability gap"
+                        ),
+                    }
                     assert!(
                         summary.metrics.durably_accounted(),
-                        "every offered report must be in the WAL"
+                        "every offered report must be in the WAL or a typed gap"
                     );
                     *summary
                 }

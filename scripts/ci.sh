@@ -19,6 +19,9 @@ cargo test -q
 echo "== ingest bench (smoke) =="
 cargo bench -p wtts-bench --bench ingest -- --smoke
 
+echo "== durable bench (smoke) =="
+cargo bench -p wtts-bench --bench durable -- --smoke
+
 metrics_json="$(mktemp /tmp/wtts_ci_metrics.XXXXXX.json)"
 sweep_metrics_json="$(mktemp /tmp/wtts_ci_sweep_metrics.XXXXXX.json)"
 prune_metrics_json="$(mktemp /tmp/wtts_ci_prune_metrics.XXXXXX.json)"
@@ -187,9 +190,20 @@ if [ "$kill_status" -eq 0 ]; then
     exit 1
 fi
 
-# ...recover from the WAL and finish, and run once uninterrupted.
+# ...check the stale single-writer lock fences a plain reopen, then
+# recover with --takeover and finish, and run once uninterrupted.
+set +e
 cargo run --release --example fleet_ingest -- \
     --wal-dir "$wal_dir" --snapshot-every 8000 --recover \
+    >/dev/null 2>&1
+stale_status=$?
+set -e
+if [ "$stale_status" -eq 0 ]; then
+    echo "recovery without --takeover should refuse the stale lock" >&2
+    exit 1
+fi
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$wal_dir" --snapshot-every 8000 --recover --takeover \
     --metrics-json "$recovered_json" >"$recovered_out"
 cargo run --release --example fleet_ingest -- \
     --wal-dir "$clean_wal_dir" --metrics-json "$clean_json" >"$clean_out"
@@ -231,6 +245,72 @@ assert recovered["wal_replayed"] > 0, "recovery replayed nothing"
 assert clean["recoveries"] == 0 and clean["wal_replayed"] == 0
 print("crash recovery ok:", recovered["wal_replayed"], "reports replayed,",
       recovered["offered"], "offered, books identical to the uninterrupted run")
+PY
+
+echo "== fault-injection smoke =="
+fault_wal_dir="$(mktemp -d /tmp/wtts_ci_wal_fault.XXXXXX)"
+fault_json="$(mktemp /tmp/wtts_ci_fault.XXXXXX.json)"
+fault_out="$(mktemp /tmp/wtts_ci_fault_out.XXXXXX.txt)"
+trap 'rm -f "$metrics_json" "$sweep_metrics_json" "$prune_metrics_json" \
+    "$lag_metrics_json" "$recovered_json" "$clean_json" "$recovered_out" \
+    "$clean_out" "$fault_json" "$fault_out"; \
+    rm -rf "$wal_dir" "$clean_wal_dir" "$fault_wal_dir"' EXIT
+
+# Kill the ingest mid-stream while a seeded I/O fault schedule (EIO, short
+# writes, ENOSPC, lying fsync, torn renames) hammers the WAL layer...
+set +e
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$fault_wal_dir" --snapshot-every 8000 \
+    --fault-seed 42 --fault-ops 12 --kill-after 60000 \
+    >/dev/null 2>&1
+fault_kill_status=$?
+set -e
+if [ "$fault_kill_status" -eq 0 ]; then
+    echo "--kill-after should have aborted the faulted process" >&2
+    exit 1
+fi
+
+# ...then recover under the same fault schedule. The outcome must be either
+# a bit-identical finish or a typed, counted durability gap — never a
+# silent divergence.
+cargo run --release --example fleet_ingest -- \
+    --wal-dir "$fault_wal_dir" --snapshot-every 8000 \
+    --fault-seed 42 --fault-ops 12 --recover --takeover \
+    --metrics-json "$fault_json" >"$fault_out"
+
+if grep -q '^durability: durable' "$fault_out"; then
+    fault_digest="$(grep '^state digest:' "$fault_out")"
+    if [ "$fault_digest" != "$clean_digest" ]; then
+        echo "durable faulted run diverged: '$fault_digest' vs '$clean_digest'" >&2
+        exit 1
+    fi
+elif ! grep -q '^durability: DEGRADED' "$fault_out"; then
+    echo "faulted run reported neither durable nor a typed gap" >&2
+    exit 1
+fi
+
+python3 - "$fault_json" <<'PY'
+import json, sys
+
+def reject_nonfinite(tok):
+    raise ValueError(f"non-finite constant {tok} leaked into JSON")
+
+with open(sys.argv[1]) as fh:
+    m = json.load(fh, parse_constant=reject_nonfinite)
+
+# Zero-false-loss: every offered report is in the WAL or in a typed gap.
+gap = m["wal_gap_records"] + m["wal_lost_records"]
+assert m["durability_gap"] == gap, (m["durability_gap"], gap)
+assert m["wal_records"] + gap == m["offered"], \
+    (m["wal_records"], gap, m["offered"])
+assert m["durably_accounted"] is True
+assert m["fully_accounted"] is True
+assert m["wal_io_retries"] >= 1, "the seeded schedule must exercise retries"
+assert m["wal_io_gave_up"] == 0 or gap > 0, \
+    "a give-up must surface as a counted gap"
+assert m["lock_takeovers"] == 1, m["lock_takeovers"]
+print("fault injection ok:", m["wal_io_retries"], "I/O retries,",
+      gap, "reports in the durability gap,", m["offered"], "offered")
 PY
 
 echo "CI checks passed."
