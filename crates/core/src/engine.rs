@@ -134,7 +134,12 @@ pub fn cor_profiled(a: &CorProfile, b: &CorProfile, scratch: &mut CorScratch) ->
 /// Rows of the condensed upper triangle are handed out to worker threads
 /// through a work-stealing counter (early rows are the longest, so
 /// stealing balances the triangle's skew). Each worker owns one
-/// [`CorScratch`], amortizing the Kendall buffers across its rows.
+/// [`CorScratch`], amortizing the Kendall buffers across its rows. The
+/// per-pair fill bottoms out in the stats crate's kernel layer
+/// (`wtts_stats::kernels`): fused Pearson+Spearman cross-moment folds,
+/// branch-light rank gathers and the merge-based Kendall inversion count —
+/// all bit-identical to the from-scratch coefficients, benchmarked
+/// per-kernel in `BENCH_kernels.json`.
 pub fn cor_matrix(profiles: &[CorProfile], config: &CorMatrixConfig) -> CondensedMatrix {
     cor_matrix_observed(profiles, config, None)
 }

@@ -17,10 +17,15 @@
 //! * Each re-binned series is prepared once into a [`CcfSide`]: the
 //!   deviation vector, finite mask and moments, reusing the
 //!   [`wtts_stats::CorProfile`] moments so no pass is repeated. Every
-//!   `(scale, lag)` cell is then one [`ccf_cell_counted`] fold over the
-//!   overlap — O(bins), **bit-identical to a fresh [`wtts_stats::ccf`]
-//!   call** on the re-binned slices by construction (`ccf` itself is
-//!   implemented on the same kernel).
+//!   `(scale, lag)` cell is then one fold over the overlap — O(bins),
+//!   **bit-identical to a fresh [`wtts_stats::ccf`] call** on the re-binned
+//!   slices by construction (`ccf` itself is implemented on the same
+//!   kernel). When both sides are complete, all prune-surviving lags of a
+//!   row are evaluated by one grouped multi-lag sweep
+//!   ([`ccf_cells_batch`], backed by the stats crate's kernel layer), which
+//!   shares each pass over the deviation arrays across up to four lags'
+//!   independent accumulator chains; gappy sides keep the per-cell
+//!   [`ccf_cell_counted`] pairwise-complete walk.
 //! * With a reporting threshold `phi > 0`, cells are pruned before exact
 //!   work by a three-tier cascade (see below); at `phi = 0` the grid is
 //!   dense and exactly equal to the naive reference.
@@ -72,8 +77,8 @@ use crate::engine::{profile_one, sketch_one};
 use crate::obs::PipelineObs;
 use crate::sweep::{run_grid, SweepSource};
 use wtts_stats::{
-    ccf_cell_counted, prune_pair, significance_bound, CcfSide, CorProfile, CorSketch,
-    CorrelogramError, PruneTier, SketchConfig, PRUNE_MARGIN,
+    ccf_cell_counted, ccf_cells_batch, prune_pair, significance_bound, CcfSide, CorProfile,
+    CorSketch, CorrelogramError, PruneTier, SketchConfig, PRUNE_MARGIN,
 };
 use wtts_timeseries::{Granularity, TimeSeries};
 
@@ -518,7 +523,12 @@ fn pair_scale_row(
             ),
             _ => false,
         };
+    // Prune pass first: survivors get placeholder cells, so the
+    // complete-complete case (the common one — gaps are per-series rare)
+    // can evaluate all surviving lags in one grouped multi-lag kernel
+    // sweep instead of re-walking the overlap once per lag.
     let mut cells = Vec::with_capacity(2 * l_eff + 1);
+    let mut survivors: Vec<i64> = Vec::with_capacity(2 * l_eff + 1);
     for idx in 0..=2 * l_eff {
         let lag = idx as i64 - l_eff as i64;
         if lag == 0 && lag0_sketch_pruned {
@@ -534,9 +544,38 @@ fn pair_scale_row(
             stats.pruned_energy += 1;
             continue;
         }
-        let (value, n_pairs) = ccf_cell_counted(side_a, side_b, lag);
-        cells.push(LagCell::Exact { value, n_pairs });
+        cells.push(LagCell::Exact {
+            value: f64::NAN,
+            n_pairs: 0,
+        });
+        survivors.push(lag);
         stats.evaluated += 1;
+    }
+    if side_a.is_complete() && side_b.is_complete() {
+        // Batched cells are bit-identical to per-lag `ccf_cell_counted`
+        // (see `ccf_cells_batch`); the pair count over complete sides is
+        // the full overlap.
+        let mut values = Vec::with_capacity(survivors.len());
+        ccf_cells_batch(side_a, side_b, &survivors, &mut values);
+        let n = side_a.n();
+        let mut batched = values.iter().zip(&survivors);
+        for cell in cells.iter_mut() {
+            if let LagCell::Exact { value, n_pairs } = cell {
+                let (&v, &lag) = batched.next().expect("one batched value per survivor");
+                *value = v;
+                *n_pairs = n - lag.unsigned_abs() as usize;
+            }
+        }
+    } else {
+        let mut remaining = survivors.iter();
+        for cell in cells.iter_mut() {
+            if let LagCell::Exact { value, n_pairs } = cell {
+                let &lag = remaining.next().expect("one survivor per placeholder");
+                let (v, m) = ccf_cell_counted(side_a, side_b, lag);
+                *value = v;
+                *n_pairs = m;
+            }
+        }
     }
     Ok(cells)
 }

@@ -19,6 +19,7 @@ use crate::engine::{
 };
 use crate::obs::{PipelineObs, NEAR_THRESHOLD_BAND};
 use std::collections::HashMap;
+use wtts_stats::kernels::{fast_lane_decision, FastDecision};
 use wtts_stats::sketch::{CorSketch, SketchConfig};
 use wtts_stats::{CorProfile, CorScratch};
 use wtts_timeseries::Weekday;
@@ -86,6 +87,11 @@ impl<'a> ExactChecker<'a> {
     /// Whether the similarity of windows `i` and `j` meets `threshold`,
     /// deciding in `f64` whenever the rounded value `approx` lands within
     /// [`F32_REVERIFY_BAND`] of the threshold.
+    ///
+    /// The band test is the shared fast-lane rule
+    /// ([`wtts_stats::kernels::fast_lane_decision`]), so this checker and
+    /// every other `f32` consumer apply identical arithmetic at the
+    /// decision boundary.
     fn meets(
         &mut self,
         approx: f32,
@@ -94,14 +100,16 @@ impl<'a> ExactChecker<'a> {
         threshold: f64,
         obs: Option<&PipelineObs>,
     ) -> bool {
-        let approx = approx as f64;
-        if (approx - threshold).abs() > F32_REVERIFY_BAND {
-            return approx >= threshold;
+        match fast_lane_decision(approx as f64, threshold, F32_REVERIFY_BAND) {
+            FastDecision::AtLeast => true,
+            FastDecision::Below => false,
+            FastDecision::Reverify => {
+                if let Some(o) = obs {
+                    o.f64_reverified.incr();
+                }
+                self.exact(i, j) >= threshold
+            }
         }
-        if let Some(o) = obs {
-            o.f64_reverified.incr();
-        }
-        self.exact(i, j) >= threshold
     }
 }
 

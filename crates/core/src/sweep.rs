@@ -18,7 +18,9 @@
 //!   loop feeds both the Definition-3 correlation total and the
 //!   Definition-2 stationarity verdict, with KS tests running over the
 //!   profiles' cached sort order ([`ks_two_sample_sorted`]) instead of
-//!   re-sorting per pair;
+//!   re-sorting per pair; the per-pair coefficients and the KS sup-scan
+//!   bottom out in the stats crate's kernel layer (`wtts_stats::kernels`),
+//!   bit-identical to the loops they replaced;
 //! * the `series × candidate` grid fans out over `thread::scope`
 //!   work-stealing workers (the [`crate::engine::cor_matrix`] pattern), one
 //!   [`CorScratch`] per worker; results are deterministic in the thread

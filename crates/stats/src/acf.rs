@@ -205,10 +205,12 @@ pub fn ccf_cell_counted(a: &CcfSide, b: &CcfSide, lag: i64) -> (f64, usize) {
     let k = lag.unsigned_abs() as usize;
     assert!(k < n, "lag must be smaller than the series length");
     if a.is_complete() && b.is_complete() {
+        // The kernel fold sums the same products in the same t-ascending
+        // order as the legacy `(0..n-k).map(..).sum()` — bit-identical.
         let num: f64 = if lag >= 0 {
-            (0..n - k).map(|t| a.dev[t + k] * b.dev[t]).sum()
+            crate::kernels::dot(&a.dev[k..], &b.dev[..n - k])
         } else {
-            (0..n - k).map(|t| a.dev[t] * b.dev[t + k]).sum()
+            crate::kernels::dot(&a.dev[..n - k], &b.dev[k..])
         };
         return (num / (a.sxx * b.sxx).sqrt(), n - k);
     }
@@ -231,6 +233,37 @@ pub fn ccf_cell_counted(a: &CcfSide, b: &CcfSide, lag: i64) -> (f64, usize) {
 /// [`ccf_cell_counted`] without the pair count.
 pub fn ccf_cell(a: &CcfSide, b: &CcfSide, lag: i64) -> f64 {
     ccf_cell_counted(a, b, lag).0
+}
+
+/// Batch of complete-series CCF cells: `out[l]` equals
+/// `ccf_cell(a, b, lags[l])` **bit for bit**, via the grouped multi-lag
+/// kernel fold ([`crate::kernels::dot_lags_batch`]): up to four lags'
+/// independent accumulator chains share one sweep of the deviation arrays,
+/// each chain in its own t-ascending order, then each numerator divides by
+/// the same `sqrt(sx · sy)` the per-cell path computes.
+///
+/// Lag-search rows batch their prune-surviving lags through this instead of
+/// re-walking the overlap once per lag.
+///
+/// # Panics
+/// Panics if the sides have different lengths, either side has gaps (the
+/// pairwise-complete gap path stays per-cell), or any `|lag|` is not
+/// smaller than the length.
+pub fn ccf_cells_batch(a: &CcfSide, b: &CcfSide, lags: &[i64], out: &mut Vec<f64>) {
+    assert_eq!(a.n, b.n, "ccf requires equal-length series");
+    assert!(
+        a.is_complete() && b.is_complete(),
+        "ccf_cells_batch requires complete sides"
+    );
+    assert!(
+        lags.iter().all(|lag| (lag.unsigned_abs() as usize) < a.n),
+        "lag must be smaller than the series length"
+    );
+    crate::kernels::dot_lags_batch(&a.dev, &b.dev, lags, out);
+    let denom = (a.sxx * b.sxx).sqrt();
+    for cell in out.iter_mut() {
+        *cell /= denom;
+    }
 }
 
 /// Sample autocorrelation of `x` at lags `0..=max_lag`.
@@ -525,6 +558,36 @@ mod tests {
             assert_eq!(v.to_bits(), cell.to_bits(), "lag {lag}");
             assert!(m > 0 && m <= 80 - lag.unsigned_abs() as usize);
         }
+    }
+
+    #[test]
+    fn ccf_cells_batch_matches_per_cell() {
+        let x: Vec<f64> = (0..90).map(|i| ((i * 13) % 23) as f64).collect();
+        let y: Vec<f64> = (0..90).map(|i| ((i * 29) % 17) as f64).collect();
+        let a = CcfSide::new(&x).unwrap();
+        let b = CcfSide::new(&y).unwrap();
+        // Odd-sized batches exercise both the 4-wide groups and the tail.
+        let lags: Vec<i64> = (-11..=11).collect();
+        let mut out = Vec::new();
+        ccf_cells_batch(&a, &b, &lags, &mut out);
+        assert_eq!(out.len(), lags.len());
+        for (cell, &lag) in out.iter().zip(&lags) {
+            let single = ccf_cell(&a, &b, lag);
+            assert_eq!(cell.to_bits(), single.to_bits(), "lag {lag}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "complete sides")]
+    fn ccf_cells_batch_rejects_gappy_sides() {
+        let x: Vec<f64> = (0..40)
+            .map(|i| if i == 7 { f64::NAN } else { i as f64 })
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let a = CcfSide::new(&x).unwrap();
+        let b = CcfSide::new(&y).unwrap();
+        let mut out = Vec::new();
+        ccf_cells_batch(&a, &b, &[0, 1], &mut out);
     }
 
     #[test]

@@ -30,9 +30,10 @@
 //! than mere approximation.
 
 use crate::correlation::{
-    kendall_from_parts, kendall_ties, merge_count, pearson_complete, pearson_from_moments,
+    kendall_from_parts, kendall_ties, pearson_complete, pearson_from_moments, pearson_from_sxy,
     CorrelationCoefficient, CorrelationTest, KendallTies,
 };
+use crate::kernels;
 use crate::rank::rank_series;
 
 /// Everything about one series that pairwise correlation can reuse:
@@ -86,7 +87,7 @@ impl CorProfile {
         let ranked = rank_series(&vals);
         let (rank_mean, rank_sxx) = mean_and_sxx(&ranked.ranks);
         let ties = kendall_ties(&ranked.ties);
-        let order: Vec<u32> = ranked.order.iter().map(|&i| i as u32).collect();
+        let order = ranked.order;
         // Tie runs in the sorted sequence; singleton runs need no per-pair
         // refinement, so only len > 1 runs are kept.
         let mut tie_runs = Vec::with_capacity(ranked.ties.len());
@@ -150,7 +151,9 @@ impl CorProfile {
     /// [`ks_two_sample_sorted`](crate::ks_two_sample_sorted) in place of a
     /// per-pair sort.
     pub fn sorted_values(&self) -> Vec<f64> {
-        self.order.iter().map(|&k| self.vals[k as usize]).collect()
+        let mut out = Vec::new();
+        kernels::gather_values(&self.order, &self.vals, &mut out);
+        out
     }
 
     /// The finite values in series order (the profile's compaction).
@@ -199,21 +202,11 @@ impl CorProfile {
     }
 }
 
-/// Computes the per-series mean and centered second moment with the same
-/// accumulation order `pearson_complete` uses, so downstream results stay
-/// bit-identical.
+/// Per-series mean and centered second moment in `pearson_complete`'s exact
+/// accumulation order — see [`kernels::mean_and_sxx`] for why the order is
+/// pinned.
 fn mean_and_sxx(vals: &[f64]) -> (f64, f64) {
-    let n = vals.len();
-    if n == 0 {
-        return (0.0, 0.0);
-    }
-    let mean = vals.iter().sum::<f64>() / n as f64;
-    let mut sxx = 0.0;
-    for &v in vals {
-        let dx = v - mean;
-        sxx += dx * dx;
-    }
-    (mean, sxx)
+    kernels::mean_and_sxx(vals)
 }
 
 /// Reusable per-thread buffers for the profiled coefficient functions: the
@@ -246,6 +239,8 @@ pub struct CorScratch {
     runs_a: Vec<(u32, u32)>,
     /// `(start, len)` tie runs of the filtered y order.
     runs_b: Vec<(u32, u32)>,
+    /// Sorted-values gather scratch for the order-walk kernel.
+    sv: Vec<f64>,
 }
 
 impl CorScratch {
@@ -351,101 +346,20 @@ fn gather_superset(
     sum
 }
 
-/// Filters a profile's sort order down to the intersection: `out[k]` is the
-/// gathered position of the k-th smallest surviving value.
-///
-/// Because `order` is a stable sort of the full compaction and gathering
-/// preserves index order, the filtered sequence is exactly the stable sort
-/// permutation of the gathered values.
-fn filter_order(order: &[u32], pos: &[u32], out: &mut Vec<u32>) {
-    out.clear();
-    for &k in order {
-        let g = pos[k as usize];
-        if g != u32::MAX {
-            out.push(g);
-        }
-    }
-}
-
-/// One walk of `values` along their sort order, producing any of: mid-ranks
-/// (with [`rank_series`]' exact tie-averaging arithmetic), the `(start, len)`
-/// tie runs for Kendall's y-refinement, and the tie aggregates accumulated in
-/// group order exactly like [`kendall_ties`] over
-/// [`tie_group_sizes`](crate::tie_group_sizes).
-fn order_stats(
-    sorted: &[u32],
-    values: &[f64],
-    mut ranks: Option<&mut Vec<f64>>,
-    mut runs: Option<&mut Vec<(u32, u32)>>,
-) -> KendallTies {
-    let m = sorted.len();
-    if let Some(ranks) = ranks.as_deref_mut() {
-        ranks.clear();
-        ranks.resize(m, 0.0);
-    }
-    if let Some(runs) = runs.as_deref_mut() {
-        runs.clear();
-    }
-    let mut ties = KendallTies {
-        n_tied_pairs: 0,
-        vt: 0.0,
-        sum_t2: 0.0,
-        sum_t3: 0.0,
-    };
-    let mut i = 0;
-    while i < m {
-        let mut j = i;
-        while j + 1 < m && values[sorted[j + 1] as usize] == values[sorted[i] as usize] {
-            j += 1;
-        }
-        if let Some(ranks) = ranks.as_deref_mut() {
-            let avg = (i + j) as f64 / 2.0 + 1.0;
-            for &g in &sorted[i..=j] {
-                ranks[g as usize] = avg;
-            }
-        }
-        if j > i {
-            let t = (j - i + 1) as u64;
-            let tf = t as f64;
-            ties.n_tied_pairs += t * (t - 1) / 2;
-            ties.vt += tf * (tf - 1.0) * (2.0 * tf + 5.0);
-            ties.sum_t2 += tf * (tf - 1.0);
-            ties.sum_t3 += tf * (tf - 1.0) * (tf - 2.0);
-            if let Some(runs) = runs.as_deref_mut() {
-                runs.push((i as u32, (j - i + 1) as u32));
-            }
-        }
-        i = j + 1;
-    }
-    ties
-}
-
 /// Kendall's per-pair counting over values already arranged in x-sorted
 /// order: y-refinement inside x-tie runs, the joint-tie count, and the
-/// discordant (inversion) count.
+/// discordant (inversion) count — both delegated to the
+/// [`kernels`] layer ([`kernels::refine_tie_runs`],
+/// [`kernels::count_inversions`]), whose counts are exact integers.
 ///
 /// The from-scratch path sorts each pair by `(x, y)` lexicographically;
 /// stably sorting `y` inside each x-tie run of an x-stable order reproduces
 /// that permutation, and joint ties can only occur inside an x-tie run,
-/// where they are the equal-y runs of the refined segment.
+/// where they are the equal-y runs of the refined segment. An empty
+/// `tie_runs` — the `tie_free()` case — skips the refinement outright.
 fn kendall_refine(y: &mut [f64], tie_runs: &[(u32, u32)], tmp: &mut Vec<f64>) -> (u64, u64) {
-    let mut n3 = 0u64;
-    for &(start, len) in tie_runs {
-        let seg = &mut y[start as usize..(start + len) as usize];
-        seg.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
-        let mut i = 0;
-        while i < seg.len() {
-            let mut j = i;
-            while j + 1 < seg.len() && seg[j + 1] == seg[i] {
-                j += 1;
-            }
-            let g = (j - i + 1) as u64;
-            n3 += g * (g - 1) / 2;
-            i = j + 1;
-        }
-    }
-    tmp.resize(y.len(), 0.0);
-    let discordant = merge_count(y, tmp);
+    let n3 = kernels::refine_tie_runs(y, tie_runs);
+    let discordant = kernels::count_inversions(y, tmp);
     (n3, discordant)
 }
 
@@ -492,10 +406,10 @@ pub fn spearman_profiled(
         if m < 3 {
             return CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m);
         }
-        filter_order(&a.order, &s.a_pos, &mut s.a_order);
-        order_stats(&s.a_order, &s.xs, Some(&mut s.rx), None);
-        filter_order(&b.order, &s.b_pos, &mut s.b_order);
-        order_stats(&s.b_order, &s.ys, Some(&mut s.ry), None);
+        kernels::filter_order_into(&a.order, &s.a_pos, &mut s.a_order);
+        kernels::order_stats_gather(&s.a_order, &s.xs, &mut s.sv, Some(&mut s.rx), None);
+        kernels::filter_order_into(&b.order, &s.b_pos, &mut s.b_order);
+        kernels::order_stats_gather(&s.b_order, &s.ys, &mut s.sv, Some(&mut s.ry), None);
         let p = pearson_complete(&s.rx, &s.ry);
         return CorrelationTest {
             coefficient: CorrelationCoefficient::Spearman,
@@ -541,14 +455,13 @@ pub fn kendall_profiled(
             return CorrelationTest::degenerate(CorrelationCoefficient::Kendall, m);
         }
         // x ties and runs from a's filtered order, y ties from b's.
-        filter_order(&a.order, &s.a_pos, &mut s.a_order);
-        let tx = order_stats(&s.a_order, &s.xs, None, Some(&mut s.runs_a));
-        s.y.clear();
-        let (order, ys, y) = (&s.a_order, &s.ys, &mut s.y);
-        y.extend(order.iter().map(|&g| ys[g as usize]));
-        let (n3, discordant) = kendall_refine(y, &s.runs_a, &mut s.tmp);
-        filter_order(&b.order, &s.b_pos, &mut s.b_order);
-        let ty = order_stats(&s.b_order, &s.ys, None, None);
+        kernels::filter_order_into(&a.order, &s.a_pos, &mut s.a_order);
+        let tx =
+            kernels::order_stats_gather(&s.a_order, &s.xs, &mut s.sv, None, Some(&mut s.runs_a));
+        kernels::gather_values(&s.a_order, &s.ys, &mut s.y);
+        let (n3, discordant) = kendall_refine(&mut s.y, &s.runs_a, &mut s.tmp);
+        kernels::filter_order_into(&b.order, &s.b_pos, &mut s.b_order);
+        let ty = kernels::order_stats_gather(&s.b_order, &s.ys, &mut s.sv, None, None);
         return kendall_from_parts(m, n3, discordant, &tx, &ty);
     }
     let n = a.vals.len();
@@ -557,10 +470,7 @@ pub fn kendall_profiled(
     }
 
     // Partner values in x-sorted order, then y-refined within x-tie runs.
-    scratch.y.clear();
-    scratch
-        .y
-        .extend(a.order.iter().map(|&k| b.vals[k as usize]));
+    kernels::gather_values(&a.order, &b.vals, &mut scratch.y);
     let (n3, discordant) = kendall_refine(&mut scratch.y, &a.tie_runs, &mut scratch.tmp);
 
     kendall_from_parts(n, n3, discordant, &a.ties, &b.ties)
@@ -606,6 +516,7 @@ impl CorProfile {
 /// filters its sort order down to the `gathered` values and rebuilds ranks,
 /// tie runs, tie aggregates and moments — all without sorting, and with the
 /// from-scratch accumulation orders.
+#[allow(clippy::too_many_arguments)]
 fn resolve_filtered<'v>(
     p: &CorProfile,
     gathered: &'v [f64],
@@ -614,11 +525,13 @@ fn resolve_filtered<'v>(
     order_buf: &'v mut Vec<u32>,
     ranks_buf: &'v mut Vec<f64>,
     runs_buf: &'v mut Vec<(u32, u32)>,
+    sv_buf: &mut Vec<f64>,
 ) -> SideView<'v> {
-    filter_order(&p.order, pos, order_buf);
-    let ties = order_stats(
+    kernels::filter_order_into(&p.order, pos, order_buf);
+    let ties = kernels::order_stats_gather(
         order_buf,
         gathered,
+        sv_buf,
         Some(&mut *ranks_buf),
         Some(&mut *runs_buf),
     );
@@ -626,11 +539,7 @@ fn resolve_filtered<'v>(
     // only the centered second moment needs its own pass.
     let m = gathered.len();
     let mean = if m == 0 { 0.0 } else { sum / m as f64 };
-    let mut sxx = 0.0;
-    for &v in gathered {
-        let dx = v - mean;
-        sxx += dx * dx;
-    }
+    let sxx = kernels::sxx_given_mean(gathered, mean);
     let (rank_mean, rank_sxx) = mean_and_sxx(ranks_buf);
     SideView {
         vals: gathered,
@@ -661,34 +570,64 @@ fn assemble(
             CorrelationTest::degenerate(CorrelationCoefficient::Kendall, m),
         );
     }
-    let p = if x.sxx == 0.0 || y.sxx == 0.0 {
-        CorrelationTest::degenerate(CorrelationCoefficient::Pearson, m)
-    } else {
-        pearson_from_moments(
-            CorrelationCoefficient::Pearson,
+    let pearson_ok = x.sxx != 0.0 && y.sxx != 0.0;
+    let spearman_ok = x.rank_sxx != 0.0 && y.rank_sxx != 0.0;
+    let (p, s) = if pearson_ok && spearman_ok {
+        // The hot case: both coefficients live, so the values chain and the
+        // ranks chain fuse into one walk of the four streams. Each chain's
+        // own accumulation order is untouched (see `kernels::sxy_fold2`),
+        // so both results match the separate `pearson_from_moments` passes
+        // bit for bit.
+        let (sv, sr) = kernels::sxy_fold2(
             x.vals,
             y.vals,
             x.mean,
             y.mean,
-            x.sxx,
-            y.sxx,
-        )
-    };
-    let s = if x.rank_sxx == 0.0 || y.rank_sxx == 0.0 {
-        CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m)
-    } else {
-        pearson_from_moments(
-            CorrelationCoefficient::Spearman,
             x.ranks,
             y.ranks,
             x.rank_mean,
             y.rank_mean,
-            x.rank_sxx,
-            y.rank_sxx,
+        );
+        (
+            pearson_from_sxy(CorrelationCoefficient::Pearson, sv, x.sxx, y.sxx, m),
+            pearson_from_sxy(
+                CorrelationCoefficient::Spearman,
+                sr,
+                x.rank_sxx,
+                y.rank_sxx,
+                m,
+            ),
         )
+    } else {
+        let p = if !pearson_ok {
+            CorrelationTest::degenerate(CorrelationCoefficient::Pearson, m)
+        } else {
+            pearson_from_moments(
+                CorrelationCoefficient::Pearson,
+                x.vals,
+                y.vals,
+                x.mean,
+                y.mean,
+                x.sxx,
+                y.sxx,
+            )
+        };
+        let s = if !spearman_ok {
+            CorrelationTest::degenerate(CorrelationCoefficient::Spearman, m)
+        } else {
+            pearson_from_moments(
+                CorrelationCoefficient::Spearman,
+                x.ranks,
+                y.ranks,
+                x.rank_mean,
+                y.rank_mean,
+                x.rank_sxx,
+                y.rank_sxx,
+            )
+        };
+        (p, s)
     };
-    ybuf.clear();
-    ybuf.extend(x.order.iter().map(|&g| y.vals[g as usize]));
+    kernels::gather_values(x.order, y.vals, ybuf);
     let (n3, discordant) = kendall_refine(ybuf, x.runs, tmp);
     let k = kendall_from_parts(m, n3, discordant, &x.ties, &y.ties);
     (p, s, k)
@@ -709,15 +648,15 @@ pub fn cor_tests_profiled(
     b: &CorProfile,
     scratch: &mut CorScratch,
 ) -> (CorrelationTest, CorrelationTest, CorrelationTest) {
+    let s = &mut *scratch;
     if a.same_mask(b) {
-        return (
-            pearson_profiled(a, b, scratch),
-            spearman_profiled(a, b, scratch),
-            kendall_profiled(a, b, scratch),
-        );
+        // Equal masks: both profiles' caches are views of the intersection
+        // already, and `assemble` fuses the Pearson and Spearman folds into
+        // one pass — bit-identical to the three `*_profiled` calls (same
+        // degenerate ladder, same per-chain accumulation orders).
+        return assemble(&a.as_view(), &b.as_view(), &mut s.y, &mut s.tmp);
     }
     assert_eq!(a.len, b.len, "paired samples must have equal length");
-    let s = &mut *scratch;
     if mask_subset(a, b) {
         let sum = gather_superset(a, b, &mut s.ys, &mut s.b_pos);
         let y = resolve_filtered(
@@ -728,6 +667,7 @@ pub fn cor_tests_profiled(
             &mut s.b_order,
             &mut s.ry,
             &mut s.runs_b,
+            &mut s.sv,
         );
         assemble(&a.as_view(), &y, &mut s.y, &mut s.tmp)
     } else if mask_subset(b, a) {
@@ -740,6 +680,7 @@ pub fn cor_tests_profiled(
             &mut s.a_order,
             &mut s.rx,
             &mut s.runs_a,
+            &mut s.sv,
         );
         assemble(&x, &b.as_view(), &mut s.y, &mut s.tmp)
     } else {
@@ -753,6 +694,7 @@ pub fn cor_tests_profiled(
             &mut s.a_order,
             &mut s.rx,
             &mut s.runs_a,
+            &mut s.sv,
         );
         let y = resolve_filtered(
             b,
@@ -762,6 +704,7 @@ pub fn cor_tests_profiled(
             &mut s.b_order,
             &mut s.ry,
             &mut s.runs_b,
+            &mut s.sv,
         );
         assemble(&x, &y, &mut s.y, &mut s.tmp)
     }

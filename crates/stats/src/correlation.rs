@@ -137,11 +137,21 @@ pub(crate) fn pearson_from_moments(
     sxx: f64,
     syy: f64,
 ) -> CorrelationTest {
-    let n = xs.len();
-    let mut sxy = 0.0;
-    for (&a, &b) in xs.iter().zip(ys) {
-        sxy += (a - mx) * (b - my);
-    }
+    let sxy = crate::kernels::sxy_fold(xs, ys, mx, my);
+    pearson_from_sxy(coefficient, sxy, sxx, syy, xs.len())
+}
+
+/// Finishes a Pearson-style coefficient from a fully precomputed cross
+/// moment — the tail of [`pearson_from_moments`], split out so fused
+/// multi-chain folds ([`crate::kernels::sxy_fold2`]) can share the exact
+/// clamp/t-test arithmetic.
+pub(crate) fn pearson_from_sxy(
+    coefficient: CorrelationCoefficient,
+    sxy: f64,
+    sxx: f64,
+    syy: f64,
+    n: usize,
+) -> CorrelationTest {
     let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
     CorrelationTest {
         coefficient,
@@ -259,17 +269,19 @@ pub(crate) fn kendall_complete(xs: &[f64], ys: &[f64]) -> CorrelationTest {
 
     // Discordant pairs = swaps needed to sort y_sorted (counted by merge sort).
     let mut buf = y_sorted.clone();
-    let mut tmp = vec![0.0; n];
-    let discordant = merge_count(&mut buf, &mut tmp);
+    let mut tmp = Vec::new();
+    let discordant = crate::kernels::count_inversions(&mut buf, &mut tmp);
 
     kendall_from_parts(n, n3, discordant, &tx, &ty)
 }
 
 /// Per-series tie aggregates feeding τ-b's denominator and the tie-adjusted
 /// variance of S. Depending only on one side's tie-group sizes, they are
-/// precomputable per series and reusable across every pairing.
+/// precomputable per series and reusable across every pairing. Public so
+/// the [`crate::kernels`] order walk can produce them (and benches can
+/// check them); construct via [`kendall_ties`]-style group aggregation.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct KendallTies {
+pub struct KendallTies {
     /// Number of tied pairs: Σ t(t−1)/2.
     pub n_tied_pairs: u64,
     /// Σ t(t−1)(2t+5), the tie term of var(S).
@@ -344,45 +356,6 @@ pub(crate) fn kendall_from_parts(
         p_value: normal_two_sided_p(z),
         n,
     }
-}
-
-/// Counts inversions (pairs `i < j` with `v[i] > v[j]`) via bottom-up merge
-/// sort; equal values are *not* inversions, matching discordance in τ-b.
-pub(crate) fn merge_count(v: &mut [f64], tmp: &mut [f64]) -> u64 {
-    let n = v.len();
-    let mut inversions = 0u64;
-    let mut width = 1;
-    while width < n {
-        let mut lo = 0;
-        while lo + width < n {
-            let mid = lo + width;
-            let hi = (lo + 2 * width).min(n);
-            inversions += merge(&v[lo..hi], mid - lo, &mut tmp[lo..hi]);
-            v[lo..hi].copy_from_slice(&tmp[lo..hi]);
-            lo += 2 * width;
-        }
-        width *= 2;
-    }
-    inversions
-}
-
-fn merge(src: &[f64], mid: usize, dst: &mut [f64]) -> u64 {
-    let (left, right) = src.split_at(mid);
-    let mut i = 0;
-    let mut j = 0;
-    let mut inv = 0u64;
-    for slot in dst.iter_mut() {
-        if i < left.len() && (j >= right.len() || left[i] <= right[j]) {
-            *slot = left[i];
-            i += 1;
-        } else {
-            // right[j] is smaller than all remaining left elements.
-            inv += (left.len() - i) as u64;
-            *slot = right[j];
-            j += 1;
-        }
-    }
-    inv
 }
 
 #[cfg(test)]

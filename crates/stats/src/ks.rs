@@ -68,24 +68,10 @@ pub fn ks_two_sample_sorted(a: &[f64], b: &[f64]) -> Option<KsTest> {
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "sample not sorted");
 
     let (n1, n2) = (a.len(), b.len());
-    let mut i = 0;
-    let mut j = 0;
-    let mut d: f64 = 0.0;
-    while i < n1 && j < n2 {
-        let xi = a[i];
-        let yj = b[j];
-        let t = xi.min(yj);
-        // Advance past all values equal to t in each sample.
-        while i < n1 && a[i] <= t {
-            i += 1;
-        }
-        while j < n2 && b[j] <= t {
-            j += 1;
-        }
-        let f1 = i as f64 / n1 as f64;
-        let f2 = j as f64 / n2 as f64;
-        d = d.max((f1 - f2).abs());
-    }
+    // The sup-scan kernel: integer-scored record test, f64 gap evaluated
+    // only at weak records — bit-identical to the classic per-step scan
+    // (see `kernels::ks_sup_scan` for the monotonicity argument).
+    let d = crate::kernels::ks_sup_scan(a, b);
 
     let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
     let sqrt_ne = ne.sqrt();

@@ -13,6 +13,10 @@
 //!   Definition 1).
 //! * [`corprofile`] — per-series profiles that make batch pairwise
 //!   correlation cheap while staying bit-identical to [`correlation`].
+//! * [`kernels`] — the cache/autovectorization-friendly inner loops the
+//!   profiles, CCF folds, rank transforms and KS scan all bottom out in,
+//!   bit-identical at every `f64` decision surface and benchmarked
+//!   per-kernel against the loops they replaced (BENCH_kernels).
 //! * [`sketch`] — per-series pruning sketches whose coefficient upper
 //!   bounds let batch engines discard provably-below-threshold pairs
 //!   without exact work (zero false dismissals).
@@ -40,6 +44,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod distance;
 pub mod kde;
+pub mod kernels;
 pub mod ks;
 pub mod ols;
 pub mod rank;
@@ -50,8 +55,8 @@ pub mod stationarity;
 pub mod zipf;
 
 pub use acf::{
-    acf, ccf, ccf_cell, ccf_cell_counted, effective_sample_size, significance_bound,
-    significance_bound_effective, CcfSide, CorrelogramError,
+    acf, ccf, ccf_cell, ccf_cell_counted, ccf_cells_batch, effective_sample_size,
+    significance_bound, significance_bound_effective, CcfSide, CorrelogramError,
 };
 pub use ar::{fit_ar, fit_ar_aic, forecast_rmse, ArModel, ForecastComparison};
 pub use corprofile::{

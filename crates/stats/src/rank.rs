@@ -13,7 +13,10 @@
 pub struct RankedSeries {
     /// Stable sort permutation: `order[k]` is the index (into the input) of
     /// the `k`-th smallest value; equal values keep their input order.
-    pub order: Vec<usize>,
+    /// Indices are `u32` — the width every downstream gather kernel uses —
+    /// so the permutation flows into correlation profiles without a
+    /// widening copy (series are capped at `u32::MAX` points).
+    pub order: Vec<u32>,
     /// 1-based mid-ranks: ties receive the average of the ranks they
     /// occupy, the convention required by Spearman's ρ and Kendall's τ-b
     /// tie corrections.
@@ -30,32 +33,40 @@ pub struct RankedSeries {
 /// # Panics
 /// Panics if any value is not finite.
 pub fn rank_series(xs: &[f64]) -> RankedSeries {
+    // Small-domain fast lane first (see `kernels::rank_small_domain`):
+    // integral series with a modest value range — the overwhelmingly common
+    // shape of traffic windows — rank in O(n + range) via a stable counting
+    // sort, bit-identical to the comparison path. A successful detection
+    // also certifies every value finite, so the explicit scan below only
+    // runs on the fallback.
+    let mut order = Vec::new();
+    let mut ranks = Vec::new();
+    let mut tie_lens = Vec::new();
+    if crate::kernels::rank_small_domain(xs, &mut order, &mut ranks, &mut tie_lens) {
+        return RankedSeries {
+            order,
+            ranks,
+            ties: tie_lens,
+        };
+    }
     assert!(
         xs.iter().all(|x| x.is_finite()),
         "mid_ranks requires finite inputs"
     );
-    let n = xs.len();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
-    let mut ranks = vec![0.0; n];
-    let mut ties = Vec::new();
-    let mut i = 0;
-    while i < n {
-        let mut j = i;
-        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
-            j += 1;
-        }
-        // Positions i..=j share the same value: assign the average rank.
-        let avg = (i + j) as f64 / 2.0 + 1.0;
-        for &k in &order[i..=j] {
-            ranks[k] = avg;
-        }
-        if j > i {
-            ties.push(j - i + 1);
-        }
-        i = j + 1;
+    // Stable `(value, index)` sort, then one sequential walk of the sorted
+    // values (see the `kernels` module): the same permutation, mid-ranks
+    // and tie groups as the old index sort — equal values keep input order
+    // under both — but the sort compares sequential keys instead of
+    // chasing indices through `xs`, and the tie walk never gathers.
+    let mut kv = Vec::new();
+    crate::kernels::stable_value_sort(xs, &mut kv);
+    crate::kernels::ranks_from_sorted_pairs(&kv, &mut ranks, &mut tie_lens);
+    let order: Vec<u32> = kv.iter().map(|pair| pair.1).collect();
+    RankedSeries {
+        order,
+        ranks,
+        ties: tie_lens,
     }
-    RankedSeries { order, ranks, ties }
 }
 
 /// Mid-ranks and tie-group sizes of `xs` from a single sort.
@@ -153,7 +164,7 @@ mod tests {
         let xs = [2.0, 1.0, 2.0, 0.5, 1.0];
         let ranked = rank_series(&xs);
         // Sorted value sequence is non-decreasing...
-        let sorted: Vec<f64> = ranked.order.iter().map(|&i| xs[i]).collect();
+        let sorted: Vec<f64> = ranked.order.iter().map(|&i| xs[i as usize]).collect();
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
         // ...and equal values keep their input order (stability).
         assert_eq!(ranked.order, vec![3, 1, 4, 0, 2]);

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints (warnings denied), build and the full test
-# suite. Run from anywhere inside the repository.
+# CI gate: formatting, lints (warnings denied), build, the full test
+# suite, bench smokes (bit-identity + observability conservation), and the
+# unified perf-budget gate (scripts/perf_gate.py) over every committed
+# bench baseline. Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,17 +53,7 @@ assert c["rebins_pyramid"] + c["rebins_direct"] == stages["rebin"]["entered"], c
 assert c["level_folds"] <= c["rebins_pyramid"], c
 print("sweep obs ok:", c["rebins_pyramid"], "pyramid rebins,", c["level_folds"], "level folds")
 PY
-python3 - results/BENCH_aggregation.json <<'PY'
-import json, sys
-
-with open(sys.argv[1]) as fh:
-    b = json.load(fh)
-
-assert b["bench"] == "granularity_sweep", b["bench"]
-assert b["bit_identical"] is True
-assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
-print("recorded sweep baseline ok: speedup", b["speedup_single_thread"], "x")
-PY
+python3 scripts/perf_gate.py --only granularity_sweep
 
 echo "== pruned_pairwise bench (smoke) =="
 cargo bench -p wtts-bench --bench pruned_pairwise -- --smoke --metrics-json "$prune_metrics_json"
@@ -87,18 +79,7 @@ rate = pruned / c["prune_pairs_total"]
 assert rate >= 0.90, f"prune rate {rate:.3f} below 0.90 at phi = 0.6"
 print(f"prune obs ok: {pruned} of {c['prune_pairs_total']} pairs pruned ({rate:.3f})")
 PY
-python3 - results/BENCH_pruning.json <<'PY'
-import json, sys
-
-with open(sys.argv[1]) as fh:
-    b = json.load(fh)
-
-assert b["bench"] == "pruned_pairwise", b["bench"]
-assert b["bit_identical"] is True
-assert b["threads"] == 1
-assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
-print("recorded pruning baseline ok: speedup", b["speedup_single_thread"], "x at 10k gateways")
-PY
+python3 scripts/perf_gate.py --only pruned_pairwise
 
 echo "== lag_search bench (smoke) =="
 cargo bench -p wtts-bench --bench lag_search -- --smoke --metrics-json "$lag_metrics_json"
@@ -124,18 +105,14 @@ rate = pruned / c["lag_cells_total"]
 assert rate >= 0.30, f"prune rate {rate:.3f} below 0.30 at phi = 0.85"
 print(f"lag obs ok: {pruned} of {c['lag_cells_total']} cells pruned ({rate:.3f})")
 PY
-python3 - results/BENCH_lagged.json <<'PY'
-import json, sys
+python3 scripts/perf_gate.py --only lag_search
 
-with open(sys.argv[1]) as fh:
-    b = json.load(fh)
+echo "== kernels bench (smoke) =="
+cargo bench -p wtts-bench --bench kernels -- --smoke
+python3 scripts/perf_gate.py --only kernels
 
-assert b["bench"] == "lag_search", b["bench"]
-assert b["bit_identical"] is True
-assert b["threads"] == 1
-assert b["speedup_single_thread"] >= 5, b["speedup_single_thread"]
-print("recorded lag baseline ok: speedup", b["speedup_single_thread"], "x at 24 gateways")
-PY
+echo "== perf budget (all recorded baselines) =="
+python3 scripts/perf_gate.py
 
 echo "== examples (smoke) =="
 cargo run --release --example quickstart >/dev/null
